@@ -1,0 +1,56 @@
+# hierdet — build/test/experiment entry points. Standard library only; no
+# network access required for any target.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench fuzz figures alpha examples fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/livenet/ ./internal/core/
+
+cover:
+	$(GO) test -cover ./...
+
+# One bench per paper artifact (Table I, Figures 4–5) plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz passes over the wire codecs.
+fuzz:
+	$(GO) test -run FuzzUnmarshalBinary -fuzz FuzzUnmarshalBinary -fuzztime 30s ./internal/vclock/
+	$(GO) test -run FuzzDecodeReport -fuzz FuzzDecodeReport -fuzztime 30s ./internal/wire/
+	$(GO) test -run FuzzDecodeHeartbeat -fuzz FuzzDecodeHeartbeat -fuzztime 30s ./internal/wire/
+
+# Regenerate the paper's evaluation artifacts.
+figures:
+	$(GO) run ./cmd/figures
+
+alpha:
+	$(GO) run ./cmd/alpha
+
+examples:
+	@for ex in examples/*/; do \
+		echo "== $$ex"; \
+		$(GO) run ./$$ex || exit 1; \
+	done
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,87 @@
+// Command alpha measures the paper's aggregation probability α empirically.
+// Eq. 11 models the hierarchical algorithm's traffic with a per-level
+// success probability α: each level-i node emits d·α aggregates per interval
+// its children deliver, so the per-level aggregate volume decays (or grows)
+// geometrically. This tool runs workloads with different synchronization
+// locality, reports the measured per-level aggregate counts, derives the
+// per-level ratio α̂(ℓ) = sent(ℓ)/sent(ℓ+1) (levels numbered from the
+// leaves), and compares the measured total message count with Eq. 11
+// evaluated at the mean measured α̂.
+//
+// Usage:
+//
+//	go run ./cmd/alpha                      # default sweep
+//	go run ./cmd/alpha -d 3 -height 3 -rounds 50
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hierdet"
+	"hierdet/internal/analytic"
+)
+
+func main() {
+	var (
+		d      = flag.Int("d", 2, "tree degree")
+		height = flag.Int("height", 4, "tree height (edges; levels = height+1)")
+		rounds = flag.Int("rounds", 40, "workload rounds (the paper's p)")
+		seed   = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("measuring α on a complete %d-ary tree of height %d, p=%d\n\n", *d, *height, *rounds)
+	mixes := []struct {
+		name            string
+		pGlobal, pGroup float64
+	}{
+		{"all global pulses", 1, 0},
+		{"70% global / 30% group", 0.7, 0.3},
+		{"30% global / 70% group", 0.3, 0.7},
+		{"all group pulses", 0, 1},
+		{"30% global / 70% isolated", 0.3, 0},
+	}
+	for _, m := range mixes {
+		runMix(m.name, *d, *height, *rounds, *seed, m.pGlobal, m.pGroup)
+	}
+}
+
+func runMix(name string, d, height, rounds int, seed int64, pGlobal, pGroup float64) {
+	topo := hierdet.BalancedTree(d, height)
+	exec := hierdet.GenerateWorkload(topo, rounds, seed, pGlobal, pGroup)
+	res := hierdet.SimulateExecution(hierdet.SimConfig{Topology: topo, Seed: seed}, exec)
+
+	fmt.Printf("%s:\n", name)
+	// Depth δ nodes are at level ℓ = height−δ+1 in the paper's numbering
+	// (leaves are level 1). AggSentByDepth is keyed by depth.
+	fmt.Printf("  %-8s %-8s %-14s %-10s\n", "level", "depth", "aggregates", "α̂(ℓ)")
+	var prev int
+	var ratios []float64
+	for depth := height; depth >= 1; depth-- {
+		level := height - depth + 1
+		sent := res.AggSentByDepth[depth]
+		alphaHat := ""
+		if level > 1 && prev > 0 {
+			r := float64(sent) / float64(prev)
+			ratios = append(ratios, r)
+			alphaHat = fmt.Sprintf("%.3f", r)
+		}
+		fmt.Printf("  %-8d %-8d %-14d %-10s\n", level, depth, sent, alphaHat)
+		prev = sent
+	}
+	mean := 0.0
+	for _, r := range ratios {
+		mean += r
+	}
+	if len(ratios) > 0 {
+		mean /= float64(len(ratios))
+	}
+	if mean > 1 {
+		mean = 1
+	}
+	levels := height + 1
+	pred := analytic.HierarchicalMessages(rounds, d, levels, mean)
+	fmt.Printf("  measured total: %d messages; Eq. 11 at α̂=%.3f predicts %.0f (p=%d, d=%d, h=%d levels)\n\n",
+		res.Net.Sent["ivl"], mean, pred, rounds, d, levels)
+}

@@ -1,0 +1,89 @@
+package hierdet_test
+
+import (
+	"fmt"
+
+	"hierdet"
+)
+
+// Example demonstrates the one-call simulation API: build a spanning tree,
+// run a monitored workload, read off every occurrence of the predicate.
+func Example() {
+	topo := hierdet.BalancedTree(2, 2) // 7 processes
+
+	res := hierdet.Simulate(hierdet.SimConfig{
+		Topology: topo,
+		Rounds:   5,
+		PGlobal:  1, // every round satisfies the global predicate
+		Seed:     1,
+	})
+
+	fmt.Printf("detected %d occurrences over %d processes\n",
+		len(res.RootDetections()), topo.N())
+	// Output:
+	// detected 5 occurrences over 7 processes
+}
+
+// Example_streaming subscribes to detections as they happen instead of
+// collecting them afterwards — the continuous-monitoring pattern.
+func Example_streaming() {
+	alarms := 0
+	hierdet.Simulate(hierdet.SimConfig{
+		Topology: hierdet.BalancedTree(2, 1),
+		Rounds:   3,
+		PGlobal:  1,
+		Seed:     2,
+		OnDetection: func(d hierdet.SimDetection) {
+			if d.AtRoot {
+				alarms++
+				fmt.Printf("alarm %d at t=%d\n", alarms, d.Time)
+			}
+		},
+	})
+	fmt.Printf("%d alarms\n", alarms)
+	// Output:
+	// alarm 1 at t=1354
+	// alarm 2 at t=2422
+	// alarm 3 at t=3310
+	// 3 alarms
+}
+
+// Example_embedding shows the deployment-facing API: instrumented processes
+// feeding detector nodes directly, no simulator involved.
+func Example_embedding() {
+	cfg := hierdet.NodeConfig{N: 2}
+	root := hierdet.NewNode(0, cfg, true)
+	root.AddChild(1)
+	leaf := hierdet.NewNode(1, cfg, true)
+
+	report := func(src int, iv hierdet.Interval) {
+		for _, det := range root.OnInterval(src, iv) {
+			fmt.Printf("Definitely(Φ) over processes %v\n", det.Agg.Span)
+		}
+	}
+
+	procs := []*hierdet.Process{
+		hierdet.NewProcess(0, 2, func(iv hierdet.Interval) { report(0, iv) }),
+		nil,
+	}
+	procs[1] = hierdet.NewProcess(1, 2, func(iv hierdet.Interval) {
+		for _, det := range leaf.OnInterval(1, iv) {
+			report(1, det.Agg)
+		}
+	})
+
+	// Both predicates hold across a message exchange: an occurrence.
+	procs[0].SetPredicate(true)
+	procs[0].Internal()
+	procs[1].SetPredicate(true)
+	procs[1].Internal()
+	procs[0].Receive(procs[1].PrepareSend())
+	procs[1].Receive(procs[0].PrepareSend())
+	procs[0].SetPredicate(false)
+	procs[0].Internal()
+	procs[1].SetPredicate(false)
+	procs[1].Internal()
+
+	// Output:
+	// Definitely(Φ) over processes [0 1]
+}

@@ -1,0 +1,51 @@
+package hierdet
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and executes every example program, asserting it
+// exits cleanly and produces its headline output — the examples are part of
+// the public API surface and must not rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	wants := map[string]string{
+		"quickstart":  "the global predicate Definitely(Φ) held",
+		"embedding":   "repeated detection, no reset needed",
+		"sensornet":   "network-wide alarms at the base station",
+		"failover":    "monitoring never stopped",
+		"livecluster": "despite reordering",
+		"relational":  "Possibly(Φ)=true",
+		"visualize":   "what the detector saw:",
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(wants) {
+		t.Fatalf("examples/ has %d entries, expectations cover %d — update this test", len(entries), len(wants))
+	}
+	for _, e := range entries {
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			want, ok := wants[name]
+			if !ok {
+				t.Fatalf("no expectation for example %q", name)
+			}
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("output missing %q:\n%s", want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module hierdet
+
+go 1.24

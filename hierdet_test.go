@@ -1,0 +1,275 @@
+package hierdet
+
+import (
+	"testing"
+)
+
+// TestEmbeddingAPI walks the documented embedding flow end to end without
+// the simulator: instrument processes, run one detector node per process,
+// wire the tree by forwarding aggregates by hand.
+func TestEmbeddingAPI(t *testing.T) {
+	const n = 3
+	cfg := NodeConfig{N: n, Strict: true, KeepMembers: true}
+	root := NewNode(0, cfg, true)
+	root.AddChild(1)
+	root.AddChild(2)
+	leaf1 := NewNode(1, cfg, true)
+	leaf2 := NewNode(2, cfg, true)
+
+	var rootDetections []Detection
+	feedRoot := func(src int, iv Interval) {
+		rootDetections = append(rootDetections, root.OnInterval(src, iv)...)
+	}
+	// Leaf detections forward their aggregates to the root.
+	forward := func(leaf *Node) func(int, Interval) {
+		return func(src int, iv Interval) {
+			for _, d := range leaf.OnInterval(src, iv) {
+				feedRoot(leaf.ID(), d.Agg)
+			}
+		}
+	}
+	feed1, feed2 := forward(leaf1), forward(leaf2)
+
+	procs := make([]*Process, n)
+	emit := []func(int, Interval){feedRoot, feed1, feed2}
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i] = NewProcess(i, n, func(iv Interval) { emit[i](i, iv) })
+	}
+
+	// One synchronized pulse: everyone true, cross acks, everyone false.
+	for _, p := range procs {
+		p.SetPredicate(true)
+		p.Internal()
+	}
+	for i := 1; i < n; i++ {
+		procs[0].Receive(procs[i].PrepareSend())
+	}
+	for i := 1; i < n; i++ {
+		procs[i].Receive(procs[0].PrepareSend())
+	}
+	for _, p := range procs {
+		p.SetPredicate(false)
+		p.Internal()
+	}
+
+	if len(rootDetections) != 1 {
+		t.Fatalf("root detections = %d, want 1", len(rootDetections))
+	}
+	if span := rootDetections[0].Agg.Span; len(span) != 3 {
+		t.Fatalf("span = %v, want all three processes", span)
+	}
+}
+
+func TestVCAndIntervalHelpers(t *testing.T) {
+	x := NewInterval(0, 0, VC{1, 0}, VC{3, 2})
+	y := NewInterval(1, 0, VC{0, 1}, VC{2, 3})
+	if !x.WellFormed() || !y.WellFormed() {
+		t.Fatal("intervals ill-formed")
+	}
+	if !Overlap(x, y) {
+		t.Fatal("interleaved intervals should overlap")
+	}
+	if !OverlapAll([]Interval{x, y}) {
+		t.Fatal("OverlapAll should hold")
+	}
+	agg := Aggregate([]Interval{x, y}, 1, 0)
+	if !agg.Agg {
+		t.Fatal("aggregate not marked")
+	}
+	if !agg.Lo.Equal(VC{1, 1}) || !agg.Hi.Equal(VC{2, 2}) {
+		t.Fatalf("aggregate bounds %v..%v", agg.Lo, agg.Hi)
+	}
+	if v := NewVC(3); v.Len() != 3 {
+		t.Fatal("NewVC")
+	}
+}
+
+func TestSimulateHierarchicalEndToEnd(t *testing.T) {
+	topo := BalancedTree(2, 2)
+	res := Simulate(SimConfig{
+		Topology: topo,
+		Rounds:   10,
+		PGlobal:  1,
+		Seed:     1,
+		Verify:   true,
+	})
+	if got := len(res.RootDetections()); got != 10 {
+		t.Fatalf("root detections = %d, want 10", got)
+	}
+	// Simulate must not mutate the caller's topology.
+	if !topo.Alive(0) || topo.Parent(1) != 0 {
+		t.Fatal("Simulate mutated the input topology")
+	}
+}
+
+func TestSimulateBothAlgorithmsOnSameExecution(t *testing.T) {
+	topo := BalancedTree(2, 2)
+	exec := GenerateWorkload(topo, 8, 3, 0.5, 0.25)
+	h := SimulateExecution(SimConfig{Topology: topo, Seed: 5, Verify: true}, exec)
+	c := SimulateExecution(SimConfig{Topology: topo, Algorithm: CentralizedAlgorithm, Seed: 5, Verify: true}, exec)
+	if len(h.RootDetections()) != len(c.RootDetections()) {
+		t.Fatalf("hierarchical %d vs centralized %d root detections",
+			len(h.RootDetections()), len(c.RootDetections()))
+	}
+	if h.Net.TotalSent >= c.Net.TotalSent && c.Net.TotalSent > 0 {
+		t.Fatalf("hierarchical traffic (%d) should undercut centralized (%d)",
+			h.Net.TotalSent, c.Net.TotalSent)
+	}
+}
+
+func TestSimulateWithFailure(t *testing.T) {
+	topo := BalancedTree(2, 2)
+	res := Simulate(SimConfig{
+		Topology: topo,
+		Rounds:   10,
+		PGlobal:  1,
+		Seed:     2,
+		Verify:   true,
+		Failures: []Failure{{At: 5500, Node: 6}},
+	})
+	if len(res.Failed) != 1 || res.Failed[0] != 6 {
+		t.Fatalf("Failed = %v", res.Failed)
+	}
+	survivors := 0
+	for _, d := range res.RootDetections() {
+		if len(d.Det.Agg.Span) == 6 {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		t.Fatal("no survivor-span detections after failure")
+	}
+}
+
+func TestSimulateKnobs(t *testing.T) {
+	topo := BalancedTree(2, 2)
+	exec := GenerateWorkload(topo, 10, 4, 1, 0)
+
+	// Batching: fewer messages, same detections (round spacing 100 makes
+	// several rounds share a 500-tick window).
+	plain := SimulateExecution(SimConfig{Topology: topo, Seed: 9, RoundSpacing: 100}, exec)
+	batched := SimulateExecution(SimConfig{Topology: topo, Seed: 9, RoundSpacing: 100, BatchWindow: 500}, exec)
+	if len(batched.RootDetections()) != len(plain.RootDetections()) {
+		t.Fatal("batching changed detections")
+	}
+	if batched.Net.TotalSent >= plain.Net.TotalSent {
+		t.Fatal("batching saved nothing")
+	}
+
+	// Differential timestamps pay off on group-local traffic (a global
+	// pulse changes every clock component, where deltas are *larger* than
+	// the flat encoding — 12 vs 8 bytes per component).
+	groupExec := GenerateWorkload(topo, 20, 5, 0.1, 0.8)
+	full := SimulateExecution(SimConfig{Topology: topo, Seed: 9, FIFO: true}, groupExec)
+	diff := SimulateExecution(SimConfig{Topology: topo, Seed: 9, FIFO: true, DiffTimestamps: true}, groupExec)
+	if diff.Net.TotalBytes >= full.Net.TotalBytes {
+		t.Fatalf("differential encoding saved nothing on group traffic (%d vs %d)",
+			diff.Net.TotalBytes, full.Net.TotalBytes)
+	}
+
+	// Loss: misses but never falsifies.
+	lossy := SimulateExecution(SimConfig{Topology: topo, Seed: 9, LossProb: 0.2, Verify: true}, exec)
+	if lossy.Net.Lost == 0 {
+		t.Fatal("nothing lost")
+	}
+	for _, d := range lossy.Detections {
+		if !OverlapAll(BaseIntervalsOf(d.Det.Agg)) {
+			t.Fatal("false detection under loss")
+		}
+	}
+
+	// Subset rounds through the facade.
+	sub := Simulate(SimConfig{Topology: topo, Rounds: 10, PSubset: 1, Seed: 4, Verify: true})
+	for _, d := range sub.Detections {
+		if d.AtRoot && len(d.Det.Agg.Span) == 7 {
+			t.Fatal("subset-only workload produced a global detection")
+		}
+	}
+}
+
+func TestAnalyticFacade(t *testing.T) {
+	h := HierarchicalMessages(20, 2, 5, 0.45)
+	c := CentralizedMessages(20, 2, 5)
+	if h <= 0 || c <= 0 || h >= c {
+		t.Fatalf("h=%v c=%v", h, c)
+	}
+}
+
+func TestTreeBuildersFacade(t *testing.T) {
+	if BalancedTree(2, 3).N() != 15 {
+		t.Fatal("BalancedTree")
+	}
+	if BalancedTreeN(10, 3).N() != 10 {
+		t.Fatal("BalancedTreeN")
+	}
+	if ChainTree(4).Height() != 3 {
+		t.Fatal("ChainTree")
+	}
+	if StarTree(5).Degree() != 4 {
+		t.Fatal("StarTree")
+	}
+	if RandomTree(10, 2, 1).Degree() > 2 {
+		t.Fatal("RandomTree")
+	}
+}
+
+func TestOneShotFacade(t *testing.T) {
+	d := NewOneShotDefinitely([]int{0})
+	lo := NewVC(1)
+	lo.Tick(0)
+	hi := lo.Clone()
+	hi.Tick(0)
+	if !d.OnInterval(0, NewInterval(0, 0, lo, hi)) {
+		t.Fatal("one-shot should fire")
+	}
+	p := NewOneShotPossibly([]int{0})
+	if !p.OnInterval(0, NewInterval(0, 1, hi.Ticked(0), hi.Ticked(0).Ticked(0))) {
+		t.Fatal("possibly should fire")
+	}
+}
+
+func TestLatticeFacade(t *testing.T) {
+	rec := NewRecorder(2)
+	a := NewProcess(0, 2, nil)
+	b := NewProcess(1, 2, nil)
+	rec.Attach(a)
+	rec.Attach(b)
+	a.SetPredicate(true)
+	a.Internal()
+	b.SetPredicate(true)
+	b.Internal()
+	a.Receive(b.PrepareSend())
+	b.Receive(a.PrepareSend())
+	a.SetPredicate(false)
+	a.Internal()
+	b.SetPredicate(false)
+	b.Internal()
+
+	def, err := LatticeDefinitely(rec.Recording(), ConjunctivePredicate())
+	if err != nil || !def {
+		t.Fatalf("Definitely = %v, %v; want true", def, err)
+	}
+	pos, err := LatticePossibly(rec.Recording(), ConjunctivePredicate())
+	if err != nil || !pos {
+		t.Fatalf("Possibly = %v, %v; want true", pos, err)
+	}
+	never := func(states []LocalState) bool { return false }
+	if pos, _ := LatticePossibly(rec.Recording(), never); pos {
+		t.Fatal("Possibly(false) held")
+	}
+}
+
+func TestSinkFacade(t *testing.T) {
+	s := NewSink(0, NodeConfig{N: 2, Strict: true}, []int{0, 1})
+	lo0 := NewVC(2)
+	lo0.Tick(0)
+	hi0 := VC{3, 2}
+	lo1 := VC{0, 1}
+	hi1 := VC{2, 3}
+	s.OnInterval(0, NewInterval(0, 0, lo0, hi0))
+	dets := s.OnInterval(1, NewInterval(1, 0, lo1, hi1))
+	if len(dets) != 1 {
+		t.Fatalf("sink detections = %d", len(dets))
+	}
+}

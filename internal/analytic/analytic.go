@@ -1,0 +1,155 @@
+// Package analytic implements the paper's complexity model (§IV): the
+// message-count formulas behind Figures 4 and 5 and the Table I entries, for
+// a spanning tree of degree d and height h (n = d^h in the paper's
+// approximation) with p intervals per process and per-level aggregation
+// probability α.
+//
+// Convention: the paper's h counts tree LEVELS — leaves are level 1 and the
+// root level h — so a complete d-ary tree with h levels has h−1 edges of
+// height and is built by tree.Balanced(d, h−1). The measured validations in
+// cmd/figures align the two conventions explicitly.
+//
+// Two forms of the centralized count are provided. The defining summation
+// (Eq. 12) is ground truth. The closed form printed as Eq. (14) in the paper
+// does not equal that summation (e.g. d=2, h=3, p=1 gives 10 by Eq. 12 but 2
+// by the printed formula); re-deriving the telescoping sum yields
+//
+//	total = p · d · ((h−1)·d^h − h·d^(h−1) + 1) / (d−1)²
+//
+// which the tests verify equals Eq. 12 exactly. The printed form is kept as
+// CentralizedMessagesPaperEq14 for reference; all experiments use the
+// summation-backed functions. See EXPERIMENTS.md for the discrepancy note.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// HierarchicalMessages evaluates paper Eq. 11: the total message count of
+// Algorithm 1 on a tree of degree d and height h with p intervals per
+// process and aggregation probability α,
+//
+//	Σ_{i=1}^{h−1} d^(h−i) · p · d^(i−1) · α^(i−1)  =  p·d^(h−1)·(1−α^(h−1))/(1−α)
+//
+// Every message travels exactly one hop (child to parent).
+func HierarchicalMessages(p, d, h int, alpha float64) float64 {
+	checkParams(p, d, h)
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("analytic: alpha %v out of [0,1]", alpha))
+	}
+	sum := 0.0
+	for i := 1; i <= h-1; i++ {
+		sum += math.Pow(float64(d), float64(h-i)) *
+			float64(p) *
+			math.Pow(float64(d), float64(i-1)) *
+			math.Pow(alpha, float64(i-1))
+	}
+	return sum
+}
+
+// HierarchicalMessagesClosed evaluates the closed form of Eq. 11,
+// p·d^(h−1)·(1−α^(h−1))/(1−α); at α = 1 the geometric sum degenerates to
+// p·d^(h−1)·(h−1).
+func HierarchicalMessagesClosed(p, d, h int, alpha float64) float64 {
+	checkParams(p, d, h)
+	base := float64(p) * math.Pow(float64(d), float64(h-1))
+	if alpha == 1 {
+		return base * float64(h-1)
+	}
+	return base * (1 - math.Pow(alpha, float64(h-1))) / (1 - alpha)
+}
+
+// CentralizedMessages evaluates paper Eq. 12, the defining summation of the
+// centralized baseline's message count: each of the p intervals of each of
+// the d^(h−i) processes at level i travels h−i hops to the sink,
+//
+//	Σ_{i=1}^{h−1} p · d^(h−i) · (h−i)
+func CentralizedMessages(p, d, h int) float64 {
+	checkParams(p, d, h)
+	sum := 0.0
+	for i := 1; i <= h-1; i++ {
+		sum += float64(p) * math.Pow(float64(d), float64(h-i)) * float64(h-i)
+	}
+	return sum
+}
+
+// CentralizedMessagesClosed is the corrected closed form of Eq. 12:
+//
+//	p · d · ((h−1)·d^h − h·d^(h−1) + 1) / (d−1)²
+//
+// Tests verify it equals CentralizedMessages exactly.
+func CentralizedMessagesClosed(p, d, h int) float64 {
+	checkParams(p, d, h)
+	if d == 1 {
+		// Σ_{j=1}^{h−1} j = h(h−1)/2 per interval.
+		return float64(p) * float64(h*(h-1)) / 2
+	}
+	df := float64(d)
+	return float64(p) * df *
+		(float64(h-1)*math.Pow(df, float64(h)) - float64(h)*math.Pow(df, float64(h-1)) + 1) /
+		((df - 1) * (df - 1))
+}
+
+// CentralizedMessagesPaperEq14 evaluates the closed form exactly as printed
+// in the paper's Eq. (14),
+//
+//	p · ((d^h − 2d)·(dh − d − h) − d) / (d−1)²
+//
+// It does NOT match the defining summation Eq. 12 (see the package comment);
+// it is retained only so the discrepancy is reproducible.
+func CentralizedMessagesPaperEq14(p, d, h int) float64 {
+	checkParams(p, d, h)
+	if d == 1 {
+		return math.NaN()
+	}
+	df, hf := float64(d), float64(h)
+	return float64(p) * ((math.Pow(df, hf)-2*df)*(df*hf-df-hf) - df) / ((df - 1) * (df - 1))
+}
+
+// MessageRatio returns centralized/hierarchical message counts — the factor
+// the paper's Figures 4 and 5 visualize.
+func MessageRatio(p, d, h int, alpha float64) float64 {
+	return CentralizedMessages(p, d, h) / HierarchicalMessages(p, d, h, alpha)
+}
+
+// TableIRow is one column of the paper's Table I, instantiated numerically.
+type TableIRow struct {
+	// Space is the worst-case stored-interval count × O(n) timestamp size,
+	// reported as interval-slots (pn for intervals, each of size O(n)).
+	SpaceIntervalSlots float64
+	// Time is the dominant comparison-count term.
+	TimeComparisons float64
+	// Messages is the total message count.
+	Messages float64
+	// Distributed reports whether the costs spread across all nodes (the
+	// hierarchical algorithm) or concentrate at the sink.
+	Distributed bool
+}
+
+// TableI instantiates both columns of Table I for concrete parameters.
+// n is taken as d^h per the paper's convention.
+func TableI(p, d, h int, alpha float64) (hier, central TableIRow) {
+	checkParams(p, d, h)
+	n := math.Pow(float64(d), float64(h))
+	pf, df := float64(p), float64(d)
+	hier = TableIRow{
+		SpaceIntervalSlots: pf * n * n, // O(pn²): pn intervals × O(n) timestamps
+		TimeComparisons:    df * df * pf * n * n,
+		Messages:           HierarchicalMessages(p, d, h, alpha),
+		Distributed:        true,
+	}
+	central = TableIRow{
+		SpaceIntervalSlots: pf * n * n,
+		TimeComparisons:    pf * n * n * n,
+		Messages:           CentralizedMessages(p, d, h),
+		Distributed:        false,
+	}
+	return hier, central
+}
+
+func checkParams(p, d, h int) {
+	if p <= 0 || d <= 0 || h <= 0 {
+		panic(fmt.Sprintf("analytic: invalid parameters p=%d d=%d h=%d", p, d, h))
+	}
+}

@@ -1,0 +1,172 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+func TestHierarchicalClosedMatchesSummation(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 8} {
+		for h := 1; h <= 10; h++ {
+			for _, alpha := range []float64{0, 0.1, 0.45, 0.5, 0.9, 1} {
+				sum := HierarchicalMessages(20, d, h, alpha)
+				closed := HierarchicalMessagesClosed(20, d, h, alpha)
+				if !almostEqual(sum, closed) {
+					t.Fatalf("d=%d h=%d α=%v: sum %v vs closed %v", d, h, alpha, sum, closed)
+				}
+			}
+		}
+	}
+}
+
+func TestCentralizedClosedMatchesSummation(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4, 8} {
+		for h := 1; h <= 10; h++ {
+			sum := CentralizedMessages(7, d, h)
+			closed := CentralizedMessagesClosed(7, d, h)
+			if !almostEqual(sum, closed) {
+				t.Fatalf("d=%d h=%d: sum %v vs closed %v", d, h, sum, closed)
+			}
+		}
+	}
+}
+
+// TestPaperEq14Discrepancy documents that the closed form printed in the
+// paper's Eq. (14) does not equal its own defining summation Eq. (12); our
+// corrected closed form does. If this test ever fails, the printed formula
+// actually matched and the EXPERIMENTS.md note should be removed.
+func TestPaperEq14Discrepancy(t *testing.T) {
+	// By hand: level 1 has 4 processes at 2 hops, level 2 has 2 processes at
+	// 1 hop → 4·2 + 2·1 = 10 messages per interval.
+	sum := CentralizedMessages(1, 2, 3)
+	if sum != 10 {
+		t.Fatalf("Eq. 12 at p=1,d=2,h=3 = %v, want 10", sum)
+	}
+	printed := CentralizedMessagesPaperEq14(1, 2, 3)
+	if almostEqual(sum, printed) {
+		t.Fatalf("printed Eq. 14 (%v) unexpectedly matches Eq. 12 (%v)", printed, sum)
+	}
+}
+
+func TestHierarchicalKnownValues(t *testing.T) {
+	// d=2, h=3, α=0: only leaves send, 4 leaves × p messages.
+	if got := HierarchicalMessages(20, 2, 3, 0); got != 80 {
+		t.Fatalf("α=0: %v, want 80", got)
+	}
+	// α=1: p·d^(h−1)·(h−1) = 20·4·2 = 160.
+	if got := HierarchicalMessages(20, 2, 3, 1); got != 160 {
+		t.Fatalf("α=1: %v, want 160", got)
+	}
+	// h=1: a single level — no messages in the sum's empty range.
+	if got := HierarchicalMessages(20, 2, 1, 0.5); got != 0 {
+		t.Fatalf("h=1: %v, want 0", got)
+	}
+}
+
+func TestCentralizedKnownValues(t *testing.T) {
+	// d=2, h=3: 4 leaves × 2 hops + 2 mid × 1 hop = 10 per interval.
+	if got := CentralizedMessages(1, 2, 3); got != 10 {
+		t.Fatalf("got %v, want 10", got)
+	}
+	if got := CentralizedMessages(20, 2, 3); got != 200 {
+		t.Fatalf("p=20: got %v, want 200", got)
+	}
+}
+
+func TestHierarchicalBeatsCentralized(t *testing.T) {
+	// The paper's headline comparison: for h > 2 and practical α the
+	// hierarchical algorithm sends fewer messages, increasingly so with
+	// scale.
+	for _, d := range []int{2, 4} {
+		prev := 0.0
+		for h := 3; h <= 10; h++ {
+			for _, alpha := range []float64{0.1, 0.45} {
+				ratio := MessageRatio(20, d, h, alpha)
+				if ratio <= 1 {
+					t.Fatalf("d=%d h=%d α=%v: centralized/hierarchical = %v, want > 1", d, h, alpha, ratio)
+				}
+			}
+			r := MessageRatio(20, d, h, 0.1)
+			if r < prev {
+				t.Fatalf("d=%d: advantage should grow with h (h=%d ratio %v < %v)", d, h, r, prev)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestAlphaMonotonicity(t *testing.T) {
+	// More aggregation success ⇒ more aggregate traffic upward.
+	last := -1.0
+	for _, alpha := range []float64{0, 0.1, 0.3, 0.45, 0.7, 0.9, 1} {
+		got := HierarchicalMessages(20, 2, 6, alpha)
+		if got <= last {
+			t.Fatalf("messages not increasing in α: %v after %v", got, last)
+		}
+		last = got
+	}
+}
+
+func TestPLinearity(t *testing.T) {
+	// p is a linear factor in both formulas (paper §IV-A observation).
+	h1 := HierarchicalMessages(1, 4, 5, 0.45)
+	h20 := HierarchicalMessages(20, 4, 5, 0.45)
+	if !almostEqual(h20, 20*h1) {
+		t.Fatalf("hierarchical not linear in p: %v vs %v", h20, 20*h1)
+	}
+	c1 := CentralizedMessages(1, 4, 5)
+	c20 := CentralizedMessages(20, 4, 5)
+	if !almostEqual(c20, 20*c1) {
+		t.Fatalf("centralized not linear in p: %v vs %v", c20, 20*c1)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	hier, central := TableI(20, 2, 5, 0.45)
+	n := 32.0
+	if !almostEqual(hier.SpaceIntervalSlots, 20*n*n) || !almostEqual(central.SpaceIntervalSlots, 20*n*n) {
+		t.Fatal("Table I space entries wrong")
+	}
+	if !almostEqual(hier.TimeComparisons, 4*20*n*n) {
+		t.Fatalf("hier time = %v", hier.TimeComparisons)
+	}
+	if !almostEqual(central.TimeComparisons, 20*n*n*n) {
+		t.Fatalf("central time = %v", central.TimeComparisons)
+	}
+	// d² < n for h > 2: the paper's superiority argument.
+	if hier.TimeComparisons >= central.TimeComparisons {
+		t.Fatal("hierarchical time should be lower for h > 2")
+	}
+	if !hier.Distributed || central.Distributed {
+		t.Fatal("distribution flags wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"neg-p":     func() { HierarchicalMessages(0, 2, 3, 0.5) },
+		"bad-alpha": func() { HierarchicalMessages(1, 2, 3, 1.5) },
+		"neg-d":     func() { CentralizedMessages(1, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if !math.IsNaN(CentralizedMessagesPaperEq14(1, 1, 3)) {
+		t.Error("printed Eq. 14 should be NaN at d=1")
+	}
+}

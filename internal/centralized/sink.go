@@ -1,0 +1,93 @@
+// Package centralized implements the baseline this paper compares against:
+// the centralized repeated detection algorithm for Definitely(Φ) of
+// Kshemkalyani, "Repeated detection of conjunctive predicates in distributed
+// executions", Information Processing Letters 111(9), 2011 — reference [12].
+//
+// A single sink process maintains one queue per process in the system. Every
+// process ships every local interval to the sink (in a multi-hop network,
+// each interval costs as many messages as its distance to the sink — the
+// message-complexity penalty quantified by paper Eq. 12). The sink runs the
+// same elimination loop and Eq. 10 pruning rule as the hierarchical
+// algorithm, but over all n queues at once: all O(pn²) space and O(pn³) time
+// land on one node, and a sink failure loses every interval — the two
+// deficiencies the hierarchical algorithm removes.
+//
+// The detection engine is deliberately shared with internal/core: the paper
+// notes Algorithm 1 "has the same basic structure as the centralized
+// algorithm given in [12]"; the difference is where the queues live and what
+// flows into them (raw intervals here, aggregates there).
+package centralized
+
+import (
+	"fmt"
+
+	"hierdet/internal/core"
+	"hierdet/internal/interval"
+)
+
+// Sink is the central detector. It is a pure state machine like core.Node;
+// transport (and its multi-hop cost) is simulated by internal/monitor.
+type Sink struct {
+	node    *core.Node
+	n       int
+	sinkID  int
+	history []core.Detection
+}
+
+// NewSink returns a sink detector for an n-process system. The sink itself
+// is process sinkID; participants lists the process ids whose local
+// predicates form the conjunction (normally all n processes).
+func NewSink(sinkID int, cfg core.Config, participants []int) *Sink {
+	if len(participants) == 0 {
+		panic("centralized: no participants")
+	}
+	local := false
+	for _, p := range participants {
+		if p == sinkID {
+			local = true
+			break
+		}
+	}
+	nd := core.NewNode(sinkID, cfg, local)
+	for _, p := range participants {
+		if p != sinkID {
+			nd.AddChild(p)
+		}
+	}
+	return &Sink{node: nd, n: cfg.N, sinkID: sinkID}
+}
+
+// ID returns the sink's process id.
+func (s *Sink) ID() int { return s.sinkID }
+
+// OnInterval delivers one local interval from process p (possibly the sink
+// itself) and returns the global detections it triggers.
+func (s *Sink) OnInterval(p int, iv interval.Interval) []core.Detection {
+	if !s.node.HasSource(p) {
+		panic(fmt.Sprintf("centralized: interval from unknown process %d", p))
+	}
+	dets := s.node.OnInterval(p, iv)
+	s.history = append(s.history, dets...)
+	return dets
+}
+
+// RemoveProcess drops a failed process's queue. The centralized algorithm
+// has no principled story for this — the paper's point — but supporting it
+// lets experiments compare like for like after failures of non-sink nodes.
+func (s *Sink) RemoveProcess(p int) []core.Detection {
+	dets := s.node.RemoveChild(p)
+	s.history = append(s.history, dets...)
+	return dets
+}
+
+// Detections returns every detection so far, in order.
+func (s *Sink) Detections() []core.Detection {
+	return append([]core.Detection(nil), s.history...)
+}
+
+// Stats exposes the sink's work counters. Unlike the hierarchical detector,
+// every count here burdens the single sink process.
+func (s *Sink) Stats() core.Stats { return s.node.Stats() }
+
+// QueueSizes reports current and high-water interval residency at the sink.
+func (s *Sink) QueueSizes() (current, highWater int) { return s.node.QueueSizes() }

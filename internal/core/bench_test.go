@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/vclock"
+)
+
+// benchPulses pre-generates k pulses of mutually overlapping intervals for
+// an n-process system (all sources of one detector node).
+func benchPulses(n, k int) [][]interval.Interval {
+	out := make([][]interval.Interval, k)
+	for p := 0; p < k; p++ {
+		base := uint64(p * 10)
+		set := make([]interval.Interval, n)
+		for i := 0; i < n; i++ {
+			lo := make(vclock.VC, n)
+			hi := make(vclock.VC, n)
+			for c := 0; c < n; c++ {
+				lo[c] = base + 1
+				hi[c] = base + 5
+			}
+			lo[i] = base + 2
+			hi[i] = base + 6
+			set[i] = interval.New(i, p, lo, hi)
+		}
+		out[p] = set
+	}
+	return out
+}
+
+// BenchmarkNodeDetection measures Algorithm 1's per-interval cost at one
+// node with d children plus a local queue, under a workload where every
+// pulse produces a detection — the worst case for lines 18–33.
+func BenchmarkNodeDetection(b *testing.B) {
+	for _, d := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			n := d + 1
+			pulses := benchPulses(n, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			dets := 0
+			for i := 0; i < b.N; i++ {
+				nd := NewNode(0, Config{N: n}, true)
+				for c := 1; c <= d; c++ {
+					nd.AddChild(c)
+				}
+				for _, pulse := range pulses {
+					for _, iv := range pulse {
+						dets += len(nd.OnInterval(iv.Origin, iv))
+					}
+				}
+			}
+			if dets == 0 {
+				b.Fatal("benchmark produced no detections")
+			}
+		})
+	}
+}
+
+// BenchmarkNodeElimination measures the elimination loop on a workload of
+// isolated intervals where nothing ever matches (pure head-pruning traffic).
+func BenchmarkNodeElimination(b *testing.B) {
+	const n = 5
+	// Sequential, non-overlapping intervals from every source.
+	streams := make([][]interval.Interval, n)
+	for src := 0; src < n; src++ {
+		for k := 0; k < 64; k++ {
+			lo := make(vclock.VC, n)
+			hi := make(vclock.VC, n)
+			t := uint64(k*n+src) * 4
+			for c := 0; c < n; c++ {
+				lo[c] = t + 1
+				hi[c] = t + 2
+			}
+			streams[src] = append(streams[src], interval.New(src, k, lo, hi))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nd := NewNode(0, Config{N: n}, true)
+		for c := 1; c < n; c++ {
+			nd.AddChild(c)
+		}
+		for k := 0; k < 64; k++ {
+			for src := 0; src < n; src++ {
+				nd.OnInterval(src, streams[src][k])
+			}
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Package core implements the paper's primary contribution: the hierarchical,
+// decentralized, repeated detector for Definitely(Φ) (Algorithm 1 of Shen &
+// Kshemkalyani, IPDPSW 2013).
+//
+// Every process in a pre-constructed spanning tree runs one Node. A Node
+// maintains one interval queue per source: Q_0 for intervals produced by its
+// own local predicate, and one queue per child in the tree, carrying the
+// aggregated intervals those children produce. On every new queue head the
+// Node runs the elimination loop (Algorithm 1, lines 1–17): heads that can
+// provably never participate in a solution are deleted. When all queues are
+// non-empty and their heads mutually overlap, the heads form a solution set —
+// Definitely(Φ) holds for the subtree rooted at this node (lines 18–22). The
+// set is aggregated with ⊓ (Eq. 5/6) for the parent, and the pruning rule of
+// Eq. 10 (lines 23–33) removes at least one head so that *future* occurrences
+// of the predicate keep being detected (Theorems 3 and 4).
+//
+// A Node is a pure, single-threaded state machine: it consumes intervals and
+// returns the detections they trigger. All I/O — message transport,
+// resequencing of the non-FIFO network, heartbeats, tree reconfiguration —
+// lives in internal/monitor, which keeps this package deterministic and
+// directly testable.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hierdet/internal/interval"
+)
+
+// Detection records one satisfaction of the predicate in the subtree rooted
+// at the detecting node.
+type Detection struct {
+	// Node is the id of the detecting process (the subtree root).
+	Node int
+
+	// Set is the solution set: one interval per queue (the node's own plus
+	// one per child), every pair satisfying min(x) < max(y).
+	Set []interval.Interval
+
+	// Agg is ⊓(Set), the single interval that represents this solution set
+	// at the next level of the hierarchy. At the tree root it is not sent
+	// anywhere but still identifies the global solution's span.
+	Agg interval.Interval
+}
+
+// Stats counts the work a node has performed, for the complexity experiments
+// (paper §IV and Table I).
+type Stats struct {
+	// IntervalsIn counts intervals accepted into queues (local + children).
+	IntervalsIn int
+	// Dropped counts intervals discarded because their source is not (or is
+	// no longer) a queue at this node — e.g. in-flight messages from a child
+	// that failed or was adopted away.
+	Dropped int
+	// VecComparisons counts vector-timestamp comparisons executed by the
+	// elimination loop and the pruning rule. Each comparison costs O(n)
+	// component operations, which is how the paper's O(d²pn²) arises.
+	VecComparisons int
+	// Eliminated counts heads deleted by the elimination loop (lines 12–16).
+	Eliminated int
+	// Pruned counts heads deleted by the repeated-detection rule (Eq. 10).
+	Pruned int
+	// EpochDiscards counts intervals discarded by ResetSource when a
+	// child's stream restarted after a tree reconfiguration.
+	EpochDiscards int
+	// Detections counts solution sets found at this node.
+	Detections int
+}
+
+// Config carries the knobs shared by every node of one detector instance.
+type Config struct {
+	// N is the number of processes in the system (the vector-clock size).
+	N int
+
+	// KeepMembers retains each aggregate's solution set in memory so tests
+	// can expand detections back to base intervals. Off in production.
+	KeepMembers bool
+
+	// Strict enables succession checking: every interval accepted from a
+	// source must start causally after the previously accepted interval from
+	// that source ended (max(x) < min(succ(x)), Theorem 2). Violations panic;
+	// they indicate a transport-layer ordering bug, never a data condition.
+	Strict bool
+
+	// ExactPrune additionally applies the exact removal condition Eq. 9
+	// (min(succ(x_j)) ≮ max(x_i)) whenever a head's successor has already
+	// arrived, pruning a superset of what the paper's approximation Eq. 10
+	// permits. The paper adopts Eq. 10 because successors are generally not
+	// yet known; this option quantifies what the approximation leaves on
+	// the queues (see BenchmarkAblationPruneRule). Safety is unchanged —
+	// Eq. 9 is the exact characterization — and liveness follows a fortiori.
+	ExactPrune bool
+}
+
+// Node is the per-process detector state machine.
+type Node struct {
+	id  int
+	cfg Config
+
+	// queues maps source id → pending intervals. The node's own id keys Q_0
+	// when the node hosts a local predicate; child ids key the child queues.
+	queues map[int]*interval.Queue
+	// srcs holds queue keys in deterministic (insertion) order.
+	srcs []int
+
+	// lastHi tracks, per source, the upper bound of the last accepted
+	// interval, for Strict succession checks.
+	lastHi map[int]interval.Interval
+
+	aggSeq int
+	stats  Stats
+
+	// Scratch buffers reused across detection rounds; detection runs on the
+	// owner's goroutine only, so reuse is safe and keeps the per-interval
+	// hot path allocation-free (see BenchmarkNodeDetection). scratchA backs
+	// detect's updated/prune list; the elim pair backs eliminate's rounds.
+	scratchA                   []int
+	scratchElimA, scratchElimB []int
+	one                        [1]int
+}
+
+// NewNode returns a detector for process id in an n-process system. If local
+// is true the node hosts a local predicate and owns a Q_0; nodes outside the
+// conjunction (pure relays) pass false.
+func NewNode(id int, cfg Config, local bool) *Node {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("core: invalid system size %d", cfg.N))
+	}
+	nd := &Node{
+		id:     id,
+		cfg:    cfg,
+		queues: make(map[int]*interval.Queue),
+		lastHi: make(map[int]interval.Interval),
+	}
+	if local {
+		nd.addSource(id)
+	}
+	return nd
+}
+
+// ID returns the node's process id.
+func (nd *Node) ID() int { return nd.id }
+
+// Stats returns a copy of the node's counters.
+func (nd *Node) Stats() Stats { return nd.stats }
+
+// QueueSizes returns the current and high-water interval counts across all
+// queues, for the space-complexity experiments.
+func (nd *Node) QueueSizes() (current, highWater int) {
+	for _, q := range nd.queues {
+		current += q.Len()
+		highWater += q.HighWater
+	}
+	return current, highWater
+}
+
+// Sources returns the queue keys in deterministic order (the node's own id
+// first if it hosts a local predicate, then children in insertion order).
+func (nd *Node) Sources() []int {
+	return append([]int(nil), nd.srcs...)
+}
+
+// HasSource reports whether the node currently maintains a queue for src.
+func (nd *Node) HasSource(src int) bool {
+	_, ok := nd.queues[src]
+	return ok
+}
+
+func (nd *Node) addSource(src int) {
+	if _, ok := nd.queues[src]; ok {
+		panic(fmt.Sprintf("core: node %d already has source %d", nd.id, src))
+	}
+	nd.queues[src] = interval.NewQueue()
+	nd.srcs = append(nd.srcs, src)
+}
+
+// AddChild creates a queue for a (possibly newly adopted) child subtree. The
+// paper's §III-F: "nodes having new child processes will create a new local
+// queue to receive aggregated intervals reported from each new child".
+func (nd *Node) AddChild(child int) {
+	if child == nd.id {
+		panic(fmt.Sprintf("core: node %d cannot be its own child", nd.id))
+	}
+	nd.addSource(child)
+}
+
+// RemoveChild drops the queue of a failed or re-parented child, discarding
+// its pending intervals. Removing a queue can unblock detection — the dead
+// child may have been the only empty queue — so the node re-runs detection
+// over the remaining sources and returns any solutions found. This is
+// exactly how the algorithm keeps detecting the partial predicate over the
+// surviving processes (paper §III-F).
+func (nd *Node) RemoveChild(child int) []Detection {
+	if _, ok := nd.queues[child]; !ok {
+		return nil
+	}
+	delete(nd.queues, child)
+	delete(nd.lastHi, child)
+	for i, s := range nd.srcs {
+		if s == child {
+			nd.srcs = append(nd.srcs[:i], nd.srcs[i+1:]...)
+			break
+		}
+	}
+	if len(nd.srcs) == 0 {
+		return nil
+	}
+	// Heads may never have been cross-compared while the removed queue
+	// blocked solutions; recheck everything.
+	return nd.detect(nd.srcs)
+}
+
+// ResetSource discards everything queued from src and forgets its
+// succession baseline, keeping the queue itself. It implements the receiving
+// side of a reconfiguration epoch: when a child's own subtree membership
+// changes (tree repair), its subsequent aggregates no longer causally follow
+// its earlier ones (Theorem 2 holds only for a fixed source set), so the
+// parent must not mix the two streams in one FIFO order. Discarding the
+// stale entries is safe — it can only postpone detections, never falsify
+// one — and mirrors the other repair losses the paper accepts.
+func (nd *Node) ResetSource(src int) {
+	q, ok := nd.queues[src]
+	if !ok {
+		return
+	}
+	for !q.Empty() {
+		q.DeleteHead()
+		nd.stats.EpochDiscards++
+	}
+	delete(nd.lastHi, src)
+}
+
+// OnInterval delivers the next interval from src — the node's own id for a
+// local-predicate interval, a child id for that child's aggregate — and
+// returns the detections it triggers, in order. Intervals from unknown
+// sources (stale in-flight messages after a failure) are counted and dropped.
+func (nd *Node) OnInterval(src int, iv interval.Interval) []Detection {
+	q, ok := nd.queues[src]
+	if !ok {
+		nd.stats.Dropped++
+		return nil
+	}
+	if nd.cfg.Strict {
+		if prev, ok := nd.lastHi[src]; ok && !prev.Hi.Less(iv.Lo) {
+			panic(fmt.Sprintf("core: node %d: succession violated on source %d: prev max %v, next min %v",
+				nd.id, src, prev.Hi, iv.Lo))
+		}
+		nd.lastHi[src] = iv
+	}
+	q.Enqueue(iv)
+	nd.stats.IntervalsIn++
+	// Algorithm 1 line 2: only a new head can change the outcome.
+	if q.Len() != 1 {
+		return nil
+	}
+	nd.one[0] = src
+	return nd.detect(nd.one[:])
+}
+
+// detect runs the elimination loop and, repeatedly, solution extraction and
+// pruning, starting from the queues named in trigger. It returns every
+// solution set found, in detection order.
+func (nd *Node) detect(trigger []int) []Detection {
+	var dets []Detection
+	updated := append(nd.scratchA[:0], trigger...)
+	for {
+		nd.eliminate(updated)
+		sol, ok := nd.solution()
+		if !ok {
+			nd.scratchA = updated[:0]
+			return dets
+		}
+		agg := interval.Aggregate(sol, nd.id, nd.aggSeq, nd.cfg.KeepMembers)
+		nd.aggSeq++
+		nd.stats.Detections++
+		dets = append(dets, Detection{Node: nd.id, Set: sol, Agg: agg})
+		updated = nd.prune(updated[:0])
+	}
+}
+
+// eliminate is Algorithm 1 lines 4–17: while some queue gained a new head,
+// compare that head pairwise with every other head; a head x with
+// min(x) ≮ max(y) proves y useless (y ends before x — and before every
+// successor of x — begins to overlap), and vice versa. Deleted heads expose
+// new heads, which feed the next round.
+func (nd *Node) eliminate(trigger []int) {
+	// Work on private buffers: cur/next swap roles each round, so they must
+	// never alias the caller's slice.
+	cur := append(nd.scratchElimA[:0], trigger...)
+	next := nd.scratchElimB[:0]
+	for len(cur) > 0 {
+		next = next[:0]
+		for _, a := range cur {
+			qa, ok := nd.queues[a]
+			if !ok || qa.Empty() {
+				continue
+			}
+			x := qa.Head()
+			for _, b := range nd.srcs {
+				if b == a {
+					continue
+				}
+				qb := nd.queues[b]
+				if qb.Empty() {
+					continue
+				}
+				y := qb.Head()
+				nd.stats.VecComparisons += 2
+				if !x.Lo.Less(y.Hi) {
+					next = addUnique(next, b)
+				}
+				if !y.Lo.Less(x.Hi) {
+					next = addUnique(next, a)
+				}
+			}
+		}
+		for _, c := range next {
+			if q := nd.queues[c]; !q.Empty() {
+				q.DeleteHead()
+				nd.stats.Eliminated++
+			}
+		}
+		// Swap the scratch roles: the just-consumed buffer becomes the next
+		// round's accumulator.
+		cur, next = next, cur
+	}
+	nd.scratchElimA, nd.scratchElimB = cur[:0], next[:0]
+}
+
+// addUnique appends v unless present; the sets here are bounded by the
+// node's queue count, so a linear scan beats any set structure.
+func addUnique(s []int, v int) []int {
+	for _, t := range s {
+		if t == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// solution returns the heads of all queues if every queue is non-empty
+// (Algorithm 1 line 18). After eliminate has reached a fixed point, those
+// heads are pairwise overlapping, so they form a solution set; Strict mode
+// re-verifies that invariant on every solution.
+func (nd *Node) solution() ([]interval.Interval, bool) {
+	if len(nd.srcs) == 0 {
+		return nil, false
+	}
+	// Cheap emptiness pass first: most invocations find a blocked queue, and
+	// the hot path must not allocate for them.
+	for _, s := range nd.srcs {
+		if nd.queues[s].Empty() {
+			return nil, false
+		}
+	}
+	sol := make([]interval.Interval, 0, len(nd.srcs))
+	for _, s := range nd.srcs {
+		sol = append(sol, nd.queues[s].Head())
+	}
+	if nd.cfg.Strict && !interval.OverlapAll(sol) {
+		// The elimination fixed point guarantees pairwise overlap; a
+		// violation means the elimination loop is broken, never bad input.
+		panic(fmt.Sprintf("core: node %d: solution set fails pairwise overlap", nd.id))
+	}
+	return sol, true
+}
+
+// prune is Algorithm 1 lines 23–33 (Eq. 10): from the just-detected solution
+// set, delete every head xₐ such that no other member's upper bound is
+// strictly below xₐ's — i.e. the minimal elements of the max(x) order. Such a
+// head can never belong to a future solution (Theorem 3, safety), and at
+// least one always exists because a finite partial order always has a minimal
+// element (Theorem 4, liveness). Returns the pruned sources so detection can
+// re-run on the freshly exposed heads.
+func (nd *Node) prune(removable []int) []int {
+	for _, a := range nd.srcs {
+		xa := nd.queues[a].Head()
+		keep := false
+		for _, b := range nd.srcs {
+			if b == a {
+				continue
+			}
+			qb := nd.queues[b]
+			xb := qb.Head()
+			nd.stats.VecComparisons++
+			if !xb.Hi.Less(xa.Hi) {
+				continue // Eq. 10 certifies x_b cannot revive x_a
+			}
+			if nd.cfg.ExactPrune && qb.Len() > 1 {
+				// x_b's successor is already here: apply Eq. 9 exactly.
+				nd.stats.VecComparisons++
+				if !qb.At(1).Lo.Less(xa.Hi) {
+					continue // succ(x_b) does not overlap x_a either
+				}
+			}
+			keep = true
+			break
+		}
+		if !keep {
+			removable = append(removable, a)
+		}
+	}
+	if len(removable) == 0 {
+		// Impossible: the max(x) partial order over a finite non-empty set
+		// always has minimal elements (Theorem 4).
+		panic(fmt.Sprintf("core: node %d: pruning found no removable interval (Theorem 4 violated)", nd.id))
+	}
+	for _, a := range removable {
+		nd.queues[a].DeleteHead()
+		nd.stats.Pruned++
+	}
+	sort.Ints(removable)
+	return removable
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/vclock"
+	"hierdet/internal/workload"
+)
+
+// The scenario: x_a and x_b overlap (a solution); max(x_b) < max(x_a), so
+// Eq. 10 keeps x_a alive (x_a might pair with succ(x_b)); but succ(x_b) has
+// already arrived and provably does not reach into x_a
+// (min(succ(x_b)) ≮ max(x_a)), so Eq. 9 prunes x_a too.
+func exactPruneScenario() (xa, xb, succb interval.Interval) {
+	xa = interval.New(0, 0, vclock.Of(1, 0), vclock.Of(5, 2))
+	xb = interval.New(1, 0, vclock.Of(0, 1), vclock.Of(2, 2))
+	succb = interval.New(1, 1, vclock.Of(3, 3), vclock.Of(3, 4))
+	return
+}
+
+func TestExactPruneRemovesMore(t *testing.T) {
+	run := func(exact bool) *Node {
+		nd := NewNode(9, Config{N: 2, Strict: true, ExactPrune: exact}, false)
+		nd.AddChild(0)
+		nd.AddChild(1)
+		xa, xb, succb := exactPruneScenario()
+		nd.OnInterval(1, xb)
+		nd.OnInterval(1, succb) // successor arrives before the solution fires
+		dets := nd.OnInterval(0, xa)
+		if len(dets) != 1 {
+			t.Fatalf("detections = %d, want 1", len(dets))
+		}
+		return nd
+	}
+	approx := run(false)
+	exact := run(true)
+	if approx.Stats().Pruned != 1 {
+		t.Fatalf("Eq. 10 pruned %d, want 1 (x_b only)", approx.Stats().Pruned)
+	}
+	if exact.Stats().Pruned != 2 {
+		t.Fatalf("Eq. 9 pruned %d, want 2 (x_a and x_b)", exact.Stats().Pruned)
+	}
+	// A notable subtlety: the approximation does NOT retain x_a for long —
+	// the detection loop's next elimination pass compares succ(x_b) against
+	// x_a and deletes it. Eq. 10's looseness costs an extra elimination
+	// round, not residual queue state; the final queues are identical.
+	if got := approx.Stats().Eliminated; got != 1 {
+		t.Fatalf("Eq. 10 eliminated %d, want 1 (x_a, cleaned up by elimination)", got)
+	}
+	if got := exact.Stats().Eliminated; got != 0 {
+		t.Fatalf("Eq. 9 eliminated %d, want 0", got)
+	}
+	ca, _ := approx.QueueSizes()
+	ce, _ := exact.QueueSizes()
+	if ca != 1 || ce != 1 {
+		t.Fatalf("final residency approx=%d exact=%d, want 1 and 1 (succ(x_b) only)", ca, ce)
+	}
+}
+
+// TestExactPruneSameDetections: on arbitrary executions the two rules find
+// exactly the same occurrences — Eq. 9 only removes intervals that can never
+// be in a solution, so detection counts are invariant.
+func TestExactPruneSameDetections(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		streams := workload.GenerateChaotic(workload.ChaoticConfig{
+			N: 4, Steps: 400, Seed: int64(trial),
+		}).Streams
+		count := func(exact bool) int {
+			nd := NewNode(9, Config{N: 4, Strict: true, ExactPrune: exact}, false)
+			for p := 0; p < 4; p++ {
+				nd.AddChild(p)
+			}
+			dets := 0
+			idx := make([]int, 4)
+			// Round-robin merge preserves per-source order.
+			for {
+				progressed := false
+				for p := 0; p < 4; p++ {
+					if idx[p] < len(streams[p]) {
+						dets += len(nd.OnInterval(p, streams[p][idx[p]]))
+						idx[p]++
+						progressed = true
+					}
+				}
+				if !progressed {
+					return dets
+				}
+			}
+		}
+		a, e := count(false), count(true)
+		if a != e {
+			t.Fatalf("trial %d: Eq. 10 found %d, Eq. 9 found %d", trial, a, e)
+		}
+	}
+}
+
+func TestExactPruneWithUnknownSuccessorFallsBack(t *testing.T) {
+	// Without the successor queued, ExactPrune behaves exactly like Eq. 10.
+	nd := NewNode(9, Config{N: 2, Strict: true, ExactPrune: true}, false)
+	nd.AddChild(0)
+	nd.AddChild(1)
+	xa, xb, _ := exactPruneScenario()
+	nd.OnInterval(1, xb)
+	dets := nd.OnInterval(0, xa)
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+	if nd.Stats().Pruned != 1 {
+		t.Fatalf("pruned %d, want 1 (successor unknown → approximation)", nd.Stats().Pruned)
+	}
+}
+
+func TestQueueAt(t *testing.T) {
+	q := interval.NewQueue()
+	xa, xb, succb := exactPruneScenario()
+	q.Enqueue(xa)
+	q.Enqueue(xb)
+	q.Enqueue(succb)
+	q.DeleteHead()
+	if got := q.At(0); got.Origin != xb.Origin || got.Seq != xb.Seq {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := q.At(1); got.Seq != succb.Seq {
+		t.Fatalf("At(1) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range did not panic")
+		}
+	}()
+	q.At(2)
+}

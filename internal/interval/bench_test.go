@@ -1,0 +1,62 @@
+package interval
+
+import (
+	"fmt"
+	"testing"
+
+	"hierdet/internal/vclock"
+)
+
+func benchSet(n, k int) []Interval {
+	set := make([]Interval, k)
+	for i := 0; i < k; i++ {
+		lo := make(vclock.VC, n)
+		hi := make(vclock.VC, n)
+		for c := 0; c < n; c++ {
+			lo[c] = 10
+			hi[c] = 20
+		}
+		lo[i%n]++
+		hi[i%n]++
+		set[i] = New(i%n, i/n, lo, hi)
+	}
+	return set
+}
+
+// BenchmarkAggregate measures the ⊓ operator — executed once per detection
+// at every non-root node.
+func BenchmarkAggregate(b *testing.B) {
+	for _, size := range []struct{ n, k int }{{16, 4}, {64, 8}, {256, 16}} {
+		set := benchSet(size.n, size.k)
+		b.Run(fmt.Sprintf("n=%d/k=%d", size.n, size.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = Aggregate(set, 0, i, false)
+			}
+		})
+	}
+}
+
+func BenchmarkOverlapAll(b *testing.B) {
+	for _, size := range []struct{ n, k int }{{16, 4}, {64, 8}, {256, 16}} {
+		set := benchSet(size.n, size.k)
+		b.Run(fmt.Sprintf("n=%d/k=%d", size.n, size.k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = OverlapAll(set)
+			}
+		})
+	}
+}
+
+// BenchmarkQueueCycle measures the enqueue/head/delete loop that dominates
+// steady-state detection.
+func BenchmarkQueueCycle(b *testing.B) {
+	iv := New(0, 0, vclock.Of(1, 0), vclock.Of(2, 0))
+	q := NewQueue()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(iv)
+		_ = q.Head()
+		_ = q.DeleteHead()
+	}
+}

@@ -1,0 +1,196 @@
+// Package interval models the intervals at the heart of interval-based
+// predicate detection: maximal durations during which a process's local
+// predicate holds, bounded by the vector timestamps of their first and last
+// events (Garg–Waldecker 1996; Kshemkalyani 1996, 2011).
+//
+// The package also implements the paper's aggregation function ⊓ (Eq. 5/6):
+// a set X of intervals satisfying overlap(X) collapses into a single interval
+// whose lower bound is the component-wise maximum of the members' lower
+// bounds and whose upper bound is the component-wise minimum of the members'
+// upper bounds. By Theorem 1 the aggregate stands in for the whole set when
+// detecting Definitely(Φ) in a strictly larger set, which is what lets the
+// hierarchical algorithm pass one interval per subtree up the spanning tree.
+package interval
+
+import (
+	"fmt"
+
+	"hierdet/internal/vclock"
+)
+
+// Interval is a duration during which a local predicate held at one process
+// (a base interval), or the ⊓-aggregation of a solution set detected in some
+// subtree (an aggregated interval). Both kinds are identified by a pair of
+// cuts of the execution:
+//
+//	Lo = min(x), the timestamp of the interval's first event (or the
+//	     component-wise max of the members' Lo for an aggregate), and
+//	Hi = max(x), the timestamp of its last event (or the component-wise min
+//	     of the members' Hi).
+//
+// For a base interval Lo ≤ Hi component-wise; Theorem 2 shows the same holds
+// for aggregates of overlapping sets.
+type Interval struct {
+	// Lo and Hi are the bounding cuts (min(x) and max(x)).
+	Lo, Hi vclock.VC
+
+	// Term is the timestamp of the falsifying event — the first event at
+	// which the predicate was false again after the interval — or nil when
+	// the execution ended with the predicate still true. The local state
+	// "predicate holds" persists from min(x) until just before Term, so
+	// Possibly(Φ) detection must compare against Term, not Hi: two
+	// intervals can coexist in a consistent global state even when
+	// max(x) ≺ min(y), as long as ¬(Term(x) ≺ min(y)). Definitely(Φ)
+	// detection uses Hi per Eq. 2 and ignores Term.
+	Term vclock.VC
+
+	// Origin is the id of the process at which the interval occurred, or —
+	// for an aggregated interval — the id of the subtree root that detected
+	// the solution set and aggregated it.
+	Origin int
+
+	// Seq numbers the intervals produced at Origin, starting at 0. For two
+	// intervals from the same origin, the one with the larger Seq is the
+	// successor in the paper's succ relation: max(x) < min(succ(x)).
+	Seq int
+
+	// Agg marks aggregated intervals.
+	Agg bool
+
+	// Span lists the process ids whose local predicates the interval covers:
+	// {Origin} for a base interval, the union of members' spans for an
+	// aggregate. A root-level detection therefore reports exactly which
+	// processes participated — the paper's "partial predicate" visibility.
+	Span []int
+
+	// Bases counts the base intervals aggregated inside (1 for a base
+	// interval). Used by the complexity experiments.
+	Bases int
+
+	// Members optionally retains the aggregated solution set for ground-truth
+	// verification in tests; production configurations leave it nil.
+	Members []Interval
+}
+
+// New returns a base interval for process origin with bounds lo and hi.
+func New(origin, seq int, lo, hi vclock.VC) Interval {
+	return Interval{
+		Lo:     lo,
+		Hi:     hi,
+		Origin: origin,
+		Seq:    seq,
+		Span:   []int{origin},
+		Bases:  1,
+	}
+}
+
+// WellFormed reports Lo ≤ Hi component-wise, which every base interval and
+// every aggregate of an overlapping set satisfies (Theorem 2).
+func (x Interval) WellFormed() bool { return x.Lo.LessEq(x.Hi) }
+
+// String renders the interval for logs and test failures.
+func (x Interval) String() string {
+	kind := "ivl"
+	if x.Agg {
+		kind = "agg"
+	}
+	return fmt.Sprintf("%s{P%d#%d %v..%v span%v}", kind, x.Origin, x.Seq, x.Lo, x.Hi, x.Span)
+}
+
+// Overlap reports the pairwise Definitely condition between x and y:
+//
+//	min(x) < max(y)  ∧  min(y) < max(x)
+//
+// For a set this must hold between every ordered pair (paper Eq. 2).
+func Overlap(x, y Interval) bool {
+	return x.Lo.Less(y.Hi) && y.Lo.Less(x.Hi)
+}
+
+// OverlapAll reports overlap(X): min(xᵢ) < max(xⱼ) for every ordered pair
+// i ≠ j. A singleton set trivially overlaps; the empty set does not.
+func OverlapAll(xs []Interval) bool {
+	if len(xs) == 0 {
+		return false
+	}
+	for i := range xs {
+		for j := range xs {
+			if i != j && !xs[i].Lo.Less(xs[j].Hi) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Aggregate applies ⊓ to a non-empty solution set (paper Eq. 5/6):
+//
+//	min(⊓X)[k] = max over x∈X of min(x)[k]
+//	max(⊓X)[k] = min over x∈X of max(x)[k]
+//
+// origin and seq identify the producing subtree root and its position in that
+// root's succession of aggregates. The resulting span is the union of member
+// spans and Bases the sum of member base counts. If keepMembers is true the
+// solution set is retained on the aggregate for later ground-truth expansion.
+//
+// Aggregate panics on an empty set; callers only aggregate detected solution
+// sets, which are never empty.
+func Aggregate(xs []Interval, origin, seq int, keepMembers bool) Interval {
+	if len(xs) == 0 {
+		panic("interval: Aggregate of empty set")
+	}
+	lo := xs[0].Lo.Clone()
+	hi := xs[0].Hi.Clone()
+	bases := 0
+	spanSet := make(map[int]bool)
+	for _, x := range xs {
+		lo.MergeMax(x.Lo)
+		hi.MergeMin(x.Hi)
+		bases += x.Bases
+		for _, p := range x.Span {
+			spanSet[p] = true
+		}
+	}
+	span := make([]int, 0, len(spanSet))
+	for p := range spanSet {
+		span = append(span, p)
+	}
+	sortInts(span)
+	agg := Interval{
+		Lo:     lo,
+		Hi:     hi,
+		Origin: origin,
+		Seq:    seq,
+		Agg:    true,
+		Span:   span,
+		Bases:  bases,
+	}
+	if keepMembers {
+		agg.Members = append([]Interval(nil), xs...)
+	}
+	return agg
+}
+
+// BaseIntervals recursively expands an interval into the base intervals it
+// aggregates. It requires the interval chain to have been built with
+// keepMembers — otherwise an aggregate is returned as-is. Tests use this to
+// verify a reported detection against raw execution data (paper Eq. 2).
+func BaseIntervals(x Interval) []Interval {
+	if !x.Agg || x.Members == nil {
+		return []Interval{x}
+	}
+	var out []Interval
+	for _, m := range x.Members {
+		out = append(out, BaseIntervals(m)...)
+	}
+	return out
+}
+
+// sortInts is a tiny insertion sort; spans are short (bounded by subtree
+// size) and this avoids pulling in package sort for one call site.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package interval
+
+// Queue is the per-source FIFO of intervals each detector node maintains —
+// Q_0 for the node's own intervals and Q_1…Q_l for its children. Intervals
+// from one source arrive in succession order (max(x) < min(succ(x))), so the
+// head is always the earliest interval from that source still eligible for a
+// solution set.
+//
+// The implementation is a growable ring buffer: detection repeatedly
+// enqueues at the tail and deletes at the head, and a ring avoids the
+// re-slicing churn of a plain slice queue. Queue is not safe for concurrent
+// use; each detector node owns its queues and serializes access.
+type Queue struct {
+	buf        []Interval
+	head, size int
+
+	// HighWater tracks the maximum number of intervals ever resident, for
+	// the space-complexity experiments.
+	HighWater int
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Len returns the number of intervals currently enqueued.
+func (q *Queue) Len() int { return q.size }
+
+// Empty reports whether the queue holds no intervals.
+func (q *Queue) Empty() bool { return q.size == 0 }
+
+// Enqueue appends x at the tail.
+func (q *Queue) Enqueue(x Interval) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = x
+	q.size++
+	if q.size > q.HighWater {
+		q.HighWater = q.size
+	}
+}
+
+// Head returns the interval at the front. It panics on an empty queue;
+// callers always guard with Empty, mirroring Algorithm 1's explicit
+// "if Q_a is not empty" tests.
+func (q *Queue) Head() Interval {
+	if q.size == 0 {
+		panic("interval: Head of empty queue")
+	}
+	return q.buf[q.head]
+}
+
+// DeleteHead removes the interval at the front. It panics on an empty queue.
+func (q *Queue) DeleteHead() Interval {
+	if q.size == 0 {
+		panic("interval: DeleteHead of empty queue")
+	}
+	x := q.buf[q.head]
+	q.buf[q.head] = Interval{} // release references for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return x
+}
+
+// At returns the i-th interval from the head (At(0) == Head()). It panics
+// when i is out of range. The exact pruning rule (Eq. 9) uses At(1) to read
+// a head's already-arrived successor.
+func (q *Queue) At(i int) Interval {
+	if i < 0 || i >= q.size {
+		panic("interval: Queue.At out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// Snapshot returns the queued intervals in order, head first. Used by tests
+// and diagnostics only.
+func (q *Queue) Snapshot() []Interval {
+	out := make([]Interval, q.size)
+	for i := 0; i < q.size; i++ {
+		out[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	return out
+}
+
+func (q *Queue) grow() {
+	next := make([]Interval, max(4, 2*len(q.buf)))
+	for i := 0; i < q.size; i++ {
+		next[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = next
+	q.head = 0
+}

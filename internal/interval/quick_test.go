@@ -1,0 +1,127 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hierdet/internal/vclock"
+)
+
+// quick-driven properties of the aggregation operator and the overlap
+// relation, over randomized pulse constructions (seed-parameterized so
+// testing/quick explores the space).
+
+func pulseFromSeed(seed int64, n, k int) []Interval {
+	r := rand.New(rand.NewSource(seed))
+	frontier := make(vclock.VC, n)
+	for i := range frontier {
+		frontier[i] = uint64(4 + r.Intn(4))
+	}
+	out := make([]Interval, k)
+	for i := range out {
+		lo := make(vclock.VC, n)
+		hi := make(vclock.VC, n)
+		for c := range lo {
+			lo[c] = frontier[c] - uint64(1+r.Intn(3))
+			hi[c] = frontier[c] + uint64(1+r.Intn(3))
+		}
+		out[i] = New(i%n, i/n, lo, hi)
+	}
+	return out
+}
+
+func TestQuickAggregateBoundsAreTight(t *testing.T) {
+	f := func(seed int64, nSel, kSel uint8) bool {
+		n := 2 + int(nSel%5)
+		k := 1 + int(kSel%5)
+		set := pulseFromSeed(seed, n, k)
+		agg := Aggregate(set, 0, 0, false)
+		// Lower bound dominates every member's Lo; upper is dominated by
+		// every member's Hi (Eq. 5/6 as lattice bounds).
+		for _, x := range set {
+			if !x.Lo.LessEq(agg.Lo) {
+				return false
+			}
+			if !agg.Hi.LessEq(x.Hi) {
+				return false
+			}
+		}
+		// And they are tight: each component of agg.Lo equals some member's
+		// Lo component, likewise agg.Hi.
+		for c := 0; c < n; c++ {
+			foundLo, foundHi := false, false
+			for _, x := range set {
+				if x.Lo[c] == agg.Lo[c] {
+					foundLo = true
+				}
+				if x.Hi[c] == agg.Hi[c] {
+					foundHi = true
+				}
+			}
+			if !foundLo || !foundHi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAggregateIdempotent(t *testing.T) {
+	f := func(seed int64, nSel uint8) bool {
+		n := 2 + int(nSel%5)
+		set := pulseFromSeed(seed, n, 3)
+		a1 := Aggregate(set, 0, 0, false)
+		a2 := Aggregate([]Interval{a1}, 0, 1, false)
+		return a2.Lo.Equal(a1.Lo) && a2.Hi.Equal(a1.Hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAggregateOrderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		set := pulseFromSeed(seed, 4, 4)
+		rev := make([]Interval, len(set))
+		for i, x := range set {
+			rev[len(set)-1-i] = x
+		}
+		a := Aggregate(set, 0, 0, false)
+		b := Aggregate(rev, 0, 0, false)
+		if !a.Lo.Equal(b.Lo) || !a.Hi.Equal(b.Hi) || a.Bases != b.Bases {
+			return false
+		}
+		if len(a.Span) != len(b.Span) {
+			return false
+		}
+		for i := range a.Span {
+			if a.Span[i] != b.Span[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPulsesAlwaysOverlapAndAggregateWellFormed(t *testing.T) {
+	// Straddling a common frontier guarantees pairwise overlap; by Theorem 2
+	// the aggregate of an overlapping set is then well-formed (Lo ≤ Hi).
+	f := func(seed int64, kSel uint8) bool {
+		k := 2 + int(kSel%6)
+		set := pulseFromSeed(seed, 4, k)
+		if !OverlapAll(set) {
+			return false
+		}
+		return Aggregate(set, 0, 0, false).WellFormed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

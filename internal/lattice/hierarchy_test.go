@@ -1,0 +1,124 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierdet/internal/core"
+	"hierdet/internal/interval"
+	"hierdet/internal/procsim"
+)
+
+// TestHierarchyAgreesWithLattice validates the full hierarchical pipeline
+// against the independent lattice detector: on random small executions, the
+// hierarchical detector (two-level tree, aggregation, repeated detection)
+// reports at least one root detection exactly when Cooper–Marzullo
+// Definitely(Φ) holds for the recorded execution. The two share neither code
+// nor algorithmic idea, so agreement across hundreds of trials validates the
+// whole stack — interval extraction, aggregation (Theorem 1), queues and
+// elimination.
+func TestHierarchyAgreesWithLattice(t *testing.T) {
+	const n = 4
+	held := 0
+	for trial := 0; trial < 300; trial++ {
+		r := rand.New(rand.NewSource(int64(trial) + 5000))
+
+		// Hierarchy: root 0 with child 1; node 1 has children 2, 3.
+		cfg := core.Config{N: n, Strict: true, KeepMembers: true}
+		root := core.NewNode(0, cfg, true)
+		root.AddChild(1)
+		mid := core.NewNode(1, cfg, true)
+		mid.AddChild(2)
+		mid.AddChild(3)
+		leaves := map[int]*core.Node{
+			2: core.NewNode(2, cfg, true),
+			3: core.NewNode(3, cfg, true),
+		}
+		rootDetections := 0
+		feedRoot := func(src int, iv interval.Interval) {
+			for _, d := range root.OnInterval(src, iv) {
+				rootDetections++
+				if !interval.OverlapAll(interval.BaseIntervals(d.Agg)) {
+					t.Fatalf("trial %d: false detection", trial)
+				}
+			}
+		}
+		feedMid := func(src int, iv interval.Interval) {
+			for _, d := range mid.OnInterval(src, iv) {
+				feedRoot(1, d.Agg)
+			}
+		}
+		emit := func(iv interval.Interval) {
+			switch iv.Origin {
+			case 0:
+				feedRoot(0, iv)
+			case 1:
+				feedMid(1, iv)
+			default:
+				for _, d := range leaves[iv.Origin].OnInterval(iv.Origin, iv) {
+					feedMid(iv.Origin, d.Agg)
+				}
+			}
+		}
+
+		rec := NewRecorder(n)
+		procs := make([]*procsim.Process, n)
+		for i := 0; i < n; i++ {
+			procs[i] = procsim.New(i, n, emit)
+			rec.Attach(procs[i])
+		}
+
+		// Random execution.
+		type msg struct {
+			to    int
+			stamp []uint64
+		}
+		var inflight []msg
+		for step := 0; step < 40; step++ {
+			p := r.Intn(n)
+			// Bias predicates toward true so four-way simultaneity is
+			// reachable; falling false stays rare.
+			switch {
+			case !procs[p].Predicate() && r.Float64() < 0.7:
+				procs[p].SetPredicate(true)
+			case procs[p].Predicate() && r.Float64() < 0.15:
+				procs[p].SetPredicate(false)
+			}
+			switch {
+			case r.Float64() < 0.3:
+				to := (p + 1 + r.Intn(n-1)) % n
+				inflight = append(inflight, msg{to: to, stamp: procs[p].PrepareSend()})
+			case len(inflight) > 0 && r.Float64() < 0.5:
+				k := r.Intn(len(inflight))
+				m := inflight[k]
+				inflight = append(inflight[:k], inflight[k+1:]...)
+				procs[m.to].Receive(m.stamp)
+			default:
+				procs[p].Internal()
+			}
+		}
+		for _, m := range inflight {
+			procs[m.to].Receive(m.stamp)
+		}
+		for _, p := range procs {
+			p.SetPredicate(false)
+			p.Internal()
+			p.Finish()
+		}
+
+		def, err := Definitely(rec.Recording(), Conjunctive())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if def != (rootDetections > 0) {
+			t.Fatalf("trial %d: lattice Definitely=%v, hierarchical detections=%d",
+				trial, def, rootDetections)
+		}
+		if def {
+			held++
+		}
+	}
+	if held == 0 || held == 300 {
+		t.Fatalf("degenerate workload: Definitely held in %d/300 trials", held)
+	}
+}

@@ -1,0 +1,253 @@
+// Package lattice implements Cooper & Marzullo's global-state-lattice
+// detection of Possibly(Φ) and Definitely(Φ) (the paper's references [5],
+// [6]) over a recorded execution, for an arbitrary predicate over the
+// processes' local states — including the relational predicates of §I (e.g.
+// "avg(xᵢ, yⱼ) = 35") that the interval-based algorithms cannot handle.
+//
+// The algorithm enumerates consistent cuts of the execution: a cut assigns
+// each process a prefix of its events, and is consistent when no included
+// event causally depends on an excluded one (checked with vector clocks).
+// Possibly(Φ) holds iff some consistent cut satisfies Φ; Definitely(Φ)
+// holds iff every maximal path through the lattice (every consistent
+// observation) passes through a Φ-cut.
+//
+// The cost is exponential in the worst case — detecting relational
+// predicates is NP-complete, as the paper notes — so this detector is for
+// small recorded executions. Its role in this repository is twofold:
+//
+//   - an *independent* ground truth: it shares no code or algorithmic idea
+//     with the interval-based detectors, so agreement on conjunctive
+//     predicates is strong evidence both are right;
+//   - the relational-predicate capability the interval algorithms trade
+//     away for tractability, completing the survey of §I.
+package lattice
+
+import (
+	"errors"
+	"fmt"
+
+	"hierdet/internal/vclock"
+)
+
+// ErrTooLarge is returned when a query would explore more consistent cuts
+// than MaxCuts — the algorithm is exponential and silently grinding through
+// a huge lattice is never what the caller wants.
+var ErrTooLarge = errors.New("lattice: state budget exceeded (execution too large for exhaustive detection)")
+
+// MaxCuts bounds the number of consistent cuts a single Possibly or
+// Definitely query may visit. A variable so callers (and tests) can tune it.
+var MaxCuts = 2_000_000
+
+// Event is one recorded event at a process: its vector timestamp and the
+// process's local state immediately after the event.
+type Event struct {
+	VC vclock.VC
+	// Pred is the local predicate's value at this event.
+	Pred bool
+	// Value is an application variable (for relational predicates).
+	Value float64
+}
+
+// Recording is a full execution record: every event of every process, in
+// per-process order. Build one by hand or with Recorder.
+type Recording struct {
+	N      int
+	Events [][]Event
+	// Initial holds each process's state before its first event.
+	Initial []Event
+}
+
+// LocalState is a process's state at a cut: the fields of the last included
+// event (or the initial state).
+type LocalState struct {
+	Pred  bool
+	Value float64
+}
+
+// Cut assigns each process the number of its events included (0 = none).
+type Cut []int
+
+// Predicate evaluates a global predicate on the per-process states at a cut.
+type Predicate func(states []LocalState) bool
+
+// Conjunctive returns the predicate ∧ᵢ predᵢ — true when every process's
+// local predicate holds.
+func Conjunctive() Predicate {
+	return func(states []LocalState) bool {
+		for _, s := range states {
+			if !s.Pred {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// validate checks recording invariants once per query.
+func (r *Recording) validate() error {
+	if r.N <= 0 || len(r.Events) != r.N {
+		return fmt.Errorf("lattice: recording has n=%d with %d event streams", r.N, len(r.Events))
+	}
+	if r.Initial != nil && len(r.Initial) != r.N {
+		return fmt.Errorf("lattice: %d initial states for %d processes", len(r.Initial), r.N)
+	}
+	for p, evs := range r.Events {
+		for k, e := range evs {
+			if e.VC.Len() != r.N {
+				return fmt.Errorf("lattice: event %d of process %d has clock size %d", k, p, e.VC.Len())
+			}
+			if int(e.VC[p]) != k+1 {
+				return fmt.Errorf("lattice: event %d of process %d has own component %d, want %d",
+					k, p, e.VC[p], k+1)
+			}
+		}
+	}
+	return nil
+}
+
+// consistent reports whether the cut includes every causal dependency of its
+// included events: for each process p with k_p ≥ 1 events included, the last
+// included event's knowledge of q must not exceed k_q.
+func (r *Recording) consistent(cut Cut) bool {
+	for p := range cut {
+		if cut[p] == 0 {
+			continue
+		}
+		vc := r.Events[p][cut[p]-1].VC
+		for q := range cut {
+			if int(vc[q]) > cut[q] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// states materializes the per-process local states at a cut.
+func (r *Recording) states(cut Cut) []LocalState {
+	out := make([]LocalState, r.N)
+	for p := range cut {
+		switch {
+		case cut[p] > 0:
+			e := r.Events[p][cut[p]-1]
+			out[p] = LocalState{Pred: e.Pred, Value: e.Value}
+		case r.Initial != nil:
+			out[p] = LocalState{Pred: r.Initial[p].Pred, Value: r.Initial[p].Value}
+		}
+	}
+	return out
+}
+
+func (r *Recording) level(cut Cut) int {
+	total := 0
+	for _, k := range cut {
+		total += k
+	}
+	return total
+}
+
+func (r *Recording) totalEvents() int {
+	total := 0
+	for _, evs := range r.Events {
+		total += len(evs)
+	}
+	return total
+}
+
+func key(cut Cut) string {
+	b := make([]byte, 0, len(cut)*3)
+	for _, k := range cut {
+		b = append(b, byte(k), byte(k>>8), ',')
+	}
+	return string(b)
+}
+
+// Possibly reports whether some consistent cut of the execution satisfies
+// pred — there is a consistent observation in which Φ held at some global
+// state.
+func Possibly(r *Recording, pred Predicate) (bool, error) {
+	if err := r.validate(); err != nil {
+		return false, err
+	}
+	// BFS over the cut lattice from the initial cut.
+	start := make(Cut, r.N)
+	seen := map[string]bool{key(start): true}
+	frontier := []Cut{start}
+	visited := 0
+	for len(frontier) > 0 {
+		var next []Cut
+		for _, cut := range frontier {
+			if visited++; visited > MaxCuts {
+				return false, ErrTooLarge
+			}
+			if pred(r.states(cut)) {
+				return true, nil
+			}
+			for p := 0; p < r.N; p++ {
+				if cut[p] >= len(r.Events[p]) {
+					continue
+				}
+				adv := append(Cut(nil), cut...)
+				adv[p]++
+				k := key(adv)
+				if seen[k] || !r.consistent(adv) {
+					continue
+				}
+				seen[k] = true
+				next = append(next, adv)
+			}
+		}
+		frontier = next
+	}
+	return false, nil
+}
+
+// Definitely reports whether every consistent observation of the execution
+// passes through a cut satisfying pred (Cooper–Marzullo level sweep: track
+// the cuts reachable without having satisfied Φ; if that set empties before
+// the final cut, Φ was unavoidable).
+func Definitely(r *Recording, pred Predicate) (bool, error) {
+	if err := r.validate(); err != nil {
+		return false, err
+	}
+	total := r.totalEvents()
+	start := make(Cut, r.N)
+	current := []Cut{start}
+	if pred(r.states(start)) {
+		// Every observation begins at the initial cut.
+		return true, nil
+	}
+	visited := 0
+	for level := 1; level <= total; level++ {
+		seen := map[string]bool{}
+		var next []Cut
+		for _, cut := range current {
+			if visited++; visited > MaxCuts {
+				return false, ErrTooLarge
+			}
+			for p := 0; p < r.N; p++ {
+				if cut[p] >= len(r.Events[p]) {
+					continue
+				}
+				adv := append(Cut(nil), cut...)
+				adv[p]++
+				k := key(adv)
+				if seen[k] || !r.consistent(adv) {
+					continue
+				}
+				seen[k] = true
+				if pred(r.states(adv)) {
+					continue // this branch satisfied Φ; drop it
+				}
+				next = append(next, adv)
+			}
+		}
+		if len(next) == 0 {
+			// No observation can reach level `level` without meeting Φ.
+			return true, nil
+		}
+		current = next
+	}
+	// Some observation reached the final cut without ever satisfying Φ.
+	return false, nil
+}

@@ -1,0 +1,250 @@
+package lattice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/oneshot"
+	"hierdet/internal/procsim"
+	"hierdet/internal/vclock"
+)
+
+// rec2 builds a 2-process recording from event tuples.
+func rec2(p0, p1 []Event) *Recording {
+	return &Recording{N: 2, Events: [][]Event{p0, p1}, Initial: make([]Event, 2)}
+}
+
+func TestPossiblyConcurrentTruth(t *testing.T) {
+	// P0 true at its first event, P1 true at its first event; no messages —
+	// the events are concurrent, so some observation sees both at once:
+	// Possibly holds. But each predicate falls false at the second event,
+	// and an observation can interleave them apart: Definitely fails.
+	r := rec2(
+		[]Event{{VC: vclock.Of(1, 0), Pred: true}, {VC: vclock.Of(2, 0), Pred: false}},
+		[]Event{{VC: vclock.Of(0, 1), Pred: true}, {VC: vclock.Of(0, 2), Pred: false}},
+	)
+	pos, err := Possibly(r, Conjunctive())
+	if err != nil || !pos {
+		t.Fatalf("Possibly = %v, %v; want true", pos, err)
+	}
+	def, err := Definitely(r, Conjunctive())
+	if err != nil || def {
+		t.Fatalf("Definitely = %v, %v; want false", def, err)
+	}
+}
+
+func TestDefinitelyForcedOverlap(t *testing.T) {
+	// P0 true during events 1..3; P1's only event is a receive of P0's
+	// message sent while true, and P1 is true at it; P0 still true after.
+	// Every observation must pass through a cut with both true.
+	r := rec2(
+		[]Event{
+			{VC: vclock.Of(1, 0), Pred: true},
+			{VC: vclock.Of(2, 0), Pred: true}, // send
+			{VC: vclock.Of(3, 1), Pred: true}, // receive P1's reply
+			{VC: vclock.Of(4, 1), Pred: false},
+		},
+		[]Event{
+			{VC: vclock.Of(2, 1), Pred: true}, // receive, also a send back
+			{VC: vclock.Of(2, 2), Pred: false},
+		},
+	)
+	def, err := Definitely(r, Conjunctive())
+	if err != nil || !def {
+		t.Fatalf("Definitely = %v, %v; want true", def, err)
+	}
+}
+
+func TestNeitherHolds(t *testing.T) {
+	// P0's truth wholly precedes P1's: a message forces the order, so no
+	// cut sees both true.
+	r := rec2(
+		[]Event{
+			{VC: vclock.Of(1, 0), Pred: true},
+			{VC: vclock.Of(2, 0), Pred: false}, // send (pred already false)
+		},
+		[]Event{
+			{VC: vclock.Of(2, 1), Pred: true}, // receive
+			{VC: vclock.Of(2, 2), Pred: false},
+		},
+	)
+	if pos, _ := Possibly(r, Conjunctive()); pos {
+		t.Fatal("Possibly should fail for causally ordered truths")
+	}
+	if def, _ := Definitely(r, Conjunctive()); def {
+		t.Fatal("Definitely should fail")
+	}
+}
+
+func TestInitialCutSatisfies(t *testing.T) {
+	r := rec2(
+		[]Event{{VC: vclock.Of(1, 0), Pred: false}},
+		[]Event{{VC: vclock.Of(0, 1), Pred: false}},
+	)
+	r.Initial = []Event{{Pred: true}, {Pred: true}}
+	def, err := Definitely(r, Conjunctive())
+	if err != nil || !def {
+		t.Fatalf("Definitely = %v, %v; want true (initial cut satisfies)", def, err)
+	}
+}
+
+func TestRelationalPredicate(t *testing.T) {
+	// The paper's §I example: Φ = "avg(x_i, y_j) = 35". x and y evolve
+	// concurrently; some state combinations average to 35 and some
+	// observations avoid all of them.
+	r := rec2(
+		[]Event{
+			{VC: vclock.Of(1, 0), Value: 10},
+			{VC: vclock.Of(2, 0), Value: 40},
+			{VC: vclock.Of(3, 0), Value: 0},
+		},
+		[]Event{
+			{VC: vclock.Of(0, 1), Value: 30},
+			{VC: vclock.Of(0, 2), Value: 60},
+		},
+	)
+	avg35 := func(states []LocalState) bool {
+		return math.Abs((states[0].Value+states[1].Value)/2-35) < 1e-9
+	}
+	pos, err := Possibly(r, avg35)
+	if err != nil || !pos {
+		t.Fatalf("Possibly(avg=35) = %v, %v; want true (x=40, y=30)", pos, err)
+	}
+	// avg = 100 is unreachable.
+	avg100 := func(states []LocalState) bool {
+		return (states[0].Value+states[1].Value)/2 == 100
+	}
+	if pos, _ := Possibly(r, avg100); pos {
+		t.Fatal("Possibly(avg=100) should fail")
+	}
+	// The observation x:10→40→0 before any y event avoids every 35-cut.
+	if def, _ := Definitely(r, avg35); def {
+		t.Fatal("Definitely(avg=35) should fail")
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	old := MaxCuts
+	MaxCuts = 50
+	defer func() { MaxCuts = old }()
+	// Two processes, 20 fully concurrent events each: 441 consistent cuts,
+	// far over the lowered budget.
+	mk := func(p int) []Event {
+		evs := make([]Event, 20)
+		for k := range evs {
+			vc := vclock.New(2)
+			vc[p] = uint64(k + 1)
+			evs[k] = Event{VC: vc}
+		}
+		return evs
+	}
+	r := rec2(mk(0), mk(1))
+	never := func([]LocalState) bool { return false }
+	if _, err := Possibly(r, never); err != ErrTooLarge {
+		t.Fatalf("Possibly err = %v, want ErrTooLarge", err)
+	}
+	if _, err := Definitely(r, never); err != ErrTooLarge {
+		t.Fatalf("Definitely err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := &Recording{N: 2, Events: [][]Event{{}}}
+	if _, err := Possibly(bad, Conjunctive()); err == nil {
+		t.Error("stream-count mismatch accepted")
+	}
+	badClock := rec2([]Event{{VC: vclock.Of(5, 0)}}, nil)
+	if _, err := Definitely(badClock, Conjunctive()); err == nil {
+		t.Error("broken own-component accepted")
+	}
+	if badClock2 := rec2([]Event{{VC: vclock.Of(1)}}, nil); true {
+		if _, err := Possibly(badClock2, Conjunctive()); err == nil {
+			t.Error("wrong clock size accepted")
+		}
+	}
+}
+
+// TestCrossValidationAgainstIntervalDetectors is the headline test: on
+// random small executions, the lattice detectors (Cooper–Marzullo, state
+// enumeration) and the interval-based one-shot detectors (Garg–Waldecker,
+// queues and timestamps) must agree on whether Possibly(Φ) and
+// Definitely(Φ) hold. The two families share no code and no algorithmic
+// idea.
+func TestCrossValidationAgainstIntervalDetectors(t *testing.T) {
+	const n = 3
+	agreePos, agreeDef, holds := 0, 0, 0
+	for trial := 0; trial < 200; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+
+		rec := NewRecorder(n)
+		procs := make([]*procsim.Process, n)
+		def := oneshot.NewDefinitely([]int{0, 1, 2})
+		pos := oneshot.NewPossibly([]int{0, 1, 2})
+		emit := func(iv interval.Interval) {
+			def.OnInterval(iv.Origin, iv)
+			pos.OnInterval(iv.Origin, iv)
+		}
+		for i := 0; i < n; i++ {
+			procs[i] = procsim.New(i, n, emit)
+			rec.Attach(procs[i])
+		}
+
+		// A short random execution with random toggles and messages.
+		type msg struct {
+			to    int
+			stamp []uint64
+		}
+		var inflight []msg
+		for step := 0; step < 25; step++ {
+			p := r.Intn(n)
+			if r.Float64() < 0.4 {
+				procs[p].SetPredicate(!procs[p].Predicate())
+			}
+			switch {
+			case r.Float64() < 0.3:
+				to := (p + 1 + r.Intn(n-1)) % n
+				inflight = append(inflight, msg{to: to, stamp: procs[p].PrepareSend()})
+			case len(inflight) > 0 && r.Float64() < 0.5:
+				k := r.Intn(len(inflight))
+				m := inflight[k]
+				inflight = append(inflight[:k], inflight[k+1:]...)
+				procs[m.to].Receive(m.stamp)
+			default:
+				procs[p].Internal()
+			}
+		}
+		for _, m := range inflight {
+			procs[m.to].Receive(m.stamp)
+		}
+		for _, p := range procs {
+			p.SetPredicate(false)
+			p.Internal() // close any open interval with a final event
+			p.Finish()
+		}
+
+		latticePos, err := Possibly(rec.Recording(), Conjunctive())
+		if err != nil {
+			t.Fatal(err)
+		}
+		latticeDef, err := Definitely(rec.Recording(), Conjunctive())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if latticePos != pos.Done() {
+			t.Fatalf("trial %d: lattice Possibly=%v, interval Possibly=%v", trial, latticePos, pos.Done())
+		}
+		if latticeDef != def.Done() {
+			t.Fatalf("trial %d: lattice Definitely=%v, interval Definitely=%v", trial, latticeDef, def.Done())
+		}
+		agreePos++
+		agreeDef++
+		if latticeDef {
+			holds++
+		}
+	}
+	if holds == 0 || holds == 200 {
+		t.Fatalf("degenerate workload: Definitely held in %d/200 trials", holds)
+	}
+}

@@ -1,0 +1,43 @@
+package lattice
+
+import (
+	"fmt"
+
+	"hierdet/internal/procsim"
+	"hierdet/internal/vclock"
+)
+
+// Recorder captures a full execution from instrumented processes for lattice
+// detection. Attach it to every process before any event executes.
+type Recorder struct {
+	rec Recording
+}
+
+// NewRecorder returns a recorder for an n-process system.
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		panic(fmt.Sprintf("lattice: invalid system size %d", n))
+	}
+	return &Recorder{rec: Recording{
+		N:       n,
+		Events:  make([][]Event, n),
+		Initial: make([]Event, n),
+	}}
+}
+
+// Attach hooks the recorder into a process's event stream.
+func (r *Recorder) Attach(p *procsim.Process) {
+	id := p.ID()
+	if id < 0 || id >= r.rec.N {
+		panic(fmt.Sprintf("lattice: process %d out of range", id))
+	}
+	p.SetEventHook(func(vc vclock.VC, pred bool, value float64) {
+		r.rec.Events[id] = append(r.rec.Events[id], Event{VC: vc, Pred: pred, Value: value})
+	})
+}
+
+// Recording returns the captured execution. The recorder may keep recording
+// afterwards; take the recording only when the execution is done.
+func (r *Recorder) Recording() *Recording {
+	return &r.rec
+}

@@ -1,0 +1,244 @@
+// Package livenet runs the hierarchical detector over real concurrency: one
+// goroutine per process, Go channels as the communication links. It is the
+// natural Go embedding of the paper's system model — asynchronous processes,
+// asynchronous non-FIFO message passing — and complements internal/simnet,
+// which trades real concurrency for determinism.
+//
+// Delivery of each report is handed to its own goroutine with a small
+// pseudo-random delay, so messages on one link genuinely race and arrive out
+// of order; the same per-link sequence numbers and resequencers as the
+// simulated runtime restore queue order at the receiver.
+//
+// livenet intentionally supports only the failure-free fast path: it is the
+// concurrency showcase and embedding template. Failure injection, heartbeats
+// and tree repair live in internal/monitor where they are deterministic and
+// exhaustively testable.
+package livenet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hierdet/internal/core"
+	"hierdet/internal/interval"
+	"hierdet/internal/tree"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Topology is the spanning tree; one goroutine runs per alive node.
+	Topology *tree.Topology
+	// MaxDelay bounds the random per-message delivery delay (default 200µs;
+	// larger values force more reordering).
+	MaxDelay time.Duration
+	// Seed drives the delay distribution.
+	Seed int64
+	// Strict and KeepMembers configure the detector nodes (see core.Config).
+	Strict, KeepMembers bool
+}
+
+// Detection is one predicate satisfaction observed by the live cluster.
+type Detection struct {
+	Node   int
+	AtRoot bool
+	Det    core.Detection
+}
+
+// message is what flows through a node's inbox.
+type message struct {
+	from    int
+	linkSeq int
+	iv      interval.Interval
+	local   bool
+}
+
+// Cluster is a running set of detector goroutines. Create with New, feed
+// local intervals with Observe (or OnIntervalFunc per process), then call
+// Stop to drain and collect every detection.
+type Cluster struct {
+	cfg   Config
+	topo  *tree.Topology
+	nodes map[int]*liveNode
+
+	pending atomic.Int64 // messages enqueued or in flight
+	detMu   sync.Mutex
+	dets    []Detection
+
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+type liveNode struct {
+	c      *Cluster
+	id     int
+	parent int
+	inbox  chan message
+	node   *core.Node
+	reseq  map[int]*resequencer
+	outSeq int
+	rng    *rand.Rand
+	rngMu  sync.Mutex
+}
+
+// New builds and starts a cluster over the alive nodes of the topology.
+func New(cfg Config) *Cluster {
+	if cfg.Topology == nil {
+		panic("livenet: Topology is required")
+	}
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = 200 * time.Microsecond
+	}
+	c := &Cluster{cfg: cfg, topo: cfg.Topology, nodes: make(map[int]*liveNode)}
+	coreCfg := core.Config{N: cfg.Topology.N(), Strict: cfg.Strict, KeepMembers: cfg.KeepMembers}
+	for _, id := range cfg.Topology.AliveNodes() {
+		ln := &liveNode{
+			c:      c,
+			id:     id,
+			parent: cfg.Topology.Parent(id),
+			inbox:  make(chan message, 256),
+			node:   core.NewNode(id, coreCfg, true),
+			reseq:  make(map[int]*resequencer),
+			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(id)<<17)),
+		}
+		for _, child := range cfg.Topology.Children(id) {
+			ln.node.AddChild(child)
+			ln.reseq[child] = newResequencer()
+		}
+		c.nodes[id] = ln
+	}
+	for _, ln := range c.nodes {
+		c.wg.Add(1)
+		go ln.run()
+	}
+	return c
+}
+
+// Observe feeds one completed local-predicate interval of process p into the
+// cluster. Intervals of one process must be observed in generation order
+// (they are at the emitting process by construction); different processes
+// may call Observe concurrently. Observe must not be called after Stop.
+func (c *Cluster) Observe(p int, iv interval.Interval) {
+	if c.stopped {
+		panic("livenet: Observe after Stop")
+	}
+	ln, ok := c.nodes[p]
+	if !ok {
+		panic(fmt.Sprintf("livenet: Observe for unknown process %d", p))
+	}
+	c.pending.Add(1)
+	ln.inbox <- message{from: p, iv: iv, local: true}
+}
+
+// Stop waits for the cluster to go idle, shuts the goroutines down and
+// returns every detection, ordered by node id and then detection order at
+// that node.
+func (c *Cluster) Stop() []Detection {
+	if c.stopped {
+		panic("livenet: Stop called twice")
+	}
+	c.stopped = true
+	// Quiesce: pending counts every undelivered or in-process message;
+	// handlers increment for the sends they trigger before decrementing
+	// themselves, so 0 means the whole cascade finished.
+	for c.pending.Load() != 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	for _, ln := range c.nodes {
+		close(ln.inbox)
+	}
+	c.wg.Wait()
+	c.detMu.Lock()
+	defer c.detMu.Unlock()
+	out := append([]Detection(nil), c.dets...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Det.Agg.Seq < out[j].Det.Agg.Seq
+	})
+	return out
+}
+
+func (ln *liveNode) run() {
+	defer ln.c.wg.Done()
+	for msg := range ln.inbox {
+		ln.handle(msg)
+		ln.c.pending.Add(-1)
+	}
+}
+
+func (ln *liveNode) handle(msg message) {
+	var ivs []interval.Interval
+	src := msg.from
+	if msg.local {
+		ivs = []interval.Interval{msg.iv}
+	} else {
+		rs, ok := ln.reseq[msg.from]
+		if !ok {
+			return
+		}
+		ivs = rs.accept(msg.linkSeq, msg.iv)
+	}
+	for _, iv := range ivs {
+		for _, det := range ln.node.OnInterval(src, iv) {
+			ln.c.record(Detection{Node: ln.id, AtRoot: ln.parent == tree.None, Det: det})
+			if ln.parent != tree.None {
+				ln.report(det.Agg)
+			}
+		}
+	}
+}
+
+// report ships an aggregate to the parent on its own goroutine after a
+// random delay — deliberately unordered with respect to other reports on the
+// same link.
+func (ln *liveNode) report(agg interval.Interval) {
+	parentInbox := ln.c.nodes[ln.parent].inbox
+	msg := message{from: ln.id, linkSeq: ln.outSeq, iv: agg}
+	ln.outSeq++
+	ln.rngMu.Lock()
+	delay := time.Duration(ln.rng.Int63n(int64(ln.c.cfg.MaxDelay)))
+	ln.rngMu.Unlock()
+	ln.c.pending.Add(1)
+	go func() {
+		time.Sleep(delay)
+		parentInbox <- msg
+	}()
+}
+
+func (c *Cluster) record(d Detection) {
+	c.detMu.Lock()
+	c.dets = append(c.dets, d)
+	c.detMu.Unlock()
+}
+
+// resequencer mirrors internal/monitor's: restore per-link order.
+type resequencer struct {
+	next    int
+	pending map[int]interval.Interval
+}
+
+func newResequencer() *resequencer {
+	return &resequencer{pending: make(map[int]interval.Interval)}
+}
+
+func (q *resequencer) accept(seq int, iv interval.Interval) []interval.Interval {
+	if seq < q.next {
+		return nil
+	}
+	q.pending[seq] = iv
+	var out []interval.Interval
+	for {
+		next, ok := q.pending[q.next]
+		if !ok {
+			return out
+		}
+		delete(q.pending, q.next)
+		q.next++
+		out = append(out, next)
+	}
+}

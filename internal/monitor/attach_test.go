@@ -1,0 +1,255 @@
+package monitor
+
+import (
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+func distCfg(topo *tree.Topology, e *workload.Execution, seed int64) Config {
+	return Config{
+		Mode: Hierarchical, Topology: topo, Exec: e,
+		Seed: seed, Strict: true, KeepMembers: true,
+		Spacing: 1000, MinDelay: 1, MaxDelay: 10,
+		HbEvery: 100, HbTimeout: 400,
+		DistributedRepair: true,
+	}
+}
+
+func soundAll(t *testing.T, res *Result) {
+	t.Helper()
+	for _, d := range res.Detections {
+		if !interval.OverlapAll(interval.BaseIntervals(d.Det.Agg)) {
+			t.Fatalf("false detection at node %d", d.Node)
+		}
+	}
+}
+
+func validTopo(t *testing.T, topo *tree.Topology) {
+	t.Helper()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("topology invalid after repair: %v", err)
+	}
+}
+
+// TestDistributedRepairLeafParent: an inner node dies; its leaf children
+// negotiate adoption over the network and detection continues.
+func TestDistributedRepairLeafParent(t *testing.T) {
+	const rounds = 14
+	build := func() *tree.Topology { return tree.Balanced(2, 2) }
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 1, PGlobal: 1})
+	topo := build()
+	r := NewRunner(distCfg(topo, e, 21))
+	r.ScheduleFailure(5500, 1) // children 3 and 4 must find new parents
+	res := r.Run()
+	soundAll(t, res)
+	validTopo(t, topo)
+
+	// Attach-protocol traffic happened.
+	if res.Net.Sent[KindAttach] == 0 {
+		t.Fatal("no attach messages despite a repair")
+	}
+	// Both orphans were adopted somewhere valid: one surviving tree.
+	if roots := topo.Roots(); len(roots) != 1 {
+		t.Fatalf("roots = %v, want a single tree", roots)
+	}
+	// Late rounds (well after suspicion + negotiation) detect 6 survivors.
+	late := 0
+	for _, d := range res.RootDetections() {
+		if d.Time > 9000 && len(d.Det.Agg.Span) == 6 {
+			late++
+		}
+	}
+	if late < 4 {
+		t.Fatalf("late survivor detections = %d, want ≥ 4", late)
+	}
+}
+
+// TestDistributedRepairRootFailure: the root dies; its children are all
+// seekers. The smallest-id rule anchors the cluster and everyone reattaches
+// into one tree (complete communication graph).
+func TestDistributedRepairRootFailure(t *testing.T) {
+	const rounds = 16
+	build := func() *tree.Topology { return tree.Balanced(2, 2) }
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 2, PGlobal: 1})
+	topo := build()
+	r := NewRunner(distCfg(topo, e, 23))
+	r.ScheduleFailure(5500, 0)
+	res := r.Run()
+	soundAll(t, res)
+	validTopo(t, topo)
+
+	roots := topo.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots after root failure = %v, want 1", roots)
+	}
+	// The new tree spans all 6 survivors and keeps detecting.
+	if got := len(topo.Subtree(roots[0])); got != 6 {
+		t.Fatalf("surviving tree size = %d, want 6", got)
+	}
+	late := 0
+	for _, d := range res.RootDetections() {
+		if d.Time > 10000 && len(d.Det.Agg.Span) == 6 {
+			late++
+		}
+	}
+	if late < 4 {
+		t.Fatalf("late survivor detections = %d, want ≥ 4", late)
+	}
+}
+
+// TestDistributedRepairPartition: with tree-only links, a failure splits the
+// network; the stranded subtree exhausts its seek rounds, declares itself a
+// partition root, and keeps detecting its own span.
+func TestDistributedRepairPartition(t *testing.T) {
+	const rounds = 16
+	build := func() *tree.Topology {
+		tp := tree.Chain(4) // 0→1→2→3, links only along the chain
+		tp.UseTreeLinksOnly()
+		return tp
+	}
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 3, PGlobal: 1})
+	topo := build()
+	r := NewRunner(distCfg(topo, e, 29))
+	r.ScheduleFailure(5500, 1) // strands {2,3}
+	res := r.Run()
+	soundAll(t, res)
+	validTopo(t, topo)
+
+	roots := topo.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v, want 2 partitions", roots)
+	}
+	// Both partitions keep detecting their partial predicates late in the
+	// run: {0} alone and {2,3} together.
+	pairDets := 0
+	for _, d := range res.RootDetections() {
+		if d.Time > 12000 && len(d.Det.Agg.Span) == 2 {
+			pairDets++
+		}
+	}
+	if pairDets < 3 {
+		t.Fatalf("stranded-pair detections = %d, want ≥ 3", pairDets)
+	}
+}
+
+// TestDistributedRepairMatchesOracleCounts: on the same failure scenario,
+// the distributed protocol converges to detection behaviour equivalent to
+// the oracle's — same steady-state survivor detections.
+func TestDistributedRepairMatchesOracleCounts(t *testing.T) {
+	const rounds = 18
+	build := func() *tree.Topology { return tree.Balanced(3, 2) } // 13 nodes
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 4, PGlobal: 1})
+
+	run := func(distributed bool) int {
+		topo := build()
+		cfg := distCfg(topo, e, 31)
+		cfg.DistributedRepair = distributed
+		r := NewRunner(cfg)
+		r.ScheduleFailure(5500, 2)
+		res := r.Run()
+		soundAll(t, res)
+		validTopo(t, topo)
+		late := 0
+		for _, d := range res.RootDetections() {
+			if d.Time > 10000 && len(d.Det.Agg.Span) == 12 {
+				late++
+			}
+		}
+		return late
+	}
+	oracle, dist := run(false), run(true)
+	if oracle == 0 || dist == 0 {
+		t.Fatalf("no late detections: oracle=%d dist=%d", oracle, dist)
+	}
+	if oracle != dist {
+		t.Fatalf("steady-state detections differ: oracle=%d dist=%d", oracle, dist)
+	}
+}
+
+// TestDistributedRepairSequentialFailures drives three failures through the
+// protocol one after another.
+func TestDistributedRepairSequentialFailures(t *testing.T) {
+	const rounds = 24
+	build := func() *tree.Topology { return tree.Balanced(2, 3) } // 15 nodes
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 5, PGlobal: 1})
+	topo := build()
+	r := NewRunner(distCfg(topo, e, 37))
+	r.ScheduleFailure(5500, 1)
+	r.ScheduleFailure(11500, 6)
+	r.ScheduleFailure(17500, 2)
+	res := r.Run()
+	soundAll(t, res)
+	validTopo(t, topo)
+	if len(res.Failed) != 3 {
+		t.Fatalf("Failed = %v", res.Failed)
+	}
+	if roots := topo.Roots(); len(roots) != 1 {
+		t.Fatalf("roots = %v, want 1 (complete graph keeps everyone attached)", roots)
+	}
+	late := 0
+	for _, d := range res.RootDetections() {
+		if d.Time > 20000 && len(d.Det.Agg.Span) == 12 {
+			late++
+		}
+	}
+	if late < 2 {
+		t.Fatalf("12-survivor detections after all failures = %d, want ≥ 2", late)
+	}
+}
+
+// TestDistributedRepairStarRootFailure is the protocol's hardest symmetric
+// case: the hub of a star dies and every survivor becomes a seeker at once.
+// The id-ordered anchor rule must converge them into a single tree.
+func TestDistributedRepairStarRootFailure(t *testing.T) {
+	const n, rounds = 12, 16
+	build := func() *tree.Topology { return tree.Star(n) }
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 8, PGlobal: 1})
+	topo := build()
+	r := NewRunner(distCfg(topo, e, 41))
+	r.ScheduleFailure(5500, 0)
+	res := r.Run()
+	soundAll(t, res)
+	validTopo(t, topo)
+
+	roots := topo.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %v, want all %d survivors in one tree", roots, n-1)
+	}
+	if got := len(topo.Subtree(roots[0])); got != n-1 {
+		t.Fatalf("tree size = %d, want %d", got, n-1)
+	}
+	// The survivors' predicate keeps being detected once the storm settles.
+	late := 0
+	for _, d := range res.RootDetections() {
+		if len(d.Det.Agg.Span) == n-1 {
+			late++
+		}
+	}
+	if late < 3 {
+		t.Fatalf("survivor detections = %d, want ≥ 3", late)
+	}
+}
+
+func TestDistributedRepairValidation(t *testing.T) {
+	e := workload.Generate(workload.Config{Topology: tree.Balanced(2, 1), Rounds: 1, PGlobal: 1})
+	for name, f := range map[string]func(){
+		"needs-heartbeats": func() {
+			NewRunner(Config{Mode: Hierarchical, Topology: tree.Balanced(2, 1), Exec: e, DistributedRepair: true})
+		},
+		"needs-hier": func() {
+			NewRunner(Config{Mode: Centralized, Topology: tree.Balanced(2, 1), Exec: e, HbEvery: 100, DistributedRepair: true})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,84 @@
+package monitor
+
+import (
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/simnet"
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+// TestBatchingReducesMessagesNotDetections: with the batch window enabled,
+// the same workload produces the same detections with fewer messages (and
+// the same ordering guarantees — sequence numbers ride inside the batch).
+func TestBatchingReducesMessagesNotDetections(t *testing.T) {
+	const rounds = 20
+	build := func() *tree.Topology { return tree.Balanced(2, 2) }
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 5, PGlobal: 1})
+
+	// Rounds complete every 100 ticks; a 500-tick batch window therefore
+	// spans several rounds' reports per link — the duty-cycled-radio
+	// scenario where batching pays.
+	run := func(window simnet.Time) *Result {
+		return NewRunner(Config{
+			Mode: Hierarchical, Topology: build(), Exec: e,
+			Seed: 17, Strict: true, KeepMembers: true,
+			Spacing: 100, MinDelay: 1, MaxDelay: 10,
+			BatchWindow: window,
+		}).Run()
+	}
+	plain := run(0)
+	batched := run(500)
+
+	if got, want := len(batched.RootDetections()), len(plain.RootDetections()); got != want {
+		t.Fatalf("batched detections = %d, plain = %d", got, want)
+	}
+	if batched.Net.Sent[KindIvl] >= plain.Net.Sent[KindIvl] {
+		t.Fatalf("batched messages = %d, plain = %d — batching saved nothing",
+			batched.Net.Sent[KindIvl], plain.Net.Sent[KindIvl])
+	}
+	// Interval payload bytes are identical — only message count drops.
+	if batched.Net.Bytes[KindIvl] != plain.Net.Bytes[KindIvl] {
+		t.Fatalf("batched bytes = %d, plain = %d", batched.Net.Bytes[KindIvl], plain.Net.Bytes[KindIvl])
+	}
+	for _, d := range batched.Detections {
+		if !interval.OverlapAll(interval.BaseIntervals(d.Det.Agg)) {
+			t.Fatal("batching produced a false detection")
+		}
+	}
+}
+
+// TestBatchingUnderFailure: buffered reports survive repair sanely — the
+// run completes, detections are sound, and the tree is valid.
+func TestBatchingUnderFailure(t *testing.T) {
+	const rounds = 14
+	build := func() *tree.Topology { return tree.Balanced(2, 2) }
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 6, PGlobal: 1})
+	topo := build()
+	r := NewRunner(Config{
+		Mode: Hierarchical, Topology: topo, Exec: e,
+		Seed: 19, Strict: true, KeepMembers: true,
+		Spacing: 1000, MinDelay: 1, MaxDelay: 10,
+		BatchWindow: 50,
+	})
+	r.ScheduleFailure(5500, 1)
+	res := r.Run()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Detections {
+		if !interval.OverlapAll(interval.BaseIntervals(d.Det.Agg)) {
+			t.Fatal("false detection")
+		}
+	}
+	late := 0
+	for _, d := range res.RootDetections() {
+		if d.Time > 9000 && len(d.Det.Agg.Span) == 6 {
+			late++
+		}
+	}
+	if late < 4 {
+		t.Fatalf("late survivor detections = %d, want ≥ 4", late)
+	}
+}

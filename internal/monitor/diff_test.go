@@ -1,0 +1,60 @@
+package monitor
+
+import (
+	"testing"
+
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+// TestDiffTimestampAccounting measures the Singhal–Kshemkalyani differential
+// encoding's effect on the paper's O(n)-per-message size: group-round
+// workloads, whose reports mostly advance their own subtree's components,
+// shrink substantially; the detection outcome is untouched (accounting-only
+// ablation).
+func TestDiffTimestampAccounting(t *testing.T) {
+	const rounds = 30
+	build := func() *tree.Topology { return tree.Balanced(2, 3) } // 15 nodes
+	e := workload.Generate(workload.Config{
+		Topology: build(), Rounds: rounds, Seed: 7, PGlobal: 0.2, PGroup: 0.6,
+	})
+	run := func(diff bool) *Result {
+		return NewRunner(Config{
+			Mode: Hierarchical, Topology: build(), Exec: e,
+			Seed: 23, Strict: true, FIFO: true,
+			DiffTimestamps: diff,
+		}).Run()
+	}
+	full := run(false)
+	diff := run(true)
+
+	if len(full.Detections) != len(diff.Detections) {
+		t.Fatalf("accounting changed behaviour: %d vs %d detections",
+			len(full.Detections), len(diff.Detections))
+	}
+	if full.Net.Sent[KindIvl] != diff.Net.Sent[KindIvl] {
+		t.Fatal("accounting changed message counts")
+	}
+	fb, db := full.Net.Bytes[KindIvl], diff.Net.Bytes[KindIvl]
+	if db >= fb {
+		t.Fatalf("differential bytes %d ≥ full bytes %d", db, fb)
+	}
+	saving := 1 - float64(db)/float64(fb)
+	if saving < 0.10 {
+		t.Fatalf("saving only %.1f%%, expected at least 10%% on group-heavy traffic", saving*100)
+	}
+	t.Logf("interval-report bytes: full %d, differential %d (%.1f%% saved)", fb, db, saving*100)
+}
+
+func TestDiffTimestampsRequireFIFO(t *testing.T) {
+	e := workload.Generate(workload.Config{Topology: tree.Balanced(2, 1), Rounds: 1, PGlobal: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("DiffTimestamps without FIFO accepted")
+		}
+	}()
+	NewRunner(Config{
+		Mode: Hierarchical, Topology: tree.Balanced(2, 1), Exec: e,
+		DiffTimestamps: true,
+	})
+}

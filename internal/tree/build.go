@@ -1,0 +1,98 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Balanced builds a complete d-ary tree of height h in heap layout: node 0
+// is the root and the children of node i are d·i+1 … d·i+d. It contains
+// (d^(h+1)−1)/(d−1) nodes; the paper's analysis approximates this as
+// n = d^h. Balanced panics for d < 2 or h < 0.
+func Balanced(d, h int) *Topology {
+	if d < 2 {
+		panic(fmt.Sprintf("tree: Balanced needs degree ≥ 2, got %d", d))
+	}
+	if h < 0 {
+		panic(fmt.Sprintf("tree: negative height %d", h))
+	}
+	n := 1
+	levelSize := 1
+	for i := 0; i < h; i++ {
+		levelSize *= d
+		n += levelSize
+	}
+	return BalancedN(n, d)
+}
+
+// BalancedN builds a d-ary heap-layout tree over exactly n nodes: the
+// children of node i are d·i+1 … d·i+d (those that exist). This gives a
+// balanced tree for any n, which the sweep experiments use to hit exact
+// network sizes.
+func BalancedN(n, d int) *Topology {
+	if d < 1 {
+		panic(fmt.Sprintf("tree: BalancedN needs degree ≥ 1, got %d", d))
+	}
+	t := New(n)
+	for i := 1; i < n; i++ {
+		t.SetParent(i, (i-1)/d)
+	}
+	return t
+}
+
+// BalancedSize returns the number of nodes in a complete d-ary tree of
+// height h — the n of a Balanced(d, h) topology.
+func BalancedSize(d, h int) int {
+	n := 1
+	levelSize := 1
+	for i := 0; i < h; i++ {
+		levelSize *= d
+		n += levelSize
+	}
+	return n
+}
+
+// Chain builds a path 0 → 1 → … → n−1 rooted at 0 (degree 1, height n−1) —
+// the degenerate worst case for hierarchy depth.
+func Chain(n int) *Topology {
+	t := New(n)
+	for i := 1; i < n; i++ {
+		t.SetParent(i, i-1)
+	}
+	return t
+}
+
+// Star builds a root with n−1 direct children (height 1). Running the
+// hierarchical algorithm on a star is exactly the centralized configuration
+// the paper contrasts with (h ≤ 2 ⇒ "essentially … centralized").
+func Star(n int) *Topology {
+	t := New(n)
+	for i := 1; i < n; i++ {
+		t.SetParent(i, 0)
+	}
+	return t
+}
+
+// Random builds a random tree over n nodes where each non-root node picks a
+// uniformly random parent among lower-numbered nodes, rejecting parents that
+// already have maxDegree children. It is deterministic for a given seed.
+func Random(n, maxDegree int, seed int64) *Topology {
+	if maxDegree < 1 {
+		panic(fmt.Sprintf("tree: Random needs maxDegree ≥ 1, got %d", maxDegree))
+	}
+	r := rand.New(rand.NewSource(seed))
+	t := New(n)
+	for i := 1; i < n; i++ {
+		// Collect eligible parents; i−1 candidates, at least one of which
+		// has spare capacity because a full d-ary tree over i nodes always
+		// has a node with fewer than maxDegree children.
+		var eligible []int
+		for p := 0; p < i; p++ {
+			if len(t.children[p]) < maxDegree {
+				eligible = append(eligible, p)
+			}
+		}
+		t.SetParent(i, eligible[r.Intn(len(eligible))])
+	}
+	return t
+}

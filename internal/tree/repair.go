@@ -1,0 +1,158 @@
+package tree
+
+// MarkFailed records the crash of node id without repairing: the node is
+// detached from its parent, its children become roots of orphan subtrees,
+// and the node is marked dead. It returns the partial change set and the
+// orphan list. The oracle repair (Fail) builds on it; the distributed
+// reattachment protocol (internal/monitor, DistributedRepair) mirrors its
+// own attach decisions onto the topology after calling MarkFailed.
+func (t *Topology) MarkFailed(id int) (ChangeSet, []int) {
+	t.checkAlive(id)
+	cs := ChangeSet{Failed: id, ParentOfFailed: t.parent[id]}
+	if p := t.parent[id]; p != None {
+		t.children[p] = removeInt(t.children[p], id)
+		t.parent[id] = None
+	}
+	orphans := append([]int(nil), t.children[id]...)
+	t.children[id] = nil
+	for _, o := range orphans {
+		t.parent[o] = None
+	}
+	t.alive[id] = false
+	return cs, orphans
+}
+
+// Fail marks node id dead, detaches it from the spanning forest, and repairs
+// the forest per the paper's §III-F:
+//
+//   - the failed node's parent simply loses that child (and its queue);
+//   - every subtree rooted at a child of the failed node reattaches through
+//     any member node that has a live neighbour outside the subtree —
+//     re-rooting the subtree at that member when it is not the subtree's
+//     root — preferring shallow attachment points for balance;
+//   - subtrees with no surviving link to the rest of the network become
+//     independent detection trees (network partitions), listed in
+//     ChangeSet.PartitionRoots. If the failed node was the root, the first
+//     orphan seeds the new main tree the same way.
+//
+// The returned ChangeSet records every parent change in application order so
+// the monitor runtime can replay it onto the detector nodes.
+func (t *Topology) Fail(id int) ChangeSet {
+	cs, orphans := t.MarkFailed(id)
+
+	// Established components: everything hanging off a root that is not one
+	// of the fresh orphans.
+	inTree := make(map[int]bool)
+	orphanSet := make(map[int]bool, len(orphans))
+	for _, o := range orphans {
+		orphanSet[o] = true
+	}
+	for _, r := range t.Roots() {
+		if !orphanSet[r] {
+			for _, x := range t.Subtree(r) {
+				inTree[x] = true
+			}
+		}
+	}
+
+	unattached := orphans
+	for len(unattached) > 0 {
+		// Attach as many orphan subtrees to the established components as
+		// possible; each success may enable further attachments.
+		progress := true
+		for progress {
+			progress = false
+			for i := 0; i < len(unattached); i++ {
+				o := unattached[i]
+				members := t.Subtree(o)
+				u, v := t.findAttachPoint(members, inTree)
+				if u == None {
+					continue
+				}
+				t.attachSubtree(o, u, v, id, &cs)
+				for _, x := range members {
+					inTree[x] = true
+				}
+				unattached = append(unattached[:i], unattached[i+1:]...)
+				progress = true
+				i--
+			}
+		}
+		if len(unattached) == 0 {
+			break
+		}
+		// No orphan can reach the established components: the first
+		// remaining orphan seeds a new partition (or, if the old root died
+		// and nothing was established, the new main tree), and the loop
+		// retries the rest against it.
+		seed := unattached[0]
+		unattached = unattached[1:]
+		cs.Reparented = append(cs.Reparented, Reparent{Node: seed, OldParent: id, NewParent: None})
+		cs.PartitionRoots = append(cs.PartitionRoots, seed)
+		for _, x := range t.Subtree(seed) {
+			inTree[x] = true
+		}
+	}
+	return cs
+}
+
+// findAttachPoint searches the subtree members (in DFS order, so the subtree
+// root is preferred and no re-rooting is needed when it qualifies) for a
+// node u with a live neighbour v inside the established set. Among v
+// candidates it picks the shallowest, breaking ties by id, to keep the
+// repaired tree balanced and the choice deterministic. Returns (None, None)
+// if the subtree is disconnected from the established set.
+func (t *Topology) findAttachPoint(members []int, inTree map[int]bool) (u, v int) {
+	for _, m := range members {
+		best, bestDepth := None, -1
+		for _, nb := range t.Neighbors(m) {
+			if !inTree[nb] {
+				continue
+			}
+			d := t.Depth(nb)
+			if best == None || d < bestDepth || (d == bestDepth && nb < best) {
+				best, bestDepth = nb, d
+			}
+		}
+		if best != None {
+			return m, best
+		}
+	}
+	return None, None
+}
+
+// attachSubtree re-roots the subtree currently rooted at o so that u becomes
+// its root, then attaches u under v, recording every parent change. When
+// u == o no re-rooting is needed.
+func (t *Topology) attachSubtree(o, u, v, failed int, cs *ChangeSet) {
+	if u == o {
+		t.SetParent(o, v)
+		cs.Reparented = append(cs.Reparented, Reparent{Node: o, OldParent: failed, NewParent: v})
+		return
+	}
+	// Path from u up to the subtree root o; re-rooting reverses every edge
+	// on it.
+	path := []int{u}
+	for x := t.parent[u]; ; x = t.parent[x] {
+		path = append(path, x)
+		if x == o {
+			break
+		}
+	}
+	oldParent := make(map[int]int, len(path))
+	for _, x := range path {
+		oldParent[x] = t.parent[x]
+	}
+	oldParent[o] = failed
+	for _, x := range path {
+		if t.parent[x] != None {
+			t.SetParent(x, None)
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		t.SetParent(path[i+1], path[i])
+		cs.Reparented = append(cs.Reparented, Reparent{Node: path[i+1], OldParent: oldParent[path[i+1]], NewParent: path[i]})
+	}
+	t.SetParent(u, v)
+	cs.Reparented = append(cs.Reparented, Reparent{Node: u, OldParent: oldParent[u], NewParent: v})
+}

@@ -1,0 +1,398 @@
+// Package tree maintains the pre-constructed spanning tree the hierarchical
+// detection algorithm runs on, together with the underlying communication
+// graph (the (P, L) of the system model) that constrains how the tree can be
+// repaired after a node failure.
+//
+// The paper assumes the spanning tree exists and, on a failure, that each
+// orphaned subtree "will reconnect itself to the system-wide spanning tree by
+// establishing a link between a node in the subtree and its neighbor which is
+// still in the spanning tree" (§III-F). This package implements exactly that
+// repair: orphan subtrees attach through any member node with a live
+// neighbour outside the subtree (re-rooting the subtree at that member when
+// necessary), and subtrees with no such link become independent detection
+// trees — the algorithm keeps detecting the partial predicate within each
+// partition.
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// None marks the absence of a parent (the node is a root).
+const None = -1
+
+// Topology is a spanning forest (usually a single tree) over the alive nodes
+// of a fixed id space 0..n-1, plus the neighbour graph used for repairs.
+// Topology is not safe for concurrent use; the monitor runtime serializes
+// access.
+type Topology struct {
+	n        int
+	parent   map[int]int
+	children map[int][]int
+	alive    map[int]bool
+	// neighbors is the underlying communication graph. Nil means a complete
+	// graph (every pair of processes shares a link — a wired network).
+	neighbors map[int]map[int]bool
+}
+
+// Reparent records one parent change during a repair: Node's parent went
+// from OldParent to NewParent (None if Node became a root).
+type Reparent struct {
+	Node, OldParent, NewParent int
+}
+
+// ChangeSet describes the surgery a failure caused, in the exact order the
+// parent-pointer changes were applied. The monitor runtime replays it onto
+// the detector nodes: every OldParent drops a queue, every NewParent gains
+// one.
+type ChangeSet struct {
+	Failed int
+	// ParentOfFailed is the failed node's former parent (None if it was a
+	// root); that parent must drop the failed child's queue.
+	ParentOfFailed int
+	// Reparented lists every node whose parent changed, in application order.
+	Reparented []Reparent
+	// PartitionRoots lists roots of subtrees that could not reattach and now
+	// operate as independent detection trees.
+	PartitionRoots []int
+}
+
+// New returns a topology over ids 0..n-1 with all nodes alive and no edges;
+// callers either use a builder (Balanced, Chain, Star, Random) or wire
+// parents explicitly with SetParent.
+func New(n int) *Topology {
+	if n <= 0 {
+		panic(fmt.Sprintf("tree: invalid size %d", n))
+	}
+	t := &Topology{
+		n:        n,
+		parent:   make(map[int]int, n),
+		children: make(map[int][]int, n),
+		alive:    make(map[int]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		t.parent[i] = None
+		t.alive[i] = true
+	}
+	return t
+}
+
+// N returns the size of the id space (including failed nodes).
+func (t *Topology) N() int { return t.n }
+
+// Validate checks the forest invariants: parent/children maps agree, no
+// dead node appears in the forest, no cycles, and every alive node belongs
+// to exactly one tree. Tests call it after every repair.
+func (t *Topology) Validate() error {
+	seen := make(map[int]bool)
+	for _, root := range t.Roots() {
+		for _, x := range t.Subtree(root) {
+			if !t.alive[x] {
+				return fmt.Errorf("tree: dead node %d reachable from root %d", x, root)
+			}
+			if seen[x] {
+				return fmt.Errorf("tree: node %d reachable twice", x)
+			}
+			seen[x] = true
+		}
+	}
+	for i := 0; i < t.n; i++ {
+		if t.alive[i] && !seen[i] {
+			return fmt.Errorf("tree: alive node %d unreachable from any root (cycle or corruption)", i)
+		}
+		if p := t.parent[i]; t.alive[i] && p != None {
+			found := false
+			for _, c := range t.children[p] {
+				if c == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("tree: node %d has parent %d but is not among its children", i, p)
+			}
+		}
+	}
+	for p, kids := range t.children {
+		for _, c := range kids {
+			if t.parent[c] != p {
+				return fmt.Errorf("tree: child list of %d names %d whose parent is %d", p, c, t.parent[c])
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the topology; mutating one (e.g. through
+// failure repair) leaves the other untouched.
+func (t *Topology) Clone() *Topology {
+	c := &Topology{
+		n:        t.n,
+		parent:   make(map[int]int, len(t.parent)),
+		children: make(map[int][]int, len(t.children)),
+		alive:    make(map[int]bool, len(t.alive)),
+	}
+	for k, v := range t.parent {
+		c.parent[k] = v
+	}
+	for k, v := range t.children {
+		c.children[k] = append([]int(nil), v...)
+	}
+	for k, v := range t.alive {
+		c.alive[k] = v
+	}
+	if t.neighbors != nil {
+		c.neighbors = make(map[int]map[int]bool, len(t.neighbors))
+		for a, m := range t.neighbors {
+			cm := make(map[int]bool, len(m))
+			for b, v := range m {
+				cm[b] = v
+			}
+			c.neighbors[a] = cm
+		}
+	}
+	return c
+}
+
+// SetParent wires node under parent (parent == None detaches node into a
+// root). It panics on dead or out-of-range nodes and on edges that would
+// create a cycle.
+func (t *Topology) SetParent(node, parent int) {
+	t.checkAlive(node)
+	if parent != None {
+		t.checkAlive(parent)
+		if node == parent || t.InSubtree(parent, node) {
+			panic(fmt.Sprintf("tree: edge %d→%d would create a cycle", parent, node))
+		}
+	}
+	if old := t.parent[node]; old != None {
+		t.children[old] = removeInt(t.children[old], node)
+	}
+	t.parent[node] = parent
+	if parent != None {
+		t.children[parent] = append(t.children[parent], node)
+	}
+}
+
+// Parent returns node's parent, or None.
+func (t *Topology) Parent(node int) int { return t.parent[node] }
+
+// Children returns node's children in attachment order.
+func (t *Topology) Children(node int) []int {
+	return append([]int(nil), t.children[node]...)
+}
+
+// Alive reports whether node has not failed.
+func (t *Topology) Alive(node int) bool { return t.alive[node] }
+
+// AliveNodes returns all alive node ids, ascending.
+func (t *Topology) AliveNodes() []int {
+	out := make([]int, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		if t.alive[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Roots returns the roots of the spanning forest, ascending: normally one,
+// more after an unrepairable partition.
+func (t *Topology) Roots() []int {
+	var out []int
+	for i := 0; i < t.n; i++ {
+		if t.alive[i] && t.parent[i] == None {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsLeaf reports whether node has no children.
+func (t *Topology) IsLeaf(node int) bool { return len(t.children[node]) == 0 }
+
+// Depth returns the number of edges from node to its root.
+func (t *Topology) Depth(node int) int {
+	d := 0
+	for p := t.parent[node]; p != None; p = t.parent[p] {
+		d++
+	}
+	return d
+}
+
+// Height returns the maximum depth across alive nodes (0 for a single node).
+func (t *Topology) Height() int {
+	h := 0
+	for i := 0; i < t.n; i++ {
+		if t.alive[i] {
+			if d := t.Depth(i); d > h {
+				h = d
+			}
+		}
+	}
+	return h
+}
+
+// Degree returns the maximum number of children of any alive node — the d of
+// the paper's complexity analysis.
+func (t *Topology) Degree() int {
+	d := 0
+	for i := 0; i < t.n; i++ {
+		if t.alive[i] && len(t.children[i]) > d {
+			d = len(t.children[i])
+		}
+	}
+	return d
+}
+
+// InSubtree reports whether node lies in the subtree rooted at root.
+func (t *Topology) InSubtree(node, root int) bool {
+	for x := node; x != None; x = t.parent[x] {
+		if x == root {
+			return true
+		}
+	}
+	return false
+}
+
+// Subtree returns the nodes of the subtree rooted at root (root included),
+// in DFS order.
+func (t *Topology) Subtree(root int) []int {
+	var out []int
+	var dfs func(int)
+	dfs = func(x int) {
+		out = append(out, x)
+		for _, c := range t.children[x] {
+			dfs(c)
+		}
+	}
+	dfs(root)
+	return out
+}
+
+// Route returns the tree path from a to b (both ends included): up from a to
+// the lowest common ancestor, then down to b. The number of edges on the
+// path — len(route)−1 — is the hop cost the centralized algorithm pays to
+// ship an interval from a to the sink b (paper §IV-A).
+func (t *Topology) Route(a, b int) []int {
+	upA := t.pathToRoot(a)
+	upB := t.pathToRoot(b)
+	depth := make(map[int]int, len(upA))
+	for i, x := range upA {
+		depth[x] = i
+	}
+	lca := -1
+	lcaIdxB := -1
+	for i, x := range upB {
+		if _, ok := depth[x]; ok {
+			lca = x
+			lcaIdxB = i
+			break
+		}
+	}
+	if lca == -1 {
+		return nil // different components
+	}
+	route := append([]int(nil), upA[:depth[lca]+1]...)
+	for i := lcaIdxB - 1; i >= 0; i-- {
+		route = append(route, upB[i])
+	}
+	return route
+}
+
+func (t *Topology) pathToRoot(x int) []int {
+	var out []int
+	for ; x != None; x = t.parent[x] {
+		out = append(out, x)
+	}
+	return out
+}
+
+// --- neighbour graph ---
+
+// UseCompleteGraph declares every pair of processes linked (the default).
+func (t *Topology) UseCompleteGraph() { t.neighbors = nil }
+
+// UseTreeLinksOnly restricts the communication graph to the current tree
+// edges. Failures then partition unless extra links are added.
+func (t *Topology) UseTreeLinksOnly() {
+	t.neighbors = make(map[int]map[int]bool, t.n)
+	for c, p := range t.parent {
+		if p != None {
+			t.addLink(c, p)
+		}
+	}
+}
+
+// AddLink inserts an undirected communication link. It implicitly switches
+// the topology to an explicit neighbour graph if it was complete.
+func (t *Topology) AddLink(a, b int) {
+	if t.neighbors == nil {
+		t.UseTreeLinksOnly()
+	}
+	t.addLink(a, b)
+}
+
+func (t *Topology) addLink(a, b int) {
+	if a == b {
+		panic(fmt.Sprintf("tree: self-link at %d", a))
+	}
+	if t.neighbors[a] == nil {
+		t.neighbors[a] = make(map[int]bool)
+	}
+	if t.neighbors[b] == nil {
+		t.neighbors[b] = make(map[int]bool)
+	}
+	t.neighbors[a][b] = true
+	t.neighbors[b][a] = true
+}
+
+// Linked reports whether processes a and b share a communication link.
+func (t *Topology) Linked(a, b int) bool {
+	if a == b {
+		return false
+	}
+	if t.neighbors == nil {
+		return true
+	}
+	return t.neighbors[a][b]
+}
+
+// Neighbors returns a's alive neighbours, ascending.
+func (t *Topology) Neighbors(a int) []int {
+	var out []int
+	if t.neighbors == nil {
+		for i := 0; i < t.n; i++ {
+			if i != a && t.alive[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for b := range t.neighbors[a] {
+		if t.alive[b] {
+			out = append(out, b)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (t *Topology) checkAlive(node int) {
+	if node < 0 || node >= t.n {
+		panic(fmt.Sprintf("tree: node %d out of range [0,%d)", node, t.n))
+	}
+	if !t.alive[node] {
+		panic(fmt.Sprintf("tree: node %d is dead", node))
+	}
+}
+
+func removeInt(s []int, x int) []int {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,378 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBalancedShape(t *testing.T) {
+	// Complete binary tree of height 2: 7 nodes.
+	tp := Balanced(2, 2)
+	if tp.N() != 7 {
+		t.Fatalf("N = %d, want 7", tp.N())
+	}
+	if got := BalancedSize(2, 2); got != 7 {
+		t.Fatalf("BalancedSize = %d", got)
+	}
+	if tp.Height() != 2 || tp.Degree() != 2 {
+		t.Fatalf("height %d degree %d, want 2, 2", tp.Height(), tp.Degree())
+	}
+	if roots := tp.Roots(); len(roots) != 1 || roots[0] != 0 {
+		t.Fatalf("Roots = %v", roots)
+	}
+	kids := tp.Children(0)
+	if len(kids) != 2 || kids[0] != 1 || kids[1] != 2 {
+		t.Fatalf("Children(0) = %v", kids)
+	}
+	for _, leaf := range []int{3, 4, 5, 6} {
+		if !tp.IsLeaf(leaf) {
+			t.Errorf("node %d should be a leaf", leaf)
+		}
+	}
+	if tp.IsLeaf(1) {
+		t.Error("node 1 should not be a leaf")
+	}
+}
+
+func TestBalancedNHandlesAnySize(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		tp := BalancedN(n, 3)
+		if len(tp.Roots()) != 1 {
+			t.Fatalf("n=%d: roots = %v", n, tp.Roots())
+		}
+		if tp.Degree() > 3 {
+			t.Fatalf("n=%d: degree %d > 3", n, tp.Degree())
+		}
+		// Every node reaches the root.
+		for i := 0; i < n; i++ {
+			if !tp.InSubtree(i, 0) {
+				t.Fatalf("n=%d: node %d detached", n, i)
+			}
+		}
+	}
+}
+
+func TestChainAndStar(t *testing.T) {
+	c := Chain(5)
+	if c.Height() != 4 || c.Degree() != 1 {
+		t.Fatalf("chain: height %d degree %d", c.Height(), c.Degree())
+	}
+	s := Star(5)
+	if s.Height() != 1 || s.Degree() != 4 {
+		t.Fatalf("star: height %d degree %d", s.Height(), s.Degree())
+	}
+}
+
+func TestRandomTreeRespectsDegree(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tp := Random(40, 3, seed)
+		if tp.Degree() > 3 {
+			t.Fatalf("seed %d: degree %d > 3", seed, tp.Degree())
+		}
+		if len(tp.Roots()) != 1 {
+			t.Fatalf("seed %d: forest, want tree", seed)
+		}
+	}
+	// Determinism.
+	a, b := Random(30, 2, 42), Random(30, 2, 42)
+	for i := 0; i < 30; i++ {
+		if a.Parent(i) != b.Parent(i) {
+			t.Fatal("Random not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestDepthSubtreeRoute(t *testing.T) {
+	tp := Balanced(2, 3) // 15 nodes
+	if tp.Depth(0) != 0 || tp.Depth(7) != 3 {
+		t.Fatalf("depths: %d %d", tp.Depth(0), tp.Depth(7))
+	}
+	sub := tp.Subtree(1)
+	want := map[int]bool{1: true, 3: true, 4: true, 7: true, 8: true, 9: true, 10: true}
+	if len(sub) != len(want) {
+		t.Fatalf("Subtree(1) = %v", sub)
+	}
+	for _, x := range sub {
+		if !want[x] {
+			t.Fatalf("unexpected member %d in %v", x, sub)
+		}
+	}
+	// Route leaf 7 → leaf 13 goes through the root.
+	r := tp.Route(7, 13)
+	wantRoute := []int{7, 3, 1, 0, 2, 6, 13}
+	if len(r) != len(wantRoute) {
+		t.Fatalf("Route = %v, want %v", r, wantRoute)
+	}
+	for i := range r {
+		if r[i] != wantRoute[i] {
+			t.Fatalf("Route = %v, want %v", r, wantRoute)
+		}
+	}
+	// Route to self.
+	if r := tp.Route(4, 4); len(r) != 1 || r[0] != 4 {
+		t.Fatalf("Route(4,4) = %v", r)
+	}
+	// Hop count from leaf to root equals depth (centralized cost model).
+	if hops := len(tp.Route(7, 0)) - 1; hops != 3 {
+		t.Fatalf("hops = %d, want 3", hops)
+	}
+}
+
+func TestSetParentCycleDetection(t *testing.T) {
+	tp := Chain(3) // 0→1→2
+	defer func() {
+		if recover() == nil {
+			t.Error("cycle edge did not panic")
+		}
+	}()
+	tp.SetParent(0, 2)
+}
+
+func TestNeighborGraphs(t *testing.T) {
+	tp := Balanced(2, 2)
+	// Default: complete graph.
+	if !tp.Linked(3, 6) {
+		t.Error("complete graph should link 3–6")
+	}
+	if tp.Linked(3, 3) {
+		t.Error("self-link reported")
+	}
+	tp.UseTreeLinksOnly()
+	if tp.Linked(3, 6) {
+		t.Error("tree-only graph should not link leaves in different subtrees")
+	}
+	if !tp.Linked(3, 1) {
+		t.Error("tree edge missing from tree-only graph")
+	}
+	tp.AddLink(3, 6)
+	if !tp.Linked(3, 6) {
+		t.Error("AddLink did not take")
+	}
+	nb := tp.Neighbors(3)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 6 {
+		t.Fatalf("Neighbors(3) = %v", nb)
+	}
+}
+
+func TestFailLeaf(t *testing.T) {
+	tp := Balanced(2, 2)
+	cs := tp.Fail(3)
+	if cs.ParentOfFailed != 1 || len(cs.Reparented) != 0 || len(cs.PartitionRoots) != 0 {
+		t.Fatalf("leaf failure changeset: %+v", cs)
+	}
+	if tp.Alive(3) {
+		t.Error("failed node still alive")
+	}
+	if kids := tp.Children(1); len(kids) != 1 || kids[0] != 4 {
+		t.Fatalf("Children(1) = %v", kids)
+	}
+}
+
+func TestFailInternalNodeReattachesChildren(t *testing.T) {
+	tp := Balanced(2, 2) // 0; 1,2; 3,4,5,6
+	cs := tp.Fail(1)     // orphans 3 and 4
+	if cs.ParentOfFailed != 0 {
+		t.Fatalf("ParentOfFailed = %d", cs.ParentOfFailed)
+	}
+	if len(cs.PartitionRoots) != 0 {
+		t.Fatalf("unexpected partitions: %v", cs.PartitionRoots)
+	}
+	if len(cs.Reparented) != 2 {
+		t.Fatalf("Reparented = %+v, want 2 entries", cs.Reparented)
+	}
+	// Complete graph + shallowest-preferred: both orphans attach to root 0.
+	for _, o := range []int{3, 4} {
+		if tp.Parent(o) != 0 {
+			t.Errorf("Parent(%d) = %d, want 0", o, tp.Parent(o))
+		}
+	}
+	if got := len(tp.Roots()); got != 1 {
+		t.Fatalf("roots = %d, want 1", got)
+	}
+}
+
+func TestFailRootPromotesOrphan(t *testing.T) {
+	tp := Balanced(2, 2)
+	cs := tp.Fail(0)
+	if cs.ParentOfFailed != None {
+		t.Fatalf("ParentOfFailed = %d, want None", cs.ParentOfFailed)
+	}
+	roots := tp.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %v, want exactly one", roots)
+	}
+	if len(cs.PartitionRoots) != 1 || cs.PartitionRoots[0] != roots[0] {
+		t.Fatalf("PartitionRoots = %v, roots = %v", cs.PartitionRoots, roots)
+	}
+	// All 6 survivors connected under the new root.
+	if got := len(tp.Subtree(roots[0])); got != 6 {
+		t.Fatalf("new tree size = %d, want 6", got)
+	}
+}
+
+func TestFailPartitionsWithSparseGraph(t *testing.T) {
+	// Chain 0→1→2 with tree-only links: failing 1 strands 2.
+	tp := Chain(3)
+	tp.UseTreeLinksOnly()
+	cs := tp.Fail(1)
+	if len(cs.PartitionRoots) != 1 || cs.PartitionRoots[0] != 2 {
+		t.Fatalf("PartitionRoots = %v, want [2]", cs.PartitionRoots)
+	}
+	roots := tp.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v, want two partitions", roots)
+	}
+}
+
+func TestFailRerootsSubtreeThroughInnerLink(t *testing.T) {
+	// 0→1→2→3 chain; only extra link is 3–0. Failing 1 orphans the subtree
+	// {2,3}, whose only path back is through node 3: the subtree must
+	// re-root at 3 and attach under 0, making 2 a child of 3.
+	tp := Chain(4)
+	tp.UseTreeLinksOnly()
+	tp.AddLink(3, 0)
+	cs := tp.Fail(1)
+	if len(cs.PartitionRoots) != 0 {
+		t.Fatalf("partitioned: %v", cs.PartitionRoots)
+	}
+	if tp.Parent(3) != 0 {
+		t.Fatalf("Parent(3) = %d, want 0", tp.Parent(3))
+	}
+	if tp.Parent(2) != 3 {
+		t.Fatalf("Parent(2) = %d, want 3 (edge reversed)", tp.Parent(2))
+	}
+	// Changeset order: the reversal (2 under 3) must be recorded along with
+	// the attachment (3 under 0).
+	if len(cs.Reparented) != 2 {
+		t.Fatalf("Reparented = %+v", cs.Reparented)
+	}
+}
+
+func TestFailOrphanSubtreesMergeIntoOnePartition(t *testing.T) {
+	// Star with tree-only links plus a link between two leaves: failing the
+	// hub leaves leaves 1,2 linked to each other and 3 isolated.
+	tp := Star(4)
+	tp.UseTreeLinksOnly()
+	tp.AddLink(1, 2)
+	cs := tp.Fail(0)
+	roots := tp.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v, want 2 (merged pair + singleton)", roots)
+	}
+	if len(cs.PartitionRoots) != 2 {
+		t.Fatalf("PartitionRoots = %v", cs.PartitionRoots)
+	}
+	// 1 and 2 share a component.
+	same := tp.InSubtree(2, 1) || tp.InSubtree(1, 2)
+	if !same {
+		t.Error("linked orphans did not merge")
+	}
+}
+
+func TestSequentialFailures(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		tp := Random(30, 3, int64(trial))
+		alive := 30
+		for k := 0; k < 10; k++ {
+			nodes := tp.AliveNodes()
+			victim := nodes[r.Intn(len(nodes))]
+			tp.Fail(victim)
+			alive--
+			// Invariants: forest consistent, all alive nodes in some tree.
+			seen := 0
+			for _, root := range tp.Roots() {
+				for _, x := range tp.Subtree(root) {
+					if !tp.Alive(x) {
+						t.Fatalf("dead node %d in tree", x)
+					}
+					seen++
+				}
+			}
+			if seen != alive {
+				t.Fatalf("trial %d: %d nodes in forest, %d alive", trial, seen, alive)
+			}
+			// Parent/children maps agree.
+			for _, x := range tp.AliveNodes() {
+				if p := tp.Parent(x); p != None {
+					found := false
+					for _, c := range tp.Children(p) {
+						if c == x {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("child list of %d missing %d", p, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := Balanced(2, 2)
+	orig.UseTreeLinksOnly()
+	orig.AddLink(3, 6)
+	cp := orig.Clone()
+	cp.Fail(1)
+	if !orig.Alive(1) {
+		t.Fatal("Fail on clone affected the original")
+	}
+	if orig.Parent(3) != 1 {
+		t.Fatal("repair on clone reparented the original")
+	}
+	if !cp.Linked(3, 6) || !orig.Linked(3, 6) {
+		t.Fatal("neighbour graph not cloned")
+	}
+	// Complete-graph clone keeps nil neighbours.
+	full := Balanced(2, 1)
+	if c := full.Clone(); !c.Linked(1, 2) {
+		t.Fatal("complete-graph clone lost links")
+	}
+}
+
+func TestUseCompleteGraphReset(t *testing.T) {
+	tp := Balanced(2, 1)
+	tp.UseTreeLinksOnly()
+	if tp.Linked(1, 2) {
+		t.Fatal("siblings linked under tree-only graph")
+	}
+	tp.UseCompleteGraph()
+	if !tp.Linked(1, 2) {
+		t.Fatal("UseCompleteGraph did not restore links")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tp := Balanced(2, 2)
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("fresh tree invalid: %v", err)
+	}
+	// Corrupt: detach node 3 into its own root; still a valid forest.
+	tp.SetParent(3, None)
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("forest invalid: %v", err)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"size":       func() { New(0) },
+		"balanced-d": func() { Balanced(1, 2) },
+		"balanced-h": func() { Balanced(2, -1) },
+		"random-deg": func() { Random(5, 0, 1) },
+		"dead":       func() { tp := New(3); tp.Fail(1); tp.Fail(1) },
+		"range":      func() { New(3).SetParent(5, 0) },
+		"self-link":  func() { New(3).AddLink(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,60 @@
+package vclock
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchPair(n int) (VC, VC) {
+	r := rand.New(rand.NewSource(int64(n)))
+	a, b := make(VC, n), make(VC, n)
+	for i := range a {
+		a[i] = uint64(r.Intn(100))
+		b[i] = a[i] + uint64(r.Intn(3)) // mostly comparable, some ties
+	}
+	return a, b
+}
+
+// BenchmarkLess is the detector's innermost operation: the O(n) factor in
+// every complexity bound of §IV.
+func BenchmarkLess(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		x, y := benchPair(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = x.Less(y)
+			}
+		})
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		x, y := benchPair(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = x.Compare(y)
+			}
+		})
+	}
+}
+
+func BenchmarkMergeMax(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		x, y := benchPair(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x.MergeMax(y)
+			}
+		})
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	x, _ := benchPair(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = x.MarshalBinary()
+	}
+}

@@ -1,0 +1,41 @@
+package vclock
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MarshalBinary encodes the clock as a length-prefixed sequence of big-endian
+// 64-bit components. The wire form is used by the simulated network layer to
+// ship interval bounds between detector nodes, mirroring a deployment where
+// timestamps are piggybacked on control messages.
+func (v VC) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 4+8*len(v))
+	binary.BigEndian.PutUint32(buf, uint32(len(v)))
+	for k, c := range v {
+		binary.BigEndian.PutUint64(buf[4+8*k:], c)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a clock previously produced by MarshalBinary.
+func (v *VC) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("vclock: short buffer (%d bytes)", len(data))
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	if len(data) != 4+8*n {
+		return fmt.Errorf("vclock: want %d bytes for %d components, have %d", 4+8*n, n, len(data))
+	}
+	out := make(VC, n)
+	for k := range out {
+		out[k] = binary.BigEndian.Uint64(data[4+8*k:])
+	}
+	*v = out
+	return nil
+}
+
+// WireSize returns the encoded size in bytes of a clock for an n-process
+// system. The complexity experiments use it to convert message counts into
+// byte volumes (each interval carries two clocks — its lower and upper bound).
+func WireSize(n int) int { return 4 + 8*n }

@@ -1,0 +1,29 @@
+package vclock
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinary hardens the wire decoder against arbitrary input: it
+// must never panic, and every accepted input must round-trip bit-exactly.
+func FuzzUnmarshalBinary(f *testing.F) {
+	seed, _ := Of(1, 2, 3).MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v VC
+		if err := v.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not exact: %x vs %x", data, out)
+		}
+	})
+}

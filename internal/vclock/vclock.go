@@ -1,0 +1,247 @@
+// Package vclock implements vector clocks (Mattern 1988, Fidge 1991) for an
+// asynchronous message-passing system of n processes, together with the
+// component-wise lattice operations the hierarchical predicate-detection
+// algorithm builds on.
+//
+// A vector clock VC is a vector of n non-negative integers. Entry VC[i] counts
+// the events executed by process i that causally precede (or equal) the point
+// the clock describes. The causal-precedence ("happens before") relation
+// between two events maps onto the strict partial order Less between their
+// timestamps:
+//
+//	e ≺ f  ⇔  VC(e) < VC(f)
+//
+// where V < U means V[k] ≤ U[k] for all k, with strict inequality somewhere.
+//
+// Besides event timestamps, the detection algorithm manipulates *cuts* of an
+// execution: the bounds of an aggregated interval (paper Eq. 5/6) are
+// component-wise maxima/minima of event timestamps and do not correspond to
+// any single event. Cuts use the same representation and the same comparison
+// operators, so VC serves both roles.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock over a fixed number of processes. The zero-length VC is
+// valid and compares as concurrent with everything non-empty of its own size
+// only; operations on VCs of differing lengths panic, as mixing clock domains
+// is always a programming error.
+type VC []uint64
+
+// New returns a zeroed vector clock for an n-process system.
+func New(n int) VC {
+	if n <= 0 {
+		panic(fmt.Sprintf("vclock: invalid system size %d", n))
+	}
+	return make(VC, n)
+}
+
+// Of builds a VC from literal components; convenient in tests and examples.
+func Of(components ...uint64) VC {
+	v := make(VC, len(components))
+	copy(v, components)
+	return v
+}
+
+// Len returns the number of processes the clock covers.
+func (v VC) Len() int { return len(v) }
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// CopyFrom overwrites v with u. The lengths must match.
+func (v VC) CopyFrom(u VC) {
+	v.check(u)
+	copy(v, u)
+}
+
+// Tick increments the local component i, announcing one new event at process
+// i. It implements vector-clock update rules 1 and 2 (internal/send events).
+func (v VC) Tick(i int) {
+	v[i]++
+}
+
+// Ticked returns a copy of v with component i incremented, leaving v intact.
+func (v VC) Ticked(i int) VC {
+	c := v.Clone()
+	c.Tick(i)
+	return c
+}
+
+// MergeMax sets v to the component-wise maximum of v and u — the receive-side
+// half of vector-clock update rule 3. The caller is responsible for the
+// subsequent Tick of the local component.
+func (v VC) MergeMax(u VC) {
+	v.check(u)
+	for k := range v {
+		if u[k] > v[k] {
+			v[k] = u[k]
+		}
+	}
+}
+
+// MergeMin sets v to the component-wise minimum of v and u. This is the
+// operation the aggregation function ⊓ applies to interval upper bounds
+// (paper Eq. 6).
+func (v VC) MergeMin(u VC) {
+	v.check(u)
+	for k := range v {
+		if u[k] < v[k] {
+			v[k] = u[k]
+		}
+	}
+}
+
+// Max returns a fresh VC holding the component-wise maximum of the operands.
+// With no operands it returns nil.
+func Max(vs ...VC) VC {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := vs[0].Clone()
+	for _, u := range vs[1:] {
+		out.MergeMax(u)
+	}
+	return out
+}
+
+// Min returns a fresh VC holding the component-wise minimum of the operands.
+// With no operands it returns nil.
+func Min(vs ...VC) VC {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := vs[0].Clone()
+	for _, u := range vs[1:] {
+		out.MergeMin(u)
+	}
+	return out
+}
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+const (
+	// Before means the receiver causally precedes the argument (v < u).
+	Before Ordering = iota
+	// Equal means the clocks are identical.
+	Equal
+	// After means the argument causally precedes the receiver (u < v).
+	After
+	// Concurrent means neither clock precedes the other.
+	Concurrent
+)
+
+// String implements fmt.Stringer for Ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Before:
+		return "before"
+	case Equal:
+		return "equal"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Compare classifies the causal relation between v and u in a single pass.
+func (v VC) Compare(u VC) Ordering {
+	v.check(u)
+	less, greater := false, false
+	for k := range v {
+		switch {
+		case v[k] < u[k]:
+			less = true
+		case v[k] > u[k]:
+			greater = true
+		}
+		if less && greater {
+			return Concurrent
+		}
+	}
+	switch {
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Less reports v < u: every component of v is ≤ the corresponding component
+// of u and at least one is strictly smaller. This is the timestamp image of
+// Lamport's happens-before relation, and the comparison written "min(x) <
+// max(y)" throughout the paper.
+func (v VC) Less(u VC) bool {
+	v.check(u)
+	strict := false
+	for k := range v {
+		if v[k] > u[k] {
+			return false
+		}
+		if v[k] < u[k] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// LessEq reports v ≤ u component-wise (v < u or v == u).
+func (v VC) LessEq(u VC) bool {
+	v.check(u)
+	for k := range v {
+		if v[k] > u[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise equality.
+func (v VC) Equal(u VC) bool {
+	v.check(u)
+	for k := range v {
+		if v[k] != u[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports that neither clock happens-before the other and they are
+// not equal: the events (or cuts) are causally unrelated.
+func (v VC) Concurrent(u VC) bool {
+	return v.Compare(u) == Concurrent
+}
+
+// String renders the clock as "[c0 c1 ... cn-1]".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for k, c := range v {
+		if k > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func (v VC) check(u VC) {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("vclock: size mismatch %d vs %d", len(v), len(u)))
+	}
+}

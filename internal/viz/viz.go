@@ -1,0 +1,95 @@
+// Package viz renders executions as ASCII timing diagrams in the style of
+// the paper's Figures 2(b) and 3(a): one row per process with the
+// local-predicate intervals drawn as filled blocks over that process's local
+// event timeline. It exists for debugging and documentation — seeing why a
+// round did or did not produce a detection is much faster on a picture.
+//
+// The x axis is each process's own event counter (the process's component of
+// the interval bounds), scaled to the requested width. Rows are therefore
+// exact per process and only approximately aligned across processes — the
+// honest rendering for an asynchronous execution without global time.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"hierdet/internal/workload"
+)
+
+// Timeline renders the execution's interval structure, width columns wide.
+// When the execution carries round ground truth, a legend row marks each
+// round: G for global pulses, g for group pulses, · for isolated rounds.
+func Timeline(e *workload.Execution, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+
+	// Scale: the largest local event count across processes.
+	maxEvents := uint64(1)
+	for _, stream := range e.Streams {
+		if n := len(stream); n > 0 {
+			last := stream[n-1]
+			if own := last.Hi[last.Origin]; own > maxEvents {
+				maxEvents = own
+			}
+		}
+	}
+	col := func(event uint64) int {
+		c := int(event * uint64(width-1) / maxEvents)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	for p, stream := range e.Streams {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, iv := range stream {
+			lo, hi := col(iv.Lo[p]), col(iv.Hi[p])
+			for c := lo; c <= hi; c++ {
+				row[c] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "P%-3d |%s| %d intervals\n", p, string(row), len(stream))
+	}
+
+	if len(e.Rounds) > 0 {
+		var legend strings.Builder
+		for _, r := range e.Rounds {
+			switch r.Kind {
+			case workload.Global:
+				legend.WriteByte('G')
+			case workload.Group:
+				legend.WriteByte('g')
+			case workload.Subset:
+				legend.WriteByte('s')
+			default:
+				legend.WriteByte('.')
+			}
+		}
+		fmt.Fprintf(&b, "rounds: %s  (G global pulse, g group pulse, s subset pulse, . isolated)\n", legend.String())
+	}
+	return b.String()
+}
+
+// Describe summarizes an execution in one line.
+func Describe(e *workload.Execution) string {
+	global, group, isolated := 0, 0, 0
+	for _, r := range e.Rounds {
+		switch r.Kind {
+		case workload.Global:
+			global++
+		case workload.Group:
+			group++
+		default:
+			isolated++
+		}
+	}
+	return fmt.Sprintf("%d processes, %d intervals, rounds: %d global / %d group / %d isolated",
+		e.N, e.TotalIntervals(), global, group, isolated)
+}

@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+func TestTimelineShape(t *testing.T) {
+	tp := tree.Balanced(2, 1) // 3 processes
+	e := workload.Generate(workload.Config{Topology: tp, Rounds: 4, Seed: 1, PGlobal: 0.5})
+	out := Timeline(e, 60)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 3 process rows + 1 round legend.
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	for p := 0; p < 3; p++ {
+		if !strings.HasPrefix(lines[p], "P") {
+			t.Fatalf("row %d missing process prefix: %q", p, lines[p])
+		}
+		if !strings.Contains(lines[p], "#") {
+			t.Fatalf("row %d has no interval blocks: %q", p, lines[p])
+		}
+		if !strings.Contains(lines[p], "4 intervals") {
+			t.Fatalf("row %d missing interval count: %q", p, lines[p])
+		}
+	}
+	if !strings.HasPrefix(lines[3], "rounds: ") {
+		t.Fatalf("legend missing: %q", lines[3])
+	}
+	// Legend has one marker per round.
+	legend := strings.Fields(strings.TrimPrefix(lines[3], "rounds: "))[0]
+	if len(legend) != 4 {
+		t.Fatalf("legend %q, want 4 markers", legend)
+	}
+}
+
+func TestTimelineIntervalCountMatchesBlocks(t *testing.T) {
+	tp := tree.Balanced(2, 1)
+	e := workload.Generate(workload.Config{Topology: tp, Rounds: 3, Seed: 2}) // isolated only
+	out := Timeline(e, 80)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "P") {
+			continue
+		}
+		// Three disjoint intervals → at least three separate block groups.
+		inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+		groups := 0
+		inBlock := false
+		for _, c := range inner {
+			if c == '#' && !inBlock {
+				groups++
+				inBlock = true
+			} else if c != '#' {
+				inBlock = false
+			}
+		}
+		if groups != 3 {
+			t.Fatalf("blocks = %d, want 3 disjoint: %q", groups, line)
+		}
+	}
+}
+
+func TestTimelineMinWidth(t *testing.T) {
+	tp := tree.Balanced(2, 1)
+	e := workload.Generate(workload.Config{Topology: tp, Rounds: 1, Seed: 3, PGlobal: 1})
+	out := Timeline(e, 0) // clamped to 10
+	if !strings.Contains(out, "|") {
+		t.Fatal("no frame rendered")
+	}
+}
+
+func TestTimelineChaoticNoRounds(t *testing.T) {
+	e := workload.GenerateChaotic(workload.ChaoticConfig{N: 3, Steps: 100, Seed: 4})
+	out := Timeline(e, 40)
+	if strings.Contains(out, "rounds:") {
+		t.Fatal("chaotic execution should have no round legend")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	tp := tree.Balanced(2, 1)
+	e := workload.Generate(workload.Config{Topology: tp, Rounds: 6, Seed: 5, PGlobal: 1})
+	d := Describe(e)
+	if !strings.Contains(d, "3 processes") || !strings.Contains(d, "6 global") {
+		t.Fatalf("Describe = %q", d)
+	}
+}

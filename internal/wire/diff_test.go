@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierdet/internal/vclock"
+)
+
+func TestDiffRoundTripSequence(t *testing.T) {
+	enc := &DiffEncoder{}
+	dec := &DiffDecoder{}
+	clocks := []vclock.VC{
+		vclock.Of(1, 0, 0, 0),
+		vclock.Of(2, 0, 0, 0),
+		vclock.Of(3, 5, 0, 0),
+		vclock.Of(3, 5, 0, 0), // no change at all
+		vclock.Of(9, 9, 9, 9),
+	}
+	for i, v := range clocks {
+		frame := enc.Encode(v)
+		got, err := dec.Decode(frame)
+		if err != nil {
+			t.Fatalf("clock %d: %v", i, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("clock %d: decoded %v, want %v", i, got, v)
+		}
+	}
+}
+
+func TestDiffSizes(t *testing.T) {
+	enc := &DiffEncoder{}
+	// First frame carries everything.
+	if got := len(enc.Encode(vclock.Of(1, 2, 3, 4))); got != DiffSize(4) {
+		t.Fatalf("first frame %d bytes, want %d", got, DiffSize(4))
+	}
+	// One changed component → one pair.
+	if got := len(enc.Encode(vclock.Of(1, 2, 3, 5))); got != DiffSize(1) {
+		t.Fatalf("delta frame %d bytes, want %d", got, DiffSize(1))
+	}
+	// No change → header only.
+	if got := len(enc.Encode(vclock.Of(1, 2, 3, 5))); got != DiffSize(0) {
+		t.Fatalf("empty delta %d bytes, want %d", got, DiffSize(0))
+	}
+}
+
+func TestDiffRandomSequences(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(12)
+		enc := &DiffEncoder{}
+		dec := &DiffDecoder{}
+		cur := make(vclock.VC, n)
+		for step := 0; step < 50; step++ {
+			// Monotone growth in a random subset of components, like real
+			// clock sequences on a link.
+			for i := range cur {
+				if r.Intn(3) == 0 {
+					cur[i] += uint64(1 + r.Intn(4))
+				}
+			}
+			got, err := dec.Decode(enc.Encode(cur))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(cur) {
+				t.Fatalf("trial %d step %d: %v != %v", trial, step, got, cur)
+			}
+		}
+	}
+}
+
+func TestDiffDecodeRejectsCorruption(t *testing.T) {
+	enc := &DiffEncoder{}
+	frame := enc.Encode(vclock.Of(1, 2))
+	cases := map[string][]byte{
+		"short":      frame[:4],
+		"bad-count":  {0, 0, 0, 2, 0, 0, 0, 9},
+		"truncated":  frame[:len(frame)-2],
+		"bad-index":  {0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 1},
+		"wrong-size": append(append([]byte{}, frame...), 1, 2, 3),
+	}
+	for name, c := range cases {
+		dec := &DiffDecoder{}
+		if _, err := dec.Decode(c); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Dimension change mid-stream.
+	dec := &DiffDecoder{}
+	if _, err := dec.Decode(enc2(vclock.Of(1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(enc2(vclock.Of(1, 2, 3))); err == nil {
+		t.Error("dimension change accepted")
+	}
+}
+
+func enc2(v vclock.VC) []byte {
+	e := &DiffEncoder{}
+	return e.Encode(v)
+}
+
+func TestChangedComponents(t *testing.T) {
+	if got := ChangedComponents(nil, vclock.Of(1, 2, 3)); got != 3 {
+		t.Fatalf("nil prev: %d", got)
+	}
+	if got := ChangedComponents(vclock.Of(1, 2, 3), vclock.Of(1, 5, 3)); got != 1 {
+		t.Fatalf("one change: %d", got)
+	}
+	if got := ChangedComponents(vclock.Of(1, 2), vclock.Of(1, 2)); got != 0 {
+		t.Fatalf("no change: %d", got)
+	}
+}

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/vclock"
+)
+
+// FuzzDecodeReport hardens the report decoder: arbitrary bytes must never
+// panic, and accepted frames must re-encode to an equivalent frame.
+func FuzzDecodeReport(f *testing.F) {
+	iv := interval.New(1, 2, vclock.Of(1, 0, 3), vclock.Of(4, 5, 6))
+	seed, _ := EncodeReport(Report{Iv: iv, LinkSeq: 7})
+	f.Add(seed)
+	agg := interval.Aggregate([]interval.Interval{iv}, 0, 0, false)
+	seed2, _ := EncodeReport(Report{Iv: agg})
+	f.Add(seed2)
+	f.Add([]byte{})
+	f.Add([]byte{0xD7, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeReport(r)
+		if err != nil {
+			t.Fatalf("re-encode of accepted report failed: %v", err)
+		}
+		r2, err := DecodeReport(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !r2.Iv.Lo.Equal(r.Iv.Lo) || !r2.Iv.Hi.Equal(r.Iv.Hi) ||
+			r2.Iv.Origin != r.Iv.Origin || r2.LinkSeq != r.LinkSeq {
+			t.Fatal("decode/encode/decode changed the report")
+		}
+	})
+}
+
+// FuzzDecodeHeartbeat must never panic.
+func FuzzDecodeHeartbeat(f *testing.F) {
+	f.Add(EncodeHeartbeat(3))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sender, err := DecodeHeartbeat(data)
+		if err != nil {
+			return
+		}
+		if got := EncodeHeartbeat(sender); len(got) != HeartbeatSize {
+			t.Fatal("re-encode size wrong")
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"testing"
+
+	"hierdet/internal/core"
+	"hierdet/internal/interval"
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+// TestWireCarriesTheProtocol proves the wire format is sufficient for the
+// hierarchical algorithm: a two-level tree where every child→parent report
+// is serialized and re-parsed must detect exactly what direct delivery
+// detects. (Members are deliberately not carried — they are a debugging
+// retention — so this runs without KeepMembers.)
+func TestWireCarriesTheProtocol(t *testing.T) {
+	topo := tree.Balanced(2, 2)
+	e := workload.Generate(workload.Config{
+		Topology: topo, Rounds: 25, Seed: 3, PGlobal: 0.4, PGroup: 0.3,
+	})
+
+	run := func(overWire bool) map[int]int {
+		cfg := core.Config{N: topo.N(), Strict: true}
+		nodes := make(map[int]*core.Node, topo.N())
+		for id := 0; id < topo.N(); id++ {
+			nodes[id] = core.NewNode(id, cfg, true)
+			for _, c := range topo.Children(id) {
+				nodes[id].AddChild(c)
+			}
+		}
+		counts := make(map[int]int)
+		linkSeq := make(map[int]int)
+		var deliver func(node, src int, iv interval.Interval)
+		deliver = func(node, src int, iv interval.Interval) {
+			for _, det := range nodes[node].OnInterval(src, iv) {
+				counts[node]++
+				parent := topo.Parent(node)
+				if parent == tree.None {
+					continue
+				}
+				up := det.Agg
+				if overWire {
+					frame, err := EncodeReport(Report{Iv: up, LinkSeq: linkSeq[node]})
+					if err != nil {
+						t.Fatal(err)
+					}
+					linkSeq[node]++
+					back, err := DecodeReport(frame)
+					if err != nil {
+						t.Fatal(err)
+					}
+					up = back.Iv
+				}
+				deliver(parent, node, up)
+			}
+		}
+		// Feed round by round, process order.
+		for round := 0; ; round++ {
+			fed := false
+			for p := 0; p < e.N; p++ {
+				if round < len(e.Streams[p]) {
+					deliver(p, p, e.Streams[p][round])
+					fed = true
+				}
+			}
+			if !fed {
+				return counts
+			}
+		}
+	}
+
+	direct := run(false)
+	wired := run(true)
+	for id := 0; id < topo.N(); id++ {
+		if direct[id] != wired[id] {
+			t.Fatalf("node %d: direct %d detections, over-wire %d", id, direct[id], wired[id])
+		}
+		if id == 0 && direct[id] == 0 {
+			t.Fatal("degenerate: no root detections at all")
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package wire defines the binary wire format for the detector's control
+// messages: interval reports (the paper's O(n)-sized messages carrying two
+// vector-timestamp cuts), heartbeats, and the adoption announcement used
+// after tree repair. The format is what a deployment would put on the
+// network and what the experiments use to convert message counts into byte
+// volumes — the paper's space/message analysis counts O(n) words per
+// message, and this package makes that concrete.
+//
+// Layout (big endian):
+//
+//	report   := magic u8 | kind u8 | origin u32 | seq u32 | linkSeq u32 |
+//	            epoch u32 | agg u8 | spanLen u32 | span u32[spanLen] |
+//	            lo vclock | hi vclock
+//	heartbeat:= magic u8 | kind u8 | sender u32
+//
+// Vector clocks use their own length-prefixed encoding (vclock.MarshalBinary).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/vclock"
+)
+
+const magic = 0xD7
+
+// Message kinds on the wire.
+const (
+	kindReport    = 1
+	kindHeartbeat = 2
+)
+
+// Report is an interval report from a child to its parent (or, in the
+// centralized algorithm, a raw interval being forwarded to the sink).
+type Report struct {
+	// Iv is the interval (base or aggregated).
+	Iv interval.Interval
+	// LinkSeq is the per-link sequence number used for resequencing.
+	LinkSeq int
+	// Epoch is the sender's reconfiguration epoch: it increments before the
+	// first report after the sender's subtree membership changed, telling
+	// the receiver to reset the stream's queue (succession across epochs is
+	// not guaranteed).
+	Epoch int
+}
+
+// EncodeReport serializes a report.
+func EncodeReport(r Report) ([]byte, error) {
+	lo, err := r.Iv.Lo.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	hi, err := r.Iv.Hi.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 2+4+4+4+4+1+4+4*len(r.Iv.Span)+len(lo)+len(hi))
+	buf = append(buf, magic, kindReport)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.Iv.Origin))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.Iv.Seq))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.LinkSeq))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.Epoch))
+	if r.Iv.Agg {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Iv.Span)))
+	for _, p := range r.Iv.Span {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+	}
+	buf = append(buf, lo...)
+	buf = append(buf, hi...)
+	return buf, nil
+}
+
+// DecodeReport parses a report, validating framing.
+func DecodeReport(data []byte) (Report, error) {
+	var r Report
+	if len(data) < 2 || data[0] != magic {
+		return r, fmt.Errorf("wire: bad magic")
+	}
+	if data[1] != kindReport {
+		return r, fmt.Errorf("wire: kind %d is not a report", data[1])
+	}
+	rest := data[2:]
+	need := func(n int) error {
+		if len(rest) < n {
+			return fmt.Errorf("wire: truncated report")
+		}
+		return nil
+	}
+	if err := need(17); err != nil {
+		return r, err
+	}
+	r.Iv.Origin = int(binary.BigEndian.Uint32(rest))
+	r.Iv.Seq = int(binary.BigEndian.Uint32(rest[4:]))
+	r.LinkSeq = int(binary.BigEndian.Uint32(rest[8:]))
+	r.Epoch = int(binary.BigEndian.Uint32(rest[12:]))
+	r.Iv.Agg = rest[16] == 1
+	rest = rest[17:]
+	if err := need(4); err != nil {
+		return r, err
+	}
+	spanLen := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if err := need(4 * spanLen); err != nil {
+		return r, err
+	}
+	if spanLen > 0 {
+		r.Iv.Span = make([]int, spanLen)
+		for i := range r.Iv.Span {
+			r.Iv.Span[i] = int(binary.BigEndian.Uint32(rest[4*i:]))
+		}
+	}
+	rest = rest[4*spanLen:]
+	var lo vclock.VC
+	n, err := consumeVC(rest, &lo)
+	if err != nil {
+		return r, err
+	}
+	rest = rest[n:]
+	var hi vclock.VC
+	n, err = consumeVC(rest, &hi)
+	if err != nil {
+		return r, err
+	}
+	rest = rest[n:]
+	if len(rest) != 0 {
+		return r, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	r.Iv.Lo, r.Iv.Hi = lo, hi
+	r.Iv.Bases = 1
+	if r.Iv.Agg {
+		// Base count is not carried on the wire; span size is the best
+		// lower bound a receiver has.
+		r.Iv.Bases = len(r.Iv.Span)
+	}
+	return r, nil
+}
+
+func consumeVC(data []byte, v *vclock.VC) (int, error) {
+	if len(data) < 4 {
+		return 0, fmt.Errorf("wire: truncated vector clock")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	size := 4 + 8*n
+	if len(data) < size {
+		return 0, fmt.Errorf("wire: truncated vector clock body")
+	}
+	if err := v.UnmarshalBinary(data[:size]); err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// EncodeHeartbeat serializes a heartbeat from sender.
+func EncodeHeartbeat(sender int) []byte {
+	buf := make([]byte, 6)
+	buf[0], buf[1] = magic, kindHeartbeat
+	binary.BigEndian.PutUint32(buf[2:], uint32(sender))
+	return buf
+}
+
+// DecodeHeartbeat parses a heartbeat and returns the sender.
+func DecodeHeartbeat(data []byte) (int, error) {
+	if len(data) != 6 || data[0] != magic || data[1] != kindHeartbeat {
+		return 0, fmt.Errorf("wire: bad heartbeat frame")
+	}
+	return int(binary.BigEndian.Uint32(data[2:])), nil
+}
+
+// ReportSize returns the encoded size in bytes of a report for an n-process
+// system whose interval spans k processes: the concrete form of the paper's
+// "each message has size O(n)".
+func ReportSize(n, k int) int {
+	return 2 + 4 + 4 + 4 + 4 + 1 + 4 + 4*k + 2*vclock.WireSize(n)
+}
+
+// HeartbeatSize is the encoded size of a heartbeat.
+const HeartbeatSize = 6

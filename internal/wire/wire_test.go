@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/vclock"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	iv := interval.New(3, 7, vclock.Of(1, 2, 3, 4), vclock.Of(5, 6, 7, 8))
+	data, err := EncodeReport(Report{Iv: iv, LinkSeq: 42, Epoch: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != ReportSize(4, 1) {
+		t.Fatalf("encoded %d bytes, ReportSize says %d", len(data), ReportSize(4, 1))
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LinkSeq != 42 || back.Epoch != 6 || back.Iv.Origin != 3 || back.Iv.Seq != 7 || back.Iv.Agg {
+		t.Fatalf("identity lost: %+v", back)
+	}
+	if !back.Iv.Lo.Equal(iv.Lo) || !back.Iv.Hi.Equal(iv.Hi) {
+		t.Fatal("bounds lost")
+	}
+	if len(back.Iv.Span) != 1 || back.Iv.Span[0] != 3 {
+		t.Fatalf("span lost: %v", back.Iv.Span)
+	}
+}
+
+func TestAggregateReportRoundTrip(t *testing.T) {
+	x := interval.New(0, 0, vclock.Of(1, 0, 0), vclock.Of(3, 2, 2))
+	y := interval.New(2, 0, vclock.Of(0, 0, 1), vclock.Of(2, 2, 3))
+	agg := interval.Aggregate([]interval.Interval{x, y}, 1, 5, false)
+	data, err := EncodeReport(Report{Iv: agg, LinkSeq: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Iv.Agg || len(back.Iv.Span) != 2 || back.Iv.Bases != 2 {
+		t.Fatalf("aggregate identity lost: %+v", back.Iv)
+	}
+	if !interval.Overlap(back.Iv, agg) {
+		t.Fatal("decoded aggregate does not overlap itself")
+	}
+}
+
+func TestQuickReportRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(16)
+		lo := make(vclock.VC, n)
+		hi := make(vclock.VC, n)
+		for c := range lo {
+			lo[c] = uint64(r.Intn(1000))
+			hi[c] = lo[c] + uint64(r.Intn(1000))
+		}
+		iv := interval.New(r.Intn(n), r.Intn(100), lo, hi)
+		data, err := EncodeReport(Report{Iv: iv, LinkSeq: r.Intn(1 << 20)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeReport(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !back.Iv.Lo.Equal(iv.Lo) || !back.Iv.Hi.Equal(iv.Hi) || back.Iv.Origin != iv.Origin {
+			t.Fatalf("trial %d: round trip lost data", trial)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	iv := interval.New(0, 0, vclock.Of(1, 2), vclock.Of(3, 4))
+	data, _ := EncodeReport(Report{Iv: iv})
+	cases := map[string][]byte{
+		"empty":     {},
+		"magic":     append([]byte{0x00}, data[1:]...),
+		"kind":      append([]byte{magic, 9}, data[2:]...),
+		"truncated": data[:len(data)-3],
+		"trailing":  append(append([]byte{}, data...), 0xFF),
+	}
+	for name, c := range cases {
+		if _, err := DecodeReport(c); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	data := EncodeHeartbeat(12345)
+	if len(data) != HeartbeatSize {
+		t.Fatalf("size %d", len(data))
+	}
+	sender, err := DecodeHeartbeat(data)
+	if err != nil || sender != 12345 {
+		t.Fatalf("sender %d err %v", sender, err)
+	}
+	if _, err := DecodeHeartbeat(data[:3]); err == nil {
+		t.Error("short heartbeat accepted")
+	}
+	if _, err := DecodeHeartbeat(EncodeReport0()); err == nil {
+		t.Error("report frame accepted as heartbeat")
+	}
+}
+
+// EncodeReport0 builds a minimal report frame for cross-kind tests.
+func EncodeReport0() []byte {
+	iv := interval.New(0, 0, vclock.Of(1), vclock.Of(2))
+	data, _ := EncodeReport(Report{Iv: iv})
+	return data[:6]
+}
+
+func TestReportSizeIsLinearInN(t *testing.T) {
+	// The paper's message-size claim: O(n) words per message.
+	base := ReportSize(10, 1)
+	double := ReportSize(20, 1)
+	if double-base != 2*8*10 {
+		t.Fatalf("size growth %d, want %d (two clocks × 10 components × 8 bytes)", double-base, 160)
+	}
+}

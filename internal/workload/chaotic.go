@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/procsim"
+	"hierdet/internal/vclock"
+)
+
+// ChaoticConfig parameterizes GenerateChaotic.
+type ChaoticConfig struct {
+	// N is the number of processes.
+	N int
+	// Steps is the total number of scheduler steps (events across all
+	// processes).
+	Steps int
+	// Seed fixes the schedule.
+	Seed int64
+	// PToggle is the per-step probability that the chosen process flips its
+	// local predicate before the event (default 0.3).
+	PToggle float64
+	// PSend is the per-step probability that the event is a message send to
+	// a random peer (default 0.3); pending messages are received by their
+	// destinations at random later steps.
+	PSend float64
+}
+
+// GenerateChaotic produces an execution with unstructured causality: a random
+// interleaving of internal events, sends, receives and predicate flips. No
+// ground truth accompanies it — overlap sets arise (or not) by accident —
+// which is exactly its purpose: cross-validating the hierarchical detector
+// against the flat reference on executions neither was tuned for. Rounds is
+// left nil; per-process interval streams follow the succession order.
+func GenerateChaotic(cfg ChaoticConfig) *Execution {
+	if cfg.N <= 0 || cfg.Steps <= 0 {
+		panic(fmt.Sprintf("workload: invalid chaotic config n=%d steps=%d", cfg.N, cfg.Steps))
+	}
+	if cfg.PToggle == 0 {
+		cfg.PToggle = 0.3
+	}
+	if cfg.PSend == 0 {
+		cfg.PSend = 0.3
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	exec := &Execution{N: cfg.N, Streams: make([][]interval.Interval, cfg.N)}
+	procs := make([]*procsim.Process, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		procs[i] = procsim.New(i, cfg.N, func(iv interval.Interval) {
+			exec.Streams[i] = append(exec.Streams[i], iv)
+		})
+	}
+
+	type pending struct {
+		to    int
+		stamp vclock.VC
+	}
+	var inflight []pending
+
+	for step := 0; step < cfg.Steps; step++ {
+		p := r.Intn(cfg.N)
+		if r.Float64() < cfg.PToggle {
+			procs[p].SetPredicate(!procs[p].Predicate())
+		}
+		roll := r.Float64()
+		switch {
+		case roll < cfg.PSend:
+			to := r.Intn(cfg.N - 1)
+			if to >= p {
+				to++
+			}
+			inflight = append(inflight, pending{to: to, stamp: procs[p].PrepareSend()})
+		case len(inflight) > 0 && roll < cfg.PSend+0.3:
+			// Deliver a random in-flight message (channels are non-FIFO).
+			k := r.Intn(len(inflight))
+			m := inflight[k]
+			inflight[k] = inflight[len(inflight)-1]
+			inflight = inflight[:len(inflight)-1]
+			procs[m.to].Receive(m.stamp)
+		default:
+			procs[p].Internal()
+		}
+	}
+	// Drain remaining messages so causality completes, then close intervals.
+	for _, m := range inflight {
+		procs[m.to].Receive(m.stamp)
+	}
+	for _, p := range procs {
+		p.SetPredicate(false)
+		p.Internal()
+		p.Finish()
+	}
+	return exec
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hierdet/internal/tree"
+)
+
+func TestExecutionJSONRoundTrip(t *testing.T) {
+	tp := tree.Balanced(2, 2)
+	orig := Generate(Config{Topology: tp, Rounds: 8, Seed: 1, PGlobal: 0.5, PGroup: 0.25})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Execution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != orig.N || len(back.Rounds) != len(orig.Rounds) {
+		t.Fatalf("shape lost: n=%d rounds=%d", back.N, len(back.Rounds))
+	}
+	for p := range orig.Streams {
+		if len(back.Streams[p]) != len(orig.Streams[p]) {
+			t.Fatalf("stream %d length lost", p)
+		}
+		for k := range orig.Streams[p] {
+			a, b := orig.Streams[p][k], back.Streams[p][k]
+			if !a.Lo.Equal(b.Lo) || !a.Hi.Equal(b.Hi) || a.Seq != b.Seq {
+				t.Fatalf("interval %d/%d lost", p, k)
+			}
+		}
+	}
+	for i := range orig.Rounds {
+		if back.Rounds[i].Kind != orig.Rounds[i].Kind {
+			t.Fatalf("round %d kind lost", i)
+		}
+	}
+}
+
+func TestExecutionJSONRoundTripChaotic(t *testing.T) {
+	orig := GenerateChaotic(ChaoticConfig{N: 5, Steps: 300, Seed: 2})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Execution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalIntervals() != orig.TotalIntervals() {
+		t.Fatalf("interval counts differ: %d vs %d", back.TotalIntervals(), orig.TotalIntervals())
+	}
+}
+
+func TestExecutionJSONValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad-n":       `{"n":0,"streams":[]}`,
+		"stream-miss": `{"n":2,"streams":[[]]}`,
+		"clock-size":  `{"n":2,"streams":[[{"origin":0,"seq":0,"lo":[1],"hi":[2]}],[]]}`,
+		"origin":      `{"n":1,"streams":[[{"origin":9,"seq":0,"lo":[1],"hi":[2]}]]}`,
+		"ill-formed":  `{"n":1,"streams":[[{"origin":0,"seq":0,"lo":[5],"hi":[2]}]]}`,
+		"succession":  `{"n":1,"streams":[[{"origin":0,"seq":0,"lo":[1],"hi":[4]},{"origin":0,"seq":1,"lo":[3],"hi":[6]}]]}`,
+		"round-kind":  `{"n":1,"streams":[[]],"rounds":[{"kind":"bogus","groups":[]}]}`,
+	}
+	for name, raw := range cases {
+		var e Execution
+		err := json.Unmarshal([]byte(raw), &e)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if strings.Contains(err.Error(), "panic") {
+			t.Errorf("%s: paniced instead of erroring", name)
+		}
+	}
+}

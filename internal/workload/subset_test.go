@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/tree"
+)
+
+func TestSubsetRoundsOverlapWithinSubsetOnly(t *testing.T) {
+	tp := tree.Balanced(2, 2)
+	e := Generate(Config{Topology: tp, Rounds: 30, Seed: 8, PSubset: 1})
+	for r, round := range e.Rounds {
+		if round.Kind != Subset {
+			t.Fatalf("round %d kind = %v", r, round.Kind)
+		}
+		subset := round.Groups[0]
+		if len(subset) < 2 || len(subset) > e.N-1 {
+			t.Fatalf("round %d subset size %d out of [2, n-1]", r, len(subset))
+		}
+		var set []interval.Interval
+		member := make(map[int]bool, len(subset))
+		for _, p := range subset {
+			member[p] = true
+			set = append(set, e.Streams[p][r])
+		}
+		if !interval.OverlapAll(set) {
+			t.Fatalf("round %d: subset does not overlap", r)
+		}
+		for i := 0; i < e.N; i++ {
+			for j := 0; j < e.N; j++ {
+				if i != j && (!member[i] || !member[j]) {
+					if interval.Overlap(e.Streams[i][r], e.Streams[j][r]) {
+						t.Fatalf("round %d: overlap leaked outside the subset (%d,%d)", r, i, j)
+					}
+				}
+			}
+		}
+		// Every process produced exactly one interval this round.
+		total := len(subset)
+		for _, g := range round.Groups[1:] {
+			total += len(g)
+		}
+		if total != e.N {
+			t.Fatalf("round %d covers %d of %d processes", r, total, e.N)
+		}
+	}
+}
+
+func TestSubsetRoundsDetectionGroundTruth(t *testing.T) {
+	// A node detects in a subset round iff its entire subtree fell inside
+	// the subset — ExpectedDetections must reflect that.
+	tp := tree.Balanced(2, 2)
+	e := Generate(Config{Topology: tp, Rounds: 50, Seed: 9, PSubset: 0.8, PGlobal: 0.2})
+	span := tp.Subtree(1) // {1,3,4}
+	sort.Ints(span)
+	want := 0
+	for _, round := range e.Rounds {
+		switch round.Kind {
+		case Global:
+			want++
+		case Subset:
+			if containsAll(round.Groups[0], span) {
+				want++
+			}
+		}
+	}
+	if got := e.ExpectedDetections(span); got != want {
+		t.Fatalf("ExpectedDetections = %d, want %d", got, want)
+	}
+}
+
+func TestSubsetKindString(t *testing.T) {
+	if Subset.String() != "subset" {
+		t.Fatal("Subset.String broken")
+	}
+}

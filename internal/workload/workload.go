@@ -1,0 +1,283 @@
+// Package workload generates distributed executions with controllable
+// predicate behaviour, substituting for the production monitoring workloads
+// (WSN telemetry, modular-robot coordination) the paper motivates but does
+// not publish. An execution proceeds in rounds; in each round every process
+// produces exactly one local-predicate interval, so the paper's parameter p
+// (maximum intervals per process) equals the round count.
+//
+// Round kinds control where Definitely(Φ) holds:
+//
+//   - Global pulse: all n processes synchronize through a coordinator
+//     (start interval → report started → coordinator acks → end interval),
+//     making every pair of intervals overlap. One root-level detection.
+//   - Group pulse at depth L: every subtree rooted at depth L pulses
+//     internally with no cross-group messages, so the predicate holds inside
+//     each depth-L subtree but nowhere above — exercising the hierarchy's
+//     partial/group-level detection and driving the aggregation success
+//     probability α below 1.
+//   - Isolated: every process produces a causally isolated interval; the
+//     predicate holds nowhere (except trivially at single leaves).
+//
+// Causality is real: pulses synchronize via procsim message events, so all
+// interval bounds are genuine event timestamps of one consistent execution —
+// no hand-crafted vector clocks.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/procsim"
+	"hierdet/internal/tree"
+)
+
+// Kind is a round kind.
+type Kind int
+
+const (
+	// Global synchronizes all processes.
+	Global Kind = iota
+	// Group synchronizes each subtree at the round's depth.
+	Group
+	// Isolated produces causally isolated intervals.
+	Isolated
+	// Subset synchronizes one random process subset that ignores the tree
+	// structure. Detections then occur exactly at the nodes whose whole
+	// subtree happens to fall inside the subset — usually none above the
+	// leaves — making it a stress for the elimination path rather than the
+	// aggregation path.
+	Subset
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Global:
+		return "global"
+	case Group:
+		return "group"
+	case Isolated:
+		return "isolated"
+	case Subset:
+		return "subset"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Round records one generated round: its kind and the process groups whose
+// intervals mutually overlap (ground truth for completeness checks).
+type Round struct {
+	Kind   Kind
+	Depth  int     // for Group rounds: the subtree depth synchronized
+	Groups [][]int // sorted member lists; singletons for Isolated
+}
+
+// Execution is a recorded execution: one interval stream per process, in
+// generation (= succession) order, plus the per-round ground truth.
+type Execution struct {
+	N       int
+	Streams [][]interval.Interval
+	Rounds  []Round
+}
+
+// Config parameterizes Generate.
+type Config struct {
+	// Topology supplies n and the subtree structure for group rounds.
+	Topology *tree.Topology
+	// Rounds is the number of rounds — the paper's p.
+	Rounds int
+	// Seed fixes the round-kind sequence.
+	Seed int64
+	// PGlobal, PGroup and PSubset are the probabilities of global, group
+	// and random-subset rounds; the remainder is isolated. All in [0,1]
+	// with sum ≤ 1.
+	PGlobal, PGroup, PSubset float64
+}
+
+// Generate produces an execution for the alive processes of cfg.Topology.
+func Generate(cfg Config) *Execution {
+	if cfg.Topology == nil {
+		panic("workload: nil topology")
+	}
+	if cfg.Rounds <= 0 {
+		panic(fmt.Sprintf("workload: invalid round count %d", cfg.Rounds))
+	}
+	if cfg.PGlobal < 0 || cfg.PGroup < 0 || cfg.PSubset < 0 ||
+		cfg.PGlobal+cfg.PGroup+cfg.PSubset > 1 {
+		panic(fmt.Sprintf("workload: invalid mix global=%v group=%v subset=%v",
+			cfg.PGlobal, cfg.PGroup, cfg.PSubset))
+	}
+	n := cfg.Topology.N()
+	exec := &Execution{N: n, Streams: make([][]interval.Interval, n)}
+	procs := make([]*procsim.Process, n)
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i] = procsim.New(i, n, func(iv interval.Interval) {
+			exec.Streams[i] = append(exec.Streams[i], iv)
+		})
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	height := cfg.Topology.Height()
+	alive := cfg.Topology.AliveNodes()
+
+	for round := 0; round < cfg.Rounds; round++ {
+		draw := r.Float64()
+		switch {
+		case draw < cfg.PGlobal:
+			pulse(procs, alive)
+			exec.Rounds = append(exec.Rounds, Round{Kind: Global, Groups: [][]int{append([]int(nil), alive...)}})
+		case draw < cfg.PGlobal+cfg.PGroup && height >= 1:
+			depth := 1
+			if height > 1 {
+				depth = 1 + r.Intn(height)
+			}
+			groups := subtreesAtDepth(cfg.Topology, depth)
+			for _, g := range groups {
+				pulse(procs, g)
+			}
+			exec.Rounds = append(exec.Rounds, Round{Kind: Group, Depth: depth, Groups: groups})
+		case draw < cfg.PGlobal+cfg.PGroup+cfg.PSubset && len(alive) >= 3:
+			// A random subset of between 2 and n−1 processes synchronizes;
+			// everyone else is isolated this round.
+			k := 2 + r.Intn(len(alive)-2)
+			perm := r.Perm(len(alive))
+			subset := make([]int, k)
+			for i := 0; i < k; i++ {
+				subset[i] = alive[perm[i]]
+			}
+			sort.Ints(subset)
+			pulse(procs, subset)
+			groups := [][]int{subset}
+			in := make(map[int]bool, k)
+			for _, p := range subset {
+				in[p] = true
+			}
+			for _, p := range alive {
+				if !in[p] {
+					procs[p].SetPredicate(true)
+					procs[p].Internal()
+					procs[p].SetPredicate(false)
+					procs[p].Internal()
+					groups = append(groups, []int{p})
+				}
+			}
+			exec.Rounds = append(exec.Rounds, Round{Kind: Subset, Groups: groups})
+		default:
+			var groups [][]int
+			for _, p := range alive {
+				procs[p].SetPredicate(true)
+				procs[p].Internal()
+				procs[p].SetPredicate(false)
+				procs[p].Internal()
+				groups = append(groups, []int{p})
+			}
+			exec.Rounds = append(exec.Rounds, Round{Kind: Isolated, Groups: groups})
+		}
+	}
+	for _, p := range procs {
+		p.Finish()
+	}
+	return exec
+}
+
+// pulse synchronizes the members' intervals through the lowest-id member as
+// coordinator: every member's interval start happens-before every member's
+// interval end, so the member intervals pairwise satisfy Eq. 2.
+func pulse(procs []*procsim.Process, members []int) {
+	if len(members) == 0 {
+		return
+	}
+	coord := members[0]
+	for _, m := range members {
+		if m < coord {
+			coord = m
+		}
+	}
+	for _, m := range members {
+		procs[m].SetPredicate(true)
+		procs[m].Internal()
+	}
+	for _, m := range members {
+		if m != coord {
+			procs[coord].Receive(procs[m].PrepareSend())
+		}
+	}
+	for _, m := range members {
+		if m != coord {
+			procs[m].Receive(procs[coord].PrepareSend())
+		}
+	}
+	for _, m := range members {
+		procs[m].SetPredicate(false)
+		procs[m].Internal()
+	}
+}
+
+// subtreesAtDepth returns the member sets of all subtrees rooted at the
+// given depth, plus singleton groups for shallower leaves (every process
+// produces an interval every round).
+func subtreesAtDepth(t *tree.Topology, depth int) [][]int {
+	var groups [][]int
+	covered := make(map[int]bool)
+	for _, x := range t.AliveNodes() {
+		if t.Depth(x) == depth {
+			g := t.Subtree(x)
+			sort.Ints(g)
+			groups = append(groups, g)
+			for _, m := range g {
+				covered[m] = true
+			}
+		}
+	}
+	for _, x := range t.AliveNodes() {
+		if !covered[x] && t.Depth(x) < depth {
+			groups = append(groups, []int{x})
+		}
+	}
+	return groups
+}
+
+// ExpectedDetections returns how many rounds contain a group that covers
+// span — the number of times a detector whose subtree spans exactly those
+// processes must report the predicate. Span order does not matter.
+func (e *Execution) ExpectedDetections(span []int) int {
+	span = append([]int(nil), span...)
+	sort.Ints(span)
+	count := 0
+	for _, round := range e.Rounds {
+		for _, g := range round.Groups {
+			if containsAll(g, span) {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// TotalIntervals returns the number of intervals across all processes.
+func (e *Execution) TotalIntervals() int {
+	total := 0
+	for _, s := range e.Streams {
+		total += len(s)
+	}
+	return total
+}
+
+// containsAll reports span ⊆ g for sorted slices.
+func containsAll(g, span []int) bool {
+	i := 0
+	for _, want := range span {
+		for i < len(g) && g[i] < want {
+			i++
+		}
+		if i >= len(g) || g[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}

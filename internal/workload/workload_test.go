@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/tree"
+)
+
+func TestGenerateShape(t *testing.T) {
+	tp := tree.Balanced(2, 2) // 7 nodes
+	e := Generate(Config{Topology: tp, Rounds: 10, Seed: 1, PGlobal: 0.5, PGroup: 0.3})
+	if e.N != 7 || len(e.Rounds) != 10 {
+		t.Fatalf("N=%d rounds=%d", e.N, len(e.Rounds))
+	}
+	// Every process produces exactly one interval per round.
+	for p, s := range e.Streams {
+		if len(s) != 10 {
+			t.Fatalf("process %d: %d intervals, want 10", p, len(s))
+		}
+		for k, iv := range s {
+			if iv.Origin != p || iv.Seq != k {
+				t.Fatalf("stream identity broken: %+v", iv)
+			}
+			if !iv.WellFormed() {
+				t.Fatalf("ill-formed interval %v", iv)
+			}
+		}
+	}
+	if e.TotalIntervals() != 70 {
+		t.Fatalf("TotalIntervals = %d", e.TotalIntervals())
+	}
+}
+
+func TestSuccessionPerProcess(t *testing.T) {
+	tp := tree.Balanced(3, 2)
+	e := Generate(Config{Topology: tp, Rounds: 20, Seed: 2, PGlobal: 0.4, PGroup: 0.4})
+	for p, s := range e.Streams {
+		for k := 1; k < len(s); k++ {
+			if !s[k-1].Hi.Less(s[k].Lo) {
+				t.Fatalf("process %d: succ violated between rounds %d and %d", p, k-1, k)
+			}
+		}
+	}
+}
+
+func TestGlobalPulseOverlaps(t *testing.T) {
+	tp := tree.Balanced(2, 2)
+	e := Generate(Config{Topology: tp, Rounds: 5, Seed: 3, PGlobal: 1})
+	for r := range e.Rounds {
+		if e.Rounds[r].Kind != Global {
+			t.Fatalf("round %d kind = %v", r, e.Rounds[r].Kind)
+		}
+		var set []interval.Interval
+		for p := 0; p < e.N; p++ {
+			set = append(set, e.Streams[p][r])
+		}
+		if !interval.OverlapAll(set) {
+			t.Fatalf("global round %d: intervals do not all overlap", r)
+		}
+	}
+}
+
+func TestIsolatedRoundsNeverOverlap(t *testing.T) {
+	tp := tree.Balanced(2, 1)                               // 3 nodes
+	e := Generate(Config{Topology: tp, Rounds: 4, Seed: 4}) // all isolated
+	for r := range e.Rounds {
+		if e.Rounds[r].Kind != Isolated {
+			t.Fatalf("round %d kind = %v", r, e.Rounds[r].Kind)
+		}
+		for i := 0; i < e.N; i++ {
+			for j := 0; j < e.N; j++ {
+				if i != j && interval.Overlap(e.Streams[i][r], e.Streams[j][r]) {
+					t.Fatalf("round %d: isolated intervals of %d and %d overlap", r, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupPulseOverlapsWithinGroupOnly(t *testing.T) {
+	tp := tree.Balanced(2, 2)
+	e := Generate(Config{Topology: tp, Rounds: 30, Seed: 5, PGroup: 1})
+	sawDepth := map[int]bool{}
+	for r, round := range e.Rounds {
+		if round.Kind != Group {
+			t.Fatalf("round %d kind = %v", r, round.Kind)
+		}
+		sawDepth[round.Depth] = true
+		member := make(map[int]int) // process → group index
+		for gi, g := range round.Groups {
+			for _, p := range g {
+				member[p] = gi
+			}
+			// Within a group, all overlap.
+			var set []interval.Interval
+			for _, p := range g {
+				set = append(set, e.Streams[p][r])
+			}
+			if !interval.OverlapAll(set) {
+				t.Fatalf("round %d group %v: no overlap", r, g)
+			}
+		}
+		if len(member) != e.N {
+			t.Fatalf("round %d: groups cover %d of %d processes", r, len(member), e.N)
+		}
+		// Across groups, Definitely must not hold for any pair.
+		for i := 0; i < e.N; i++ {
+			for j := i + 1; j < e.N; j++ {
+				if member[i] != member[j] && interval.Overlap(e.Streams[i][r], e.Streams[j][r]) {
+					t.Fatalf("round %d: cross-group overlap between %d and %d", r, i, j)
+				}
+			}
+		}
+	}
+	if !sawDepth[1] || !sawDepth[2] {
+		t.Fatalf("depths exercised: %v, want both 1 and 2", sawDepth)
+	}
+}
+
+func TestExpectedDetections(t *testing.T) {
+	tp := tree.Balanced(2, 2)
+	e := Generate(Config{Topology: tp, Rounds: 40, Seed: 6, PGlobal: 0.3, PGroup: 0.4})
+	globals := 0
+	for _, r := range e.Rounds {
+		if r.Kind == Global {
+			globals++
+		}
+	}
+	full := tp.Subtree(0)
+	sortInts(full)
+	if got := e.ExpectedDetections(full); got != globals {
+		t.Fatalf("ExpectedDetections(all) = %d, want %d globals", got, globals)
+	}
+	// A leaf's span is covered every round.
+	if got := e.ExpectedDetections([]int{3}); got != 40 {
+		t.Fatalf("ExpectedDetections(leaf) = %d, want 40", got)
+	}
+	// Subtree at node 1 (span {1,3,4}) is covered by globals and by group
+	// rounds at depth 1.
+	want := 0
+	for _, r := range e.Rounds {
+		if r.Kind == Global || (r.Kind == Group && r.Depth == 1) {
+			want++
+		}
+	}
+	if got := e.ExpectedDetections([]int{1, 3, 4}); got != want {
+		t.Fatalf("ExpectedDetections(subtree 1) = %d, want %d", got, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tp1 := tree.Balanced(2, 2)
+	tp2 := tree.Balanced(2, 2)
+	a := Generate(Config{Topology: tp1, Rounds: 15, Seed: 7, PGlobal: 0.5, PGroup: 0.25})
+	b := Generate(Config{Topology: tp2, Rounds: 15, Seed: 7, PGlobal: 0.5, PGroup: 0.25})
+	for p := range a.Streams {
+		for k := range a.Streams[p] {
+			x, y := a.Streams[p][k], b.Streams[p][k]
+			if !x.Lo.Equal(y.Lo) || !x.Hi.Equal(y.Hi) {
+				t.Fatal("equal seeds produced different executions")
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tp := tree.Balanced(2, 1)
+	for name, f := range map[string]func(){
+		"nil-topology": func() { Generate(Config{Rounds: 1}) },
+		"no-rounds":    func() { Generate(Config{Topology: tp}) },
+		"bad-mix":      func() { Generate(Config{Topology: tp, Rounds: 1, PGlobal: 0.8, PGroup: 0.5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Global.String() != "global" || Group.String() != "group" || Isolated.String() != "isolated" {
+		t.Error("Kind.String broken")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown Kind.String broken")
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package hierdet
+
+import (
+	"hierdet/internal/lattice"
+)
+
+// Lattice detection (Cooper–Marzullo, the paper's references [5][6]):
+// exhaustive global-state enumeration over a recorded execution. It handles
+// *arbitrary* predicates — including the relational ones of §I that the
+// interval-based detectors cannot — at exponential worst-case cost, so it is
+// meant for small recorded executions, debugging, and as an independent
+// ground truth for the interval-based detectors.
+
+// Recording is a complete execution record (every event of every process)
+// for lattice detection. Build it with NewRecorder.
+type Recording = lattice.Recording
+
+// LocalState is one process's state at a global cut.
+type LocalState = lattice.LocalState
+
+// GlobalPredicate evaluates an arbitrary predicate over per-process states.
+type GlobalPredicate = lattice.Predicate
+
+// Recorder captures executions from instrumented processes.
+type Recorder = lattice.Recorder
+
+// NewRecorder returns a recorder for an n-process system; Attach it to each
+// Process before the execution starts.
+func NewRecorder(n int) *Recorder { return lattice.NewRecorder(n) }
+
+// ConjunctivePredicate is Φ = ∧ᵢ φᵢ over the recorded local predicates.
+func ConjunctivePredicate() GlobalPredicate { return lattice.Conjunctive() }
+
+// LatticePossibly reports whether some consistent global state of the
+// recorded execution satisfies pred.
+func LatticePossibly(r *Recording, pred GlobalPredicate) (bool, error) {
+	return lattice.Possibly(r, pred)
+}
+
+// LatticeDefinitely reports whether every consistent observation of the
+// recorded execution passes through a global state satisfying pred.
+func LatticeDefinitely(r *Recording, pred GlobalPredicate) (bool, error) {
+	return lattice.Definitely(r, pred)
+}

@@ -1,0 +1,42 @@
+package hierdet
+
+import (
+	"time"
+
+	"hierdet/internal/livenet"
+)
+
+// LiveCluster runs the hierarchical detector over real goroutines and
+// channels — one goroutine per process, per-message delivery goroutines as
+// asynchronous (non-FIFO) links. It is the concurrency-native counterpart of
+// Simulate: nondeterministic scheduling, identical detection semantics.
+// Failure injection is only available in the deterministic simulator.
+type LiveCluster = livenet.Cluster
+
+// LiveDetection is one detection observed by a LiveCluster.
+type LiveDetection = livenet.Detection
+
+// LiveConfig parameterizes NewLiveCluster.
+type LiveConfig struct {
+	// Topology is the spanning tree (required).
+	Topology *Topology
+	// MaxDelay bounds each report's random delivery delay (default 200µs).
+	MaxDelay time.Duration
+	// Seed drives the delay distribution.
+	Seed int64
+	// Verify enables order checking and solution-set retention.
+	Verify bool
+}
+
+// NewLiveCluster builds and starts a live cluster. Feed completed local
+// intervals with Observe (safe from one goroutine per process) and call Stop
+// to drain and collect the detections.
+func NewLiveCluster(cfg LiveConfig) *LiveCluster {
+	return livenet.New(livenet.Config{
+		Topology:    cfg.Topology,
+		MaxDelay:    cfg.MaxDelay,
+		Seed:        cfg.Seed,
+		Strict:      cfg.Verify,
+		KeepMembers: cfg.Verify,
+	})
+}

@@ -1,0 +1,181 @@
+package hierdet
+
+import (
+	"hierdet/internal/monitor"
+	"hierdet/internal/simnet"
+	"hierdet/internal/workload"
+)
+
+// Algorithm selects which detector a simulation runs.
+type Algorithm int
+
+const (
+	// HierarchicalAlgorithm is this paper's Algorithm 1.
+	HierarchicalAlgorithm Algorithm = iota
+	// CentralizedAlgorithm is the repeated-detection baseline [12].
+	CentralizedAlgorithm
+)
+
+// Failure schedules a crash-stop failure of Node at virtual time At.
+type Failure struct {
+	At   int64
+	Node int
+}
+
+// SimConfig parameterizes Simulate.
+type SimConfig struct {
+	// Topology is the spanning tree to monitor over (see BalancedTree and
+	// friends). Simulate leaves it unmodified.
+	Topology *Topology
+	// Algorithm selects hierarchical (default) or centralized detection.
+	Algorithm Algorithm
+
+	// Rounds is the number of workload rounds — the paper's p: each process
+	// produces one local-predicate interval per round.
+	Rounds int
+	// PGlobal is the probability a round synchronizes all processes (one
+	// global predicate occurrence); PGroup the probability it synchronizes
+	// each subtree at a random depth (group-level occurrences only);
+	// PSubset the probability a random, tree-oblivious process subset
+	// synchronizes. The remainder of rounds produce causally isolated
+	// intervals.
+	PGlobal, PGroup, PSubset float64
+
+	// Seed fixes workload, delays and jitter. Runs are bit-reproducible.
+	Seed int64
+
+	// MinDelay/MaxDelay bound per-hop network delay in virtual ticks
+	// (defaults 1 and 10); RoundSpacing is the virtual time between rounds
+	// (default 1000).
+	MinDelay, MaxDelay int64
+	RoundSpacing       int64
+	// FIFO forces per-link in-order delivery (the model is non-FIFO).
+	FIFO bool
+	// LossProb drops messages with the given probability — a deliberate
+	// violation of the model's reliable channels (safety is preserved,
+	// detections are missed). Incompatible with Heartbeats.
+	LossProb float64
+	// BatchWindow, when positive, buffers each node's reports and flushes
+	// them as one message per window — an optimization beyond the paper
+	// (hierarchical algorithm only; costs up to one window of latency).
+	BatchWindow int64
+	// DiffTimestamps accounts report bytes with differential vector-clock
+	// encoding per link (Singhal–Kshemkalyani); requires FIFO.
+	DiffTimestamps bool
+
+	// Failures injects crash-stop failures.
+	Failures []Failure
+	// Heartbeats enables heartbeat-based failure detection (period
+	// HbEvery, suspicion after HbTimeout; defaults 100/400 when enabled).
+	// Without heartbeats, failures repair the tree instantly — convenient
+	// for deterministic experiments.
+	Heartbeats         bool
+	HbEvery, HbTimeout int64
+	// DistributedRepair replaces the simulator's topology oracle with the
+	// message-driven reattachment protocol: orphan subtrees negotiate
+	// adoption with live neighbours over the network (requires Heartbeats;
+	// hierarchical algorithm only).
+	DistributedRepair bool
+	// ResendLastOnAdopt re-reports a subtree's latest aggregate after its
+	// parent died (recovers in-flight loss, may duplicate a detection).
+	ResendLastOnAdopt bool
+
+	// Verify enables internal order checking and retains solution sets so
+	// detections can be expanded and validated. Costs memory; intended for
+	// tests and examples.
+	Verify bool
+
+	// OnDetection, if non-nil, streams every detection (all levels) as it
+	// happens, before the run completes — the subscription hook for
+	// continuous monitoring. Called on the simulation goroutine.
+	OnDetection func(SimDetection)
+}
+
+// SimDetection is one detection observed during a simulation, with its
+// virtual time, the detecting node, and whether that node was a tree root
+// (root detections cover the whole surviving network).
+type SimDetection = monitor.Detection
+
+// SimResult is everything a simulation produced: detections at every level,
+// traffic statistics, per-node work counters and space high-water marks.
+type SimResult = monitor.Result
+
+// NetStats is the simulated network's traffic counters.
+type NetStats = simnet.Stats
+
+// Simulate generates a workload over cfg.Topology, deploys the selected
+// detector on a simulated asynchronous network, runs it to completion and
+// returns the result. Deterministic in cfg.Seed.
+func Simulate(cfg SimConfig) *SimResult {
+	if cfg.Topology == nil {
+		panic("hierdet: SimConfig.Topology is required")
+	}
+	exec := workload.Generate(workload.Config{
+		Topology: cfg.Topology,
+		Rounds:   cfg.Rounds,
+		Seed:     cfg.Seed,
+		PGlobal:  cfg.PGlobal,
+		PGroup:   cfg.PGroup,
+		PSubset:  cfg.PSubset,
+	})
+	return SimulateExecution(cfg, exec)
+}
+
+// SimulateExecution runs a simulation over a pre-generated execution —
+// useful for running both algorithms, or several configurations, on
+// identical input. cfg.Rounds/PGlobal/PGroup are ignored.
+func SimulateExecution(cfg SimConfig, exec *workload.Execution) *SimResult {
+	if cfg.Topology == nil {
+		panic("hierdet: SimConfig.Topology is required")
+	}
+	mode := monitor.Hierarchical
+	if cfg.Algorithm == CentralizedAlgorithm {
+		mode = monitor.Centralized
+	}
+	hbEvery, hbTimeout := int64(0), int64(0)
+	if cfg.Heartbeats {
+		hbEvery, hbTimeout = cfg.HbEvery, cfg.HbTimeout
+		if hbEvery == 0 {
+			hbEvery = 100
+		}
+		if hbTimeout == 0 {
+			hbTimeout = 400
+		}
+	}
+	runner := monitor.NewRunner(monitor.Config{
+		Mode:              mode,
+		Topology:          cfg.Topology.Clone(),
+		Exec:              exec,
+		Seed:              cfg.Seed,
+		MinDelay:          simnet.Time(cfg.MinDelay),
+		MaxDelay:          simnet.Time(cfg.MaxDelay),
+		FIFO:              cfg.FIFO,
+		LossProb:          cfg.LossProb,
+		BatchWindow:       simnet.Time(cfg.BatchWindow),
+		DiffTimestamps:    cfg.DiffTimestamps,
+		Spacing:           simnet.Time(cfg.RoundSpacing),
+		HbEvery:           simnet.Time(hbEvery),
+		HbTimeout:         simnet.Time(hbTimeout),
+		Strict:            cfg.Verify,
+		KeepMembers:       cfg.Verify,
+		ResendLastOnAdopt: cfg.ResendLastOnAdopt,
+		DistributedRepair: cfg.DistributedRepair,
+		OnDetection:       cfg.OnDetection,
+	})
+	for _, f := range cfg.Failures {
+		runner.ScheduleFailure(simnet.Time(f.At), f.Node)
+	}
+	return runner.Run()
+}
+
+// GenerateWorkload exposes the round-based workload generator for use with
+// SimulateExecution.
+func GenerateWorkload(topo *Topology, rounds int, seed int64, pGlobal, pGroup float64) *workload.Execution {
+	return workload.Generate(workload.Config{
+		Topology: topo, Rounds: rounds, Seed: seed, PGlobal: pGlobal, PGroup: pGroup,
+	})
+}
+
+// Execution is a recorded distributed execution: per-process interval
+// streams plus ground-truth round structure.
+type Execution = workload.Execution
