@@ -17,7 +17,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/livenet/ ./internal/core/
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...

@@ -20,7 +20,7 @@ import (
 // runOnce executes one full simulation and returns its result.
 func runOnce(algo Algorithm, d, height, rounds int, seed int64) *SimResult {
 	topo := BalancedTree(d, height)
-	exec := GenerateWorkload(topo, rounds, seed, 1.0, 0)
+	exec := GenerateWorkload(topo, rounds, seed, 1.0, 0, 0)
 	return SimulateExecution(SimConfig{
 		Topology:  topo,
 		Algorithm: algo,
@@ -111,7 +111,7 @@ func BenchmarkAblationFIFO(b *testing.B) {
 	}{{"non-fifo", false}, {"fifo", true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			topo := BalancedTree(2, 4)
-			exec := GenerateWorkload(topo, 20, 1, 1.0, 0)
+			exec := GenerateWorkload(topo, 20, 1, 1.0, 0, 0)
 			var res *SimResult
 			for i := 0; i < b.N; i++ {
 				res = SimulateExecution(SimConfig{
@@ -142,7 +142,7 @@ func BenchmarkAblationWorkloadMix(b *testing.B) {
 	for _, m := range mixes {
 		b.Run(m.name, func(b *testing.B) {
 			topo := BalancedTree(2, 4)
-			exec := GenerateWorkload(topo, 20, 1, m.pGlobal, m.pGroup)
+			exec := GenerateWorkload(topo, 20, 1, m.pGlobal, m.pGroup, 0)
 			var res *SimResult
 			for i := 0; i < b.N; i++ {
 				res = SimulateExecution(SimConfig{Topology: topo, Seed: 1}, exec)
@@ -162,7 +162,7 @@ func BenchmarkBatching(b *testing.B) {
 	}{{"off", 0}, {"window=500", 500}} {
 		b.Run(mode.name, func(b *testing.B) {
 			topo := BalancedTree(2, 4)
-			exec := GenerateWorkload(topo, 20, 1, 1.0, 0)
+			exec := GenerateWorkload(topo, 20, 1, 1.0, 0, 0)
 			var res *SimResult
 			for i := 0; i < b.N; i++ {
 				res = SimulateExecution(SimConfig{
@@ -191,7 +191,7 @@ func BenchmarkDetectionLatency(b *testing.B) {
 		}{{"hier", HierarchicalAlgorithm}, {"central", CentralizedAlgorithm}} {
 			b.Run(fmt.Sprintf("h=%d/%s", levels, algo.name), func(b *testing.B) {
 				topo := BalancedTree(2, levels-1)
-				exec := GenerateWorkload(topo, 15, 1, 1.0, 0)
+				exec := GenerateWorkload(topo, 15, 1, 1.0, 0, 0)
 				var res *SimResult
 				for i := 0; i < b.N; i++ {
 					res = SimulateExecution(SimConfig{
@@ -222,7 +222,7 @@ func BenchmarkHeartbeatTradeoff(b *testing.B) {
 	for _, period := range []int64{50, 100, 200, 400} {
 		b.Run(fmt.Sprintf("hb=%d", period), func(b *testing.B) {
 			topo := BalancedTree(2, 3)
-			exec := GenerateWorkload(topo, 15, 1, 1.0, 0)
+			exec := GenerateWorkload(topo, 15, 1, 1.0, 0, 0)
 			var res *SimResult
 			for i := 0; i < b.N; i++ {
 				res = SimulateExecution(SimConfig{
@@ -254,7 +254,7 @@ func BenchmarkFailureRepair(b *testing.B) {
 	}{{"oracle", false}, {"distributed", true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			topo := BalancedTree(2, 4)
-			exec := GenerateWorkload(topo, 20, 1, 1.0, 0)
+			exec := GenerateWorkload(topo, 20, 1, 1.0, 0, 0)
 			var res *SimResult
 			for i := 0; i < b.N; i++ {
 				res = SimulateExecution(SimConfig{

@@ -49,7 +49,7 @@ func main() {
 
 func runMix(name string, d, height, rounds int, seed int64, pGlobal, pGroup float64) {
 	topo := hierdet.BalancedTree(d, height)
-	exec := hierdet.GenerateWorkload(topo, rounds, seed, pGlobal, pGroup)
+	exec := hierdet.GenerateWorkload(topo, rounds, seed, pGlobal, pGroup, 0)
 	res := hierdet.SimulateExecution(hierdet.SimConfig{Topology: topo, Seed: seed}, exec)
 
 	fmt.Printf("%s:\n", name)

@@ -89,7 +89,7 @@ func printTableI(p int) {
 
 	// Measured counterpart on a simulable size: d=2, h=4 → 31 nodes.
 	topo := hierdet.BalancedTree(2, 4)
-	exec := hierdet.GenerateWorkload(topo, p, 1, 1.0, 0)
+	exec := hierdet.GenerateWorkload(topo, p, 1, 1.0, 0, 0)
 	hres := hierdet.SimulateExecution(hierdet.SimConfig{Topology: topo, Seed: 1}, exec)
 	cres := hierdet.SimulateExecution(hierdet.SimConfig{Topology: topo, Algorithm: hierdet.CentralizedAlgorithm, Seed: 1}, exec)
 

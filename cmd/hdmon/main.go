@@ -9,14 +9,23 @@
 //	go run ./cmd/hdmon -n 15 -algo central -rounds 20 -pglobal 1
 //	go run ./cmd/hdmon -n 31 -rounds 20 -pglobal 1 -fail 1@5500 -fail 8@9200 -heartbeats
 //	go run ./cmd/hdmon -shape chain -n 10 -rounds 10 -pglobal 1 -v
+//	go run ./cmd/hdmon -live -n 15 -rounds 20 -pglobal 1 -fail 1@10 -v
+//
+// With -live the detector runs on real goroutines and channels instead of
+// the deterministic simulator; failures are then injected at round
+// boundaries (-fail node@round) and repaired by the live heartbeat/attach
+// machinery, and per-node runtime metrics are reported.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"hierdet"
 )
@@ -56,10 +65,11 @@ func main() {
 		hb       = flag.Bool("heartbeats", false, "detect failures via heartbeats instead of oracle repair")
 		distrep  = flag.Bool("distrepair", false, "repair the tree with the distributed attach protocol (implies -heartbeats)")
 		resend   = flag.Bool("resend", false, "re-report last aggregate after adoption (Figure 2(c) behaviour)")
+		live     = flag.Bool("live", false, "run on real goroutines/channels instead of the simulator")
 		verbose  = flag.Bool("v", false, "print every detection at every level")
 		failures failureList
 	)
-	flag.Var(&failures, "fail", "inject failure node@time (repeatable)")
+	flag.Var(&failures, "fail", "inject failure node@time, or node@round with -live (repeatable)")
 	flag.Parse()
 
 	var topo *hierdet.Topology
@@ -80,6 +90,15 @@ func main() {
 	// Keep the mix a valid distribution when only -pglobal was raised.
 	if *pglobal+*pgroup > 1 {
 		*pgroup = 1 - *pglobal
+	}
+
+	if *live {
+		if *algo != "hier" {
+			fmt.Fprintln(os.Stderr, "-live supports only the hierarchical algorithm")
+			os.Exit(2)
+		}
+		runLive(topo, *rounds, *pglobal, *pgroup, *seed, failures, *resend, *verbose)
+		return
 	}
 
 	if *distrep {
@@ -144,5 +163,119 @@ func main() {
 	if err := res.WriteSummary(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "summary: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// runLive executes the workload on the live runtime: one goroutine per
+// process, reports racing over channels, failures crash-stopped at round
+// boundaries and repaired by heartbeats plus the distributed attach protocol.
+func runLive(topo *hierdet.Topology, rounds int, pglobal, pgroup float64, seed int64, failures failureList, resend, verbose bool) {
+	exec := hierdet.GenerateWorkload(topo, rounds, seed, pglobal, pgroup, 0)
+
+	// In live mode a failure's time is the round boundary it lands on.
+	for _, f := range failures {
+		if f.Node < 0 || f.Node >= topo.N() {
+			fmt.Fprintf(os.Stderr, "-fail %d@%d: no such process (topology has %d)\n",
+				f.Node, f.At, topo.N())
+			os.Exit(2)
+		}
+	}
+	sort.Slice(failures, func(i, j int) bool { return failures[i].At < failures[j].At })
+
+	repaired := make(chan hierdet.LiveRepair, topo.N())
+	cluster := hierdet.NewLiveCluster(hierdet.LiveConfig{
+		Topology: topo, Seed: seed, Verify: true,
+		HbEvery:           500 * time.Microsecond,
+		ResendLastOnAdopt: resend,
+		OnRepair: func(orphan, newParent int) {
+			repaired <- hierdet.LiveRepair{Orphan: orphan, NewParent: newParent}
+		},
+	})
+
+	feed := func(lo, hi int) {
+		var wg sync.WaitGroup
+		for p := 0; p < topo.N(); p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for k := lo; k < hi && k < len(exec.Streams[p]); k++ {
+					cluster.Observe(p, exec.Streams[p][k])
+					time.Sleep(20 * time.Microsecond)
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+
+	start := time.Now()
+	prev := 0
+	for _, f := range failures {
+		boundary := int(f.At)
+		if boundary < 0 {
+			boundary = 0
+		}
+		if boundary > rounds {
+			boundary = rounds
+		}
+		feed(prev, boundary)
+		prev = boundary
+		cluster.Drain()
+		orphans := cluster.Kill(f.Node)
+		fmt.Printf("killed node %d after round %d: %d orphaned subtrees\n", f.Node, boundary, orphans)
+		for i := 0; i < orphans; i++ {
+			select {
+			case r := <-repaired:
+				if r.NewParent == hierdet.NoParent {
+					fmt.Printf("  orphan %d: no live candidate, now a partition root\n", r.Orphan)
+				} else {
+					fmt.Printf("  orphan %d adopted by node %d\n", r.Orphan, r.NewParent)
+				}
+			case <-time.After(30 * time.Second):
+				fmt.Fprintln(os.Stderr, "timed out waiting for tree repair")
+				os.Exit(1)
+			}
+		}
+		cluster.Drain()
+	}
+	feed(prev, rounds)
+	dets := cluster.Stop()
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nlive run: %d processes, %d rounds in %v; failed: %v\n",
+		topo.N(), rounds, elapsed.Round(time.Millisecond), cluster.Failed())
+	roots := 0
+	for _, d := range dets {
+		if d.AtRoot {
+			roots++
+			if verbose {
+				fmt.Printf("  ROOT  node %-3d span %d processes\n", d.Node, len(d.Det.Agg.Span))
+			}
+		}
+	}
+	fmt.Printf("root detections: %d (of %d total at all levels)\n", roots, len(dets))
+
+	metrics := cluster.Metrics()
+	var in, out, dup, stale, repairs int
+	high := 0
+	for _, m := range metrics {
+		in += m.MsgsIn
+		out += m.MsgsOut
+		dup += m.Duplicates
+		stale += m.StaleReports
+		repairs += m.Repairs
+		if m.ReseqHighWater > high {
+			high = m.ReseqHighWater
+		}
+	}
+	fmt.Printf("messages: %d in / %d out; duplicates dropped: %d; stale reports: %d; "+
+		"reseq high water: %d; repairs: %d\n", in, out, dup, stale, high, repairs)
+	if verbose {
+		fmt.Println("\nper-node metrics:")
+		fmt.Printf("  %-4s %6s %6s %5s %6s %5s %4s\n", "node", "in", "out", "dup", "detect", "buf^", "rep")
+		for _, id := range cluster.NodeIDs() {
+			m := metrics[id]
+			fmt.Printf("  %-4d %6d %6d %5d %6d %5d %4d\n",
+				id, m.MsgsIn, m.MsgsOut, m.Duplicates, m.Detections, m.ReseqHighWater, m.Repairs)
+		}
 	}
 }

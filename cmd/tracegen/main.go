@@ -38,6 +38,7 @@ func main() {
 		rounds  = flag.Int("rounds", 20, "rounds (round-based generator)")
 		pglobal = flag.Float64("pglobal", 0.4, "global-round probability")
 		pgroup  = flag.Float64("pgroup", 0.3, "group-round probability")
+		psubset = flag.Float64("psubset", 0, "tree-oblivious random-subset round probability")
 		chaos   = flag.Bool("chaos", false, "use the unstructured generator")
 		steps   = flag.Int("steps", 2000, "steps (chaotic generator)")
 		seed    = flag.Int64("seed", 1, "seed")
@@ -53,7 +54,7 @@ func main() {
 			exec = workload.GenerateChaotic(workload.ChaoticConfig{N: *n, Steps: *steps, Seed: *seed})
 		} else {
 			topo := hierdet.BalancedTreeN(*n, *degree)
-			exec = hierdet.GenerateWorkload(topo, *rounds, *seed, *pglobal, *pgroup)
+			exec = hierdet.GenerateWorkload(topo, *rounds, *seed, *pglobal, *pgroup, *psubset)
 		}
 		data, err := json.MarshalIndent(exec, "", " ")
 		if err != nil {

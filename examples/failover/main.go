@@ -3,6 +3,10 @@
 // of the predicate over the survivors continues. The same failure kills the
 // centralized baseline for good when it hits the sink.
 //
+// The first section runs the deterministic simulator; the last replays the
+// same crash on the live runtime — real goroutines, racing channels,
+// heartbeat failure detection — and shows the identical recovery story.
+//
 // Run:
 //
 //	go run ./examples/failover
@@ -10,6 +14,8 @@ package main
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"hierdet"
 )
@@ -20,7 +26,7 @@ func main() {
 	build := func() *hierdet.Topology { return hierdet.BalancedTree(3, 2) }
 	const failAt, victim = 8500, 1
 
-	exec := hierdet.GenerateWorkload(build(), 16, 11, 1.0, 0)
+	exec := hierdet.GenerateWorkload(build(), 16, 11, 1.0, 0, 0)
 
 	fmt.Println("=== hierarchical detector, heartbeat failure detection, distributed repair ===")
 	hier := hierdet.SimulateExecution(hierdet.SimConfig{
@@ -70,4 +76,58 @@ func main() {
 	}
 	fmt.Printf("  sink failed at t=%d; detections: %d, last at t=%d — nothing after, every queued interval lost\n",
 		failAt, len(cent.RootDetections()), lastT)
+
+	fmt.Println("\n=== live runtime: same crash on real goroutines and channels ===")
+	// Same workload, but now each process is a goroutine and the failure is
+	// a genuine crash-stop: the victim's goroutine goes silent, survivors
+	// notice the missing heartbeats, and the orphans renegotiate parents
+	// over the racing links while the workload keeps flowing.
+	const crashAfter = 8 // rounds fed before the kill
+	repaired := make(chan hierdet.LiveRepair, 4)
+	cluster := hierdet.NewLiveCluster(hierdet.LiveConfig{
+		Topology: build(), Seed: 11, Verify: true,
+		HbEvery:           300 * time.Microsecond,
+		ResendLastOnAdopt: true,
+		OnRepair: func(orphan, newParent int) {
+			repaired <- hierdet.LiveRepair{Orphan: orphan, NewParent: newParent}
+		},
+	})
+	feed := func(lo, hi int) {
+		var wg sync.WaitGroup
+		for p := 0; p < build().N(); p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for k := lo; k < hi; k++ {
+					cluster.Observe(p, exec.Streams[p][k])
+					time.Sleep(20 * time.Microsecond)
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+	feed(0, crashAfter)
+	cluster.Drain()
+	orphans := cluster.Kill(victim)
+	fmt.Printf("  node %d crash-stopped after round %d; %d subtrees orphaned\n",
+		victim, crashAfter, orphans)
+	for i := 0; i < orphans; i++ {
+		r := <-repaired
+		fmt.Printf("  heartbeats flagged the silence; orphan %d adopted by node %d\n",
+			r.Orphan, r.NewParent)
+	}
+	feed(crashAfter, 16)
+	liveBefore, liveAfter := 0, 0
+	for _, d := range cluster.Stop() {
+		if !d.AtRoot {
+			continue
+		}
+		if len(d.Det.Agg.Span) == 13 {
+			liveBefore++
+		} else {
+			liveAfter++
+		}
+	}
+	fmt.Printf("  root detections: %d full-span, %d over the survivors — monitoring never stopped here either\n",
+		liveBefore, liveAfter)
 }

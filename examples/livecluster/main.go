@@ -27,7 +27,7 @@ func main() {
 
 	// The recorded execution fixes causality (which rounds synchronize);
 	// the live cluster then races its delivery for real.
-	exec := hierdet.GenerateWorkload(topo, rounds, 99, 0.6, 0.2)
+	exec := hierdet.GenerateWorkload(topo, rounds, 99, 0.6, 0.2, 0)
 
 	cluster := hierdet.NewLiveCluster(hierdet.LiveConfig{
 		Topology: topo,
@@ -68,4 +68,15 @@ func main() {
 	expected := exec.ExpectedDetections(topo.Subtree(0))
 	fmt.Printf("ground truth: the global predicate held %d times → detected %d/%d despite reordering\n",
 		expected, global, expected)
+
+	// The runtime keeps per-node counters; the resequencer high-water mark
+	// shows how much reordering the random delays actually produced.
+	msgs, high := 0, 0
+	for _, m := range cluster.Metrics() {
+		msgs += m.MsgsIn
+		if m.ReseqHighWater > high {
+			high = m.ReseqHighWater
+		}
+	}
+	fmt.Printf("runtime metrics: %d reports delivered, worst resequencer backlog %d\n", msgs, high)
 }

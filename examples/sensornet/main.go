@@ -31,7 +31,7 @@ func main() {
 	const nSensors = 40
 	topo := hierdet.BalancedTreeN(nSensors, 3)
 
-	exec := hierdet.GenerateWorkload(topo, 30, 7, 0.2, 0.5)
+	exec := hierdet.GenerateWorkload(topo, 30, 7, 0.2, 0.5, 0.1)
 
 	hier := hierdet.SimulateExecution(hierdet.SimConfig{
 		Topology: topo,

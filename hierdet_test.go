@@ -105,7 +105,7 @@ func TestSimulateHierarchicalEndToEnd(t *testing.T) {
 
 func TestSimulateBothAlgorithmsOnSameExecution(t *testing.T) {
 	topo := BalancedTree(2, 2)
-	exec := GenerateWorkload(topo, 8, 3, 0.5, 0.25)
+	exec := GenerateWorkload(topo, 8, 3, 0.5, 0.25, 0)
 	h := SimulateExecution(SimConfig{Topology: topo, Seed: 5, Verify: true}, exec)
 	c := SimulateExecution(SimConfig{Topology: topo, Algorithm: CentralizedAlgorithm, Seed: 5, Verify: true}, exec)
 	if len(h.RootDetections()) != len(c.RootDetections()) {
@@ -144,7 +144,7 @@ func TestSimulateWithFailure(t *testing.T) {
 
 func TestSimulateKnobs(t *testing.T) {
 	topo := BalancedTree(2, 2)
-	exec := GenerateWorkload(topo, 10, 4, 1, 0)
+	exec := GenerateWorkload(topo, 10, 4, 1, 0, 0)
 
 	// Batching: fewer messages, same detections (round spacing 100 makes
 	// several rounds share a 500-tick window).
@@ -160,7 +160,7 @@ func TestSimulateKnobs(t *testing.T) {
 	// Differential timestamps pay off on group-local traffic (a global
 	// pulse changes every clock component, where deltas are *larger* than
 	// the flat encoding — 12 vs 8 bytes per component).
-	groupExec := GenerateWorkload(topo, 20, 5, 0.1, 0.8)
+	groupExec := GenerateWorkload(topo, 20, 5, 0.1, 0.8, 0)
 	full := SimulateExecution(SimConfig{Topology: topo, Seed: 9, FIFO: true}, groupExec)
 	diff := SimulateExecution(SimConfig{Topology: topo, Seed: 9, FIFO: true, DiffTimestamps: true}, groupExec)
 	if diff.Net.TotalBytes >= full.Net.TotalBytes {

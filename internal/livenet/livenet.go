@@ -4,23 +4,33 @@
 // asynchronous non-FIFO message passing — and complements internal/simnet,
 // which trades real concurrency for determinism.
 //
-// Delivery of each report is handed to its own goroutine with a small
+// Delivery of each message is handed to its own goroutine with a small
 // pseudo-random delay, so messages on one link genuinely race and arrive out
 // of order; the same per-link sequence numbers and resequencers as the
-// simulated runtime restore queue order at the receiver.
+// simulated runtime (shared via internal/repair) restore queue order at the
+// receiver.
 //
-// livenet intentionally supports only the failure-free fast path: it is the
-// concurrency showcase and embedding template. Failure injection, heartbeats
-// and tree repair live in internal/monitor where they are deterministic and
-// exhaustively testable.
+// With heartbeats enabled (Config.HbEvery > 0) the cluster is fault
+// tolerant per the paper's §III-F: Kill crashes a process, its tree
+// neighbours detect the silence, the dead node's parent drops the child's
+// queue, and each orphan subtree renegotiates a parent over the network
+// using the request/grant/confirm/abort protocol of internal/repair — the
+// same state machines the deterministic simulator drives, here exercised
+// under real races. Orphans that exhaust their candidates continue as
+// partition roots, detecting the partial predicate over their own subtree.
+//
+// Lifecycle is race-clean by construction: a single mutex guards the
+// cluster state machine (running → stopping → stopped) and a message-credit
+// ledger; every inbox message holds exactly one credit from before it is
+// sent until after it is handled, timers take their credit when armed, and
+// Stop waits on a condition variable until the ledger drains before closing
+// any channel. There is no sleep-polling and no unsynchronized flag.
 package livenet
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"hierdet/internal/core"
@@ -39,6 +49,34 @@ type Config struct {
 	Seed int64
 	// Strict and KeepMembers configure the detector nodes (see core.Config).
 	Strict, KeepMembers bool
+
+	// HbEvery enables failure handling: on this period every node publishes
+	// a liveness beacon and checks the beacons of its tree neighbours. Zero
+	// (the default) disables heartbeats and failure handling; Kill then
+	// panics.
+	HbEvery time.Duration
+	// HbTimeout is how stale a peer's beacon must be before it is suspected
+	// dead. Default 8×HbEvery.
+	HbTimeout time.Duration
+	// SeekTimeout is how long an orphan root waits for each candidate's
+	// grant before moving on. A willing candidate answers in two message
+	// delays, so the timeout only gates the failure paths (dead or refusing
+	// candidates) — but it must absorb real scheduler and timer jitter, or
+	// grants go stale and live candidates are skipped (in the worst case the
+	// orphan wrongly declares itself partitioned). Default
+	// max(10ms, 4×MaxDelay, 2×HbEvery).
+	SeekTimeout time.Duration
+	// ResendLastOnAdopt re-reports the subtree's most recent aggregate to a
+	// newly adopted parent (paper §III-B / Figure 2(c)): reports in flight
+	// to the dead parent are lost, but the latest solution the subtree
+	// found is not.
+	ResendLastOnAdopt bool
+	// OnRepair, when set, is called once per concluded reattachment:
+	// newParent is the adopting node, or tree.None when the orphan
+	// exhausted its candidates and continues as a partition root. It runs
+	// off the cluster's locks (Metrics and Repairs may be called from it;
+	// Stop may not).
+	OnRepair func(orphan, newParent int)
 }
 
 // Detection is one predicate satisfaction observed by the live cluster.
@@ -48,40 +86,44 @@ type Detection struct {
 	Det    core.Detection
 }
 
-// message is what flows through a node's inbox.
-type message struct {
-	from    int
-	linkSeq int
-	iv      interval.Interval
-	local   bool
+// RepairEvent records one concluded reattachment. NewParent is tree.None
+// when the orphan became a partition root.
+type RepairEvent struct {
+	Orphan    int
+	NewParent int
 }
+
+// clusterState is the lifecycle phase, guarded by Cluster.mu.
+type clusterState int
+
+const (
+	clusterRunning clusterState = iota
+	clusterStopping
+	clusterStopped
+)
 
 // Cluster is a running set of detector goroutines. Create with New, feed
-// local intervals with Observe (or OnIntervalFunc per process), then call
-// Stop to drain and collect every detection.
+// local intervals with Observe, optionally crash processes with Kill, then
+// call Stop to drain and collect every detection.
 type Cluster struct {
 	cfg   Config
-	topo  *tree.Topology
 	nodes map[int]*liveNode
+	wg    sync.WaitGroup
 
-	pending atomic.Int64 // messages enqueued or in flight
-	detMu   sync.Mutex
+	// mu guards everything below: the lifecycle state machine, the
+	// message-credit ledger (pending, see post/armTimer/done), the topology
+	// mirror the repair protocol validates against, and the collected
+	// results. cond signals pending reaching zero.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   clusterState
+	pending int
+	topo    *tree.Topology
+	killed  map[int]bool
+	seeking map[int]bool // orphan roots currently renegotiating a parent
+	reqSeq  int
 	dets    []Detection
-
-	stopped bool
-	wg      sync.WaitGroup
-}
-
-type liveNode struct {
-	c      *Cluster
-	id     int
-	parent int
-	inbox  chan message
-	node   *core.Node
-	reseq  map[int]*resequencer
-	outSeq int
-	rng    *rand.Rand
-	rngMu  sync.Mutex
+	repairs []RepairEvent
 }
 
 // New builds and starts a cluster over the alive nodes of the topology.
@@ -92,23 +134,28 @@ func New(cfg Config) *Cluster {
 	if cfg.MaxDelay == 0 {
 		cfg.MaxDelay = 200 * time.Microsecond
 	}
-	c := &Cluster{cfg: cfg, topo: cfg.Topology, nodes: make(map[int]*liveNode)}
-	coreCfg := core.Config{N: cfg.Topology.N(), Strict: cfg.Strict, KeepMembers: cfg.KeepMembers}
+	if cfg.HbTimeout == 0 {
+		cfg.HbTimeout = 8 * cfg.HbEvery
+	}
+	if cfg.SeekTimeout == 0 {
+		cfg.SeekTimeout = 10 * time.Millisecond
+		if 4*cfg.MaxDelay > cfg.SeekTimeout {
+			cfg.SeekTimeout = 4 * cfg.MaxDelay
+		}
+		if 2*cfg.HbEvery > cfg.SeekTimeout {
+			cfg.SeekTimeout = 2 * cfg.HbEvery
+		}
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		topo:    cfg.Topology,
+		nodes:   make(map[int]*liveNode),
+		killed:  make(map[int]bool),
+		seeking: make(map[int]bool),
+	}
+	c.cond = sync.NewCond(&c.mu)
 	for _, id := range cfg.Topology.AliveNodes() {
-		ln := &liveNode{
-			c:      c,
-			id:     id,
-			parent: cfg.Topology.Parent(id),
-			inbox:  make(chan message, 256),
-			node:   core.NewNode(id, coreCfg, true),
-			reseq:  make(map[int]*resequencer),
-			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(id)<<17)),
-		}
-		for _, child := range cfg.Topology.Children(id) {
-			ln.node.AddChild(child)
-			ln.reseq[child] = newResequencer()
-		}
-		c.nodes[id] = ln
+		c.nodes[id] = newLiveNode(c, id)
 	}
 	for _, ln := range c.nodes {
 		c.wg.Add(1)
@@ -120,40 +167,100 @@ func New(cfg Config) *Cluster {
 // Observe feeds one completed local-predicate interval of process p into the
 // cluster. Intervals of one process must be observed in generation order
 // (they are at the emitting process by construction); different processes
-// may call Observe concurrently. Observe must not be called after Stop.
+// may call Observe concurrently. Observe must not be called after Stop;
+// observations for killed processes are silently dropped (the process is
+// dead — it generates nothing).
 func (c *Cluster) Observe(p int, iv interval.Interval) {
-	if c.stopped {
-		panic("livenet: Observe after Stop")
-	}
 	ln, ok := c.nodes[p]
 	if !ok {
 		panic(fmt.Sprintf("livenet: Observe for unknown process %d", p))
 	}
-	c.pending.Add(1)
-	ln.inbox <- message{from: p, iv: iv, local: true}
+	c.mu.Lock()
+	if c.state != clusterRunning {
+		c.mu.Unlock()
+		panic("livenet: Observe after Stop")
+	}
+	if c.killed[p] {
+		c.mu.Unlock()
+		return
+	}
+	c.pending++
+	c.mu.Unlock()
+	// Synchronous send: preserves the caller's per-process generation order.
+	ln.inbox <- message{kind: msgLocal, from: p, iv: iv}
+}
+
+// Kill crashes process node (crash-stop: it stops beating, handling and
+// sending forever; queued and in-flight messages to it are discarded). It
+// returns the number of orphan subtrees the crash created — the number of
+// OnRepair callbacks that will eventually fire as each orphan reattaches or
+// gives up. Killing requires heartbeats (Config.HbEvery > 0); killing an
+// already-dead process returns 0.
+func (c *Cluster) Kill(node int) int {
+	if c.cfg.HbEvery <= 0 {
+		panic("livenet: Kill requires heartbeats (Config.HbEvery > 0)")
+	}
+	ln, ok := c.nodes[node]
+	if !ok {
+		panic(fmt.Sprintf("livenet: Kill of unknown process %d", node))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != clusterRunning {
+		panic("livenet: Kill after Stop")
+	}
+	if c.killed[node] {
+		return 0
+	}
+	c.killed[node] = true
+	delete(c.seeking, node)
+	_, orphans := c.topo.MarkFailed(node)
+	ln.down.Store(true)
+	return len(orphans)
+}
+
+// Drain blocks until the message-credit ledger is empty: every observation
+// fed so far, and the whole report cascade it triggered, has been handled.
+// Armed repair timers hold credits too, so after the survivors have begun a
+// reattachment Drain also covers its conclusion. It does not stop anything;
+// Observe may be called again afterwards.
+func (c *Cluster) Drain() {
+	c.mu.Lock()
+	for c.pending != 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
 }
 
 // Stop waits for the cluster to go idle, shuts the goroutines down and
 // returns every detection, ordered by node id and then detection order at
 // that node.
+//
+// The quiescence protocol: state moves to stopping (new Observe calls
+// panic, internal cascade traffic still flows), then Stop waits on the
+// condition variable until the credit ledger drains. Because every message
+// acquires its credit under mu before it is sent — timers at arm time — a
+// drained ledger means no send can be in flight, so moving to stopped and
+// closing the inboxes cannot race a send.
 func (c *Cluster) Stop() []Detection {
-	if c.stopped {
+	c.mu.Lock()
+	if c.state != clusterRunning {
+		c.mu.Unlock()
 		panic("livenet: Stop called twice")
 	}
-	c.stopped = true
-	// Quiesce: pending counts every undelivered or in-process message;
-	// handlers increment for the sends they trigger before decrementing
-	// themselves, so 0 means the whole cascade finished.
-	for c.pending.Load() != 0 {
-		time.Sleep(200 * time.Microsecond)
+	c.state = clusterStopping
+	for c.pending != 0 {
+		c.cond.Wait()
 	}
+	c.state = clusterStopped
+	c.mu.Unlock()
 	for _, ln := range c.nodes {
 		close(ln.inbox)
 	}
 	c.wg.Wait()
-	c.detMu.Lock()
-	defer c.detMu.Unlock()
+	c.mu.Lock()
 	out := append([]Detection(nil), c.dets...)
+	c.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Node != out[j].Node {
 			return out[i].Node < out[j].Node
@@ -163,82 +270,100 @@ func (c *Cluster) Stop() []Detection {
 	return out
 }
 
-func (ln *liveNode) run() {
-	defer ln.c.wg.Done()
-	for msg := range ln.inbox {
-		ln.handle(msg)
-		ln.c.pending.Add(-1)
+// Failed returns the processes killed so far, ascending.
+func (c *Cluster) Failed() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.killed))
+	for id := range c.killed {
+		out = append(out, id)
 	}
+	sort.Ints(out)
+	return out
 }
 
-func (ln *liveNode) handle(msg message) {
-	var ivs []interval.Interval
-	src := msg.from
-	if msg.local {
-		ivs = []interval.Interval{msg.iv}
-	} else {
-		rs, ok := ln.reseq[msg.from]
-		if !ok {
-			return
-		}
-		ivs = rs.accept(msg.linkSeq, msg.iv)
-	}
-	for _, iv := range ivs {
-		for _, det := range ln.node.OnInterval(src, iv) {
-			ln.c.record(Detection{Node: ln.id, AtRoot: ln.parent == tree.None, Det: det})
-			if ln.parent != tree.None {
-				ln.report(det.Agg)
-			}
-		}
-	}
+// Repairs returns the reattachments concluded so far, in conclusion order.
+func (c *Cluster) Repairs() []RepairEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RepairEvent(nil), c.repairs...)
 }
 
-// report ships an aggregate to the parent on its own goroutine after a
-// random delay — deliberately unordered with respect to other reports on the
-// same link.
-func (ln *liveNode) report(agg interval.Interval) {
-	parentInbox := ln.c.nodes[ln.parent].inbox
-	msg := message{from: ln.id, linkSeq: ln.outSeq, iv: agg}
-	ln.outSeq++
-	ln.rngMu.Lock()
-	delay := time.Duration(ln.rng.Int63n(int64(ln.c.cfg.MaxDelay)))
-	ln.rngMu.Unlock()
-	ln.c.pending.Add(1)
+// post ships a message to a node's inbox on its own goroutine after delay,
+// taking the message's pending credit first. During stopping the internal
+// cascade is still allowed — Stop drains it; only after stopped (all inboxes
+// about to close, ledger empty so nothing can legally be in flight) is the
+// message dropped.
+func (c *Cluster) post(to int, msg message, delay time.Duration) {
+	dst, ok := c.nodes[to]
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	if c.state == clusterStopped {
+		c.mu.Unlock()
+		return
+	}
+	c.pending++
+	c.mu.Unlock()
 	go func() {
-		time.Sleep(delay)
-		parentInbox <- msg
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		dst.inbox <- msg
 	}()
 }
 
+// armTimer schedules a timer message, taking its pending credit at arm time:
+// an armed timer keeps the ledger non-zero, so Stop cannot close the inbox a
+// pending timer will fire into.
+func (c *Cluster) armTimer(ln *liveNode, d time.Duration, msg message) {
+	c.mu.Lock()
+	if c.state == clusterStopped {
+		c.mu.Unlock()
+		return
+	}
+	c.pending++
+	c.mu.Unlock()
+	time.AfterFunc(d, func() { ln.inbox <- msg })
+}
+
+// done returns one message's credit to the ledger.
+func (c *Cluster) done() {
+	c.mu.Lock()
+	c.pending--
+	if c.pending == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
 func (c *Cluster) record(d Detection) {
-	c.detMu.Lock()
+	c.mu.Lock()
 	c.dets = append(c.dets, d)
-	c.detMu.Unlock()
+	c.mu.Unlock()
 }
 
-// resequencer mirrors internal/monitor's: restore per-link order.
-type resequencer struct {
-	next    int
-	pending map[int]interval.Interval
-}
-
-func newResequencer() *resequencer {
-	return &resequencer{pending: make(map[int]interval.Interval)}
-}
-
-func (q *resequencer) accept(seq int, iv interval.Interval) []interval.Interval {
-	if seq < q.next {
-		return nil
+// notifyRepair records a concluded reattachment and runs the user callback
+// outside the cluster lock.
+func (c *Cluster) notifyRepair(orphan, newParent int) {
+	c.mu.Lock()
+	c.repairs = append(c.repairs, RepairEvent{Orphan: orphan, NewParent: newParent})
+	c.mu.Unlock()
+	if c.cfg.OnRepair != nil {
+		c.cfg.OnRepair(orphan, newParent)
 	}
-	q.pending[seq] = iv
-	var out []interval.Interval
-	for {
-		next, ok := q.pending[q.next]
-		if !ok {
-			return out
-		}
-		delete(q.pending, q.next)
-		q.next++
-		out = append(out, next)
+}
+
+// rootSeekingLocked reports whether the root of id's current tree (per the
+// mirror) is another node that is itself renegotiating a parent — in which
+// case id must refuse adoption requests, or a cycle of dangling trees could
+// form. The simulator propagates this flag on heartbeats; here the mirror is
+// exact. Caller holds mu.
+func (c *Cluster) rootSeekingLocked(id int) bool {
+	r := id
+	for c.topo.Parent(r) != tree.None {
+		r = c.topo.Parent(r)
 	}
+	return r != id && c.seeking[r]
 }

@@ -1,0 +1,98 @@
+package livenet
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics is a point-in-time snapshot of one node's runtime counters. All
+// counters are maintained with atomics, so snapshots are safe at any moment
+// — including while the cluster is running.
+type Metrics struct {
+	// MsgsIn and MsgsOut count network messages (reports and attach-protocol
+	// traffic) handled and sent by this node. Local observations and timers
+	// are not messages.
+	MsgsIn, MsgsOut int
+	// StaleReports counts reports that arrived from a process that is no
+	// longer a child (in flight across a repair) and were dropped.
+	StaleReports int
+	// Duplicates counts reports the node's resequencers discarded as
+	// redeliveries.
+	Duplicates int
+	// ReseqBuffered is the number of reports currently held back by the
+	// node's resequencers waiting for a sequence gap; ReseqHighWater is the
+	// largest value it has reached.
+	ReseqBuffered, ReseqHighWater int
+	// Detections counts solution sets found at this node.
+	Detections int
+	// Repairs counts reattachments this node concluded as the orphan root
+	// (adoptions plus partition give-ups).
+	Repairs int
+	// ChildDrops counts child queues this node dropped because the child
+	// was confirmed dead.
+	ChildDrops int
+}
+
+// nodeMetrics is the atomic backing store for Metrics. Gauges are written
+// only on the node's goroutine; everything may be read from anywhere.
+type nodeMetrics struct {
+	msgsIn, msgsOut atomic.Int64
+	stale           atomic.Int64
+	duplicates      atomic.Int64
+	reseqBuffered   atomic.Int64
+	reseqHigh       atomic.Int64
+	detections      atomic.Int64
+	repairs         atomic.Int64
+	childDrops      atomic.Int64
+}
+
+// gaugeReseq republishes the resequencer-depth gauges after a queue changed.
+// Runs on the node's goroutine, the only writer of reseq and the gauges.
+func (ln *liveNode) gaugeReseq() {
+	buffered, dropped := 0, 0
+	for _, q := range ln.reseq {
+		buffered += q.Buffered()
+		dropped += q.Dropped()
+	}
+	ln.m.reseqBuffered.Store(int64(buffered))
+	if int64(buffered) > ln.m.reseqHigh.Load() {
+		ln.m.reseqHigh.Store(int64(buffered))
+	}
+	ln.m.duplicates.Store(int64(dropped))
+}
+
+// snapshot reads the counters.
+func (m *nodeMetrics) snapshot() Metrics {
+	return Metrics{
+		MsgsIn:         int(m.msgsIn.Load()),
+		MsgsOut:        int(m.msgsOut.Load()),
+		StaleReports:   int(m.stale.Load()),
+		Duplicates:     int(m.duplicates.Load()),
+		ReseqBuffered:  int(m.reseqBuffered.Load()),
+		ReseqHighWater: int(m.reseqHigh.Load()),
+		Detections:     int(m.detections.Load()),
+		Repairs:        int(m.repairs.Load()),
+		ChildDrops:     int(m.childDrops.Load()),
+	}
+}
+
+// Metrics returns a snapshot of every node's runtime counters, keyed by
+// node id. Safe to call at any time, including after Stop.
+func (c *Cluster) Metrics() map[int]Metrics {
+	out := make(map[int]Metrics, len(c.nodes))
+	for id, ln := range c.nodes {
+		out[id] = ln.m.snapshot()
+	}
+	return out
+}
+
+// NodeIDs returns the cluster's process ids, ascending — the stable
+// iteration order for Metrics.
+func (c *Cluster) NodeIDs() []int {
+	out := make([]int, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,271 @@
+package livenet
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hierdet/internal/core"
+	"hierdet/internal/interval"
+	"hierdet/internal/repair"
+	"hierdet/internal/tree"
+)
+
+// msgKind discriminates what flows through a node's inbox.
+type msgKind int
+
+const (
+	msgLocal       msgKind = iota // a completed local-predicate interval
+	msgReport                     // a child→parent aggregate report
+	msgAttach                     // a reattachment-protocol message
+	msgSeekTimeout                // per-candidate grant timeout (seq = reqID)
+	msgSeekBackoff                // between-rounds pause (seq = round)
+)
+
+// message is one inbox entry. Every message holds one credit in the
+// cluster's pending ledger from before it is sent until after it is handled.
+type message struct {
+	kind  msgKind
+	from  int
+	seq   int // linkSeq (msgReport), reqID or round (timers)
+	epoch int
+	iv    interval.Interval
+	att   repair.Msg
+}
+
+// liveNode is one process: a detector node plus its links. All fields below
+// inbox are confined to the node's run goroutine (handle and beat both
+// execute there), so they need no locks; cross-goroutine state lives in the
+// cluster (under mu) or in atomics.
+type liveNode struct {
+	c     *Cluster
+	id    int
+	inbox chan message
+	down  atomic.Bool  // crashed: drain messages without handling, stop beating
+	beat  atomic.Int64 // liveness beacon: UnixNano of the last published beat
+
+	node    *core.Node
+	parent  int
+	outSeq  int                // per-current-link counter for reports to parent
+	lastAgg *interval.Interval // most recent aggregate, for resend-on-adopt
+
+	reseq     map[int]*repair.Resequencer // child id → resequencer
+	epochs    *repair.Epochs
+	seeker    *repair.Seeker
+	adopter   *repair.Adopter
+	suspected map[int]bool
+
+	rng   *rand.Rand
+	rngMu sync.Mutex
+
+	m nodeMetrics
+}
+
+func newLiveNode(c *Cluster, id int) *liveNode {
+	coreCfg := core.Config{N: c.topo.N(), Strict: c.cfg.Strict, KeepMembers: c.cfg.KeepMembers}
+	ln := &liveNode{
+		c:         c,
+		id:        id,
+		inbox:     make(chan message, 256),
+		node:      core.NewNode(id, coreCfg, true),
+		parent:    c.topo.Parent(id),
+		reseq:     make(map[int]*repair.Resequencer),
+		epochs:    repair.NewEpochs(),
+		suspected: make(map[int]bool),
+		rng:       rand.New(rand.NewSource(c.cfg.Seed ^ int64(id)<<17)),
+	}
+	ln.seeker = repair.NewSeeker(id, ln)
+	ln.adopter = repair.NewAdopter(id, ln)
+	for _, child := range c.topo.Children(id) {
+		ln.node.AddChild(child)
+		ln.reseq[child] = repair.NewResequencer()
+	}
+	ln.beat.Store(time.Now().UnixNano())
+	return ln
+}
+
+// run is the node's goroutine: handle inbox messages, and — with heartbeats
+// enabled — publish and check liveness beacons on the heartbeat period.
+func (ln *liveNode) run() {
+	defer ln.c.wg.Done()
+	var tick <-chan time.Time
+	if ln.c.cfg.HbEvery > 0 {
+		t := time.NewTicker(ln.c.cfg.HbEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case msg, ok := <-ln.inbox:
+			if !ok {
+				return
+			}
+			// A crashed node keeps draining its inbox — the channel is the
+			// wire, and messages to the dead are simply lost — but handles
+			// nothing.
+			if !ln.down.Load() {
+				ln.handle(msg)
+			}
+			ln.c.done()
+		case <-tick:
+			if !ln.down.Load() {
+				ln.heartbeat()
+			}
+		}
+	}
+}
+
+func (ln *liveNode) handle(msg message) {
+	switch msg.kind {
+	case msgLocal:
+		ln.deliver(ln.node.OnInterval(ln.id, msg.iv))
+	case msgReport:
+		ln.m.msgsIn.Add(1)
+		rs, ok := ln.reseq[msg.from]
+		if !ok {
+			// Report from a process that is no longer our child (in flight
+			// across a repair); it belongs to the new parent's stream now.
+			ln.m.stale.Add(1)
+			return
+		}
+		ready := rs.Accept(repair.Report{Iv: msg.iv, LinkSeq: msg.seq, Epoch: msg.epoch})
+		ln.gaugeReseq()
+		for _, r := range ready {
+			// In-order now; check the sender's reconfiguration epoch. An
+			// advance means the child's subtree changed and its stream
+			// restarted: the queued remainder of the old stream must go.
+			if ln.epochs.Observe(msg.from, r.Epoch) {
+				ln.node.ResetSource(msg.from)
+			}
+			ln.deliver(ln.node.OnInterval(msg.from, r.Iv))
+		}
+	case msgAttach:
+		ln.m.msgsIn.Add(1)
+		ln.onAttach(msg.from, msg.att)
+	case msgSeekTimeout:
+		ln.seeker.OnTimeout(msg.seq)
+	case msgSeekBackoff:
+		ln.seeker.OnBackoff(msg.seq)
+	}
+}
+
+// deliver records a batch of detections and reports each aggregate upward.
+func (ln *liveNode) deliver(dets []core.Detection) {
+	for _, det := range dets {
+		atRoot := ln.parent == tree.None
+		ln.m.detections.Add(1)
+		ln.c.record(Detection{Node: ln.id, AtRoot: atRoot, Det: det})
+		if !atRoot {
+			ln.report(det.Agg)
+		}
+	}
+}
+
+// report ships an aggregate to the parent on its own goroutine after a
+// random delay — deliberately unordered with respect to other reports on the
+// same link. Reports to a crashed parent are lost (its goroutine drains
+// them unhandled), exactly like in-flight messages to a crashed process.
+func (ln *liveNode) report(agg interval.Interval) {
+	cp := agg
+	ln.lastAgg = &cp
+	msg := message{kind: msgReport, from: ln.id, seq: ln.outSeq, epoch: ln.epochs.Stamp(), iv: agg}
+	ln.outSeq++
+	ln.m.msgsOut.Add(1)
+	ln.c.post(ln.parent, msg, ln.delay())
+}
+
+// resendLast re-reports the most recent aggregate to a newly adopted parent
+// (paper §III-B / Figure 2(c)).
+func (ln *liveNode) resendLast() {
+	if ln.lastAgg == nil || ln.parent == tree.None {
+		return
+	}
+	msg := message{kind: msgReport, from: ln.id, seq: ln.outSeq, epoch: ln.epochs.Stamp(), iv: *ln.lastAgg}
+	ln.outSeq++
+	ln.m.msgsOut.Add(1)
+	ln.c.post(ln.parent, msg, ln.delay())
+}
+
+// dropChild removes a dead or reassigned child's queue, returning the
+// detections the removal unblocked.
+func (ln *liveNode) dropChild(child int) []core.Detection {
+	delete(ln.reseq, child)
+	ln.epochs.Forget(child)
+	ln.epochs.Bump()
+	ln.gaugeReseq()
+	return ln.node.RemoveChild(child)
+}
+
+// heartbeat publishes this node's liveness beacon and checks the beacons of
+// its tree neighbours (parent and children). Beacons are atomic timestamps
+// rather than messages: they model the paper's heartbeat exchange without
+// entangling liveness traffic with the quiescence ledger, so an idle cluster
+// can stop while heartbeats still flow.
+func (ln *liveNode) heartbeat() {
+	now := time.Now().UnixNano()
+	ln.beat.Store(now)
+	staleAfter := ln.c.cfg.HbTimeout.Nanoseconds()
+	for _, peer := range ln.watchPeers() {
+		pn := ln.c.nodes[peer]
+		if pn == nil || ln.suspected[peer] {
+			continue
+		}
+		if now-pn.beat.Load() > staleAfter {
+			ln.suspect(peer)
+		}
+	}
+}
+
+// watchPeers returns the neighbours whose liveness this node monitors: its
+// parent and its current children, ascending.
+func (ln *liveNode) watchPeers() []int {
+	out := make([]int, 0, len(ln.reseq)+1)
+	if ln.parent != tree.None {
+		out = append(out, ln.parent)
+	}
+	for c := range ln.reseq {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// suspect handles a stale beacon. The suspicion is validated against the
+// failure injector's record before acting: a goroutine starved by the
+// scheduler can miss beats without having crashed, and acting on a false
+// suspicion would wrongly reconfigure the tree. (The check stands in for
+// the perfect failure detector the paper's crash-stop model assumes; a
+// production system would need leases or consensus here.)
+func (ln *liveNode) suspect(peer int) {
+	c := ln.c
+	c.mu.Lock()
+	dead := c.killed[peer]
+	if dead && peer == ln.parent {
+		c.seeking[ln.id] = true
+	}
+	c.mu.Unlock()
+	if !dead {
+		return
+	}
+	ln.suspected[peer] = true
+	switch {
+	case peer == ln.parent:
+		// Our subtree is orphaned: renegotiate a parent (paper §III-F).
+		ln.seeker.Start()
+	case ln.node.HasSource(peer):
+		// A child died: its whole subtree is gone from ours. Drop the queue;
+		// the orphaned grandchildren reattach on their own.
+		ln.m.childDrops.Add(1)
+		ln.deliver(ln.dropChild(peer))
+	}
+}
+
+// delay draws a random per-message delivery delay.
+func (ln *liveNode) delay() time.Duration {
+	ln.rngMu.Lock()
+	d := time.Duration(ln.rng.Int63n(int64(ln.c.cfg.MaxDelay)))
+	ln.rngMu.Unlock()
+	return d
+}

@@ -1,0 +1,154 @@
+package livenet
+
+import (
+	"fmt"
+	"sort"
+
+	"hierdet/internal/repair"
+	"hierdet/internal/tree"
+)
+
+// This file adapts the shared reattachment protocol of internal/repair to
+// the live runtime: the orphan-root and candidate state machines run on the
+// node's goroutine (driven from handle), messages travel through the same
+// racing delayed channels as reports, and timers are real timers holding
+// quiescence credits. Where the simulator's covered sets ride on heartbeats
+// and lag, the live runtime asks the cluster's topology mirror, which Kill
+// and TryAttach keep exact under the cluster mutex — validation and the
+// attach itself share one lock hold, so no interleaving can slip a cycle in
+// between them.
+
+// onAttach dispatches an attach-protocol message to the shared state
+// machines.
+func (ln *liveNode) onAttach(from int, msg repair.Msg) {
+	switch msg.Type {
+	case repair.Req:
+		c := ln.c
+		c.mu.Lock()
+		rootSeeking := c.rootSeekingLocked(ln.id)
+		c.mu.Unlock()
+		ln.adopter.OnRequest(from, msg, ln.seeker.Seeking(), rootSeeking)
+	case repair.Grant:
+		ln.seeker.OnGrant(from, msg)
+	case repair.Confirm:
+		ln.adopter.OnConfirm(msg)
+	case repair.Abort:
+		ln.adopter.OnAbort(msg)
+	default:
+		panic(fmt.Sprintf("livenet: node %d got unknown attach type %v", ln.id, msg.Type))
+	}
+}
+
+// --- repair.SeekerHost / repair.AdopterHost ---
+
+// Candidates returns the live neighbours outside this node's subtree,
+// ascending.
+func (ln *liveNode) Candidates() []int {
+	c := ln.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	covered := make(map[int]bool)
+	for _, p := range c.topo.Subtree(ln.id) {
+		covered[p] = true
+	}
+	var out []int
+	for _, nb := range c.topo.Neighbors(ln.id) {
+		if !covered[nb] && !c.killed[nb] && !ln.suspected[nb] {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// Covered returns this node's current subtree per the mirror, sorted.
+func (ln *liveNode) Covered() []int {
+	c := ln.c
+	c.mu.Lock()
+	cov := c.topo.Subtree(ln.id)
+	c.mu.Unlock()
+	sort.Ints(cov)
+	return cov
+}
+
+// NextReqID implements repair.SeekerHost with a cluster-wide counter.
+func (ln *liveNode) NextReqID() int {
+	c := ln.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reqSeq++
+	return c.reqSeq
+}
+
+// Send ships a protocol message over a racing delayed channel, like any
+// other message.
+func (ln *liveNode) Send(to int, m repair.Msg) {
+	ln.m.msgsOut.Add(1)
+	ln.c.post(to, message{kind: msgAttach, from: ln.id, att: m}, ln.delay())
+}
+
+// ArmTimeout schedules the per-candidate grant timeout.
+func (ln *liveNode) ArmTimeout(reqID int) {
+	ln.c.armTimer(ln, ln.c.cfg.SeekTimeout, message{kind: msgSeekTimeout, seq: reqID})
+}
+
+// ArmBackoff schedules the between-rounds pause.
+func (ln *liveNode) ArmBackoff(round int) {
+	ln.c.armTimer(ln, ln.c.cfg.SeekTimeout, message{kind: msgSeekBackoff, seq: round})
+}
+
+// TryAttach validates the grant against the topology mirror and performs
+// the adoption under one lock hold: the granter must still be alive and
+// outside this node's subtree when the parent pointer flips, so concurrent
+// repairs cannot close a cycle between the check and the attach.
+func (ln *liveNode) TryAttach(granter int) bool {
+	c := ln.c
+	c.mu.Lock()
+	if c.killed[granter] || c.topo.InSubtree(granter, ln.id) {
+		c.mu.Unlock()
+		return false
+	}
+	c.topo.SetParent(ln.id, granter)
+	delete(c.seeking, ln.id)
+	c.mu.Unlock()
+	ln.parent = granter
+	ln.outSeq = 0
+	ln.m.repairs.Add(1)
+	return true
+}
+
+// Attached runs after the adoption was confirmed to the granter.
+func (ln *liveNode) Attached(granter int) {
+	if ln.c.cfg.ResendLastOnAdopt {
+		ln.resendLast()
+	}
+	ln.c.notifyRepair(ln.id, granter)
+}
+
+// Partitioned makes the node a standalone root: detection of the partial
+// predicate over its own subtree continues (paper §III-F).
+func (ln *liveNode) Partitioned() {
+	c := ln.c
+	c.mu.Lock()
+	delete(c.seeking, ln.id)
+	c.mu.Unlock()
+	ln.parent = tree.None
+	ln.m.repairs.Add(1)
+	c.notifyRepair(ln.id, tree.None)
+}
+
+// HasSource implements repair.AdopterHost.
+func (ln *liveNode) HasSource(child int) bool { return ln.node.HasSource(child) }
+
+// Adopt reserves the child queue backing a grant.
+func (ln *liveNode) Adopt(child int) {
+	ln.node.AddChild(child)
+	ln.reseq[child] = repair.NewResequencer()
+	ln.epochs.Forget(child)
+	ln.epochs.Bump()
+}
+
+// Unadopt releases an aborted reservation, delivering any detections the
+// queue removal unblocked.
+func (ln *liveNode) Unadopt(child int) {
+	ln.deliver(ln.dropChild(child))
+}

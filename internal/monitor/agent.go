@@ -6,24 +6,17 @@ import (
 
 	"hierdet/internal/core"
 	"hierdet/internal/interval"
+	"hierdet/internal/repair"
 	"hierdet/internal/simnet"
 	"hierdet/internal/tree"
 )
 
-// ivlPayload is one hierarchical child→parent report. LinkSeq is a per-link
-// counter (restarting at zero on every adoption) that lets the receiver
-// resequence the non-FIFO channel. Epoch counts the sender's subtree
-// reconfigurations: Theorem 2's succession guarantee (each aggregate starts
-// causally after the previous one ended) holds only while the sender's
-// source set is fixed, so after a repair changes it the sender bumps Epoch
-// and the receiver resets the stream's queue and succession baseline —
-// a correctness requirement the paper's §III-F leaves implicit, surfaced by
-// this repository's randomized repair stress test.
-type ivlPayload struct {
-	Iv      interval.Interval
-	LinkSeq int
-	Epoch   int
-}
+// ivlPayload is one hierarchical child→parent report: the shared
+// repair.Report. LinkSeq is a per-link counter (restarting at zero on every
+// adoption) that lets the receiver resequence the non-FIFO channel; Epoch
+// counts the sender's subtree reconfigurations (see repair.Epochs for why
+// the receiver must reset the stream on an epoch advance).
+type ivlPayload = repair.Report
 
 // ivlBatch is the wire payload of a KindIvl message: one or more reports.
 // Without batching every message carries exactly one; with
@@ -41,30 +34,28 @@ type agent struct {
 	parent int
 	outSeq int // per-current-link counter for reports to parent
 
-	reseq     map[int]*resequencer // child id → resequencer
-	lastHeard map[int]simnet.Time  // peer id → last heartbeat time
-	lastAgg   *interval.Interval   // most recent aggregate, for resend-on-adopt
-	staleIvls int                  // reports from ex-children, dropped
+	reseq     map[int]*repair.Resequencer // child id → resequencer
+	lastHeard map[int]simnet.Time         // peer id → last heartbeat time
+	lastAgg   *interval.Interval          // most recent aggregate, for resend-on-adopt
+	staleIvls int                         // reports from ex-children, dropped
 
 	// Batching state (Config.BatchWindow > 0): reports buffered for the
 	// current parent and whether a flush timer is pending.
 	outBuf       ivlBatch
 	flushPending bool
 
-	// Reconfiguration epochs: outEpoch stamps outgoing reports; it bumps
-	// before the first report after this node's source set changed.
-	// inEpoch tracks each child's last seen epoch (absent = none yet).
-	outEpoch    int
-	bumpPending bool
-	inEpoch     map[int]int
+	// epochs stamps outgoing reports and tracks each child stream's last
+	// seen epoch (shared with the live runtime; see repair.Epochs).
+	epochs *repair.Epochs
 
-	// Distributed-repair state (see attach.go).
+	// Distributed-repair state: the shared attach-protocol state machines
+	// (the agent implements their host interfaces in attach.go) plus the
+	// heartbeat-fed bookkeeping they draw on.
+	seeker        *repair.Seeker
+	adopter       *repair.Adopter
 	covered       map[int][]int // child → covered set it last reported
-	seeking       *seekState
-	rootSeeking   bool // this tree's root is currently seeking (via parent hb)
+	rootSeeking   bool          // this tree's root is currently seeking (via parent hb)
 	suspectedDead map[int]bool
-	reservations  map[int]int // reqID → reserved child
-	abortedReqs   map[int]bool
 }
 
 func (r *Runner) buildHierarchical() {
@@ -75,17 +66,17 @@ func (r *Runner) buildHierarchical() {
 			id:            id,
 			node:          core.NewNode(id, coreCfg, true),
 			parent:        r.topo.Parent(id),
-			reseq:         make(map[int]*resequencer),
+			reseq:         make(map[int]*repair.Resequencer),
 			lastHeard:     make(map[int]simnet.Time),
 			covered:       make(map[int][]int),
 			suspectedDead: make(map[int]bool),
-			reservations:  make(map[int]int),
-			abortedReqs:   make(map[int]bool),
-			inEpoch:       make(map[int]int),
+			epochs:        repair.NewEpochs(),
 		}
+		a.seeker = repair.NewSeeker(id, a)
+		a.adopter = repair.NewAdopter(id, a)
 		for _, c := range r.topo.Children(id) {
 			a.node.AddChild(c)
-			a.reseq[c] = newResequencer()
+			a.reseq[c] = repair.NewResequencer()
 			a.covered[c] = r.topo.Subtree(c)
 		}
 		r.agents[id] = a
@@ -133,17 +124,14 @@ func (a *agent) OnMessage(at simnet.Time, msg simnet.Message) {
 			return
 		}
 		for _, pl := range batch {
-			for _, ready := range rs.accept(pl) {
+			for _, ready := range rs.Accept(pl) {
 				// In-order now; check the sender's reconfiguration epoch.
-				last, seen := a.inEpoch[msg.From]
-				if seen && ready.Epoch > last {
+				if a.epochs.Observe(msg.From, ready.Epoch) {
 					// The child's subtree changed: its stream restarted, so
 					// the queued remainder of the old stream must go, and
 					// our own output stream restarts in turn.
 					a.node.ResetSource(msg.From)
-					a.bumpPending = true
 				}
-				a.inEpoch[msg.From] = ready.Epoch
 				a.r.record(at, a.node.OnInterval(msg.From, ready.Iv), a.id)
 			}
 		}
@@ -158,7 +146,7 @@ func (a *agent) OnMessage(at simnet.Time, msg simnet.Message) {
 			}
 		}
 	case KindAttach:
-		a.onAttach(at, msg.From, msg.Payload.(attachMsg))
+		a.onAttach(at, msg.From, msg.Payload.(repair.Msg))
 	default:
 		panic(fmt.Sprintf("monitor: agent %d got unknown message kind %q", a.id, msg.Kind))
 	}
@@ -170,7 +158,7 @@ func (a *agent) OnTimer(at simnet.Time, kind simnet.Kind, data any) {
 	case "local":
 		a.r.record(at, a.node.OnInterval(a.id, data.(interval.Interval)), a.id)
 	case "hb":
-		rootSeeking := a.rootSeeking || a.seeking != nil
+		rootSeeking := a.rootSeeking || a.seeker.Seeking()
 		var ownCov []int
 		if a.r.cfg.DistributedRepair {
 			ownCov = a.ownCovered()
@@ -194,11 +182,9 @@ func (a *agent) OnTimer(at simnet.Time, kind simnet.Kind, data any) {
 	case "ivlflush":
 		a.flushBatch()
 	case "seekTimeout":
-		a.onSeekTimeout(at, data.(int))
+		a.seeker.OnTimeout(data.(int))
 	case "seekBackoff":
-		if s := a.seeking; s != nil && s.round == data.(int) {
-			a.seekNext(at)
-		}
+		a.seeker.OnBackoff(data.(int))
 	default:
 		panic(fmt.Sprintf("monitor: agent %d got unknown timer %q", a.id, kind))
 	}
@@ -227,11 +213,7 @@ func (a *agent) sendAggregate(at simnet.Time, agg interval.Interval) {
 	cp := agg
 	a.lastAgg = &cp
 	a.r.res.AggSentByDepth[a.r.topo.Depth(a.id)]++
-	if a.bumpPending {
-		a.outEpoch++
-		a.bumpPending = false
-	}
-	pl := ivlPayload{Iv: agg, LinkSeq: a.outSeq, Epoch: a.outEpoch}
+	pl := ivlPayload{Iv: agg, LinkSeq: a.outSeq, Epoch: a.epochs.Stamp()}
 	a.outSeq++
 	if a.r.cfg.BatchWindow <= 0 {
 		a.r.sim.Send(a.id, a.parent, KindIvl, ivlBatch{pl})
@@ -262,11 +244,7 @@ func (a *agent) resendLast(at simnet.Time) {
 	if a.lastAgg == nil || a.parent == tree.None {
 		return
 	}
-	if a.bumpPending {
-		a.outEpoch++
-		a.bumpPending = false
-	}
-	a.r.sim.Send(a.id, a.parent, KindIvl, ivlBatch{{Iv: *a.lastAgg, LinkSeq: a.outSeq, Epoch: a.outEpoch}})
+	a.r.sim.Send(a.id, a.parent, KindIvl, ivlBatch{{Iv: *a.lastAgg, LinkSeq: a.outSeq, Epoch: a.epochs.Stamp()}})
 	a.outSeq++
 }
 
@@ -276,8 +254,8 @@ func (a *agent) removeChild(child int) []core.Detection {
 	delete(a.reseq, child)
 	delete(a.lastHeard, child)
 	delete(a.covered, child)
-	delete(a.inEpoch, child)
-	a.bumpPending = true
+	a.epochs.Forget(child)
+	a.epochs.Bump()
 	return a.node.RemoveChild(child)
 }
 
@@ -285,11 +263,11 @@ func (a *agent) removeChild(child int) []core.Detection {
 // node's own output epoch.
 func (a *agent) addChild(child int) {
 	a.node.AddChild(child)
-	a.reseq[child] = newResequencer()
+	a.reseq[child] = repair.NewResequencer()
 	a.lastHeard[child] = a.r.sim.Now()
 	a.covered[child] = a.r.topo.Subtree(child)
-	delete(a.inEpoch, child)
-	a.bumpPending = true
+	a.epochs.Forget(child)
+	a.epochs.Bump()
 }
 
 // setParent repoints the agent at a new parent, restarting the link counter.

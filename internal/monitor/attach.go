@@ -4,41 +4,23 @@ import (
 	"fmt"
 	"sort"
 
+	"hierdet/internal/repair"
 	"hierdet/internal/simnet"
 	"hierdet/internal/tree"
 )
 
-// This file implements the distributed reattachment protocol used when
-// Config.DistributedRepair is set: instead of the topology oracle deciding
-// which live neighbour adopts each orphan subtree, the orphans negotiate it
-// over the network, which is what the paper's §III-F assumes happens
-// ("[each subtree] will reconnect itself … by establishing a link between a
-// node in the subtree and its neighbor which is still in the spanning
-// tree") without giving a protocol.
-//
-// Protocol (three-way, one outstanding request per seeker):
-//
-//	seeker   → candidate : attachReq{reqID, covered}
-//	candidate→ seeker    : attachGrant{reqID}   (candidate reserves a queue)
-//	seeker   → candidate : attachConfirm{reqID} (adoption final)
-//	seeker   → candidate : attachAbort{reqID}   (timeout/stale grant: undo)
-//
-// A candidate rejects (by silence — the seeker's timeout advances it) when:
-//   - it lies inside the seeker's subtree (it appears in req.covered), or
-//   - its own tree root is currently seeking (flag propagated parent→child
-//     on heartbeats), which prevents two orphan subtrees from adopting into
-//     each other and forming a cycle, or
-//   - it is itself seeking and has the larger id — among simultaneous
-//     seekers, grants always point from larger to smaller id, so the "grant
-//     graph" is acyclic and the smallest orphan anchors the rest.
-//
-// A seeker cycles through its live neighbours (ascending id), waits
-// seekTimeout per candidate, and after maxSeekRounds full passes declares
-// itself a partition root and continues detecting the partial predicate
-// over its own subtree.
-//
-// Abort/req reordering over the non-FIFO links is handled with request ids:
-// a candidate remembers aborted ids and rejects their late requests.
+// This file adapts the distributed reattachment protocol of internal/repair
+// (used when Config.DistributedRepair is set) to the simulated network:
+// instead of the topology oracle deciding which live neighbour adopts each
+// orphan subtree, the orphans negotiate it over the network, which is what
+// the paper's §III-F assumes happens ("[each subtree] will reconnect itself
+// … by establishing a link between a node in the subtree and its neighbor
+// which is still in the spanning tree") without giving a protocol. The
+// protocol itself — request/grant/confirm/abort, seek rounds, the
+// smallest-orphan-anchors tie-break — lives in internal/repair and is shared
+// with the live runtime (internal/livenet); this file supplies its host
+// interfaces: simnet transport, virtual-time timers, and the covered-set and
+// root-seeking bookkeeping that ride on heartbeats.
 //
 // The covered sets that drive the inside-my-subtree test are maintained
 // distributedly: each child piggybacks its covered set on heartbeats to its
@@ -50,38 +32,6 @@ import (
 // KindAttach labels attach-protocol messages on the simulated network.
 const KindAttach simnet.Kind = "attach"
 
-const maxSeekRounds = 3
-
-type attachType int
-
-const (
-	attachReq attachType = iota
-	attachGrant
-	attachConfirm
-	attachAbort
-)
-
-func (t attachType) String() string {
-	switch t {
-	case attachReq:
-		return "req"
-	case attachGrant:
-		return "grant"
-	case attachConfirm:
-		return "confirm"
-	case attachAbort:
-		return "abort"
-	default:
-		return fmt.Sprintf("attachType(%d)", int(t))
-	}
-}
-
-type attachMsg struct {
-	Type    attachType
-	ReqID   int
-	Covered []int // attachReq only: the seeker's subtree
-}
-
 // hbPayload rides on every heartbeat. Covered is meaningful on child→parent
 // beats, RootSeeking on parent→child beats; carrying both keeps the beat
 // logic direction-agnostic.
@@ -90,28 +40,28 @@ type hbPayload struct {
 	RootSeeking bool
 }
 
-// seekState tracks an in-progress reattachment at an orphan subtree root.
-type seekState struct {
-	reqID      int
-	candidates []int
-	idx        int
-	round      int
-	current    int // candidate the outstanding request went to
-}
-
-// startSeeking begins the reattachment protocol after the agent's parent
-// was confirmed dead.
-func (a *agent) startSeeking(at simnet.Time) {
-	if a.seeking != nil {
-		return
+// onAttach dispatches an attach-protocol message to the shared state
+// machines.
+func (a *agent) onAttach(at simnet.Time, from int, msg repair.Msg) {
+	switch msg.Type {
+	case repair.Req:
+		a.adopter.OnRequest(from, msg, a.seeker.Seeking(), a.rootSeeking)
+	case repair.Grant:
+		a.seeker.OnGrant(from, msg)
+	case repair.Confirm:
+		a.adopter.OnConfirm(msg)
+	case repair.Abort:
+		a.adopter.OnAbort(msg)
+	default:
+		panic(fmt.Sprintf("monitor: agent %d got unknown attach type %v", a.id, msg.Type))
 	}
-	a.seeking = &seekState{reqID: -1, current: tree.None}
-	a.seekNext(at)
 }
 
-// seekCandidates returns the live neighbours outside the agent's own
-// subtree, ascending.
-func (a *agent) seekCandidates() []int {
+// --- repair.SeekerHost / repair.AdopterHost ---
+
+// Candidates returns the live neighbours outside the agent's own subtree,
+// ascending.
+func (a *agent) Candidates() []int {
 	covered := make(map[int]bool)
 	for _, p := range a.ownCovered() {
 		covered[p] = true
@@ -126,115 +76,64 @@ func (a *agent) seekCandidates() []int {
 	return out
 }
 
-// seekNext sends the next attach request, or handles list/round exhaustion.
-func (a *agent) seekNext(at simnet.Time) {
-	s := a.seeking
-	if s.idx == 0 {
-		s.candidates = a.seekCandidates()
-	}
-	if s.idx >= len(s.candidates) {
-		s.round++
-		s.idx = 0
-		if s.round >= maxSeekRounds {
-			// No one can adopt this subtree: operate as a partition root
-			// and keep detecting the partial predicate (paper §III-F).
-			a.seeking = nil
-			a.setParent(tree.None)
-			return
-		}
-		// Back off one timeout and re-scan: anchored adopters may appear as
-		// other seekers finish.
-		a.r.sim.After(a.id, a.r.seekTimeout(), "seekBackoff", s.round)
-		return
-	}
-	s.reqID = a.r.nextAttachReq()
-	s.current = s.candidates[s.idx]
-	s.idx++
-	a.r.sim.Send(a.id, s.current, KindAttach, attachMsg{
-		Type: attachReq, ReqID: s.reqID, Covered: a.ownCovered(),
-	})
-	a.r.sim.After(a.id, a.r.seekTimeout(), "seekTimeout", s.reqID)
+// Covered returns this node's current covered set: itself plus the last
+// covered set each child reported on heartbeats.
+func (a *agent) Covered() []int { return a.ownCovered() }
+
+// NextReqID implements repair.SeekerHost with a runner-wide counter.
+func (a *agent) NextReqID() int { return a.r.nextAttachReq() }
+
+// Send ships a protocol message over the simulated network.
+func (a *agent) Send(to int, m repair.Msg) {
+	a.r.sim.Send(a.id, to, KindAttach, m)
 }
 
-// onAttach dispatches an attach-protocol message.
-func (a *agent) onAttach(at simnet.Time, from int, msg attachMsg) {
-	switch msg.Type {
-	case attachReq:
-		a.onAttachReq(at, from, msg)
-	case attachGrant:
-		a.onAttachGrant(at, from, msg)
-	case attachConfirm:
-		delete(a.reservations, msg.ReqID)
-	case attachAbort:
-		a.abortedReqs[msg.ReqID] = true
-		if child, ok := a.reservations[msg.ReqID]; ok {
-			delete(a.reservations, msg.ReqID)
-			a.r.record(at, a.removeChild(child), a.id)
-		}
-	default:
-		panic(fmt.Sprintf("monitor: agent %d got unknown attach type %v", a.id, msg.Type))
-	}
+// ArmTimeout schedules the per-candidate grant timeout.
+func (a *agent) ArmTimeout(reqID int) {
+	a.r.sim.After(a.id, a.r.seekTimeout(), "seekTimeout", reqID)
 }
 
-// onAttachReq decides whether this node can adopt the seeker's subtree.
-// Rejection is by silence; the seeker's timeout moves it along.
-func (a *agent) onAttachReq(at simnet.Time, seeker int, msg attachMsg) {
-	if a.abortedReqs[msg.ReqID] {
-		return // the request's abort overtook it on the non-FIFO link
-	}
-	for _, p := range msg.Covered {
-		if p == a.id {
-			return // adopting my own ancestor would close a cycle
-		}
-	}
-	if a.rootSeeking {
-		return // my whole tree is dangling; adopting now could cycle
-	}
-	if a.seeking != nil && a.id > seeker {
-		return // among seekers, only the smaller id anchors the larger
-	}
-	if a.node.HasSource(seeker) {
-		return // duplicate request; the reservation already exists
-	}
-	a.addChild(seeker)
-	a.reservations[msg.ReqID] = seeker
-	a.r.sim.Send(a.id, seeker, KindAttach, attachMsg{Type: attachGrant, ReqID: msg.ReqID})
+// ArmBackoff schedules the between-rounds pause.
+func (a *agent) ArmBackoff(round int) {
+	a.r.sim.After(a.id, a.r.seekTimeout(), "seekBackoff", round)
 }
 
-// onAttachGrant finalizes (or aborts) an adoption at the seeker.
-func (a *agent) onAttachGrant(at simnet.Time, granter int, msg attachMsg) {
-	s := a.seeking
-	if s == nil || msg.ReqID != s.reqID {
-		// Stale grant from a timed-out attempt: release the reservation.
-		a.r.sim.Send(a.id, granter, KindAttach, attachMsg{Type: attachAbort, ReqID: msg.ReqID})
-		return
-	}
-	// Re-validate against the topology mirror: the covered sets in requests
-	// lag by a heartbeat period, so a racing grant could close a cycle. A
-	// production protocol would detect this with epoch numbers; the
-	// simulator asks the mirror and aborts identically.
+// TryAttach re-validates against the topology mirror and performs the
+// adoption: the covered sets in requests lag by a heartbeat period, so a
+// racing grant could close a cycle. A production protocol would detect this
+// with epoch numbers; the simulator asks the mirror and aborts identically.
+func (a *agent) TryAttach(granter int) bool {
 	if a.r.topo.InSubtree(granter, a.id) {
-		a.r.sim.Send(a.id, granter, KindAttach, attachMsg{Type: attachAbort, ReqID: msg.ReqID})
-		a.seekNext(at)
-		return
+		return false
 	}
 	a.r.topo.SetParent(a.id, granter)
 	a.setParent(granter)
-	a.seeking = nil
-	a.r.sim.Send(a.id, granter, KindAttach, attachMsg{Type: attachConfirm, ReqID: msg.ReqID})
+	return true
+}
+
+// Attached runs after the adoption was confirmed to the granter.
+func (a *agent) Attached(granter int) {
 	if a.r.cfg.ResendLastOnAdopt {
-		a.resendLast(at)
+		a.resendLast(a.r.sim.Now())
 	}
 }
 
-// onSeekTimeout advances the seeker past an unresponsive candidate.
-func (a *agent) onSeekTimeout(at simnet.Time, reqID int) {
-	s := a.seeking
-	if s == nil || reqID != s.reqID {
-		return // the attempt already concluded
-	}
-	a.r.sim.Send(a.id, s.current, KindAttach, attachMsg{Type: attachAbort, ReqID: reqID})
-	a.seekNext(at)
+// Partitioned makes the agent a standalone root: detection of the partial
+// predicate over its own subtree continues (paper §III-F).
+func (a *agent) Partitioned() {
+	a.setParent(tree.None)
+}
+
+// HasSource implements repair.AdopterHost.
+func (a *agent) HasSource(child int) bool { return a.node.HasSource(child) }
+
+// Adopt reserves the child queue backing a grant.
+func (a *agent) Adopt(child int) { a.addChild(child) }
+
+// Unadopt releases an aborted reservation, delivering any detections the
+// queue removal unblocked.
+func (a *agent) Unadopt(child int) {
+	a.r.record(a.r.sim.Now(), a.removeChild(child), a.id)
 }
 
 // ownCovered returns this node's current covered set: itself plus the last
@@ -288,7 +187,7 @@ func (r *Runner) distSuspect(at simnet.Time, reporter, peer int) {
 	a.suspectedDead[peer] = true
 	switch {
 	case peer == a.parent:
-		a.startSeeking(at)
+		a.seeker.Start()
 	case a.node.HasSource(peer):
 		r.record(at, a.removeChild(peer), reporter)
 	}

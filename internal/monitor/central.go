@@ -6,6 +6,7 @@ import (
 	"hierdet/internal/centralized"
 	"hierdet/internal/core"
 	"hierdet/internal/interval"
+	"hierdet/internal/repair"
 	"hierdet/internal/simnet"
 )
 
@@ -22,7 +23,7 @@ type fwdPayload struct {
 type centRuntime struct {
 	sink      *centralized.Sink
 	sinkAgent *centAgent
-	reseq     map[int]*resequencer
+	reseq     map[int]*repair.Resequencer
 	removed   map[int]bool
 	// undeliverable counts intervals dropped because the network partitioned
 	// and no route to the sink remained.
@@ -50,11 +51,11 @@ func (r *Runner) buildCentralized() {
 	}, participants)
 	r.cent = &centRuntime{
 		sink:    sink,
-		reseq:   make(map[int]*resequencer),
+		reseq:   make(map[int]*repair.Resequencer),
 		removed: make(map[int]bool),
 	}
 	for _, p := range participants {
-		r.cent.reseq[p] = newResequencer()
+		r.cent.reseq[p] = repair.NewResequencer()
 	}
 	for _, id := range participants {
 		a := &centAgent{r: r, id: id, isSink: id == sinkID}
@@ -117,7 +118,7 @@ func (c *centRuntime) deliver(r *Runner, at simnet.Time, iv interval.Interval) {
 	if rs == nil {
 		panic(fmt.Sprintf("monitor: interval from unknown origin %d at sink", iv.Origin))
 	}
-	for _, ready := range rs.accept(ivlPayload{Iv: iv, LinkSeq: iv.Seq}) {
+	for _, ready := range rs.Accept(ivlPayload{Iv: iv, LinkSeq: iv.Seq}) {
 		r.record(at, c.sink.OnInterval(ready.Iv.Origin, ready.Iv), c.sink.ID())
 	}
 }

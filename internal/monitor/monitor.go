@@ -32,6 +32,7 @@ import (
 
 	"hierdet/internal/core"
 	"hierdet/internal/interval"
+	"hierdet/internal/repair"
 	"hierdet/internal/simnet"
 	"hierdet/internal/tree"
 	"hierdet/internal/vclock"
@@ -362,12 +363,12 @@ func (r *Runner) Run() *Result {
 		r.res.ResidentHighWater[id] = hw
 		r.res.StaleReports += a.staleIvls
 		for _, rs := range a.reseq {
-			r.res.BufferedReports += rs.buffered()
+			r.res.BufferedReports += rs.Buffered()
 		}
 	}
 	if r.cent != nil {
 		for _, rs := range r.cent.reseq {
-			r.res.BufferedReports += rs.buffered()
+			r.res.BufferedReports += rs.Buffered()
 		}
 		r.res.NodeStats[r.cent.sink.ID()] = r.cent.sink.Stats()
 		_, hw := r.cent.sink.QueueSizes()
@@ -419,7 +420,7 @@ func (r *Runner) payloadBytes() func(from, to int, kind simnet.Kind, payload any
 			}
 			return size
 		case KindAttach:
-			pl := payload.(attachMsg)
+			pl := payload.(repair.Msg)
 			return 2 + 4 + 4 + 4*len(pl.Covered) // type, reqID, len, ids
 		default:
 			return 0

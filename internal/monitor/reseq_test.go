@@ -1,0 +1,63 @@
+package monitor
+
+import (
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/simnet"
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+// TestAgentRedelivery drives a duplicating, reordering link straight into an
+// agent's message handler: each leaf report is delivered twice, with the
+// pairs arriving ahead of the frontier (so the duplicate hits the buffered
+// copy) and then behind it (so the duplicate hits the already-delivered
+// frontier). The per-link resequencer must deliver each stream exactly once
+// and in order: one detection per round, Strict succession intact, and every
+// duplicate accounted as dropped.
+func TestAgentRedelivery(t *testing.T) {
+	topo := tree.Balanced(2, 1) // root 0, leaves 1 and 2
+	const rounds = 8
+	e := workload.Generate(workload.Config{Topology: topo, Rounds: rounds, Seed: 7, PGlobal: 1})
+	r := NewRunner(Config{Mode: Hierarchical, Topology: topo, Exec: e,
+		Seed: 3, Strict: true, KeepMembers: true})
+	a := r.agents[0]
+
+	deliver := func(leaf, seq int) {
+		batch := ivlBatch{{Iv: e.Streams[leaf][seq], LinkSeq: seq}}
+		a.OnMessage(simnet.Time(seq), simnet.Message{From: leaf, To: 0, Kind: KindIvl, Payload: batch})
+	}
+	for k := 0; k < rounds; k += 2 {
+		a.OnTimer(simnet.Time(k), "local", e.Streams[0][k])
+		a.OnTimer(simnet.Time(k), "local", e.Streams[0][k+1])
+		for _, leaf := range []int{1, 2} {
+			deliver(leaf, k+1) // buffered behind the gap at k
+			deliver(leaf, k+1) // duplicate of a buffered report
+			deliver(leaf, k)   // fills the gap, releases k and k+1
+			deliver(leaf, k)   // duplicate below the delivery frontier
+		}
+	}
+
+	dets := 0
+	for _, d := range r.res.Detections {
+		if d.Node != 0 {
+			continue
+		}
+		dets++
+		if !interval.OverlapAll(interval.BaseIntervals(d.Det.Agg)) {
+			t.Fatal("false detection")
+		}
+	}
+	if dets != rounds {
+		t.Fatalf("detections = %d, want %d (a duplicate leaked or a report was lost)", dets, rounds)
+	}
+	for _, leaf := range []int{1, 2} {
+		if got := a.reseq[leaf].Dropped(); got != rounds {
+			t.Errorf("leaf %d duplicates dropped = %d, want %d", leaf, got, rounds)
+		}
+		if got := a.reseq[leaf].Buffered(); got != 0 {
+			t.Errorf("leaf %d reports still buffered = %d", leaf, got)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package repair
+
+// AdopterHost is the candidate-side runtime surface: queue surgery on the
+// node's detector plus the shared transport.
+type AdopterHost interface {
+	// HasSource reports whether the node already maintains a queue for child
+	// (a duplicate request must not create a second one).
+	HasSource(child int) bool
+	// Adopt creates the child's queue (core.Node.AddChild, fresh
+	// resequencer, epoch bump) — the reservation backing a Grant.
+	Adopt(child int)
+	// Unadopt undoes a reservation whose request was aborted: drop the
+	// child's queue again (core.Node.RemoveChild) and deliver any
+	// detections the removal unblocked.
+	Unadopt(child int)
+	// Send ships a protocol message to a peer.
+	Send(to int, m Msg)
+}
+
+// Adopter is the candidate side of the attach protocol: it decides adoption
+// requests and tracks reservations until they confirm or abort. Like Seeker
+// it is a plain state machine serialized by its host.
+type Adopter struct {
+	id           int
+	host         AdopterHost
+	reservations map[int]int  // reqID → reserved child
+	aborted      map[int]bool // request ids whose abort overtook the request
+}
+
+// NewAdopter returns an adopter for node id.
+func NewAdopter(id int, host AdopterHost) *Adopter {
+	return &Adopter{
+		id:           id,
+		host:         host,
+		reservations: make(map[int]int),
+		aborted:      make(map[int]bool),
+	}
+}
+
+// OnRequest decides whether this node can adopt the seeker's subtree and, if
+// so, reserves the queue and grants. Rejection is by silence; the seeker's
+// timeout moves it along. selfSeeking is whether this node is itself seeking
+// a parent; rootSeeking whether the root of its current tree is (the flag a
+// runtime propagates root-ward→leaf-ward, however it maintains it).
+func (ad *Adopter) OnRequest(seeker int, m Msg, selfSeeking, rootSeeking bool) {
+	if ad.aborted[m.ReqID] {
+		return // the request's abort overtook it on the non-FIFO link
+	}
+	for _, p := range m.Covered {
+		if p == ad.id {
+			return // adopting my own ancestor would close a cycle
+		}
+	}
+	if rootSeeking {
+		return // my whole tree is dangling; adopting now could cycle
+	}
+	if selfSeeking && ad.id > seeker {
+		return // among seekers, only the smaller id anchors the larger
+	}
+	if ad.host.HasSource(seeker) {
+		return // duplicate request; the reservation already exists
+	}
+	ad.host.Adopt(seeker)
+	ad.reservations[m.ReqID] = seeker
+	ad.host.Send(seeker, Msg{Type: Grant, ReqID: m.ReqID})
+}
+
+// OnConfirm finalizes a reservation: the child is attached for good.
+func (ad *Adopter) OnConfirm(m Msg) {
+	delete(ad.reservations, m.ReqID)
+}
+
+// OnAbort releases a reservation (or blacklists a request id whose abort
+// arrived first).
+func (ad *Adopter) OnAbort(m Msg) {
+	ad.aborted[m.ReqID] = true
+	if child, ok := ad.reservations[m.ReqID]; ok {
+		delete(ad.reservations, m.ReqID)
+		ad.host.Unadopt(child)
+	}
+}
+
+// Reserved returns the number of outstanding (granted, unconfirmed)
+// reservations — a runtime metric.
+func (ad *Adopter) Reserved() int { return len(ad.reservations) }

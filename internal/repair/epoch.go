@@ -1,0 +1,57 @@
+package repair
+
+// Epochs tracks reconfiguration epochs on a node's report streams. Theorem
+// 2's succession guarantee (each aggregate starts causally after the previous
+// one ended) holds only while the sender's source set is fixed, so after a
+// repair changes it the sender bumps its outgoing epoch and the receiver
+// resets the stream's queue and succession baseline — a correctness
+// requirement the paper's §III-F leaves implicit, surfaced by this
+// repository's randomized repair stress test.
+//
+// One Epochs instance serves both directions at a node: Stamp/Bump manage
+// the epoch written on outgoing reports, Observe/Forget track the last seen
+// epoch per child stream.
+type Epochs struct {
+	out         int
+	bumpPending bool
+	in          map[int]int
+}
+
+// NewEpochs returns a zeroed tracker.
+func NewEpochs() *Epochs {
+	return &Epochs{in: make(map[int]int)}
+}
+
+// Bump marks that this node's own source set changed (a child was added or
+// removed): the next outgoing report starts a new epoch. Deferring the
+// increment to Stamp coalesces repeated reconfigurations between reports.
+func (e *Epochs) Bump() { e.bumpPending = true }
+
+// Stamp returns the epoch to write on the next outgoing report, applying
+// any pending bump first.
+func (e *Epochs) Stamp() int {
+	if e.bumpPending {
+		e.out++
+		e.bumpPending = false
+	}
+	return e.out
+}
+
+// Observe ingests the epoch of an in-order report from src and reports
+// whether the sender's stream restarted. When it returns true the caller
+// must discard the queued remainder of the old stream
+// (core.Node.ResetSource); this node's own output stream restarts in turn —
+// Observe records the bump itself.
+func (e *Epochs) Observe(src, epoch int) (restarted bool) {
+	last, seen := e.in[src]
+	e.in[src] = epoch
+	if seen && epoch > last {
+		e.bumpPending = true
+		return true
+	}
+	return false
+}
+
+// Forget drops the inbound tracking state of a removed (or freshly
+// re-adopted) source: the next report from it becomes the new baseline.
+func (e *Epochs) Forget(src int) { delete(e.in, src) }

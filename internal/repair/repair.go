@@ -1,0 +1,83 @@
+// Package repair holds the runtime-independent half of the paper's §III-F
+// fault-tolerance machinery: the three-way orphan-reattachment protocol
+// (request → grant → confirm, with aborts for timeouts and stale grants),
+// the reconfiguration-epoch bookkeeping that keeps Theorem 2's succession
+// guarantee across tree repairs, and the per-link resequencer that restores
+// queue order over non-FIFO channels.
+//
+// Two runtimes drive this package: internal/monitor runs it over the
+// deterministic discrete-event simulator, internal/livenet over real
+// goroutines and channels. Both implement the small host interfaces below
+// and route protocol messages through their own transport; the decisions —
+// who adopts whom, when a stream restarts, which core.Node queues are
+// created, reset and dropped — come from here, so the two runtimes cannot
+// drift apart.
+//
+// Protocol (one outstanding request per seeker):
+//
+//	seeker   → candidate : Msg{Req, reqID, covered}
+//	candidate→ seeker    : Msg{Grant, reqID}    (candidate reserves a queue)
+//	seeker   → candidate : Msg{Confirm, reqID}  (adoption final)
+//	seeker   → candidate : Msg{Abort, reqID}    (timeout/stale grant: undo)
+//
+// A candidate rejects (by silence — the seeker's timeout advances it) when:
+//   - it lies inside the seeker's subtree (it appears in Msg.Covered), or
+//   - its own tree root is currently seeking, which prevents two orphan
+//     subtrees from adopting into each other and forming a cycle, or
+//   - it is itself seeking and has the larger id — among simultaneous
+//     seekers, grants always point from larger to smaller id, so the "grant
+//     graph" is acyclic and the smallest orphan anchors the rest.
+//
+// A seeker cycles through its live neighbours (ascending id), waits one
+// timeout per candidate, and after MaxSeekRounds full passes declares itself
+// a partition root and continues detecting the partial predicate over its
+// own subtree.
+//
+// Abort/request reordering over the non-FIFO links is handled with request
+// ids: a candidate remembers aborted ids and rejects their late requests.
+package repair
+
+import "fmt"
+
+// MaxSeekRounds is how many full passes over its candidate list a seeker
+// makes before declaring itself a partition root.
+const MaxSeekRounds = 3
+
+// MsgType labels an attach-protocol message.
+type MsgType int
+
+const (
+	// Req asks a candidate to adopt the seeker's subtree.
+	Req MsgType = iota
+	// Grant reserves the adoption at the candidate.
+	Grant
+	// Confirm finalizes the adoption.
+	Confirm
+	// Abort undoes a reservation (timeout or stale grant).
+	Abort
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case Req:
+		return "req"
+	case Grant:
+		return "grant"
+	case Confirm:
+		return "confirm"
+	case Abort:
+		return "abort"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// Msg is one attach-protocol message.
+type Msg struct {
+	Type  MsgType
+	ReqID int
+	// Covered is the seeker's subtree (Req only): a candidate inside it must
+	// not adopt, or the tree would close a cycle.
+	Covered []int
+}

@@ -1,0 +1,60 @@
+package repair
+
+import "hierdet/internal/interval"
+
+// Report is one resequenced child→parent aggregate report. LinkSeq is a
+// per-link counter (restarting at zero on every adoption) that lets the
+// receiver restore queue order over a non-FIFO channel; Epoch counts the
+// sender's subtree reconfigurations (see Epochs).
+type Report struct {
+	Iv      interval.Interval
+	LinkSeq int
+	Epoch   int
+}
+
+// Resequencer restores per-sender order over a non-FIFO link: reports carry
+// consecutive LinkSeq numbers starting at zero; out-of-order arrivals are
+// buffered and released in order, each with its own metadata (epoch).
+// Duplicates — sequence numbers below the delivery frontier, or already
+// buffered — are dropped, so redelivery (e.g. a transport retry) can never
+// deliver a report twice or out of order.
+type Resequencer struct {
+	next    int
+	pending map[int]Report
+	dropped int
+}
+
+// NewResequencer returns an empty resequencer expecting sequence 0.
+func NewResequencer() *Resequencer {
+	return &Resequencer{pending: make(map[int]Report)}
+}
+
+// Accept ingests one report and returns the (possibly empty) batch now
+// deliverable in order.
+func (q *Resequencer) Accept(r Report) []Report {
+	if r.LinkSeq < q.next {
+		q.dropped++
+		return nil // duplicate: already delivered
+	}
+	if _, dup := q.pending[r.LinkSeq]; dup {
+		q.dropped++
+		return nil // duplicate: already buffered, keep the first copy
+	}
+	q.pending[r.LinkSeq] = r
+	var out []Report
+	for {
+		next, ok := q.pending[q.next]
+		if !ok {
+			return out
+		}
+		delete(q.pending, q.next)
+		q.next++
+		out = append(out, next)
+	}
+}
+
+// Buffered returns the number of reports held back waiting for a gap.
+func (q *Resequencer) Buffered() int { return len(q.pending) }
+
+// Dropped returns the number of duplicate reports discarded.
+func (q *Resequencer) Dropped() int { return q.dropped }

@@ -1,0 +1,139 @@
+package repair
+
+// SeekerHost is what a runtime provides to a Seeker. All methods are invoked
+// synchronously from the Seeker entry points, on whatever goroutine (or
+// simulated process) drives them; the host owns transport, timers and the
+// actual tree surgery.
+type SeekerHost interface {
+	// Candidates returns the node's live neighbours outside its own subtree,
+	// ascending. Called at the start of every pass over the candidate list.
+	Candidates() []int
+	// Covered returns the node's current subtree (itself included), sorted.
+	// It rides on every request so candidates inside the subtree can refuse.
+	Covered() []int
+	// NextReqID returns a fresh, never-reused request id.
+	NextReqID() int
+	// Send ships a protocol message to a peer.
+	Send(to int, m Msg)
+	// ArmTimeout schedules a call to Seeker.OnTimeout(reqID) after the
+	// runtime's seek timeout.
+	ArmTimeout(reqID int)
+	// ArmBackoff schedules a call to Seeker.OnBackoff(round) after one seek
+	// timeout — the pause between full passes over the candidate list.
+	ArmBackoff(round int)
+	// TryAttach validates a grant and, if the adoption is still safe,
+	// performs it: repoint the node's parent at granter and restart the
+	// report link. It returns false when attaching would close a cycle (the
+	// covered sets in requests can lag behind concurrent repairs) or the
+	// granter has died; the seeker then aborts the grant and moves on.
+	TryAttach(granter int) bool
+	// Attached runs after a successful adoption was confirmed to the
+	// granter: resend-last-aggregate recovery, repair callbacks.
+	Attached(granter int)
+	// Partitioned runs when every pass failed: the node stays a root and
+	// keeps detecting the partial predicate over its own subtree.
+	Partitioned()
+}
+
+// seekState tracks one in-progress reattachment.
+type seekState struct {
+	reqID      int
+	candidates []int
+	idx        int
+	round      int
+	current    int // candidate the outstanding request went to
+}
+
+// Seeker is the orphan-subtree-root side of the attach protocol. It is a
+// plain state machine: the host calls Start when the node's parent was
+// confirmed dead, routes incoming Grant messages to OnGrant, and fires
+// OnTimeout/OnBackoff from the timers it armed. Not safe for concurrent use;
+// the host serializes calls (the simulator by construction, livenet on the
+// node's goroutine).
+type Seeker struct {
+	id   int
+	host SeekerHost
+	s    *seekState
+}
+
+// NewSeeker returns a seeker for node id.
+func NewSeeker(id int, host SeekerHost) *Seeker {
+	return &Seeker{id: id, host: host}
+}
+
+// Seeking reports whether a reattachment is in progress.
+func (k *Seeker) Seeking() bool { return k.s != nil }
+
+// Start begins the reattachment protocol. It is a no-op when one is already
+// in progress.
+func (k *Seeker) Start() {
+	if k.s != nil {
+		return
+	}
+	k.s = &seekState{reqID: -1, current: -1}
+	k.next()
+}
+
+// next sends the next attach request, or handles list/round exhaustion.
+func (k *Seeker) next() {
+	s := k.s
+	if s.idx == 0 {
+		s.candidates = k.host.Candidates()
+	}
+	if s.idx >= len(s.candidates) {
+		s.round++
+		s.idx = 0
+		if s.round >= MaxSeekRounds {
+			// No one can adopt this subtree: operate as a partition root
+			// and keep detecting the partial predicate (paper §III-F).
+			k.s = nil
+			k.host.Partitioned()
+			return
+		}
+		// Back off one timeout and re-scan: anchored adopters may appear as
+		// other seekers finish.
+		k.host.ArmBackoff(s.round)
+		return
+	}
+	s.reqID = k.host.NextReqID()
+	s.current = s.candidates[s.idx]
+	s.idx++
+	k.host.Send(s.current, Msg{Type: Req, ReqID: s.reqID, Covered: k.host.Covered()})
+	k.host.ArmTimeout(s.reqID)
+}
+
+// OnGrant finalizes (or aborts) an adoption at the seeker.
+func (k *Seeker) OnGrant(granter int, m Msg) {
+	s := k.s
+	if s == nil || m.ReqID != s.reqID {
+		// Stale grant from a timed-out attempt: release the reservation.
+		k.host.Send(granter, Msg{Type: Abort, ReqID: m.ReqID})
+		return
+	}
+	if !k.host.TryAttach(granter) {
+		k.host.Send(granter, Msg{Type: Abort, ReqID: m.ReqID})
+		k.next()
+		return
+	}
+	k.s = nil
+	k.host.Send(granter, Msg{Type: Confirm, ReqID: m.ReqID})
+	k.host.Attached(granter)
+}
+
+// OnTimeout advances the seeker past an unresponsive candidate.
+func (k *Seeker) OnTimeout(reqID int) {
+	s := k.s
+	if s == nil || reqID != s.reqID {
+		return // the attempt already concluded
+	}
+	k.host.Send(s.current, Msg{Type: Abort, ReqID: reqID})
+	k.next()
+}
+
+// OnBackoff resumes scanning after a between-rounds pause. Stale backoffs
+// (the seeker concluded, or already moved on) are ignored.
+func (k *Seeker) OnBackoff(round int) {
+	if s := k.s; s != nil && s.round == round {
+		k.next()
+	}
+}

@@ -10,11 +10,26 @@ import (
 // channels — one goroutine per process, per-message delivery goroutines as
 // asynchronous (non-FIFO) links. It is the concurrency-native counterpart of
 // Simulate: nondeterministic scheduling, identical detection semantics.
-// Failure injection is only available in the deterministic simulator.
+//
+// With HbEvery set, the cluster also runs the paper's §III-F failure
+// handling live: Kill crash-stops a node, survivors detect the silence via
+// heartbeats, orphaned subtrees renegotiate parents with the attach
+// protocol, and detection continues over the survivors. Kill, Metrics,
+// Drain, Failed and Repairs are available on the returned cluster.
 type LiveCluster = livenet.Cluster
 
 // LiveDetection is one detection observed by a LiveCluster.
 type LiveDetection = livenet.Detection
+
+// LiveMetrics is a per-node snapshot of a live cluster's runtime counters:
+// messages in/out, resequencer buffer depth and high-water mark, duplicates
+// and stale reports dropped, detections, repairs and dead children dropped.
+type LiveMetrics = livenet.Metrics
+
+// LiveRepair records one completed tree repair in a live cluster: the
+// orphaned subtree root and the parent that adopted it (NoParent if the
+// orphan exhausted its candidates and became a partition root).
+type LiveRepair = livenet.RepairEvent
 
 // LiveConfig parameterizes NewLiveCluster.
 type LiveConfig struct {
@@ -26,6 +41,26 @@ type LiveConfig struct {
 	Seed int64
 	// Verify enables order checking and solution-set retention.
 	Verify bool
+
+	// HbEvery enables failure handling: every node publishes a heartbeat
+	// and watches its tree neighbours on this period. Zero disables
+	// failure handling entirely (and Kill panics).
+	HbEvery time.Duration
+	// HbTimeout is the silence after which a neighbour is suspected
+	// (default 8×HbEvery).
+	HbTimeout time.Duration
+	// SeekTimeout bounds one attach-request round trip during repair
+	// (defaults generously; the happy path never waits on it).
+	SeekTimeout time.Duration
+	// ResendLastOnAdopt re-reports the orphan's last pre-crash aggregate to
+	// its adoptive parent (the paper's Figure 2(c) behaviour). Detections
+	// lost in flight through the dead node may be recovered at the cost of
+	// possible re-detections.
+	ResendLastOnAdopt bool
+	// OnRepair, if set, is called after each orphan finishes repair —
+	// adopted by newParent, or NoParent if it declared itself a partition
+	// root. Called outside cluster locks.
+	OnRepair func(orphan, newParent int)
 }
 
 // NewLiveCluster builds and starts a live cluster. Feed completed local
@@ -33,10 +68,15 @@ type LiveConfig struct {
 // to drain and collect the detections.
 func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 	return livenet.New(livenet.Config{
-		Topology:    cfg.Topology,
-		MaxDelay:    cfg.MaxDelay,
-		Seed:        cfg.Seed,
-		Strict:      cfg.Verify,
-		KeepMembers: cfg.Verify,
+		Topology:          cfg.Topology,
+		MaxDelay:          cfg.MaxDelay,
+		Seed:              cfg.Seed,
+		Strict:            cfg.Verify,
+		KeepMembers:       cfg.Verify,
+		HbEvery:           cfg.HbEvery,
+		HbTimeout:         cfg.HbTimeout,
+		SeekTimeout:       cfg.SeekTimeout,
+		ResendLastOnAdopt: cfg.ResendLastOnAdopt,
+		OnRepair:          cfg.OnRepair,
 	})
 }

@@ -169,10 +169,12 @@ func SimulateExecution(cfg SimConfig, exec *workload.Execution) *SimResult {
 }
 
 // GenerateWorkload exposes the round-based workload generator for use with
-// SimulateExecution.
-func GenerateWorkload(topo *Topology, rounds int, seed int64, pGlobal, pGroup float64) *workload.Execution {
+// SimulateExecution. The probabilities select, per round, a global pulse, a
+// group pulse, or a tree-oblivious random subset pulse (see
+// SimConfig.PGlobal/PGroup/PSubset); their sum must not exceed 1.
+func GenerateWorkload(topo *Topology, rounds int, seed int64, pGlobal, pGroup, pSubset float64) *workload.Execution {
 	return workload.Generate(workload.Config{
-		Topology: topo, Rounds: rounds, Seed: seed, PGlobal: pGlobal, PGroup: pGroup,
+		Topology: topo, Rounds: rounds, Seed: seed, PGlobal: pGlobal, PGroup: pGroup, PSubset: pSubset,
 	})
 }
 
