@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz figures alpha examples fmt vet clean
+.PHONY: all build test test-short race cover bench fuzz figures alpha examples smoke fmt vet clean
 
 all: build vet test
 
@@ -31,6 +31,7 @@ fuzz:
 	$(GO) test -run FuzzUnmarshalBinary -fuzz FuzzUnmarshalBinary -fuzztime 30s ./internal/vclock/
 	$(GO) test -run FuzzDecodeReport -fuzz FuzzDecodeReport -fuzztime 30s ./internal/wire/
 	$(GO) test -run FuzzDecodeHeartbeat -fuzz FuzzDecodeHeartbeat -fuzztime 30s ./internal/wire/
+	$(GO) test -run FuzzDecodeAttach -fuzz FuzzDecodeAttach -fuzztime 30s ./internal/wire/
 
 # Regenerate the paper's evaluation artifacts.
 figures:
@@ -44,6 +45,12 @@ examples:
 		echo "== $$ex"; \
 		$(GO) run ./$$ex || exit 1; \
 	done
+
+# Multi-process failover proof: seven hierdet-node OS processes over TCP,
+# one SIGKILLed mid-run, detection counts checked against the in-memory
+# reference. Localhost sockets only.
+smoke:
+	timeout 180 $(GO) run ./examples/distributed
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,162 @@
+// Command hierdet-node runs ONE spanning-tree node of the hierarchical
+// detector as its own OS process, talking to the other nodes over TCP. A
+// deployment is a cluster file (internal/clusterfile) shared by every
+// process: the tree, each node's listen address, and the workload parameters
+// every participant regenerates identically from the shared seed.
+//
+// Generate a deployment, then launch one process per node:
+//
+//	hierdet-node -init -o cluster.json -n 7
+//	for i in $(seq 0 6); do hierdet-node -config cluster.json -id $i & done
+//
+// Each process prints a line-oriented protocol on stdout that scripts (and
+// examples/distributed, the orchestrated failover demo) can follow:
+//
+//	READY id=2 addr=127.0.0.1:41233     listening, cluster started
+//	DETECT id=0 root=true span=7        a detection (span = solution width)
+//	REPAIR orphan=3 parent=2            a §III-F reattachment concluded here
+//	FED id=2 phase=1                    this process finished feeding a phase
+//
+// The workload is fed in two phases, [0, Phase1) and [Phase1, Rounds), with
+// a file-based barrier between them: after phase 1 every process polls for
+// the file named by -gate and resumes only once it exists. The pause gives an
+// orchestrator a quiet point to kill a process and let the survivors repair
+// before the second phase's intervals arrive. Without -gate the phases run
+// back to back. After feeding, the process idles until killed — detection
+// and failure handling keep running.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"hierdet"
+	"hierdet/internal/clusterfile"
+)
+
+func main() {
+	var (
+		initMode = flag.Bool("init", false, "generate a cluster file instead of running a node")
+		config   = flag.String("config", "cluster.json", "cluster file path (shared by all processes)")
+		out      = flag.String("o", "cluster.json", "init: output path")
+		n        = flag.Int("n", 7, "init: node count (balanced binary tree)")
+		rounds   = flag.Int("rounds", 12, "init: workload rounds")
+		phase1   = flag.Int("phase1", 0, "init: rounds before the gate (default rounds/2)")
+		seed     = flag.Int64("seed", 42, "init: workload seed")
+		id       = flag.Int("id", -1, "node id this process hosts")
+		gate     = flag.String("gate", "", "barrier file to await between feeding phases")
+	)
+	flag.Parse()
+
+	if *initMode {
+		if err := writeClusterFile(*out, *n, *rounds, *phase1, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "hierdet-node:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runNode(*config, *id, *gate); err != nil {
+		fmt.Fprintln(os.Stderr, "hierdet-node:", err)
+		os.Exit(1)
+	}
+}
+
+// writeClusterFile builds a balanced-binary-tree deployment on localhost. It
+// reserves a concrete port per node by binding and immediately releasing an
+// ephemeral listener, so the file can be generated before any node starts.
+// (A released port can in principle be re-taken before the node binds it;
+// on a quiet machine the window is harmless, and a collision just means
+// regenerating the file.)
+func writeClusterFile(path string, n, rounds, phase1 int, seed int64) error {
+	if n < 2 {
+		return fmt.Errorf("need at least 2 nodes, got %d", n)
+	}
+	topo := hierdet.BalancedTreeN(n, 2)
+	f := &clusterfile.File{
+		Parents: make([]int, n),
+		Addrs:   make([]string, n),
+		Rounds:  rounds, Phase1: phase1, Seed: seed, PGlobal: 1,
+	}
+	for i := 0; i < n; i++ {
+		f.Parents[i] = topo.Parent(i)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		f.Addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	if err := f.Save(path); err != nil {
+		return err
+	}
+	fmt.Printf("WROTE %s nodes=%d rounds=%d phase1=%d\n", path, n, f.Rounds, f.Phase1)
+	return nil
+}
+
+func runNode(path string, id int, gate string) error {
+	f, err := clusterfile.Load(path)
+	if err != nil {
+		return err
+	}
+	if id < 0 || id >= f.N() {
+		return fmt.Errorf("-id %d out of range for %d-node cluster", id, f.N())
+	}
+	topo, err := f.Topology()
+	if err != nil {
+		return err
+	}
+	exec := hierdet.GenerateWorkload(topo, f.Rounds, f.Seed, f.PGlobal, 0, 0)
+
+	tr, err := hierdet.NewTCPTransport(hierdet.TCPConfig{
+		Listen: f.Addrs[id],
+		Peers:  f.Peers(id),
+	})
+	if err != nil {
+		return err
+	}
+
+	c := hierdet.NewLiveCluster(hierdet.LiveConfig{
+		Topology:     topo,
+		Seed:         f.Seed + int64(id),
+		HbEvery:      time.Duration(f.HbEveryMs) * time.Millisecond,
+		HbTimeout:    time.Duration(f.HbTimeoutMs) * time.Millisecond,
+		StartupGrace: time.Duration(f.StartupGraceMs) * time.Millisecond,
+		Transport:    tr,
+		LocalNodes:   []int{id},
+		OnDetect: func(d hierdet.LiveDetection) {
+			fmt.Printf("DETECT id=%d root=%t span=%d\n", d.Node, d.AtRoot, len(d.Det.Agg.Span))
+		},
+		OnRepair: func(orphan, newParent int) {
+			fmt.Printf("REPAIR orphan=%d parent=%d\n", orphan, newParent)
+		},
+	})
+	fmt.Printf("READY id=%d addr=%s\n", id, tr.Addr())
+
+	pace := time.Duration(f.FeedEveryMs) * time.Millisecond
+	feed := func(lo, hi int) {
+		for k := lo; k < hi && k < len(exec.Streams[id]); k++ {
+			c.Observe(id, exec.Streams[id][k])
+			time.Sleep(pace)
+		}
+	}
+
+	feed(0, f.Phase1)
+	fmt.Printf("FED id=%d phase=1\n", id)
+	if gate != "" {
+		for {
+			if _, err := os.Stat(gate); err == nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	feed(f.Phase1, f.Rounds)
+	fmt.Printf("FED id=%d phase=2\n", id)
+
+	// Stay alive — detection and failure handling continue until the
+	// orchestrator (or the shell) kills the process.
+	select {}
+}

@@ -23,6 +23,7 @@ func TestExamplesRun(t *testing.T) {
 		"livecluster": "despite reordering",
 		"relational":  "Possibly(Φ)=true",
 		"visualize":   "what the detector saw:",
+		"distributed": "multi-process counts match the in-memory reference",
 	}
 	entries, err := os.ReadDir("examples")
 	if err != nil {

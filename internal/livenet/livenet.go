@@ -25,6 +25,18 @@
 // sent until after it is handled, timers take their credit when armed, and
 // Stop waits on a condition variable until the ledger drains before closing
 // any channel. There is no sleep-polling and no unsynchronized flag.
+//
+// With Config.Transport set the cluster becomes one participant of a
+// distributed deployment: it hosts only Config.LocalNodes, traffic between
+// co-hosted nodes stays on the channels, and everything else is wire-encoded
+// (internal/wire) and shipped through the transport — the in-process Network
+// of internal/transport for deterministic tests, real TCP sockets
+// (internal/transport/tcptransport) for separate OS processes. Distributed
+// mode has no shared state to lean on, so it runs the same machinery the
+// deterministic simulator's distributed-repair mode does: covered sets and
+// the root-seeking flag ride on heartbeat messages, suspicion comes from
+// heartbeat silence alone, and adoption grants are validated against local
+// knowledge only.
 package livenet
 
 import (
@@ -35,7 +47,9 @@ import (
 
 	"hierdet/internal/core"
 	"hierdet/internal/interval"
+	"hierdet/internal/transport"
 	"hierdet/internal/tree"
+	"hierdet/internal/wire"
 )
 
 // Config parameterizes a cluster.
@@ -77,6 +91,27 @@ type Config struct {
 	// off the cluster's locks (Metrics and Repairs may be called from it;
 	// Stop may not).
 	OnRepair func(orphan, newParent int)
+	// OnDetect, when set, is called for every detection as it is recorded —
+	// the streaming complement of Stop's batch return, which a long-running
+	// process (cmd/hierdet-node) needs. It runs off the cluster's locks but
+	// on node goroutines, so it must be quick and must not call Stop.
+	OnDetect func(Detection)
+
+	// Transport switches the cluster to distributed mode: it hosts only
+	// LocalNodes, and messages to every other topology node are wire-encoded
+	// and shipped through the transport (see the package comment). The
+	// cluster starts the transport in New and closes it in Stop.
+	Transport transport.Transport
+	// LocalNodes is the subset of topology nodes this cluster hosts
+	// (distributed mode only; default: every alive node, i.e. a
+	// single-participant deployment).
+	LocalNodes []int
+	// StartupGrace suppresses heartbeat-silence suspicion for this long
+	// after New: in a multi-process deployment the participants do not start
+	// simultaneously, and without a grace window the early ones would
+	// "repair around" peers that merely have not launched yet. Default
+	// 2×HbTimeout in distributed mode, unused otherwise.
+	StartupGrace time.Duration
 }
 
 // Detection is one predicate satisfaction observed by the live cluster.
@@ -106,9 +141,11 @@ const (
 // local intervals with Observe, optionally crash processes with Kill, then
 // call Stop to drain and collect every detection.
 type Cluster struct {
-	cfg   Config
-	nodes map[int]*liveNode
-	wg    sync.WaitGroup
+	cfg     Config
+	nodes   map[int]*liveNode
+	wg      sync.WaitGroup
+	remote  bool      // distributed mode: Transport is set
+	startAt time.Time // StartupGrace reference point
 
 	// mu guards everything below: the lifecycle state machine, the
 	// message-credit ledger (pending, see post/armTimer/done), the topology
@@ -146,16 +183,33 @@ func New(cfg Config) *Cluster {
 			cfg.SeekTimeout = 2 * cfg.HbEvery
 		}
 	}
+	if cfg.Transport != nil && cfg.StartupGrace == 0 {
+		cfg.StartupGrace = 2 * cfg.HbTimeout
+	}
 	c := &Cluster{
 		cfg:     cfg,
+		remote:  cfg.Transport != nil,
+		startAt: time.Now(),
 		topo:    cfg.Topology,
 		nodes:   make(map[int]*liveNode),
 		killed:  make(map[int]bool),
 		seeking: make(map[int]bool),
 	}
 	c.cond = sync.NewCond(&c.mu)
-	for _, id := range cfg.Topology.AliveNodes() {
+	hosted := cfg.Topology.AliveNodes()
+	if c.remote && len(cfg.LocalNodes) > 0 {
+		hosted = cfg.LocalNodes
+	}
+	for _, id := range hosted {
+		if !cfg.Topology.Alive(id) {
+			panic(fmt.Sprintf("livenet: LocalNodes lists dead or unknown node %d", id))
+		}
 		c.nodes[id] = newLiveNode(c, id)
+	}
+	if c.remote {
+		if err := cfg.Transport.Start(c.onFrame); err != nil {
+			panic(fmt.Sprintf("livenet: transport start: %v", err))
+		}
 	}
 	for _, ln := range c.nodes {
 		c.wg.Add(1)
@@ -258,6 +312,12 @@ func (c *Cluster) Stop() []Detection {
 		close(ln.inbox)
 	}
 	c.wg.Wait()
+	if c.remote {
+		// Incoming frames have been dropped (not credited) since the state
+		// reached stopped; Close additionally waits out any receive callback
+		// already in flight, so nothing touches the cluster after Stop.
+		c.cfg.Transport.Close()
+	}
 	c.mu.Lock()
 	out := append([]Detection(nil), c.dets...)
 	c.mu.Unlock()
@@ -342,6 +402,9 @@ func (c *Cluster) record(d Detection) {
 	c.mu.Lock()
 	c.dets = append(c.dets, d)
 	c.mu.Unlock()
+	if c.cfg.OnDetect != nil {
+		c.cfg.OnDetect(d)
+	}
 }
 
 // notifyRepair records a concluded reattachment and runs the user callback
@@ -353,6 +416,88 @@ func (c *Cluster) notifyRepair(orphan, newParent int) {
 	if c.cfg.OnRepair != nil {
 		c.cfg.OnRepair(orphan, newParent)
 	}
+}
+
+// send routes a message: through the in-process inbox when this cluster
+// hosts the destination (or is not distributed at all), wire-encoded over
+// the transport otherwise. The transport is best-effort and asynchronous, so
+// remote sends take no ledger credit — like the paper's network, a remote
+// message in flight is outside any process's knowledge until it arrives.
+func (c *Cluster) send(to int, msg message, delay time.Duration) {
+	if _, local := c.nodes[to]; local || !c.remote {
+		c.post(to, msg, delay)
+		return
+	}
+	if frame := encodeMessage(msg); frame != nil {
+		c.cfg.Transport.Send(to, frame)
+	}
+}
+
+// encodeMessage wire-encodes an inbox message for a remote peer. Timer kinds
+// never travel; msgLocal never leaves its process.
+func encodeMessage(msg message) []byte {
+	switch msg.kind {
+	case msgReport:
+		frame, err := wire.EncodeReport(wire.Report{Iv: msg.iv, LinkSeq: msg.seq, Epoch: msg.epoch})
+		if err != nil {
+			return nil
+		}
+		return frame
+	case msgHeartbeat:
+		return wire.EncodeHeartbeat(wire.Heartbeat{
+			Sender: msg.from, Epoch: msg.epoch,
+			RootSeeking: msg.hb.rootSeeking, Covered: msg.hb.covered,
+		})
+	case msgAttach:
+		return wire.EncodeAttach(wire.Attach{From: msg.from, Msg: msg.att})
+	default:
+		panic(fmt.Sprintf("livenet: message kind %d cannot be wire-encoded", msg.kind))
+	}
+}
+
+// onFrame is the transport's receive callback: decode, then hand the message
+// to the addressed node through the same credited post as local traffic.
+// Frames that fail to decode are counted and dropped — the wire package's
+// typed errors guarantee a corrupt frame cannot crash the node, one of the
+// satellite guarantees of the transport work.
+func (c *Cluster) onFrame(to int, frame []byte) {
+	ln, ok := c.nodes[to]
+	if !ok {
+		return // misrouted: addressed to a node another participant hosts
+	}
+	kind, err := wire.FrameKind(frame)
+	if err != nil {
+		ln.m.badFrames.Add(1)
+		return
+	}
+	var msg message
+	switch kind {
+	case wire.KindReport:
+		r, err := wire.DecodeReport(frame)
+		if err != nil {
+			ln.m.badFrames.Add(1)
+			return
+		}
+		// A node only reports aggregates it created, so the interval's
+		// origin identifies the sender.
+		msg = message{kind: msgReport, from: r.Iv.Origin, seq: r.LinkSeq, epoch: r.Epoch, iv: r.Iv}
+	case wire.KindHeartbeat:
+		hb, err := wire.DecodeHeartbeat(frame)
+		if err != nil {
+			ln.m.badFrames.Add(1)
+			return
+		}
+		msg = message{kind: msgHeartbeat, from: hb.Sender, epoch: hb.Epoch,
+			hb: hbInfo{rootSeeking: hb.RootSeeking, covered: hb.Covered}}
+	case wire.KindAttach:
+		a, err := wire.DecodeAttach(frame)
+		if err != nil {
+			ln.m.badFrames.Add(1)
+			return
+		}
+		msg = message{kind: msgAttach, from: a.From, att: a.Msg}
+	}
+	c.post(to, msg, 0)
 }
 
 // rootSeekingLocked reports whether the root of id's current tree (per the

@@ -31,6 +31,12 @@ type Metrics struct {
 	// ChildDrops counts child queues this node dropped because the child
 	// was confirmed dead.
 	ChildDrops int
+	// Heartbeats counts heartbeat messages this node handled (distributed
+	// mode only; single-process beacons are timestamps, not messages).
+	Heartbeats int
+	// BadFrames counts transport frames addressed to this node that failed
+	// wire decoding and were dropped (distributed mode only).
+	BadFrames int
 }
 
 // nodeMetrics is the atomic backing store for Metrics. Gauges are written
@@ -44,6 +50,8 @@ type nodeMetrics struct {
 	detections      atomic.Int64
 	repairs         atomic.Int64
 	childDrops      atomic.Int64
+	heartbeats      atomic.Int64
+	badFrames       atomic.Int64
 }
 
 // gaugeReseq republishes the resequencer-depth gauges after a queue changed.
@@ -73,6 +81,8 @@ func (m *nodeMetrics) snapshot() Metrics {
 		Detections:     int(m.detections.Load()),
 		Repairs:        int(m.repairs.Load()),
 		ChildDrops:     int(m.childDrops.Load()),
+		Heartbeats:     int(m.heartbeats.Load()),
+		BadFrames:      int(m.badFrames.Load()),
 	}
 }
 

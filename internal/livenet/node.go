@@ -20,9 +20,19 @@ const (
 	msgLocal       msgKind = iota // a completed local-predicate interval
 	msgReport                     // a child→parent aggregate report
 	msgAttach                     // a reattachment-protocol message
+	msgHeartbeat                  // a liveness beat with repair state (distributed mode)
 	msgSeekTimeout                // per-candidate grant timeout (seq = reqID)
 	msgSeekBackoff                // between-rounds pause (seq = round)
 )
+
+// hbInfo is the repair state riding on a distributed-mode heartbeat: the
+// sender's covered set (meaningful child→parent) and whether its tree root
+// is currently renegotiating a parent (meaningful parent→child). See
+// wire.Heartbeat for why each direction needs its half.
+type hbInfo struct {
+	rootSeeking bool
+	covered     []int
+}
 
 // message is one inbox entry. Every message holds one credit in the
 // cluster's pending ledger from before it is sent until after it is handled.
@@ -33,6 +43,7 @@ type message struct {
 	epoch int
 	iv    interval.Interval
 	att   repair.Msg
+	hb    hbInfo
 }
 
 // liveNode is one process: a detector node plus its links. All fields below
@@ -57,6 +68,14 @@ type liveNode struct {
 	adopter   *repair.Adopter
 	suspected map[int]bool
 
+	// Distributed-mode failure-detector state, maintained from heartbeat
+	// messages (all run-goroutine confined, like everything above):
+	// when each peer was last heard, the covered set each child last
+	// reported, and whether the parent said this tree's root is seeking.
+	lastHeard     map[int]time.Time
+	covered       map[int][]int
+	rootSeekingHB bool
+
 	rng   *rand.Rand
 	rngMu sync.Mutex
 
@@ -74,6 +93,8 @@ func newLiveNode(c *Cluster, id int) *liveNode {
 		reseq:     make(map[int]*repair.Resequencer),
 		epochs:    repair.NewEpochs(),
 		suspected: make(map[int]bool),
+		lastHeard: make(map[int]time.Time),
+		covered:   make(map[int][]int),
 		rng:       rand.New(rand.NewSource(c.cfg.Seed ^ int64(id)<<17)),
 	}
 	ln.seeker = repair.NewSeeker(id, ln)
@@ -81,6 +102,11 @@ func newLiveNode(c *Cluster, id int) *liveNode {
 	for _, child := range c.topo.Children(id) {
 		ln.node.AddChild(child)
 		ln.reseq[child] = repair.NewResequencer()
+		if c.remote {
+			// Seed each child's covered set from the initial topology (every
+			// participant knows it); the child's heartbeats refresh it.
+			ln.covered[child] = c.topo.Subtree(child)
+		}
 	}
 	ln.beat.Store(time.Now().UnixNano())
 	return ln
@@ -144,6 +170,15 @@ func (ln *liveNode) handle(msg message) {
 	case msgAttach:
 		ln.m.msgsIn.Add(1)
 		ln.onAttach(msg.from, msg.att)
+	case msgHeartbeat:
+		ln.m.heartbeats.Add(1)
+		ln.lastHeard[msg.from] = time.Now()
+		if msg.from == ln.parent {
+			ln.rootSeekingHB = msg.hb.rootSeeking
+		}
+		if _, isChild := ln.reseq[msg.from]; isChild && msg.hb.covered != nil {
+			ln.covered[msg.from] = msg.hb.covered
+		}
 	case msgSeekTimeout:
 		ln.seeker.OnTimeout(msg.seq)
 	case msgSeekBackoff:
@@ -173,7 +208,7 @@ func (ln *liveNode) report(agg interval.Interval) {
 	msg := message{kind: msgReport, from: ln.id, seq: ln.outSeq, epoch: ln.epochs.Stamp(), iv: agg}
 	ln.outSeq++
 	ln.m.msgsOut.Add(1)
-	ln.c.post(ln.parent, msg, ln.delay())
+	ln.c.send(ln.parent, msg, ln.delay())
 }
 
 // resendLast re-reports the most recent aggregate to a newly adopted parent
@@ -185,13 +220,15 @@ func (ln *liveNode) resendLast() {
 	msg := message{kind: msgReport, from: ln.id, seq: ln.outSeq, epoch: ln.epochs.Stamp(), iv: *ln.lastAgg}
 	ln.outSeq++
 	ln.m.msgsOut.Add(1)
-	ln.c.post(ln.parent, msg, ln.delay())
+	ln.c.send(ln.parent, msg, ln.delay())
 }
 
 // dropChild removes a dead or reassigned child's queue, returning the
 // detections the removal unblocked.
 func (ln *liveNode) dropChild(child int) []core.Detection {
 	delete(ln.reseq, child)
+	delete(ln.covered, child)
+	delete(ln.lastHeard, child)
 	ln.epochs.Forget(child)
 	ln.epochs.Bump()
 	ln.gaugeReseq()
@@ -199,11 +236,17 @@ func (ln *liveNode) dropChild(child int) []core.Detection {
 }
 
 // heartbeat publishes this node's liveness beacon and checks the beacons of
-// its tree neighbours (parent and children). Beacons are atomic timestamps
-// rather than messages: they model the paper's heartbeat exchange without
-// entangling liveness traffic with the quiescence ledger, so an idle cluster
-// can stop while heartbeats still flow.
+// its tree neighbours (parent and children). In single-process mode beacons
+// are atomic timestamps rather than messages: they model the paper's
+// heartbeat exchange without entangling liveness traffic with the quiescence
+// ledger, so an idle cluster can stop while heartbeats still flow. In
+// distributed mode there is no shared memory to beat through, so beats
+// become real heartbeat messages carrying the repair protocol's state.
 func (ln *liveNode) heartbeat() {
+	if ln.c.remote {
+		ln.heartbeatRemote()
+		return
+	}
 	now := time.Now().UnixNano()
 	ln.beat.Store(now)
 	staleAfter := ln.c.cfg.HbTimeout.Nanoseconds()
@@ -216,6 +259,58 @@ func (ln *liveNode) heartbeat() {
 			ln.suspect(peer)
 		}
 	}
+}
+
+// heartbeatRemote sends one heartbeat message to every tree neighbour —
+// carrying the node's covered set (fed upward into the parent's) and the
+// root-seeking flag (propagated downward so a dangling tree refuses
+// adoptions) — then suspects neighbours it has not heard from within the
+// timeout. The first check after a peer appears only baselines its clock,
+// and StartupGrace holds all suspicion back while a multi-process deployment
+// is still launching.
+func (ln *liveNode) heartbeatRemote() {
+	c := ln.c
+	beat := message{kind: msgHeartbeat, from: ln.id, epoch: ln.epochs.Peek(),
+		hb: hbInfo{rootSeeking: ln.rootSeekingHB || ln.seeker.Seeking(), covered: ln.ownCovered()}}
+	for _, peer := range ln.watchPeers() {
+		c.send(peer, beat, 0)
+	}
+	if time.Since(c.startAt) < c.cfg.StartupGrace {
+		return
+	}
+	now := time.Now()
+	for _, peer := range ln.watchPeers() {
+		if ln.suspected[peer] {
+			continue
+		}
+		last, heard := ln.lastHeard[peer]
+		if !heard {
+			ln.lastHeard[peer] = now
+			continue
+		}
+		if now.Sub(last) > c.cfg.HbTimeout {
+			ln.suspect(peer)
+		}
+	}
+}
+
+// ownCovered returns this node's covered set: itself plus the last covered
+// set each child reported (or the initial topology's subtree before a
+// child's first beat). Distributed mode only; mirrors the simulator's
+// distributed-repair bookkeeping.
+func (ln *liveNode) ownCovered() []int {
+	set := map[int]bool{ln.id: true}
+	for _, cov := range ln.covered {
+		for _, p := range cov {
+			set[p] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // watchPeers returns the neighbours whose liveness this node monitors: its
@@ -232,22 +327,32 @@ func (ln *liveNode) watchPeers() []int {
 	return out
 }
 
-// suspect handles a stale beacon. The suspicion is validated against the
-// failure injector's record before acting: a goroutine starved by the
-// scheduler can miss beats without having crashed, and acting on a false
-// suspicion would wrongly reconfigure the tree. (The check stands in for
-// the perfect failure detector the paper's crash-stop model assumes; a
-// production system would need leases or consensus here.)
+// suspect handles a stale beacon or heartbeat silence. For a peer this
+// cluster hosts, the suspicion is validated against the failure injector's
+// record before acting: a goroutine starved by the scheduler can miss beats
+// without having crashed, and acting on a false suspicion would wrongly
+// reconfigure the tree. (The check stands in for the perfect failure
+// detector the paper's crash-stop model assumes.) A remote peer offers no
+// such oracle — heartbeat silence is all the evidence there is, which is
+// exactly the paper's model: the timeout plus crash-stop assumption makes
+// the detector perfect, and Config.HbTimeout must absorb real network and
+// scheduling jitter.
 func (ln *liveNode) suspect(peer int) {
 	c := ln.c
-	c.mu.Lock()
-	dead := c.killed[peer]
-	if dead && peer == ln.parent {
+	if _, hosted := c.nodes[peer]; hosted {
+		c.mu.Lock()
+		dead := c.killed[peer]
+		if dead && peer == ln.parent {
+			c.seeking[ln.id] = true
+		}
+		c.mu.Unlock()
+		if !dead {
+			return
+		}
+	} else if peer == ln.parent {
+		c.mu.Lock()
 		c.seeking[ln.id] = true
-	}
-	c.mu.Unlock()
-	if !dead {
-		return
+		c.mu.Unlock()
 	}
 	ln.suspected[peer] = true
 	switch {

@@ -3,6 +3,7 @@ package livenet
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hierdet/internal/repair"
 	"hierdet/internal/tree"
@@ -11,12 +12,19 @@ import (
 // This file adapts the shared reattachment protocol of internal/repair to
 // the live runtime: the orphan-root and candidate state machines run on the
 // node's goroutine (driven from handle), messages travel through the same
-// racing delayed channels as reports, and timers are real timers holding
-// quiescence credits. Where the simulator's covered sets ride on heartbeats
-// and lag, the live runtime asks the cluster's topology mirror, which Kill
-// and TryAttach keep exact under the cluster mutex — validation and the
-// attach itself share one lock hold, so no interleaving can slip a cycle in
-// between them.
+// racing delayed channels as reports — or over the transport in distributed
+// mode — and timers are real timers holding quiescence credits.
+//
+// The host methods are mode-split. In single-process mode the cluster's
+// topology mirror is exact under the cluster mutex (Kill and TryAttach keep
+// it so), and validation and the attach share one lock hold, so no
+// interleaving can slip a cycle in between them. Distributed mode has no
+// exact mirror: like the simulator's distributed-repair mode, covered sets
+// ride on heartbeats and lag by up to one period, so validation uses local
+// knowledge only and cycle freedom rests on the protocol's own guards (the
+// covered-set test, the root-seeking flag, the smaller-id-anchors
+// tie-break). That is the honest distributed setting the paper's §III-F
+// assumes; a production protocol would add epoch validation in its messages.
 
 // onAttach dispatches an attach-protocol message to the shared state
 // machines.
@@ -24,9 +32,16 @@ func (ln *liveNode) onAttach(from int, msg repair.Msg) {
 	switch msg.Type {
 	case repair.Req:
 		c := ln.c
-		c.mu.Lock()
-		rootSeeking := c.rootSeekingLocked(ln.id)
-		c.mu.Unlock()
+		var rootSeeking bool
+		if c.remote {
+			// Heartbeat-fed, like the simulator: the parent's beats say
+			// whether this tree's root is still renegotiating a parent.
+			rootSeeking = ln.rootSeekingHB
+		} else {
+			c.mu.Lock()
+			rootSeeking = c.rootSeekingLocked(ln.id)
+			c.mu.Unlock()
+		}
 		ln.adopter.OnRequest(from, msg, ln.seeker.Seeking(), rootSeeking)
 	case repair.Grant:
 		ln.seeker.OnGrant(from, msg)
@@ -42,14 +57,24 @@ func (ln *liveNode) onAttach(from int, msg repair.Msg) {
 // --- repair.SeekerHost / repair.AdopterHost ---
 
 // Candidates returns the live neighbours outside this node's subtree,
-// ascending.
+// ascending. The neighbour pool comes from the static communication graph;
+// the subtree comes from the mirror in single-process mode and from the
+// heartbeat-fed covered sets in distributed mode, where suspicion (not the
+// killed record, which only covers local nodes) excludes dead peers.
 func (ln *liveNode) Candidates() []int {
 	c := ln.c
+	covered := make(map[int]bool)
+	if c.remote {
+		for _, p := range ln.ownCovered() {
+			covered[p] = true
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	covered := make(map[int]bool)
-	for _, p := range c.topo.Subtree(ln.id) {
-		covered[p] = true
+	if !c.remote {
+		for _, p := range c.topo.Subtree(ln.id) {
+			covered[p] = true
+		}
 	}
 	var out []int
 	for _, nb := range c.topo.Neighbors(ln.id) {
@@ -57,12 +82,18 @@ func (ln *liveNode) Candidates() []int {
 			out = append(out, nb)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 
-// Covered returns this node's current subtree per the mirror, sorted.
+// Covered returns this node's current subtree — per the mirror in
+// single-process mode, per the heartbeat-fed sets in distributed mode —
+// sorted.
 func (ln *liveNode) Covered() []int {
 	c := ln.c
+	if c.remote {
+		return ln.ownCovered()
+	}
 	c.mu.Lock()
 	cov := c.topo.Subtree(ln.id)
 	c.mu.Unlock()
@@ -70,20 +101,25 @@ func (ln *liveNode) Covered() []int {
 	return cov
 }
 
-// NextReqID implements repair.SeekerHost with a cluster-wide counter.
+// NextReqID implements repair.SeekerHost. Request ids must never repeat
+// across the whole deployment (a candidate blacklists aborted ids), and in
+// distributed mode the participants share no counter — so the cluster-local
+// sequence is qualified with the seeking node's id, which is globally unique
+// by construction. Kept to 32 bits so the id survives the wire encoding.
 func (ln *liveNode) NextReqID() int {
 	c := ln.c
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.reqSeq++
-	return c.reqSeq
+	seq := c.reqSeq
+	c.mu.Unlock()
+	return seq<<16 | (ln.id & 0xffff)
 }
 
-// Send ships a protocol message over a racing delayed channel, like any
-// other message.
+// Send ships a protocol message over a racing delayed channel — or the
+// transport — like any other message.
 func (ln *liveNode) Send(to int, m repair.Msg) {
 	ln.m.msgsOut.Add(1)
-	ln.c.post(to, message{kind: msgAttach, from: ln.id, att: m}, ln.delay())
+	ln.c.send(to, message{kind: msgAttach, from: ln.id, att: m}, ln.delay())
 }
 
 // ArmTimeout schedules the per-candidate grant timeout.
@@ -96,12 +132,38 @@ func (ln *liveNode) ArmBackoff(round int) {
 	ln.c.armTimer(ln, ln.c.cfg.SeekTimeout, message{kind: msgSeekBackoff, seq: round})
 }
 
-// TryAttach validates the grant against the topology mirror and performs
-// the adoption under one lock hold: the granter must still be alive and
-// outside this node's subtree when the parent pointer flips, so concurrent
-// repairs cannot close a cycle between the check and the attach.
+// TryAttach validates a grant and performs the adoption. Single-process
+// mode asks the topology mirror under one lock hold: the granter must still
+// be alive and outside this node's subtree when the parent pointer flips, so
+// concurrent repairs cannot close a cycle between the check and the attach.
+// Distributed mode validates with local knowledge — the granter is not
+// suspected dead and not in this node's own covered set — and does not touch
+// the mirror, which no longer tracks remote reattachments.
 func (ln *liveNode) TryAttach(granter int) bool {
 	c := ln.c
+	if c.remote {
+		if ln.suspected[granter] {
+			return false
+		}
+		for _, p := range ln.ownCovered() {
+			if p == granter {
+				return false
+			}
+		}
+		c.mu.Lock()
+		if c.killed[granter] { // co-hosted granter crashed after granting
+			c.mu.Unlock()
+			return false
+		}
+		delete(c.seeking, ln.id)
+		c.mu.Unlock()
+		ln.parent = granter
+		ln.outSeq = 0
+		ln.rootSeekingHB = false // refreshed by the new parent's beats
+		ln.lastHeard[granter] = time.Now()
+		ln.m.repairs.Add(1)
+		return true
+	}
 	c.mu.Lock()
 	if c.killed[granter] || c.topo.InSubtree(granter, ln.id) {
 		c.mu.Unlock()
@@ -132,6 +194,7 @@ func (ln *liveNode) Partitioned() {
 	delete(c.seeking, ln.id)
 	c.mu.Unlock()
 	ln.parent = tree.None
+	ln.rootSeekingHB = false // this node is the root now, and it is done seeking
 	ln.m.repairs.Add(1)
 	c.notifyRepair(ln.id, tree.None)
 }
@@ -139,10 +202,16 @@ func (ln *liveNode) Partitioned() {
 // HasSource implements repair.AdopterHost.
 func (ln *liveNode) HasSource(child int) bool { return ln.node.HasSource(child) }
 
-// Adopt reserves the child queue backing a grant.
-func (ln *liveNode) Adopt(child int) {
+// Adopt reserves the child queue backing a grant. In distributed mode the
+// request's declared covered set seeds the failure detector's bookkeeping
+// for the new child (its own heartbeats refresh both entries).
+func (ln *liveNode) Adopt(child int, covered []int) {
 	ln.node.AddChild(child)
 	ln.reseq[child] = repair.NewResequencer()
+	if ln.c.remote {
+		ln.covered[child] = covered
+		ln.lastHeard[child] = time.Now()
+	}
 	ln.epochs.Forget(child)
 	ln.epochs.Bump()
 }

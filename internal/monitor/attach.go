@@ -127,8 +127,11 @@ func (a *agent) Partitioned() {
 // HasSource implements repair.AdopterHost.
 func (a *agent) HasSource(child int) bool { return a.node.HasSource(child) }
 
-// Adopt reserves the child queue backing a grant.
-func (a *agent) Adopt(child int) { a.addChild(child) }
+// Adopt reserves the child queue backing a grant. The request's covered set
+// is ignored here: the simulator's addChild seeds the covered bookkeeping
+// from the topology oracle, which is exact (and keeps runs deterministic);
+// the live runtime, with no oracle, seeds from the declared set instead.
+func (a *agent) Adopt(child int, _ []int) { a.addChild(child) }
 
 // Unadopt releases an aborted reservation, delivering any detections the
 // queue removal unblocked.

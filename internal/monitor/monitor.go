@@ -414,14 +414,12 @@ func (r *Runner) payloadBytes() func(from, to int, kind simnet.Kind, payload any
 		case KindFwd:
 			return reportBytes(from, to, payload.(fwdPayload).Iv)
 		case KindHb:
-			size := wire.HeartbeatSize
 			if pl, ok := payload.(hbPayload); ok {
-				size += 1 + 4*len(pl.Covered) // rootSeeking flag + covered ids
+				return wire.HeartbeatWireSize(len(pl.Covered))
 			}
-			return size
+			return wire.HeartbeatSize
 		case KindAttach:
-			pl := payload.(repair.Msg)
-			return 2 + 4 + 4 + 4*len(pl.Covered) // type, reqID, len, ids
+			return wire.AttachWireSize(len(payload.(repair.Msg).Covered))
 		default:
 			return 0
 		}

@@ -7,8 +7,11 @@ type AdopterHost interface {
 	// (a duplicate request must not create a second one).
 	HasSource(child int) bool
 	// Adopt creates the child's queue (core.Node.AddChild, fresh
-	// resequencer, epoch bump) — the reservation backing a Grant.
-	Adopt(child int)
+	// resequencer, epoch bump) — the reservation backing a Grant. covered is
+	// the subtree the request declared: a runtime with no global view seeds
+	// its covered-set bookkeeping from it (the child's own heartbeats
+	// refresh it); runtimes with an exact mirror may ignore it.
+	Adopt(child int, covered []int)
 	// Unadopt undoes a reservation whose request was aborted: drop the
 	// child's queue again (core.Node.RemoveChild) and deliver any
 	// detections the removal unblocked.
@@ -60,7 +63,7 @@ func (ad *Adopter) OnRequest(seeker int, m Msg, selfSeeking, rootSeeking bool) {
 	if ad.host.HasSource(seeker) {
 		return // duplicate request; the reservation already exists
 	}
-	ad.host.Adopt(seeker)
+	ad.host.Adopt(seeker, m.Covered)
 	ad.reservations[m.ReqID] = seeker
 	ad.host.Send(seeker, Msg{Type: Grant, ReqID: m.ReqID})
 }

@@ -37,6 +37,17 @@ func (e *Epochs) Stamp() int {
 	return e.out
 }
 
+// Peek returns the epoch the next outgoing report will carry, without
+// consuming a pending bump. Heartbeats carry the epoch for observability but
+// must not perturb when the bump lands on the report stream, so they peek
+// where reports stamp.
+func (e *Epochs) Peek() int {
+	if e.bumpPending {
+		return e.out + 1
+	}
+	return e.out
+}
+
 // Observe ingests the epoch of an in-order report from src and reports
 // whether the sender's stream restarted. When it returns true the caller
 // must discard the queued remainder of the old stream

@@ -174,7 +174,7 @@ func (m *memNode) TryAttach(granter int) bool {
 func (m *memNode) Attached(granter int)     { m.attached = append(m.attached, granter) }
 func (m *memNode) Partitioned()             { m.partitioned = true }
 func (m *memNode) HasSource(child int) bool { return m.children[child] }
-func (m *memNode) Adopt(child int)          { m.children[child] = true }
+func (m *memNode) Adopt(child int, _ []int) { m.children[child] = true }
 func (m *memNode) Unadopt(child int)        { delete(m.children, child) }
 
 // Send delivers synchronously — the protocol must tolerate that degenerate

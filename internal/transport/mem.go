@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"sync"
+)
+
+// Network is an in-process frame switchboard: each participant (usually one
+// livenet cluster hosting a subset of the topology) gets an Endpoint, and
+// frames sent to a process id are handed to whichever endpoint registered
+// that id. It drives the exact code path a real network transport does —
+// wire encode, frame dispatch, wire decode — without sockets, which makes
+// distributed-mode livenet tests deterministic and fast. Frames to ids
+// nobody registered are dropped, like messages to a crashed process.
+type Network struct {
+	mu    sync.Mutex
+	owner map[int]*Endpoint // process id → hosting endpoint
+}
+
+// NewNetwork returns an empty switchboard.
+func NewNetwork() *Network {
+	return &Network{owner: make(map[int]*Endpoint)}
+}
+
+// Endpoint returns a Transport that hosts the given process ids on this
+// network. The ids are claimed immediately; delivery begins at Start.
+func (n *Network) Endpoint(ids ...int) *Endpoint {
+	ep := &Endpoint{net: n, ids: ids}
+	n.mu.Lock()
+	for _, id := range ids {
+		n.owner[id] = ep
+	}
+	n.mu.Unlock()
+	return ep
+}
+
+// Endpoint is one participant's attachment to a Network.
+type Endpoint struct {
+	net *Network
+	ids []int
+
+	mu     sync.Mutex
+	recv   func(to int, frame []byte)
+	closed bool
+	wg     sync.WaitGroup
+
+	// Drop, when set (before Start), filters outgoing frames: return true
+	// to discard the frame instead of delivering it — fault injection for
+	// loss-path tests. Called on the sender's goroutine.
+	Drop func(to int, frame []byte) bool
+}
+
+// Start implements Transport.
+func (ep *Endpoint) Start(recv func(to int, frame []byte)) error {
+	ep.mu.Lock()
+	ep.recv = recv
+	ep.mu.Unlock()
+	return nil
+}
+
+// Send implements Transport: the frame is copied and handed to the owning
+// endpoint's receive callback on a fresh goroutine, so in-process delivery
+// races exactly like a socket read would.
+func (ep *Endpoint) Send(to int, frame []byte) {
+	if ep.Drop != nil && ep.Drop(to, frame) {
+		return
+	}
+	ep.net.mu.Lock()
+	dst := ep.net.owner[to]
+	ep.net.mu.Unlock()
+	if dst == nil {
+		return
+	}
+	dst.deliver(to, frame)
+}
+
+// Inject delivers a raw frame to one of this endpoint's own processes, as if
+// a peer had sent it — the hook duplicate-delivery and corrupt-frame tests
+// use.
+func (ep *Endpoint) Inject(to int, frame []byte) { ep.deliver(to, frame) }
+
+func (ep *Endpoint) deliver(to int, frame []byte) {
+	cp := append([]byte(nil), frame...)
+	ep.mu.Lock()
+	if ep.closed || ep.recv == nil {
+		ep.mu.Unlock()
+		return
+	}
+	ep.wg.Add(1)
+	recv := ep.recv
+	ep.mu.Unlock()
+	go func() {
+		defer ep.wg.Done()
+		recv(to, cp)
+	}()
+}
+
+// Close implements Transport: the endpoint's ids are released and Close
+// blocks until every in-flight recv callback has returned.
+func (ep *Endpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	ep.mu.Unlock()
+	ep.net.mu.Lock()
+	for _, id := range ep.ids {
+		if ep.net.owner[id] == ep {
+			delete(ep.net.owner, id)
+		}
+	}
+	ep.net.mu.Unlock()
+	ep.wg.Wait()
+	return nil
+}

@@ -1,0 +1,59 @@
+package tcptransport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/vclock"
+	"hierdet/internal/wire"
+)
+
+// BenchmarkLoopbackRoundTrip measures the full TCP path a deployed report
+// takes — encode is excluded (see the wire benchmarks); this isolates
+// enqueue → coalesced write → kernel loopback → read → dispatch. It is the
+// baseline any future transport change (framing, batching, buffer reuse)
+// must move visibly.
+func BenchmarkLoopbackRoundTrip(b *testing.B) {
+	n := 64
+	lo := make(vclock.VC, n)
+	hi := make(vclock.VC, n)
+	for i := range lo {
+		hi[i] = uint64(i + 1)
+	}
+	payload, err := wire.EncodeReport(wire.Report{Iv: interval.New(1, 0, lo, hi)})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	sink, err := New(Config{Listen: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	var delivered atomic.Int64
+	if err := sink.Start(func(int, []byte) { delivered.Add(1) }); err != nil {
+		b.Fatal(err)
+	}
+	src, err := New(Config{Listen: "127.0.0.1:0", Peers: map[int]string{1: sink.Addr()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Start(func(int, []byte) {}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(1, payload)
+	}
+	for delivered.Load() < int64(b.N) {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	st := src.Stats()
+	b.ReportMetric(float64(st.FramesOut)/float64(max(st.Flushes, 1)), "frames/flush")
+}

@@ -1,0 +1,521 @@
+// Package tcptransport runs the detector's message plane over real TCP
+// sockets: one listener per OS process, one lazily-dialed outbound
+// connection per peer process. It implements transport.Transport, so a
+// livenet cluster configured with it exchanges the same wire-encoded frames
+// as the in-memory runtime — but across process (and machine) boundaries,
+// which is the deployment model the paper assumes ("large-scale networks")
+// and the repository's north star requires.
+//
+// # Framing
+//
+// Connections carry length-prefixed envelopes (big endian):
+//
+//	envelope := payloadLen u32 | to u32 | payload [payloadLen]byte
+//
+// `to` is the destination process id — the transport's own addressing, kept
+// outside the wire formats so one listener can host several detector nodes.
+// payload is one internal/wire frame (report, heartbeat or attach). A reader
+// that sees an implausible length (> MaxFrame) treats the stream as corrupt
+// and drops the connection; the peer redials.
+//
+// # Reliability
+//
+// Sends are asynchronous: Send enqueues and returns, a per-peer writer
+// goroutine dials lazily on first use and reconnects with exponential
+// backoff (plus jitter) after failures. All frames queued at write time are
+// written in one buffered flush — write coalescing, so a burst of reports to
+// the same parent costs one syscall. Because a TCP write() success does not
+// mean delivery (data buffered in the kernel dies with a reset connection),
+// the writer keeps the last RedeliveryWindow frames it wrote and replays
+// them after every reconnect. Receivers absorb the duplicates: report
+// streams are deduplicated by the per-link resequencers, and the repair
+// protocol is idempotent by request id. Frames beyond the window on a
+// connection that dies unnoticed are lost — the residual asynchrony the
+// paper's lossless-channel assumption hides; deployments needing more can
+// layer acknowledgements underneath without touching the detector.
+//
+// Frames to peers that stay unreachable accumulate up to MaxBacklog and
+// then drop oldest-first: messages to a crashed process are lost by the
+// model, and the cap keeps a dead peer from holding the sender's memory.
+package tcptransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a TCP transport.
+type Config struct {
+	// Listen is the local listen address ("127.0.0.1:0" picks a free
+	// port; read the result back with Addr).
+	Listen string
+	// Peers is the address book: process id → "host:port". Ids hosted by
+	// this process itself need no entry (livenet never routes local
+	// traffic through the transport).
+	Peers map[int]string
+	// DialBackoff is the first reconnect delay after a failed dial or a
+	// broken connection; it doubles per consecutive failure up to
+	// DialBackoffMax. Defaults: 10ms and 1s.
+	DialBackoff, DialBackoffMax time.Duration
+	// RedeliveryWindow is how many recently-written frames are replayed
+	// after a reconnect (default 64; 0 keeps the default, negative
+	// disables replay).
+	RedeliveryWindow int
+	// MaxBacklog caps the frames queued per peer; beyond it the oldest
+	// are dropped (default 4096).
+	MaxBacklog int
+	// MaxFrame caps the payload length a reader accepts before declaring
+	// the stream corrupt (default 1<<24).
+	MaxFrame int
+	// Seed drives the reconnect jitter (0 seeds from the listen address).
+	Seed int64
+}
+
+// Stats is a point-in-time snapshot of the transport's counters.
+type Stats struct {
+	// FramesOut and FramesIn count frames written and delivered
+	// (redeliveries included).
+	FramesOut, FramesIn int
+	// Redelivered counts frames replayed after a reconnect.
+	Redelivered int
+	// Dials counts successful dials; Redials the reconnects among them.
+	Dials, Redials int
+	// BacklogDropped counts frames dropped because a peer's queue
+	// overflowed MaxBacklog.
+	BacklogDropped int
+	// CorruptFrames counts envelopes rejected by a reader.
+	CorruptFrames int
+	// Flushes counts coalesced writes (one flush may carry many frames).
+	Flushes int
+}
+
+// Transport is a running TCP transport. Create with New, wire into a
+// cluster (livenet calls Start), tear down with Close.
+type Transport struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	peers  map[int]*peer
+	conns  map[net.Conn]bool // accepted connections, for teardown
+	recv   func(to int, frame []byte)
+	closed bool
+
+	readers sync.WaitGroup
+	writers sync.WaitGroup
+
+	framesOut, framesIn, redelivered atomic.Int64
+	dials, redials                   atomic.Int64
+	backlogDropped, corruptFrames    atomic.Int64
+	flushes                          atomic.Int64
+}
+
+// New binds the listener immediately (so Addr is valid before Start) but
+// accepts no traffic until Start.
+func New(cfg Config) (*Transport, error) {
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 10 * time.Millisecond
+	}
+	if cfg.DialBackoffMax <= 0 {
+		cfg.DialBackoffMax = time.Second
+	}
+	if cfg.RedeliveryWindow == 0 {
+		cfg.RedeliveryWindow = 64
+	}
+	if cfg.MaxBacklog <= 0 {
+		cfg.MaxBacklog = 4096
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = 1 << 24
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: listen %s: %w", cfg.Listen, err)
+	}
+	if cfg.Seed == 0 {
+		for _, b := range []byte(ln.Addr().String()) {
+			cfg.Seed = cfg.Seed*131 + int64(b)
+		}
+	}
+	return &Transport{
+		cfg:   cfg,
+		ln:    ln,
+		peers: make(map[int]*peer),
+		conns: make(map[net.Conn]bool),
+	}, nil
+}
+
+// Addr returns the bound listen address (useful with "host:0").
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeers installs (or replaces) the address book. It exists for
+// deployments whose listen addresses are only known after every participant
+// has bound ("host:0"): bind all transports with New, exchange Addr values,
+// then SetPeers before the first Send. Peers that already have a live writer
+// keep the address they were created with.
+func (t *Transport) SetPeers(peers map[int]string) {
+	t.mu.Lock()
+	t.cfg.Peers = peers
+	t.mu.Unlock()
+}
+
+// Start implements transport.Transport: begin accepting and delivering.
+func (t *Transport) Start(recv func(to int, frame []byte)) error {
+	t.mu.Lock()
+	if t.recv != nil {
+		t.mu.Unlock()
+		return errors.New("tcptransport: Start called twice")
+	}
+	t.recv = recv
+	t.mu.Unlock()
+	t.readers.Add(1)
+	go t.acceptLoop()
+	return nil
+}
+
+// Send implements transport.Transport: enqueue for the peer's writer.
+func (t *Transport) Send(to int, frame []byte) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	p := t.peers[to]
+	if p == nil {
+		addr, ok := t.cfg.Peers[to]
+		if !ok {
+			t.mu.Unlock()
+			return // unknown peer: dropped, like a message to the dead
+		}
+		p = newPeer(t, to, addr)
+		t.peers[to] = p
+		t.writers.Add(1)
+		go p.writeLoop()
+	}
+	t.mu.Unlock()
+	p.enqueue(append([]byte(nil), frame...))
+}
+
+// Stats snapshots the counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		FramesOut:      int(t.framesOut.Load()),
+		FramesIn:       int(t.framesIn.Load()),
+		Redelivered:    int(t.redelivered.Load()),
+		Dials:          int(t.dials.Load()),
+		Redials:        int(t.redials.Load()),
+		BacklogDropped: int(t.backlogDropped.Load()),
+		CorruptFrames:  int(t.corruptFrames.Load()),
+		Flushes:        int(t.flushes.Load()),
+	}
+}
+
+// DisconnectPeer severs the current outbound connection to a peer with a
+// hard reset, as a failing network would. The writer notices on its next
+// write, reconnects with backoff and replays its redelivery window. A
+// fault-injection hook for tests; harmless in production.
+func (t *Transport) DisconnectPeer(to int) {
+	t.mu.Lock()
+	p := t.peers[to]
+	t.mu.Unlock()
+	if p != nil {
+		p.abortConn()
+	}
+}
+
+// Close implements transport.Transport.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	t.ln.Close()
+	for _, p := range peers {
+		p.close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.writers.Wait()
+	t.readers.Wait()
+	return nil
+}
+
+// --- inbound path ---
+
+func (t *Transport) acceptLoop() {
+	defer t.readers.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = true
+		t.readers.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		t.readers.Done()
+	}()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		size := int(binary.BigEndian.Uint32(hdr[:4]))
+		to := int(binary.BigEndian.Uint32(hdr[4:]))
+		if size > t.cfg.MaxFrame {
+			t.corruptFrames.Add(1)
+			return // stream corrupt: drop the connection, peer redials
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		t.mu.Lock()
+		recv, closed := t.recv, t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		t.framesIn.Add(1)
+		recv(to, payload)
+	}
+}
+
+// --- outbound path ---
+
+// peer is one outbound link: a queue, a redelivery ring and a writer
+// goroutine that owns the connection.
+type peer struct {
+	t    *Transport
+	id   int
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+	done   chan struct{} // closed with the peer, wakes backoff sleeps
+	conn   net.Conn      // current connection, for abortConn; owned by writeLoop
+
+	sent [][]byte // redelivery ring, most recent last; writeLoop only
+	rng  *rand.Rand
+}
+
+func newPeer(t *Transport, id int, addr string) *peer {
+	p := &peer{
+		t: t, id: id, addr: addr,
+		done: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(t.cfg.Seed ^ int64(id)<<13)),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *peer) enqueue(frame []byte) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.queue = append(p.queue, frame)
+	if over := len(p.queue) - p.t.cfg.MaxBacklog; over > 0 {
+		p.queue = p.queue[over:]
+		p.t.backlogDropped.Add(int64(over))
+	}
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+func (p *peer) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.done)
+	}
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// abortConn hard-resets the current connection (SO_LINGER 0 ⇒ RST), so even
+// kernel-buffered data is lost — the failure mode the redelivery window
+// exists for.
+func (p *peer) abortConn() {
+	p.mu.Lock()
+	conn := p.conn
+	p.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// writeLoop owns the peer's connection: dial lazily with backoff, drain the
+// queue in coalesced flushes, replay the redelivery window after reconnects.
+func (p *peer) writeLoop() {
+	defer p.t.writers.Done()
+	var failures int
+	dialed := false
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		batch := p.queue
+		p.queue = nil
+		conn := p.conn
+		p.mu.Unlock()
+
+		if conn == nil {
+			var err error
+			conn, err = net.DialTimeout("tcp", p.addr, time.Second)
+			if err != nil {
+				p.requeueFront(batch)
+				if p.sleepBackoff(&failures) {
+					return
+				}
+				continue
+			}
+			p.t.dials.Add(1)
+			if dialed {
+				p.t.redials.Add(1)
+				// The previous connection may have died with frames in
+				// the kernel buffer: replay the window ahead of new
+				// traffic and let the receiver's resequencers dedup.
+				if len(p.sent) > 0 {
+					replay := append([][]byte(nil), p.sent...)
+					batch = append(replay, batch...)
+					p.t.redelivered.Add(int64(len(replay)))
+				}
+			}
+			dialed = true
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				conn.Close()
+				return
+			}
+			p.conn = conn
+			p.mu.Unlock()
+		}
+
+		if err := writeBatch(conn, p.id, batch); err != nil {
+			p.mu.Lock()
+			p.conn = nil
+			p.mu.Unlock()
+			conn.Close()
+			p.requeueFront(batch)
+			if p.sleepBackoff(&failures) {
+				return
+			}
+			continue
+		}
+		failures = 0
+		p.t.flushes.Add(1)
+		p.t.framesOut.Add(int64(len(batch)))
+		p.remember(batch)
+	}
+}
+
+// requeueFront puts an unwritten batch back ahead of anything enqueued since.
+func (p *peer) requeueFront(batch [][]byte) {
+	p.mu.Lock()
+	p.queue = append(batch, p.queue...)
+	if over := len(p.queue) - p.t.cfg.MaxBacklog; over > 0 {
+		p.queue = p.queue[over:]
+		p.t.backlogDropped.Add(int64(over))
+	}
+	p.mu.Unlock()
+}
+
+// sleepBackoff waits the current exponential backoff (with jitter),
+// returning true if the peer closed meanwhile.
+func (p *peer) sleepBackoff(failures *int) bool {
+	d := p.t.cfg.DialBackoff << uint(min(*failures, 20))
+	if d > p.t.cfg.DialBackoffMax || d <= 0 {
+		d = p.t.cfg.DialBackoffMax
+	}
+	*failures++
+	timer := time.NewTimer(d + time.Duration(p.rng.Int63n(int64(d)/4+1)))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return false
+	case <-p.done:
+		return true
+	}
+}
+
+// remember appends a written batch to the redelivery ring.
+func (p *peer) remember(batch [][]byte) {
+	w := p.t.cfg.RedeliveryWindow
+	if w <= 0 {
+		return
+	}
+	p.sent = append(p.sent, batch...)
+	if over := len(p.sent) - w; over > 0 {
+		p.sent = append([][]byte(nil), p.sent[over:]...)
+	}
+}
+
+// writeBatch writes every frame of a batch through one buffered flush.
+func writeBatch(conn net.Conn, to int, batch [][]byte) error {
+	size := 0
+	for _, f := range batch {
+		size += 8 + len(f)
+	}
+	buf := make([]byte, 0, size)
+	var hdr [8]byte
+	for _, f := range batch {
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(f)))
+		binary.BigEndian.PutUint32(hdr[4:], uint32(to))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, f...)
+	}
+	_, err := conn.Write(buf)
+	return err
+}

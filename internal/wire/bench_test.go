@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"testing"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/repair"
+	"hierdet/internal/vclock"
+)
+
+// The encode/decode benchmarks anchor the transport's perf trajectory: every
+// report a TCP deployment ships pays one encode at the sender and one decode
+// at the receiver, so codec regressions surface here before they show up as
+// cluster throughput.
+
+func benchReport(n int) Report {
+	lo := make(vclock.VC, n)
+	hi := make(vclock.VC, n)
+	for i := range lo {
+		lo[i] = uint64(i)
+		hi[i] = uint64(i + 10)
+	}
+	span := make([]int, n/2)
+	for i := range span {
+		span[i] = i
+	}
+	iv := interval.New(1, 3, lo, hi)
+	iv.Agg = true
+	iv.Span = span
+	return Report{Iv: iv, LinkSeq: 5, Epoch: 2}
+}
+
+func BenchmarkEncodeReport(b *testing.B) {
+	r := benchReport(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeReport(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeReport(b *testing.B) {
+	data, err := EncodeReport(benchReport(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeReport(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeHeartbeat(b *testing.B) {
+	hb := Heartbeat{Sender: 3, Epoch: 9, RootSeeking: true, Covered: []int{3, 4, 5, 6, 7, 8, 9}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeHeartbeat(hb)
+	}
+}
+
+func BenchmarkDecodeHeartbeat(b *testing.B) {
+	data := EncodeHeartbeat(Heartbeat{Sender: 3, Epoch: 9, Covered: []int{3, 4, 5, 6, 7, 8, 9}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeHeartbeat(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeAttach(b *testing.B) {
+	a := Attach{From: 4, Msg: repair.Msg{Type: repair.Req, ReqID: 11, Covered: []int{4, 9, 10}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeAttach(a)
+	}
+}
+
+func BenchmarkDecodeAttach(b *testing.B) {
+	data := EncodeAttach(Attach{From: 4, Msg: repair.Msg{Type: repair.Req, ReqID: 11, Covered: []int{4, 9, 10}}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAttach(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,14 +1,26 @@
 package wire
 
 import (
+	"errors"
 	"testing"
 
 	"hierdet/internal/interval"
+	"hierdet/internal/repair"
 	"hierdet/internal/vclock"
 )
 
+// requireTyped asserts every decode error wraps one of the two sentinel
+// categories — the contract transports dispatch on.
+func requireTyped(t *testing.T, err error) {
+	t.Helper()
+	if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("decode error %v wraps neither ErrCorrupt nor ErrTruncated", err)
+	}
+}
+
 // FuzzDecodeReport hardens the report decoder: arbitrary bytes must never
-// panic, and accepted frames must re-encode to an equivalent frame.
+// panic, rejections must be typed, and accepted frames must re-encode to an
+// equivalent frame.
 func FuzzDecodeReport(f *testing.F) {
 	iv := interval.New(1, 2, vclock.Of(1, 0, 3), vclock.Of(4, 5, 6))
 	seed, _ := EncodeReport(Report{Iv: iv, LinkSeq: 7})
@@ -21,6 +33,7 @@ func FuzzDecodeReport(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := DecodeReport(data)
 		if err != nil {
+			requireTyped(t, err)
 			return
 		}
 		out, err := EncodeReport(r)
@@ -38,17 +51,52 @@ func FuzzDecodeReport(f *testing.F) {
 	})
 }
 
-// FuzzDecodeHeartbeat must never panic.
+// FuzzDecodeHeartbeat must never panic, reject with typed errors, and
+// round-trip accepted frames (epoch, root-seeking flag, covered set).
 func FuzzDecodeHeartbeat(f *testing.F) {
-	f.Add(EncodeHeartbeat(3))
+	f.Add(EncodeHeartbeat(Heartbeat{Sender: 3}))
+	f.Add(EncodeHeartbeat(Heartbeat{Sender: 5, Epoch: 2, RootSeeking: true, Covered: []int{5, 6, 7}}))
 	f.Add([]byte{})
+	f.Add([]byte{0xD7, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		sender, err := DecodeHeartbeat(data)
+		hb, err := DecodeHeartbeat(data)
 		if err != nil {
+			requireTyped(t, err)
 			return
 		}
-		if got := EncodeHeartbeat(sender); len(got) != HeartbeatSize {
-			t.Fatal("re-encode size wrong")
+		hb2, err := DecodeHeartbeat(EncodeHeartbeat(hb))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if hb2.Sender != hb.Sender || hb2.Epoch != hb.Epoch || hb2.RootSeeking != hb.RootSeeking ||
+			len(hb2.Covered) != len(hb.Covered) {
+			t.Fatal("decode/encode/decode changed the heartbeat")
+		}
+	})
+}
+
+// FuzzDecodeAttach covers the four repair-protocol frames: request (with
+// covered set), grant, confirm, abort.
+func FuzzDecodeAttach(f *testing.F) {
+	f.Add(EncodeAttach(Attach{From: 1, Msg: repair.Msg{Type: repair.Req, ReqID: 9, Covered: []int{1, 4}}}))
+	f.Add(EncodeAttach(Attach{From: 2, Msg: repair.Msg{Type: repair.Grant, ReqID: 9}}))
+	f.Add(EncodeAttach(Attach{From: 1, Msg: repair.Msg{Type: repair.Confirm, ReqID: 9}}))
+	f.Add(EncodeAttach(Attach{From: 1, Msg: repair.Msg{Type: repair.Abort, ReqID: 9}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xD7, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeAttach(data)
+		if err != nil {
+			requireTyped(t, err)
+			return
+		}
+		a2, err := DecodeAttach(EncodeAttach(a))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if a2.From != a.From || a2.Msg.Type != a.Msg.Type || a2.Msg.ReqID != a.Msg.ReqID ||
+			len(a2.Msg.Covered) != len(a.Msg.Covered) {
+			t.Fatal("decode/encode/decode changed the attach frame")
 		}
 	})
 }

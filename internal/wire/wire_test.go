@@ -1,10 +1,13 @@
 package wire
 
 import (
+	"encoding/binary"
+	"errors"
 	"math/rand"
 	"testing"
 
 	"hierdet/internal/interval"
+	"hierdet/internal/repair"
 	"hierdet/internal/vclock"
 )
 
@@ -80,34 +83,115 @@ func TestQuickReportRoundTrip(t *testing.T) {
 func TestDecodeRejectsCorruption(t *testing.T) {
 	iv := interval.New(0, 0, vclock.Of(1, 2), vclock.Of(3, 4))
 	data, _ := EncodeReport(Report{Iv: iv})
-	cases := map[string][]byte{
-		"empty":     {},
-		"magic":     append([]byte{0x00}, data[1:]...),
-		"kind":      append([]byte{magic, 9}, data[2:]...),
-		"truncated": data[:len(data)-3],
-		"trailing":  append(append([]byte{}, data...), 0xFF),
+	cases := map[string]struct {
+		frame []byte
+		want  error
+	}{
+		"empty":     {[]byte{}, ErrTruncated},
+		"magic":     {append([]byte{0x00}, data[1:]...), ErrCorrupt},
+		"kind":      {append([]byte{magic, 9}, data[2:]...), ErrCorrupt},
+		"truncated": {data[:len(data)-3], ErrTruncated},
+		"trailing":  {append(append([]byte{}, data...), 0xFF), ErrCorrupt},
 	}
 	for name, c := range cases {
-		if _, err := DecodeReport(c); err == nil {
+		_, err := DecodeReport(c.frame)
+		if err == nil {
 			t.Errorf("%s: corruption accepted", name)
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: error %v does not wrap %v", name, err, c.want)
 		}
 	}
 }
 
+// TestDecodeRejectsOversizedSpanBeforeAllocating: a frame whose span length
+// claims more ids than MaxSpan (or than its bytes can back) must be rejected
+// as corrupt without a giant allocation.
+func TestDecodeRejectsOversizedSpanBeforeAllocating(t *testing.T) {
+	iv := interval.New(0, 0, vclock.Of(1, 2), vclock.Of(3, 4))
+	data, _ := EncodeReport(Report{Iv: iv})
+	// spanLen sits at offset 19 (2 header + 17 fixed report fields).
+	huge := append([]byte{}, data...)
+	binary.BigEndian.PutUint32(huge[19:], uint32(MaxSpan+1))
+	if _, err := DecodeReport(huge); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized span error = %v, want ErrCorrupt", err)
+	}
+	short := append([]byte{}, data...)
+	binary.BigEndian.PutUint32(short[19:], 1000) // more ids than bytes remain
+	if _, err := DecodeReport(short); !errors.Is(err, ErrTruncated) {
+		t.Errorf("unbacked span error = %v, want ErrTruncated", err)
+	}
+}
+
 func TestHeartbeatRoundTrip(t *testing.T) {
-	data := EncodeHeartbeat(12345)
-	if len(data) != HeartbeatSize {
-		t.Fatalf("size %d", len(data))
+	hb := Heartbeat{Sender: 12345, Epoch: 7, RootSeeking: true, Covered: []int{3, 4, 9}}
+	data := EncodeHeartbeat(hb)
+	if len(data) != HeartbeatWireSize(3) {
+		t.Fatalf("size %d, want %d", len(data), HeartbeatWireSize(3))
 	}
-	sender, err := DecodeHeartbeat(data)
-	if err != nil || sender != 12345 {
-		t.Fatalf("sender %d err %v", sender, err)
+	back, err := DecodeHeartbeat(data)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := DecodeHeartbeat(data[:3]); err == nil {
-		t.Error("short heartbeat accepted")
+	if back.Sender != 12345 || back.Epoch != 7 || !back.RootSeeking {
+		t.Fatalf("identity lost: %+v", back)
 	}
-	if _, err := DecodeHeartbeat(EncodeReport0()); err == nil {
+	if len(back.Covered) != 3 || back.Covered[0] != 3 || back.Covered[2] != 9 {
+		t.Fatalf("covered set lost: %v", back.Covered)
+	}
+	if plain := EncodeHeartbeat(Heartbeat{Sender: 1}); len(plain) != HeartbeatSize {
+		t.Fatalf("empty heartbeat size %d, want %d", len(plain), HeartbeatSize)
+	}
+	if _, err := DecodeHeartbeat(data[:3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short heartbeat error = %v, want ErrTruncated", err)
+	}
+	if _, err := DecodeHeartbeat(EncodeReport0()); !errors.Is(err, ErrCorrupt) {
 		t.Error("report frame accepted as heartbeat")
+	}
+	if _, err := DecodeHeartbeat(append(append([]byte{}, data...), 1)); !errors.Is(err, ErrCorrupt) {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestAttachRoundTrip(t *testing.T) {
+	for _, typ := range []repair.MsgType{repair.Req, repair.Grant, repair.Confirm, repair.Abort} {
+		a := Attach{From: 42, Msg: repair.Msg{Type: typ, ReqID: 17}}
+		if typ == repair.Req {
+			a.Msg.Covered = []int{2, 5, 6}
+		}
+		data := EncodeAttach(a)
+		if want := AttachWireSize(len(a.Msg.Covered)); len(data) != want {
+			t.Fatalf("%v: size %d, want %d", typ, len(data), want)
+		}
+		back, err := DecodeAttach(data)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if back.From != 42 || back.Msg.Type != typ || back.Msg.ReqID != 17 {
+			t.Fatalf("%v: identity lost: %+v", typ, back)
+		}
+		if len(back.Msg.Covered) != len(a.Msg.Covered) {
+			t.Fatalf("%v: covered lost: %v", typ, back.Msg.Covered)
+		}
+		if k, err := FrameKind(data); err != nil || k != KindAttach {
+			t.Fatalf("%v: FrameKind = %d, %v", typ, k, err)
+		}
+	}
+}
+
+func TestAttachRejectsCorruption(t *testing.T) {
+	data := EncodeAttach(Attach{From: 1, Msg: repair.Msg{Type: repair.Grant, ReqID: 2}})
+	bad := append([]byte{}, data...)
+	bad[6] = 200 // invalid MsgType
+	if _, err := DecodeAttach(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("invalid type error = %v, want ErrCorrupt", err)
+	}
+	if _, err := DecodeAttach(data[:7]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short attach error = %v, want ErrTruncated", err)
+	}
+	if _, err := DecodeAttach(EncodeHeartbeat(Heartbeat{Sender: 1})); !errors.Is(err, ErrCorrupt) {
+		t.Error("heartbeat frame accepted as attach")
 	}
 }
 

@@ -61,6 +61,23 @@ type LiveConfig struct {
 	// adopted by newParent, or NoParent if it declared itself a partition
 	// root. Called outside cluster locks.
 	OnRepair func(orphan, newParent int)
+	// OnDetect, if set, streams each detection as it is recorded — the
+	// live complement of Stop's batch return. It runs on node goroutines,
+	// so it must be quick and must not call Stop.
+	OnDetect func(LiveDetection)
+
+	// Transport switches the cluster into distributed mode: it hosts only
+	// LocalNodes, and traffic to every other tree node is wire-encoded and
+	// shipped through the transport (NewTCPTransport for real sockets). The
+	// cluster starts the transport and closes it in Stop.
+	Transport Transport
+	// LocalNodes is the subset of tree nodes this participant hosts
+	// (distributed mode only). Typically one node per OS process.
+	LocalNodes []int
+	// StartupGrace suppresses failure suspicion for this long after start,
+	// covering the staggered launch of a multi-process deployment (default
+	// 2×HbTimeout in distributed mode).
+	StartupGrace time.Duration
 }
 
 // NewLiveCluster builds and starts a live cluster. Feed completed local
@@ -78,5 +95,9 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		SeekTimeout:       cfg.SeekTimeout,
 		ResendLastOnAdopt: cfg.ResendLastOnAdopt,
 		OnRepair:          cfg.OnRepair,
+		OnDetect:          cfg.OnDetect,
+		Transport:         cfg.Transport,
+		LocalNodes:        cfg.LocalNodes,
+		StartupGrace:      cfg.StartupGrace,
 	})
 }
