@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz figures alpha examples smoke fmt vet clean
+.PHONY: all build test test-short race cover bench bench-json fuzz figures alpha examples smoke fmt vet clean
 
 all: build vet test
 
@@ -26,10 +26,18 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz passes over the wire codecs.
+# Refresh the recorded benchmark trajectory (BENCH_hotpath.json).
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+# Short fuzz passes over the wire codecs. Patterns are anchored: a bare
+# FuzzDecodeReport would match both FuzzDecodeReport and FuzzDecodeReportV2,
+# and `go test -fuzz` refuses ambiguous patterns.
 fuzz:
 	$(GO) test -run FuzzUnmarshalBinary -fuzz FuzzUnmarshalBinary -fuzztime 30s ./internal/vclock/
-	$(GO) test -run FuzzDecodeReport -fuzz FuzzDecodeReport -fuzztime 30s ./internal/wire/
+	$(GO) test -run FuzzDecodeDelta -fuzz FuzzDecodeDelta -fuzztime 30s ./internal/vclock/
+	$(GO) test -run 'FuzzDecodeReport$$' -fuzz 'FuzzDecodeReport$$' -fuzztime 30s ./internal/wire/
+	$(GO) test -run FuzzDecodeReportV2 -fuzz FuzzDecodeReportV2 -fuzztime 30s ./internal/wire/
 	$(GO) test -run FuzzDecodeHeartbeat -fuzz FuzzDecodeHeartbeat -fuzztime 30s ./internal/wire/
 	$(GO) test -run FuzzDecodeAttach -fuzz FuzzDecodeAttach -fuzztime 30s ./internal/wire/
 

@@ -49,6 +49,11 @@ func reportRun(b *testing.B, res *SimResult) {
 	}
 	b.ReportMetric(float64(worstSpace), "worst-node-ivls/run")
 	b.ReportMetric(float64(len(res.RootDetections())), "detections/run")
+	// Byte volume under both wire framings: fixed-width v1 and delta-varint
+	// v2 with per-link basis chaining. The ratio is the wire saving a TCP
+	// deployment sees after the codec change.
+	b.ReportMetric(float64(res.WireBytesV1), "bytes-v1/run")
+	b.ReportMetric(float64(res.WireBytesV2), "bytes-v2/run")
 }
 
 // BenchmarkTableI_Hierarchical measures Algorithm 1 on a 31-node binary tree

@@ -1,0 +1,223 @@
+// Command benchjson runs the hot-path benchmark suite and records the
+// results as one machine-readable JSON file (BENCH_hotpath.json by default).
+// Checked in and regenerated per change, the file is the repository's
+// benchmark trajectory: `git log -p BENCH_hotpath.json` shows how ns/op,
+// B/op, allocs/op and bytes/frame moved with every hot-path PR, without
+// anyone re-running old commits.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson            # full suite → BENCH_hotpath.json
+//	go run ./cmd/benchjson -short     # quicker pass (CI)
+//	go run ./cmd/benchjson -out F     # write elsewhere
+//
+// The suite covers the layers of the report hot path: vclock codec and
+// comparisons, wire encode/decode (v1 vs v2, pooled), interval aggregation
+// and queue, detector node work, TCP loopback, and the simulator's Figure
+// 4/5 byte-volume sweeps (bytes-v1/run vs bytes-v2/run).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// suite is one `go test -bench` invocation.
+type suite struct {
+	Pkg       string `json:"package"`
+	Pattern   string `json:"pattern"`
+	Benchtime string `json:"benchtime"`
+	short     string // benchtime override under -short ("" keeps Benchtime)
+}
+
+var suites = []suite{
+	{Pkg: "./internal/vclock", Pattern: "BenchmarkCompareLess|BenchmarkAppendDelta|BenchmarkConsumeDelta|BenchmarkString|BenchmarkLess|BenchmarkMarshal", Benchtime: "20000x"},
+	{Pkg: "./internal/wire", Pattern: "BenchmarkEncodeReport|BenchmarkDecodeReport", Benchtime: "20000x"},
+	{Pkg: "./internal/interval", Pattern: "BenchmarkAggregate|BenchmarkOverlapAll|BenchmarkQueueCycle", Benchtime: "20000x"},
+	{Pkg: "./internal/core", Pattern: "BenchmarkNodeDetection|BenchmarkNodeElimination", Benchtime: "200x", short: "50x"},
+	{Pkg: "./internal/transport/tcptransport", Pattern: "BenchmarkLoopbackRoundTrip|BenchmarkRebase", Benchtime: "50000x", short: "5000x"},
+	{Pkg: ".", Pattern: "BenchmarkFigure4_Messages|BenchmarkFigure5_Messages", Benchtime: "1x"},
+}
+
+// result is one benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type suiteOut struct {
+	suite
+	Results []result `json:"results"`
+}
+
+type output struct {
+	Note    string             `json:"note"`
+	Go      string             `json:"go"`
+	GOARCH  string             `json:"goarch"`
+	Suites  []suiteOut         `json:"suites"`
+	Summary map[string]float64 `json:"summary"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "output file")
+	short := flag.Bool("short", false, "shorter benchtimes for CI lanes")
+	flag.Parse()
+
+	doc := output{
+		Note:   "regenerate with: make bench-json (go run ./cmd/benchjson)",
+		Go:     runtime.Version(),
+		GOARCH: runtime.GOARCH,
+	}
+	for _, s := range suites {
+		bt := s.Benchtime
+		if *short && s.short != "" {
+			bt = s.short
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s -bench %s -benchtime %s\n", s.Pkg, s.Pattern, bt)
+		results, err := runSuite(s.Pkg, s.Pattern, bt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", s.Pkg, err)
+			os.Exit(1)
+		}
+		s.Benchtime = bt
+		doc.Suites = append(doc.Suites, suiteOut{suite: s, Results: results})
+	}
+	doc.Summary = summarize(doc.Suites)
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+}
+
+func runSuite(pkg, pattern, benchtime string) ([]result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", benchtime, "-benchmem", "-count", "1", pkg)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%w\n%s%s", err, stdout.String(), stderr.String())
+	}
+	var results []result
+	sc := bufio.NewScanner(&stdout)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", stdout.String())
+	}
+	return results, nil
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkName[/sub][-P]  N  v1 unit1  v2 unit2 ...
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -GOMAXPROCS qualifier, keeping sub-benchmark paths.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+// summarize derives the headline numbers the acceptance criteria track.
+func summarize(suites []suiteOut) map[string]float64 {
+	metric := func(pkg, name, unit string) (float64, bool) {
+		for _, s := range suites {
+			if s.Pkg != pkg {
+				continue
+			}
+			for _, r := range s.Results {
+				if r.Name == name {
+					v, ok := r.Metrics[unit]
+					return v, ok
+				}
+			}
+		}
+		return 0, false
+	}
+	sum := map[string]float64{}
+	v1F, ok1 := metric("./internal/wire", "BenchmarkEncodeReportV2/v1", "bytes/frame")
+	absF, ok2 := metric("./internal/wire", "BenchmarkEncodeReportV2/absolute", "bytes/frame")
+	dltF, ok3 := metric("./internal/wire", "BenchmarkEncodeReportV2/delta", "bytes/frame")
+	if ok1 && ok2 && v1F > 0 {
+		sum["frame_reduction_pct_v2_absolute"] = 100 * (1 - absF/v1F)
+	}
+	if ok1 && ok3 && v1F > 0 {
+		sum["frame_reduction_pct_v2_delta"] = 100 * (1 - dltF/v1F)
+	}
+	if a, ok := metric("./internal/wire", "BenchmarkEncodeReportPooled", "allocs/op"); ok {
+		sum["pooled_encode_allocs_per_op"] = a
+	}
+	if a, ok := metric("./internal/wire", "BenchmarkDecodeReportPooled/v2-delta", "allocs/op"); ok {
+		sum["pooled_decode_allocs_per_op"] = a
+	}
+	// Simulated byte-volume reduction across the Figure 4/5 height sweeps
+	// (worst sub-benchmark, i.e. the smallest saving).
+	worst := -1.0
+	for _, s := range suites {
+		if s.Pkg != "." {
+			continue
+		}
+		for _, r := range s.Results {
+			v1b, ok1 := r.Metrics["bytes-v1/run"]
+			v2b, ok2 := r.Metrics["bytes-v2/run"]
+			if ok1 && ok2 && v1b > 0 {
+				if red := 100 * (1 - v2b/v1b); worst < 0 || red < worst {
+					worst = red
+				}
+			}
+		}
+	}
+	if worst >= 0 {
+		sum["sim_bytes_reduction_pct_min"] = worst
+	}
+	if v1, ok1 := metric("./internal/transport/tcptransport", "BenchmarkLoopbackRoundTrip/v1", "ns/op"); ok1 {
+		if v2, ok2 := metric("./internal/transport/tcptransport", "BenchmarkLoopbackRoundTrip/v2", "ns/op"); ok2 && v2 > 0 {
+			sum["loopback_v1_over_v2_speedup"] = v1 / v2
+		}
+		if nc, ok2 := metric("./internal/transport/tcptransport", "BenchmarkLoopbackRoundTrip/v2-nochain", "ns/op"); ok2 && nc > 0 {
+			sum["loopback_v1_over_v2_nochain_speedup"] = v1 / nc
+		}
+	}
+	return sum
+}

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"hierdet/internal/interval"
+	"hierdet/internal/vclock"
 )
 
 // Detection records one satisfaction of the predicate in the subtree rooted
@@ -114,9 +115,13 @@ type Node struct {
 	// Scratch buffers reused across detection rounds; detection runs on the
 	// owner's goroutine only, so reuse is safe and keeps the per-interval
 	// hot path allocation-free (see BenchmarkNodeDetection). scratchA backs
-	// detect's updated/prune list; the elim pair backs eliminate's rounds.
+	// detect's updated/prune list; the elim pair backs eliminate's rounds;
+	// aggScratch holds each ⊓-aggregation while it is computed, so only the
+	// published Detection pays an allocation (one compact clone instead of
+	// two clock clones plus a span set).
 	scratchA                   []int
 	scratchElimA, scratchElimB []int
+	aggScratch                 interval.Interval
 	one                        [1]int
 }
 
@@ -271,7 +276,8 @@ func (nd *Node) detect(trigger []int) []Detection {
 			nd.scratchA = updated[:0]
 			return dets
 		}
-		agg := interval.Aggregate(sol, nd.id, nd.aggSeq, nd.cfg.KeepMembers)
+		interval.AggregateInto(&nd.aggScratch, sol, nd.id, nd.aggSeq, nd.cfg.KeepMembers)
+		agg := nd.aggScratch.CompactClone()
 		nd.aggSeq++
 		nd.stats.Detections++
 		dets = append(dets, Detection{Node: nd.id, Set: sol, Agg: agg})
@@ -307,10 +313,13 @@ func (nd *Node) eliminate(trigger []int) {
 				}
 				y := qb.Head()
 				nd.stats.VecComparisons += 2
-				if !x.Lo.Less(y.Hi) {
+				// One fused pass evaluates both directions of Eq. 2's
+				// pairwise check (see vclock.CompareLess).
+				xBeforeY, yBeforeX := vclock.CompareLess(x.Lo, y.Hi, y.Lo, x.Hi)
+				if !xBeforeY {
 					next = addUnique(next, b)
 				}
-				if !y.Lo.Less(x.Hi) {
+				if !yBeforeX {
 					next = addUnique(next, a)
 				}
 			}

@@ -88,6 +88,21 @@ func New(origin, seq int, lo, hi vclock.VC) Interval {
 // every aggregate of an overlapping set satisfies (Theorem 2).
 func (x Interval) WellFormed() bool { return x.Lo.LessEq(x.Hi) }
 
+// CompactClone returns a deep copy of x whose Lo and Hi share one backing
+// array — one allocation instead of two for the pair of clocks that every
+// published aggregate must own. Term and Members are shared (both are
+// immutable once set); Span is copied.
+func (x Interval) CompactClone() Interval {
+	out := x
+	n := x.Lo.Len()
+	backing := make(vclock.VC, n+x.Hi.Len())
+	copy(backing[:n], x.Lo)
+	copy(backing[n:], x.Hi)
+	out.Lo, out.Hi = backing[:n:n], backing[n:]
+	out.Span = append([]int(nil), x.Span...)
+	return out
+}
+
 // String renders the interval for logs and test failures.
 func (x Interval) String() string {
 	kind := "ivl"
@@ -101,9 +116,11 @@ func (x Interval) String() string {
 //
 //	min(x) < max(y)  ∧  min(y) < max(x)
 //
-// For a set this must hold between every ordered pair (paper Eq. 2).
+// For a set this must hold between every ordered pair (paper Eq. 2). The two
+// comparisons run as one fused component pass (vclock.CompareLess).
 func Overlap(x, y Interval) bool {
-	return x.Lo.Less(y.Hi) && y.Lo.Less(x.Hi)
+	a, b := vclock.CompareLess(x.Lo, y.Hi, y.Lo, x.Hi)
+	return a && b
 }
 
 // OverlapAll reports overlap(X): min(xᵢ) < max(xⱼ) for every ordered pair
@@ -135,39 +152,74 @@ func OverlapAll(xs []Interval) bool {
 // Aggregate panics on an empty set; callers only aggregate detected solution
 // sets, which are never empty.
 func Aggregate(xs []Interval, origin, seq int, keepMembers bool) Interval {
+	var agg Interval
+	AggregateInto(&agg, xs, origin, seq, keepMembers)
+	return agg
+}
+
+// AggregateInto computes ⊓xs into *dst, reusing dst's Lo, Hi and Span
+// backing arrays when they have capacity. It is the allocation-free form of
+// Aggregate for callers that keep a scratch interval across detections (the
+// detector runs one aggregation per detection, and at production sizes the
+// two clock clones plus the span set dominated its cost). dst must not alias
+// any member of xs. Term and Members are reset; Members is populated (fresh
+// storage) only when keepMembers is set.
+func AggregateInto(dst *Interval, xs []Interval, origin, seq int, keepMembers bool) {
 	if len(xs) == 0 {
 		panic("interval: Aggregate of empty set")
 	}
-	lo := xs[0].Lo.Clone()
-	hi := xs[0].Hi.Clone()
+	n := xs[0].Lo.Len()
+	dst.Lo = sizedVC(dst.Lo, n)
+	dst.Hi = sizedVC(dst.Hi, n)
+	dst.Lo.CopyFrom(xs[0].Lo)
+	dst.Hi.CopyFrom(xs[0].Hi)
+	dst.Span = dst.Span[:0]
 	bases := 0
-	spanSet := make(map[int]bool)
-	for _, x := range xs {
-		lo.MergeMax(x.Lo)
-		hi.MergeMin(x.Hi)
+	for i := range xs {
+		x := &xs[i]
+		if i > 0 {
+			dst.Lo.MergeMax(x.Lo)
+			dst.Hi.MergeMin(x.Hi)
+		}
 		bases += x.Bases
 		for _, p := range x.Span {
-			spanSet[p] = true
+			dst.Span = insertUnique(dst.Span, p)
 		}
 	}
-	span := make([]int, 0, len(spanSet))
-	for p := range spanSet {
-		span = append(span, p)
-	}
-	sortInts(span)
-	agg := Interval{
-		Lo:     lo,
-		Hi:     hi,
-		Origin: origin,
-		Seq:    seq,
-		Agg:    true,
-		Span:   span,
-		Bases:  bases,
-	}
+	dst.Origin = origin
+	dst.Seq = seq
+	dst.Agg = true
+	dst.Bases = bases
+	dst.Term = nil
+	dst.Members = nil
 	if keepMembers {
-		agg.Members = append([]Interval(nil), xs...)
+		dst.Members = append([]Interval(nil), xs...)
 	}
-	return agg
+}
+
+// sizedVC resizes v to n components, reusing its backing array if possible.
+func sizedVC(v vclock.VC, n int) vclock.VC {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make(vclock.VC, n)
+}
+
+// insertUnique adds p to a sorted id list, keeping it sorted and duplicate
+// free. Spans are bounded by subtree size and usually tiny, so the linear
+// shift beats a set structure.
+func insertUnique(s []int, p int) []int {
+	i := len(s)
+	for i > 0 && s[i-1] > p {
+		i--
+	}
+	if i > 0 && s[i-1] == p {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = p
+	return s
 }
 
 // BaseIntervals recursively expands an interval into the base intervals it
@@ -183,14 +235,4 @@ func BaseIntervals(x Interval) []Interval {
 		out = append(out, BaseIntervals(m)...)
 	}
 	return out
-}
-
-// sortInts is a tiny insertion sort; spans are short (bounded by subtree
-// size) and this avoids pulling in package sort for one call site.
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }

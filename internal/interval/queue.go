@@ -8,10 +8,15 @@ package interval
 //
 // The implementation is a growable ring buffer: detection repeatedly
 // enqueues at the tail and deletes at the head, and a ring avoids the
-// re-slicing churn of a plain slice queue. Queue is not safe for concurrent
-// use; each detector node owns its queues and serializes access.
+// re-slicing churn of a plain slice queue. Capacities are powers of two so
+// every index computation is a bitmask rather than a modulo — the ring is hit
+// four times per interval on the steady-state hot path (enqueue, head, delete,
+// and Eq. 9's successor peek), and an integer division there is measurable at
+// scale. Queue is not safe for concurrent use; each detector node owns its
+// queues and serializes access.
 type Queue struct {
 	buf        []Interval
+	mask       int // len(buf)-1; valid because len(buf) is a power of two
 	head, size int
 
 	// HighWater tracks the maximum number of intervals ever resident, for
@@ -33,7 +38,7 @@ func (q *Queue) Enqueue(x Interval) {
 	if q.size == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = x
+	q.buf[(q.head+q.size)&q.mask] = x
 	q.size++
 	if q.size > q.HighWater {
 		q.HighWater = q.size
@@ -57,7 +62,7 @@ func (q *Queue) DeleteHead() Interval {
 	}
 	x := q.buf[q.head]
 	q.buf[q.head] = Interval{} // release references for GC
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & q.mask
 	q.size--
 	return x
 }
@@ -69,7 +74,7 @@ func (q *Queue) At(i int) Interval {
 	if i < 0 || i >= q.size {
 		panic("interval: Queue.At out of range")
 	}
-	return q.buf[(q.head+i)%len(q.buf)]
+	return q.buf[(q.head+i)&q.mask]
 }
 
 // Snapshot returns the queued intervals in order, head first. Used by tests
@@ -77,16 +82,19 @@ func (q *Queue) At(i int) Interval {
 func (q *Queue) Snapshot() []Interval {
 	out := make([]Interval, q.size)
 	for i := 0; i < q.size; i++ {
-		out[i] = q.buf[(q.head+i)%len(q.buf)]
+		out[i] = q.buf[(q.head+i)&q.mask]
 	}
 	return out
 }
 
+// grow doubles the ring (minimum 4 slots), keeping the capacity a power of
+// two so mask indexing stays valid.
 func (q *Queue) grow() {
 	next := make([]Interval, max(4, 2*len(q.buf)))
 	for i := 0; i < q.size; i++ {
-		next[i] = q.buf[(q.head+i)%len(q.buf)]
+		next[i] = q.buf[(q.head+i)&q.mask]
 	}
 	q.buf = next
+	q.mask = len(next) - 1
 	q.head = 0
 }

@@ -428,21 +428,28 @@ func (c *Cluster) send(to int, msg message, delay time.Duration) {
 		c.post(to, msg, delay)
 		return
 	}
+	if msg.kind == msgReport {
+		// Reports — the O(n)-sized hot-path messages — ride wire format v2
+		// through a pooled scratch buffer. Send must not retain the frame
+		// (transport.Transport contract), so the buffer recycles as soon as
+		// it returns; per-link delta chaining, if any, happens inside the
+		// transport against its own connection state.
+		buf := wire.GetBuffer()
+		*buf = wire.AppendReportV2(*buf, wire.Report{Iv: msg.iv, LinkSeq: msg.seq, Epoch: msg.epoch}, nil)
+		c.cfg.Transport.Send(to, *buf)
+		wire.PutBuffer(buf)
+		return
+	}
 	if frame := encodeMessage(msg); frame != nil {
 		c.cfg.Transport.Send(to, frame)
 	}
 }
 
 // encodeMessage wire-encodes an inbox message for a remote peer. Timer kinds
-// never travel; msgLocal never leaves its process.
+// never travel; msgLocal never leaves its process; reports take the pooled
+// v2 path in send.
 func encodeMessage(msg message) []byte {
 	switch msg.kind {
-	case msgReport:
-		frame, err := wire.EncodeReport(wire.Report{Iv: msg.iv, LinkSeq: msg.seq, Epoch: msg.epoch})
-		if err != nil {
-			return nil
-		}
-		return frame
 	case msgHeartbeat:
 		return wire.EncodeHeartbeat(wire.Heartbeat{
 			Sender: msg.from, Epoch: msg.epoch,

@@ -183,6 +183,15 @@ type Result struct {
 	// of the run — nonzero only when a gap never filled (message loss or a
 	// sender's death mid-stream).
 	BufferedReports int
+	// WireBytesV1 and WireBytesV2 total the run's traffic under the two wire
+	// framings: fixed-width v1 frames, and v2 delta-varint frames with
+	// per-link basis chaining (each report's Lo charged against the previous
+	// report's Hi on the same link, as the TCP transport encodes them).
+	// Heartbeats and attach frames cost the same in both. These are parallel
+	// accountings of the same message sequence — Net.Bytes remains the
+	// simulator's configured charging (v1, or the differential encoding when
+	// DiffTimestamps is set).
+	WireBytesV1, WireBytesV2 int
 }
 
 // RootLatencies returns, for each root detection whose solution set was
@@ -384,22 +393,38 @@ func (r *Runner) payloadBytes() func(from, to int, kind simnet.Kind, payload any
 	n := r.topo.N()
 	type linkClocks struct{ lo, hi vclock.VC }
 	diffState := make(map[[2]int]*linkClocks)
+	v2Basis := make(map[[2]int]vclock.VC) // per-link previous Hi, as the TCP transport chains
 
-	reportBytes := func(from, to int, iv interval.Interval) int {
-		if !r.cfg.DiffTimestamps {
-			return wire.ReportSize(n, len(iv.Span))
-		}
+	// reportBytes charges one report at its configured framing size and, on
+	// the side, accumulates the parallel v1/v2 accountings (Result
+	// .WireBytesV1/V2) for the byte-volume experiments.
+	reportBytes := func(from, to int, rep wire.Report) int {
+		iv := rep.Iv
+		v1 := wire.ReportSize(n, len(iv.Span))
 		key := [2]int{from, to}
+		r.res.WireBytesV1 += v1
+		r.res.WireBytesV2 += wire.ReportSizeV2(rep, v2Basis[key])
+		v2Basis[key] = append(v2Basis[key][:0], iv.Hi...)
+		if !r.cfg.DiffTimestamps {
+			return v1
+		}
 		st := diffState[key]
 		if st == nil {
 			st = &linkClocks{}
 			diffState[key] = st
 		}
-		nonClock := wire.ReportSize(n, len(iv.Span)) - 2*vclock.WireSize(n)
+		nonClock := v1 - 2*vclock.WireSize(n)
 		size := nonClock +
 			wire.DiffSize(wire.ChangedComponents(st.lo, iv.Lo)) +
 			wire.DiffSize(wire.ChangedComponents(st.hi, iv.Hi))
 		st.lo, st.hi = iv.Lo.Clone(), iv.Hi.Clone()
+		return size
+	}
+
+	constBytes := func(size int) int {
+		// Heartbeats and attach frames cost the same under both framings.
+		r.res.WireBytesV1 += size
+		r.res.WireBytesV2 += size
 		return size
 	}
 
@@ -408,18 +433,18 @@ func (r *Runner) payloadBytes() func(from, to int, kind simnet.Kind, payload any
 		case KindIvl:
 			size := 0
 			for _, pl := range payload.(ivlBatch) {
-				size += reportBytes(from, to, pl.Iv)
+				size += reportBytes(from, to, wire.Report{Iv: pl.Iv, LinkSeq: pl.LinkSeq, Epoch: pl.Epoch})
 			}
 			return size
 		case KindFwd:
-			return reportBytes(from, to, payload.(fwdPayload).Iv)
+			return reportBytes(from, to, wire.Report{Iv: payload.(fwdPayload).Iv})
 		case KindHb:
 			if pl, ok := payload.(hbPayload); ok {
-				return wire.HeartbeatWireSize(len(pl.Covered))
+				return constBytes(wire.HeartbeatWireSize(len(pl.Covered)))
 			}
-			return wire.HeartbeatSize
+			return constBytes(wire.HeartbeatSize)
 		case KindAttach:
-			return wire.AttachWireSize(len(payload.(repair.Msg).Covered))
+			return constBytes(wire.AttachWireSize(len(payload.(repair.Msg).Covered)))
 		default:
 			return 0
 		}

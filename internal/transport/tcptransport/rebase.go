@@ -1,0 +1,138 @@
+package tcptransport
+
+// Cross-frame delta compression for report streams (wire format v2).
+//
+// Successive reports from one origin are near-monotone (Theorem 2: the next
+// interval starts causally after the previous one ended), so encoding each
+// report's Lo against the previous report's Hi collapses most clock
+// components to one or two bytes. That basis is stream state — a frame
+// encoded against it is only decodable by a receiver that saw the previous
+// frame — so the chaining lives entirely inside one TCP connection:
+//
+//   - the writer rebases outbound v2 report frames against a per-connection
+//     basis map keyed by origin (a connection serves exactly one destination
+//     node, and TCP keeps it FIFO, so the receiver sees the frames in the
+//     order the bases were chained);
+//   - the bases reset on every (re)dial, and the redelivery ring stores the
+//     original absolute frames, so replay after a reconnect restarts the
+//     chain from an absolute frame — a receiver that lost its state can
+//     always resynchronize;
+//   - the reader mirrors the writer: it un-deltas basis-relative frames back
+//     to absolute ones before delivery, so resequencers and the runtime
+//     above never see connection-scoped encodings.
+//
+// v1 frames, heartbeats, attach frames and (defensively) frames that are
+// already basis-relative pass through untouched and leave the bases alone —
+// on both sides, which is what keeps the two maps in lockstep.
+
+import (
+	"hierdet/internal/vclock"
+	"hierdet/internal/wire"
+)
+
+// rebaser holds one connection's outbound delta state. Owned by the peer's
+// writeLoop; reset on every dial.
+type rebaser struct {
+	bases map[int]vclock.VC // origin → Hi of the last report sent
+	rep   wire.Report       // decode scratch, storage reused across frames
+	buf   []byte            // encode scratch, valid until the next rebase call
+}
+
+func (e *rebaser) reset() {
+	if e.bases == nil {
+		e.bases = make(map[int]vclock.VC)
+	}
+	clear(e.bases)
+}
+
+// rebase returns the bytes to put on the wire for frame: a basis-relative
+// re-encoding when a basis for the frame's origin stream exists, the frame
+// itself otherwise. The returned slice may alias e.buf and is only valid
+// until the next call. Frames the rebaser does not understand pass through
+// verbatim — the transport moves opaque payloads and compression is strictly
+// an optimization.
+func (e *rebaser) rebase(frame []byte) []byte {
+	if !isAbsoluteV2Report(frame) {
+		return frame
+	}
+	if err := wire.DecodeReportInto(frame, &e.rep, nil); err != nil {
+		return frame
+	}
+	origin := e.rep.Iv.Origin
+	out := frame
+	if basis := e.bases[origin]; basis.Len() == e.rep.Iv.Lo.Len() {
+		e.buf = wire.AppendReportV2(e.buf[:0], e.rep, basis)
+		out = e.buf
+	}
+	e.bases[origin] = append(e.bases[origin][:0], e.rep.Iv.Hi...)
+	return out
+}
+
+// unbaser holds one inbound connection's delta state, mirroring the sending
+// writer's rebaser. Owned by a readLoop.
+//
+// Absolute frames are not decoded here: their raw bytes are stashed and the
+// basis they establish is recovered lazily when (if ever) a basis-relative
+// frame follows. A sender with delta chaining disabled therefore costs the
+// receiver one small copy per frame instead of a decode + re-encode.
+type unbaser struct {
+	bases   map[[2]int]vclock.VC // (to, origin) → Hi of the last delta-decoded report
+	pending map[[2]int][]byte    // (to, origin) → raw bytes of the last absolute frame
+	rep     wire.Report
+	seed    wire.Report
+}
+
+// undelta rewrites a basis-relative report frame into an equivalent absolute
+// frame (fresh storage, safe to deliver) and maintains the basis chain.
+// Frames that are not v2 reports, and absolute v2 reports, pass through
+// verbatim. A basis-relative frame whose basis is missing or mismatched
+// returns an error: the stream state is unrecoverable, so the caller must
+// drop the connection and let the peer redial, which resets both ends' bases.
+func (d *unbaser) undelta(to int, payload []byte) ([]byte, error) {
+	if !wire.IsReportV2(payload) {
+		return payload, nil
+	}
+	origin, err := wire.ReportOriginV2(payload)
+	if err != nil {
+		return nil, err
+	}
+	key := [2]int{to, origin}
+	if !wire.ReportIsDelta(payload) {
+		// An absolute frame resets the origin's chain point: stash its raw
+		// bytes (the basis inside is only decoded if a delta frame needs it)
+		// and forget any decoded basis, which is now stale.
+		if d.pending == nil {
+			d.pending = make(map[[2]int][]byte)
+		}
+		d.pending[key] = append(d.pending[key][:0], payload...)
+		delete(d.bases, key)
+		return payload, nil
+	}
+	basis := d.bases[key]
+	if basis == nil {
+		if raw := d.pending[key]; len(raw) > 0 {
+			if err := wire.DecodeReportInto(raw, &d.seed, nil); err != nil {
+				return nil, err
+			}
+			basis = d.seed.Iv.Hi
+		}
+	}
+	if err := wire.DecodeReportInto(payload, &d.rep, basis); err != nil {
+		return nil, err
+	}
+	out := wire.AppendReportV2(make([]byte, 0, wire.ReportSizeV2(d.rep, nil)), d.rep, nil)
+	if d.bases == nil {
+		d.bases = make(map[[2]int]vclock.VC)
+	}
+	d.bases[key] = append(d.bases[key][:0], d.rep.Iv.Hi...)
+	if raw := d.pending[key]; raw != nil {
+		d.pending[key] = raw[:0]
+	}
+	return out, nil
+}
+
+// isAbsoluteV2Report reports whether frame is a v2 report that is not
+// already basis-relative — the only kind of frame the writer may rebase.
+func isAbsoluteV2Report(frame []byte) bool {
+	return wire.IsReportV2(frame) && !wire.ReportIsDelta(frame)
+}

@@ -74,6 +74,14 @@ type Config struct {
 	// MaxFrame caps the payload length a reader accepts before declaring
 	// the stream corrupt (default 1<<24).
 	MaxFrame int
+	// NoDeltaChain disables cross-frame delta compression of outbound v2
+	// report frames (see rebase.go). The chaining trades ~1–2 µs of CPU
+	// per report frame on each side for the smallest wire encoding; on
+	// links where bandwidth is free (loopback, same-host) that trade can
+	// lose, and this knob turns it off. Inbound delta frames are always
+	// understood regardless, so the setting is per-process, not
+	// per-cluster.
+	NoDeltaChain bool
 	// Seed drives the reconnect jitter (0 seeds from the listen address).
 	Seed int64
 }
@@ -94,6 +102,11 @@ type Stats struct {
 	CorruptFrames int
 	// Flushes counts coalesced writes (one flush may carry many frames).
 	Flushes int
+	// BytesOut counts payload bytes written (envelope headers excluded),
+	// after cross-frame delta compression — the transport's actual wire
+	// volume, which the byte-cost experiments compare against the
+	// fixed-width v1 framing.
+	BytesOut int
 }
 
 // Transport is a running TCP transport. Create with New, wire into a
@@ -114,7 +127,7 @@ type Transport struct {
 	framesOut, framesIn, redelivered atomic.Int64
 	dials, redials                   atomic.Int64
 	backlogDropped, corruptFrames    atomic.Int64
-	flushes                          atomic.Int64
+	flushes, bytesOut                atomic.Int64
 }
 
 // New binds the listener immediately (so Addr is valid before Start) but
@@ -214,6 +227,7 @@ func (t *Transport) Stats() Stats {
 		BacklogDropped: int(t.backlogDropped.Load()),
 		CorruptFrames:  int(t.corruptFrames.Load()),
 		Flushes:        int(t.flushes.Load()),
+		BytesOut:       int(t.bytesOut.Load()),
 	}
 }
 
@@ -291,6 +305,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 		t.readers.Done()
 	}()
 	var hdr [8]byte
+	var ub unbaser // per-connection delta state, mirroring the sender's
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
@@ -303,6 +318,14 @@ func (t *Transport) readLoop(conn net.Conn) {
 		}
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		payload, err := ub.undelta(to, payload)
+		if err != nil {
+			// Undecodable stream state (e.g. a basis-relative frame whose
+			// basis was lost): same remedy as corruption — drop the
+			// connection; the peer redials with reset bases and replays.
+			t.corruptFrames.Add(1)
 			return
 		}
 		t.mu.Lock()
@@ -334,6 +357,12 @@ type peer struct {
 
 	sent [][]byte // redelivery ring, most recent last; writeLoop only
 	rng  *rand.Rand
+
+	// Write-path scratch, owned by writeLoop: the per-connection delta
+	// encoder (reset on every dial, so replayed absolute frames restart the
+	// chain) and the coalescing buffer reused across flushes.
+	reb  rebaser
+	wbuf []byte
 }
 
 func newPeer(t *Transport, id int, addr string) *peer {
@@ -421,6 +450,7 @@ func (p *peer) writeLoop() {
 				continue
 			}
 			p.t.dials.Add(1)
+			p.reb.reset() // new connection, new stream: bases start over
 			if dialed {
 				p.t.redials.Add(1)
 				// The previous connection may have died with frames in
@@ -443,7 +473,7 @@ func (p *peer) writeLoop() {
 			p.mu.Unlock()
 		}
 
-		if err := writeBatch(conn, p.id, batch); err != nil {
+		if err := p.writeBatch(conn, batch); err != nil {
 			p.mu.Lock()
 			p.conn = nil
 			p.mu.Unlock()
@@ -502,20 +532,29 @@ func (p *peer) remember(batch [][]byte) {
 	}
 }
 
-// writeBatch writes every frame of a batch through one buffered flush.
-func writeBatch(conn net.Conn, to int, batch [][]byte) error {
-	size := 0
-	for _, f := range batch {
-		size += 8 + len(f)
-	}
-	buf := make([]byte, 0, size)
+// writeBatch writes every frame of a batch through one buffered flush,
+// delta-rebasing report frames against the connection's stream bases on the
+// way. The coalescing buffer is reused across flushes; the batch itself (the
+// absolute originals) is untouched, so requeueFront and the redelivery ring
+// always hold frames any fresh connection can decode.
+func (p *peer) writeBatch(conn net.Conn, batch [][]byte) error {
+	buf := p.wbuf[:0]
 	var hdr [8]byte
+	payloadBytes := 0
 	for _, f := range batch {
+		if !p.t.cfg.NoDeltaChain {
+			f = p.reb.rebase(f)
+		}
 		binary.BigEndian.PutUint32(hdr[:4], uint32(len(f)))
-		binary.BigEndian.PutUint32(hdr[4:], uint32(to))
+		binary.BigEndian.PutUint32(hdr[4:], uint32(p.id))
 		buf = append(buf, hdr[:]...)
 		buf = append(buf, f...)
+		payloadBytes += len(f)
 	}
+	p.wbuf = buf
 	_, err := conn.Write(buf)
+	if err == nil {
+		p.t.bytesOut.Add(int64(payloadBytes))
+	}
 	return err
 }

@@ -30,7 +30,9 @@ package transport
 type Transport interface {
 	// Send ships one frame to process `to`, asynchronously and
 	// best-effort: it must not block on a slow or dead peer. Frames to
-	// unknown peers are silently dropped.
+	// unknown peers are silently dropped. Send must not retain frame after
+	// it returns (copy if queuing is needed): callers encode through pooled
+	// scratch buffers and recycle them the moment Send returns.
 	Send(to int, frame []byte)
 	// Start begins delivery: every frame addressed to a process hosted
 	// behind this transport is handed to recv together with the addressed

@@ -58,3 +58,78 @@ func BenchmarkMarshal(b *testing.B) {
 		_, _ = x.MarshalBinary()
 	}
 }
+
+// BenchmarkCompareLess measures the fused paired comparison against two
+// separate Less calls on the same operands — the elimination loop's inner
+// step.
+func BenchmarkCompareLess(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		xLo, yHi := benchPair(n)
+		yLo, xHi := benchPair(n + 1)
+		yLo, xHi = yLo[:n], xHi[:n]
+		b.Run(fmt.Sprintf("fused/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = CompareLess(xLo, yHi, yLo, xHi)
+			}
+		})
+		b.Run(fmt.Sprintf("separate/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = xLo.Less(yHi)
+				_ = yLo.Less(xHi)
+			}
+		})
+	}
+}
+
+// BenchmarkAppendDelta measures the v2 codec on the workload it is built
+// for: a near-monotone step from its basis clock. bytes/frame makes the
+// compression visible next to v1's fixed 4+8n.
+func BenchmarkAppendDelta(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		base := make(VC, n)
+		v := make(VC, n)
+		for i := range base {
+			base[i] = uint64(1000 + i)
+			v[i] = base[i] + uint64(i%3)
+		}
+		buf := make([]byte, 0, WireSize(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = v.AppendDelta(buf[:0], base)
+			}
+			b.ReportMetric(float64(len(buf)), "bytes/frame")
+		})
+	}
+}
+
+func BenchmarkConsumeDelta(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		base := make(VC, n)
+		v := make(VC, n)
+		for i := range base {
+			base[i] = uint64(1000 + i)
+			v[i] = base[i] + uint64(i%3)
+		}
+		data := v.AppendDelta(nil, base)
+		dst := make(VC, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ConsumeDelta(data, &dst, base); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkString covers the Strict-mode panic/debug formatting path.
+func BenchmarkString(b *testing.B) {
+	x, _ := benchPair(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.String()
+	}
+}

@@ -2,40 +2,193 @@ package vclock
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
+// Codec error categories. Consumers (internal/wire, transports) dispatch on
+// these to tell a short read from structural corruption; wire re-wraps them
+// into its own ErrTruncated/ErrCorrupt sentinels.
+var (
+	// ErrTruncated marks a buffer shorter than its encoding claims.
+	ErrTruncated = errors.New("vclock: truncated encoding")
+	// ErrCorrupt marks a structurally invalid encoding (impossible length,
+	// varint overflow). It can never become valid with more bytes.
+	ErrCorrupt = errors.New("vclock: corrupt encoding")
+)
+
+// MaxComponents bounds the component count a decoder accepts before
+// allocating: a clock claiming more processes than any plausible deployment
+// is corrupt, not merely large. It matches wire.MaxSpan.
+const MaxComponents = 1 << 20
+
 // MarshalBinary encodes the clock as a length-prefixed sequence of big-endian
-// 64-bit components. The wire form is used by the simulated network layer to
-// ship interval bounds between detector nodes, mirroring a deployment where
-// timestamps are piggybacked on control messages.
+// 64-bit components — wire format v1, fixed 8 bytes per component. The wire
+// layer ships interval bounds between detector nodes in this form when
+// talking to pre-v2 peers.
 func (v VC) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 4+8*len(v))
-	binary.BigEndian.PutUint32(buf, uint32(len(v)))
-	for k, c := range v {
-		binary.BigEndian.PutUint64(buf[4+8*k:], c)
-	}
-	return buf, nil
+	return v.AppendBinary(make([]byte, 0, WireSize(len(v)))), nil
 }
 
-// UnmarshalBinary decodes a clock previously produced by MarshalBinary.
+// AppendBinary appends the v1 fixed-width encoding of v to buf and returns
+// the extended buffer. It allocates only when buf lacks capacity, so encoders
+// that reuse scratch buffers stay allocation-free.
+func (v VC) AppendBinary(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
+	for _, c := range v {
+		buf = binary.BigEndian.AppendUint64(buf, c)
+	}
+	return buf
+}
+
+// UnmarshalBinary decodes a clock previously produced by MarshalBinary. The
+// buffer must contain exactly one encoded clock.
 func (v *VC) UnmarshalBinary(data []byte) error {
-	if len(data) < 4 {
-		return fmt.Errorf("vclock: short buffer (%d bytes)", len(data))
+	rest, err := ConsumeBinary(data, v)
+	if err != nil {
+		return err
 	}
-	n := int(binary.BigEndian.Uint32(data))
-	if len(data) != 4+8*n {
-		return fmt.Errorf("vclock: want %d bytes for %d components, have %d", 4+8*n, n, len(data))
+	if len(rest) != 0 {
+		return fmt.Errorf("vclock: %d trailing bytes: %w", len(rest), ErrCorrupt)
 	}
-	out := make(VC, n)
-	for k := range out {
-		out[k] = binary.BigEndian.Uint64(data[4+8*k:])
-	}
-	*v = out
 	return nil
 }
 
-// WireSize returns the encoded size in bytes of a clock for an n-process
+// ConsumeBinary decodes one v1 fixed-width clock from the front of data into
+// *dst, reusing dst's backing array when it has capacity, and returns the
+// unconsumed remainder. The length claimed by the prefix is validated against
+// the bytes actually present before anything is allocated.
+func ConsumeBinary(data []byte, dst *VC) (rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("vclock: %d-byte buffer lacks length prefix: %w", len(data), ErrTruncated)
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	if n > MaxComponents {
+		return nil, fmt.Errorf("vclock: %d components: %w", n, ErrCorrupt)
+	}
+	if len(data) < 4+8*n {
+		return nil, fmt.Errorf("vclock: want %d bytes for %d components, have %d: %w", 4+8*n, n, len(data), ErrTruncated)
+	}
+	out := sized(dst, n)
+	for k := range out {
+		out[k] = binary.BigEndian.Uint64(data[4+8*k:])
+	}
+	*dst = out
+	return data[4+8*n:], nil
+}
+
+// AppendDelta appends the v2 delta-varint encoding of v against base to buf
+// and returns the extended buffer: a uvarint component count followed by one
+// zig-zag varint per component holding the wrapped difference v[k]−base[k].
+// A nil base encodes against the zero clock (absolute values). Wrapping
+// arithmetic makes the round trip exact for every uint64 value while keeping
+// small moves — the overwhelmingly common case for the near-monotone clocks
+// of successive reports (Theorem 2 succession) — at one or two bytes per
+// component. base must be nil or match v's length.
+func (v VC) AppendDelta(buf []byte, base VC) []byte {
+	if base != nil {
+		v.check(base)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	for k, c := range v {
+		var b uint64
+		if base != nil {
+			b = base[k]
+		}
+		buf = binary.AppendVarint(buf, int64(c-b))
+	}
+	return buf
+}
+
+// ConsumeDelta decodes one delta-varint clock from the front of data into
+// *dst, applying it against base (nil base = zero clock), and returns the
+// unconsumed remainder. dst's backing array is reused when it has capacity;
+// dst may alias base, in which case the patch is applied in place. The
+// declared component count is validated against the bytes present (a varint
+// is at least one byte) before any allocation. base must be nil or match the
+// encoded length, else the encoding is rejected as corrupt — a delta against
+// the wrong clock domain can never decode meaningfully.
+func ConsumeDelta(data []byte, dst *VC, base VC) (rest []byte, err error) {
+	n64, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, varintErr(sz, "component count")
+	}
+	data = data[sz:]
+	if n64 > MaxComponents {
+		return nil, fmt.Errorf("vclock: %d components: %w", n64, ErrCorrupt)
+	}
+	n := int(n64)
+	if len(data) < n {
+		return nil, fmt.Errorf("vclock: %d bytes cannot hold %d delta components: %w", len(data), n, ErrTruncated)
+	}
+	if base != nil && base.Len() != n {
+		return nil, fmt.Errorf("vclock: delta of %d components against %d-component base: %w", n, base.Len(), ErrCorrupt)
+	}
+	out := sized(dst, n)
+	for k := range out {
+		d, sz := binary.Varint(data)
+		if sz <= 0 {
+			return nil, varintErr(sz, "delta component")
+		}
+		data = data[sz:]
+		var b uint64
+		if base != nil {
+			b = base[k]
+		}
+		out[k] = b + uint64(d)
+	}
+	*dst = out
+	return data, nil
+}
+
+// DeltaSize returns the encoded size in bytes of v delta-encoded against
+// base (nil base = zero clock), without encoding. The byte-volume experiments
+// use it to account wire format v2 alongside the v1 WireSize.
+func (v VC) DeltaSize(base VC) int {
+	if base != nil {
+		v.check(base)
+	}
+	size := uvarintLen(uint64(len(v)))
+	for k, c := range v {
+		var b uint64
+		if base != nil {
+			b = base[k]
+		}
+		d := int64(c - b)
+		size += uvarintLen(uint64(d)<<1 ^ uint64(d>>63)) // zig-zag image
+	}
+	return size
+}
+
+// sized returns *dst resized to n components, reusing its backing array when
+// capacity allows.
+func sized(dst *VC, n int) VC {
+	if cap(*dst) >= n {
+		return (*dst)[:n]
+	}
+	return make(VC, n)
+}
+
+// uvarintLen is the encoded length of a uvarint.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// varintErr classifies a binary.Uvarint/Varint failure: 0 means the buffer
+// ran out mid-varint (truncated), negative means 64-bit overflow (corrupt).
+func varintErr(sz int, what string) error {
+	if sz == 0 {
+		return fmt.Errorf("vclock: %s: %w", what, ErrTruncated)
+	}
+	return fmt.Errorf("vclock: %s overflows: %w", what, ErrCorrupt)
+}
+
+// WireSize returns the v1 encoded size in bytes of a clock for an n-process
 // system. The complexity experiments use it to convert message counts into
 // byte volumes (each interval carries two clocks — its lower and upper bound).
 func WireSize(n int) int { return 4 + 8*n }

@@ -1,0 +1,197 @@
+package vclock
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAppendConsumeBinaryRoundTrip(t *testing.T) {
+	v := Of(0, 1, math.MaxUint64, 42)
+	buf := v.AppendBinary(nil)
+	legacy, _ := v.MarshalBinary()
+	if !bytes.Equal(buf, legacy) {
+		t.Fatalf("AppendBinary %x differs from MarshalBinary %x", buf, legacy)
+	}
+	var back VC
+	rest, err := ConsumeBinary(append(buf, 0xAA), &back)
+	if err != nil {
+		t.Fatalf("ConsumeBinary: %v", err)
+	}
+	if !back.Equal(v) {
+		t.Fatalf("round trip changed the clock: %v vs %v", back, v)
+	}
+	if len(rest) != 1 || rest[0] != 0xAA {
+		t.Fatalf("rest = %x, want the trailing sentinel byte", rest)
+	}
+}
+
+func TestConsumeBinaryReusesStorage(t *testing.T) {
+	v := Of(7, 8, 9)
+	buf := v.AppendBinary(nil)
+	dst := make(VC, 8)
+	p := &dst[0]
+	if _, err := ConsumeBinary(buf, &dst); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst) != 3 || &dst[0] != p {
+		t.Fatal("ConsumeBinary reallocated although dst had capacity")
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		base, v VC
+	}{
+		{"zero base", nil, Of(3, 0, 5)},
+		{"small forward", Of(10, 20, 30), Of(12, 20, 31)},
+		{"mixed direction", Of(10, 20, 30), Of(9, 25, 30)},
+		{"extremes", Of(0, math.MaxUint64), Of(math.MaxUint64, 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.v.AppendDelta(nil, tc.base)
+			if got := tc.v.DeltaSize(tc.base); got != len(buf) {
+				t.Fatalf("DeltaSize %d, encoded %d bytes", got, len(buf))
+			}
+			var back VC
+			rest, err := ConsumeDelta(buf, &back, tc.base)
+			if err != nil {
+				t.Fatalf("ConsumeDelta: %v", err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("%d bytes left over", len(rest))
+			}
+			if !back.Equal(tc.v) {
+				t.Fatalf("round trip changed the clock: %v vs %v", back, tc.v)
+			}
+		})
+	}
+}
+
+// TestDeltaCompression pins the point of the codec: a near-monotone step
+// from its base must cost ~1 byte per component instead of v1's fixed 8.
+func TestDeltaCompression(t *testing.T) {
+	n := 64
+	base := make(VC, n)
+	v := make(VC, n)
+	for i := range base {
+		base[i] = uint64(1000 + i)
+		v[i] = base[i] + uint64(i%3) // deltas 0..2
+	}
+	size := v.DeltaSize(base)
+	if size > 2+n { // count prefix + 1 byte per component
+		t.Fatalf("delta of a near-monotone step costs %d bytes for n=%d", size, n)
+	}
+	if v1 := WireSize(n); size*3 > v1 {
+		t.Fatalf("delta %d not clearly smaller than v1 %d", size, v1)
+	}
+}
+
+func TestConsumeDeltaInPlaceOverBase(t *testing.T) {
+	base := Of(5, 5, 5)
+	v := Of(6, 4, 5)
+	buf := v.AppendDelta(nil, base)
+	dst := base // alias: patch the link state in place
+	if _, err := ConsumeDelta(buf, &dst, base); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(v) {
+		t.Fatalf("in-place patch got %v, want %v", dst, v)
+	}
+}
+
+func TestConsumeDeltaErrors(t *testing.T) {
+	v := Of(1, 2, 3)
+	good := v.AppendDelta(nil, nil)
+	var dst VC
+
+	if _, err := ConsumeDelta(nil, &dst, nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty buffer: %v, want ErrTruncated", err)
+	}
+	if _, err := ConsumeDelta(good[:len(good)-1], &dst, nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("cut body: %v, want ErrTruncated", err)
+	}
+	// Component count larger than the remaining bytes can back.
+	if _, err := ConsumeDelta([]byte{0xFF, 0x07}, &dst, nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("oversized count: %v, want ErrTruncated", err)
+	}
+	// Count beyond MaxComponents is corrupt regardless of buffer size.
+	huge := []byte{0x80, 0x80, 0x80, 0x80, 0x08} // uvarint 2^31
+	if _, err := ConsumeDelta(huge, &dst, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("giant count: %v, want ErrCorrupt", err)
+	}
+	// Base of the wrong domain size.
+	if _, err := ConsumeDelta(good, &dst, Of(1, 2)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mismatched base: %v, want ErrCorrupt", err)
+	}
+	// A varint overflowing 64 bits is corrupt.
+	over := []byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ConsumeDelta(over, &dst, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("varint overflow: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCompareLessMatchesLess(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + r.Intn(6)
+		mk := func() VC {
+			v := make(VC, n)
+			for i := range v {
+				v[i] = uint64(r.Intn(4))
+			}
+			return v
+		}
+		aLo, aHi, bLo, bHi := mk(), mk(), mk(), mk()
+		gotA, gotB := CompareLess(aLo, bHi, bLo, aHi)
+		if wantA, wantB := aLo.Less(bHi), bLo.Less(aHi); gotA != wantA || gotB != wantB {
+			t.Fatalf("CompareLess(%v,%v,%v,%v) = %v,%v want %v,%v",
+				aLo, bHi, bLo, aHi, gotA, gotB, wantA, wantB)
+		}
+	}
+}
+
+// FuzzDecodeDelta hardens the delta decoder: arbitrary bytes must never
+// panic, must not allocate the declared component count before validating it
+// against the bytes present, must reject with the typed sentinels, and every
+// accepted clock must re-encode to an equivalent value.
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add(Of(1, 2, 3).AppendDelta(nil, nil), []byte{})
+	f.Add(Of(9, 9).AppendDelta(nil, Of(8, 10)), Of(8, 10).AppendBinary(nil))
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F}, []byte{})
+	f.Fuzz(func(t *testing.T, data, baseBytes []byte) {
+		var base VC
+		if len(baseBytes) > 0 {
+			if _, err := ConsumeBinary(baseBytes, &base); err != nil {
+				base = nil
+			}
+		}
+		var v VC
+		rest, err := ConsumeDelta(data, &v, base)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error %v wraps neither sentinel", err)
+			}
+			return
+		}
+		consumed := len(data) - len(rest)
+		buf := v.AppendDelta(nil, base)
+		var back VC
+		if _, err := ConsumeDelta(buf, &back, base); err != nil {
+			t.Fatalf("re-decode of re-encoded clock failed: %v", err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("decode/encode/decode changed the clock: %v vs %v", back, v)
+		}
+		if len(buf) > consumed {
+			// Canonical varints never grow: our encoder is minimal, so a
+			// longer re-encode would mean we mis-measured the input.
+			t.Fatalf("re-encode grew: consumed %d, re-encoded %d", consumed, len(buf))
+		}
+	})
+}

@@ -22,7 +22,7 @@ package vclock
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // VC is a vector clock over a fixed number of processes. The zero-length VC is
@@ -198,6 +198,46 @@ func (v VC) Less(u VC) bool {
 	return strict
 }
 
+// CompareLess evaluates the two Less comparisons of the pairwise Definitely
+// condition — aLob = (aLo < bHi) and bLoa = (bLo < aHi) — in one fused pass
+// over the component index. The elimination loop and Overlap run exactly this
+// pair on every head-to-head check, and at large n the fused loop halves the
+// bounds checking and loop overhead of two separate Less calls while keeping
+// their early exit: each comparison settles to false the moment a component
+// exceeds its counterpart, and the loop stops once both are settled.
+func CompareLess(aLo, bHi, bLo, aHi VC) (aLob, bLoa bool) {
+	aLo.check(bHi)
+	bLo.check(aHi)
+	aLo.check(bLo)
+	// Main loop: both comparisons still alive. The moment one resolves to
+	// false, fall back to a plain single-comparison tail for the other.
+	var strictA, strictB bool
+	for k := range aLo {
+		a, b, c, d := aLo[k], bHi[k], bLo[k], aHi[k]
+		if a > b {
+			return false, lessFrom(bLo, aHi, k, strictB)
+		}
+		if c > d {
+			return lessFrom(aLo, bHi, k, strictA), false
+		}
+		strictA = strictA || a != b
+		strictB = strictB || c != d
+	}
+	return strictA, strictB
+}
+
+// lessFrom finishes one Less comparison from component k, with the
+// strictness evidence accumulated so far.
+func lessFrom(v, u VC, k int, strict bool) bool {
+	for ; k < len(v); k++ {
+		if v[k] > u[k] {
+			return false
+		}
+		strict = strict || v[k] != u[k]
+	}
+	return strict
+}
+
 // LessEq reports v ≤ u component-wise (v < u or v == u).
 func (v VC) LessEq(u VC) bool {
 	v.check(u)
@@ -226,18 +266,21 @@ func (v VC) Concurrent(u VC) bool {
 	return v.Compare(u) == Concurrent
 }
 
-// String renders the clock as "[c0 c1 ... cn-1]".
+// String renders the clock as "[c0 c1 ... cn-1]". It formats components with
+// strconv into a stack-seeded buffer rather than per-component fmt calls:
+// Strict-mode panic messages and debug logs render clocks at full system
+// size, where the fmt path's per-component interface boxing dominates.
 func (v VC) String() string {
-	var b strings.Builder
-	b.WriteByte('[')
+	var stack [64]byte
+	buf := append(stack[:0], '[')
 	for k, c := range v {
 		if k > 0 {
-			b.WriteByte(' ')
+			buf = append(buf, ' ')
 		}
-		fmt.Fprintf(&b, "%d", c)
+		buf = strconv.AppendUint(buf, c, 10)
 	}
-	b.WriteByte(']')
-	return b.String()
+	buf = append(buf, ']')
+	return string(buf)
 }
 
 func (v VC) check(u VC) {

@@ -54,6 +54,101 @@ func BenchmarkDecodeReport(b *testing.B) {
 	}
 }
 
+// The pooled/v2 benchmarks track the tentpole claims directly: bytes/frame
+// for the delta codec against v1's fixed width, and zero allocations per
+// frame in steady state on the pooled encode and decode-into paths.
+
+func BenchmarkEncodeReportPooled(b *testing.B) {
+	r := benchReport(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuffer()
+		*buf = AppendReportV2(*buf, r, nil)
+		PutBuffer(buf)
+	}
+}
+
+// benchReportSteady is a report from deep in a long run — clock components in
+// the millions, the regime where v1's fixed 8-byte components waste the most
+// and a near-monotone basis compresses Lo to a byte or two per component.
+func benchReportSteady(n int) (Report, vclock.VC) {
+	r := benchReport(n)
+	for i := range r.Iv.Lo {
+		r.Iv.Lo[i] += 1 << 21
+		r.Iv.Hi[i] += 1 << 21
+	}
+	basis := r.Iv.Lo.Clone()
+	for i := range basis {
+		basis[i] -= 2 // previous Hi just below this Lo
+	}
+	return r, basis
+}
+
+func BenchmarkEncodeReportV2(b *testing.B) {
+	r, basis := benchReportSteady(64)
+	b.Run("absolute", func(b *testing.B) {
+		b.ReportAllocs()
+		var frame []byte
+		for i := 0; i < b.N; i++ {
+			frame = AppendReportV2(frame[:0], r, nil)
+		}
+		b.ReportMetric(float64(len(frame)), "bytes/frame")
+	})
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		var frame []byte
+		for i := 0; i < b.N; i++ {
+			frame = AppendReportV2(frame[:0], r, basis)
+		}
+		b.ReportMetric(float64(len(frame)), "bytes/frame")
+	})
+	b.Run("v1", func(b *testing.B) {
+		b.ReportAllocs()
+		var n int
+		for i := 0; i < b.N; i++ {
+			frame, err := EncodeReport(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(frame)
+		}
+		b.ReportMetric(float64(n), "bytes/frame")
+	})
+}
+
+func BenchmarkDecodeReportPooled(b *testing.B) {
+	r, basis := benchReportSteady(64)
+	v1, err := EncodeReport(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		data  []byte
+		basis vclock.VC
+	}{
+		{"v1", v1, nil},
+		{"v2-absolute", EncodeReportV2(r), nil},
+		{"v2-delta", AppendReportV2(nil, r, basis), basis},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var into Report
+			if err := DecodeReportInto(c.data, &into, c.basis); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(c.data)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := DecodeReportInto(c.data, &into, c.basis); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkEncodeHeartbeat(b *testing.B) {
 	hb := Heartbeat{Sender: 3, Epoch: 9, RootSeeking: true, Covered: []int{3, 4, 5, 6, 7, 8, 9}}
 	b.ReportAllocs()

@@ -1,0 +1,65 @@
+// Command gen regenerates the golden v1 report corpus under
+// testdata/v1corpus. The corpus pins the fixed-width wire format: frames in
+// it must keep decoding byte-identically under the unified decoder
+// (TestGoldenV1Corpus), so a cluster can roll from v1 to v2 nodes without a
+// flag day. Run via `go generate ./internal/wire`; the frames are fully
+// deterministic, so regeneration only changes the files when the v1 encoder
+// itself changes — which is exactly the diff the corpus exists to surface.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/vclock"
+	"hierdet/internal/wire"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "v1corpus")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	reports := []wire.Report{
+		{Iv: interval.New(0, 0, vclock.Of(0), vclock.Of(0))},
+		{Iv: interval.New(3, 7, vclock.Of(1, 2, 3, 4), vclock.Of(5, 6, 7, 8)), LinkSeq: 42, Epoch: 6},
+	}
+
+	agg := interval.Aggregate([]interval.Interval{
+		interval.New(0, 0, vclock.Of(1, 0, 0), vclock.Of(3, 2, 2)),
+		interval.New(2, 0, vclock.Of(0, 0, 1), vclock.Of(2, 2, 3)),
+	}, 1, 5, false)
+	reports = append(reports, wire.Report{Iv: agg, LinkSeq: 9, Epoch: 1})
+
+	// Large-component clocks exercise the full 8-byte width v1 reserves and
+	// v2 compresses away.
+	big := make(vclock.VC, 32)
+	bigHi := make(vclock.VC, 32)
+	r := rand.New(rand.NewSource(11))
+	for i := range big {
+		big[i] = uint64(r.Int63())
+		bigHi[i] = big[i] + uint64(r.Intn(100))
+	}
+	reports = append(reports, wire.Report{Iv: interval.New(17, 1234, big, bigHi), LinkSeq: 1 << 20, Epoch: 3})
+
+	for i, rep := range reports {
+		data, err := wire.EncodeReport(rep)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("report%02d.bin", i))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d bytes\n", path, len(data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,330 @@
+package wire
+
+// Wire format v2 for interval reports: delta-varint clocks instead of v1's
+// fixed 8 bytes per component.
+//
+// The paper's cost model (Table I, Eq. 11) counts messages; what a deployment
+// actually pays is bytes, and v1 ships 4+8n bytes per clock no matter how
+// small the entries are. Clock entries are small integers and successive
+// reports on one link are near-monotone (Theorem 2 succession: the next
+// interval starts causally after the previous one ended), so v2 encodes
+//
+//   - Hi as a zig-zag varint delta from Lo (an interval is a short duration:
+//     Hi−Lo is small in every component), and
+//   - Lo either absolutely (varints of the raw components) or — when a
+//     transport supplies a stream basis — as a delta from the previous
+//     report's Hi on the same link, which collapses a near-monotone step to
+//     one or two bytes per component.
+//
+// Layout (varints little-endian per Go's encoding/binary, everything else
+// as in v1):
+//
+//	reportV2 := magic u8 | verV2 u8 | kind u8 (KindReport) | flags u8 |
+//	            origin uv | seq uv | linkSeq uv | epoch uv |
+//	            spanLen uv | span uv[spanLen] |
+//	            lo vclock-delta | hi vclock-delta(base=lo)
+//
+// flags bit0 marks an aggregated interval, bit1 marks a basis-relative Lo.
+// verV2 (0x56) occupies the byte where v1 frames carry their kind; kinds stop
+// below 0x10, so one byte disambiguates every frame version on the wire and
+// mixed-version clusters decode each other's traffic during a rollout
+// (DecodeReport accepts both forms; heartbeats and attach frames are small
+// and stay v1-only).
+//
+// A basis-relative frame is only decodable by a receiver that holds the same
+// basis, so bases are strictly connection-scoped state: the TCP transport
+// rebases frames per connection and resets on every (re)dial — see
+// internal/transport/tcptransport. Everything above the transport only ever
+// sees absolute frames.
+
+//go:generate go run ./gen
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hierdet/internal/vclock"
+)
+
+// verV2 is the frame-version byte of wire format v2. It shares the kind
+// byte's position in v1 frames; Kind* values stay below 0x10 so the two can
+// never collide.
+const verV2 = 0x56
+
+// Frame versions as reported by FrameVersion.
+const (
+	Version1 = 1
+	Version2 = 2
+)
+
+// Report flag bits (v2 frames only).
+const (
+	flagAgg     = 1 << 0
+	flagDeltaLo = 1 << 1
+)
+
+// FrameVersion returns the wire-format version of a frame after validating
+// the magic: Version1 for the fixed-width frames, Version2 for delta frames.
+func FrameVersion(data []byte) (int, error) {
+	if len(data) < 2 {
+		return 0, fmt.Errorf("wire: frame header: %w", ErrTruncated)
+	}
+	if data[0] != magic {
+		return 0, fmt.Errorf("wire: bad magic 0x%02x: %w", data[0], ErrCorrupt)
+	}
+	if data[1] == verV2 {
+		return Version2, nil
+	}
+	return Version1, nil
+}
+
+// IsReportV2 reports whether a frame is a v2 report (of either Lo
+// encoding). Transports use it to classify payloads cheaply before deciding
+// whether a frame participates in stream-basis chaining.
+func IsReportV2(data []byte) bool {
+	return len(data) >= 4 && data[0] == magic && data[1] == verV2 && data[2] == KindReport
+}
+
+// ReportIsDelta reports whether a frame is a v2 report whose Lo clock is
+// encoded against a stream basis — i.e. it can only be decoded by a receiver
+// holding the sender's basis for this stream. Transports use it to keep
+// basis-relative frames from escaping their connection scope.
+func ReportIsDelta(data []byte) bool {
+	return len(data) >= 4 && data[0] == magic && data[1] == verV2 &&
+		data[2] == KindReport && data[3]&flagDeltaLo != 0
+}
+
+// ReportOriginV2 extracts the origin id from a v2 report frame without
+// decoding the rest. Transports use it to pick the stream basis a frame
+// belongs to before running the full (basis-dependent) decode.
+func ReportOriginV2(data []byte) (int, error) {
+	if len(data) < 4 || data[0] != magic || data[1] != verV2 || data[2] != KindReport {
+		return 0, fmt.Errorf("wire: not a v2 report frame: %w", ErrCorrupt)
+	}
+	v, sz := binary.Uvarint(data[4:])
+	if sz <= 0 {
+		return 0, uvarintFieldErr(sz)
+	}
+	if v > 1<<32-1 {
+		return 0, fmt.Errorf("wire: report origin overflows u32: %w", ErrCorrupt)
+	}
+	return int(uint32(v)), nil
+}
+
+// AppendReportV2 appends the v2 encoding of r to dst and returns the
+// extended buffer. With a non-nil basis (the previous report's Hi on the same
+// stream, length-matched to the clocks), Lo is delta-encoded against it;
+// otherwise Lo is absolute. The function allocates only when dst lacks
+// capacity.
+func AppendReportV2(dst []byte, r Report, basis vclock.VC) []byte {
+	var flags byte
+	if r.Iv.Agg {
+		flags |= flagAgg
+	}
+	loBase := vclock.VC(nil)
+	if basis != nil && basis.Len() == r.Iv.Lo.Len() {
+		flags |= flagDeltaLo
+		loBase = basis
+	}
+	dst = append(dst, magic, verV2, KindReport, flags)
+	dst = binary.AppendUvarint(dst, uint64(uint32(r.Iv.Origin)))
+	dst = binary.AppendUvarint(dst, uint64(uint32(r.Iv.Seq)))
+	dst = binary.AppendUvarint(dst, uint64(uint32(r.LinkSeq)))
+	dst = binary.AppendUvarint(dst, uint64(uint32(r.Epoch)))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Iv.Span)))
+	for _, p := range r.Iv.Span {
+		dst = binary.AppendUvarint(dst, uint64(uint32(p)))
+	}
+	dst = r.Iv.Lo.AppendDelta(dst, loBase)
+	dst = r.Iv.Hi.AppendDelta(dst, r.Iv.Lo)
+	return dst
+}
+
+// EncodeReportV2 serializes a report in wire format v2 with an absolute Lo
+// (no stream basis) into fresh storage.
+func EncodeReportV2(r Report) []byte {
+	return AppendReportV2(make([]byte, 0, ReportSizeV2(r, nil)), r, nil)
+}
+
+// ReportSizeV2 returns the exact encoded size in bytes of r under v2 framing
+// with the given basis (nil = absolute Lo) — the v2 counterpart of
+// ReportSize for the byte-volume experiments.
+func ReportSizeV2(r Report, basis vclock.VC) int {
+	if basis != nil && basis.Len() != r.Iv.Lo.Len() {
+		basis = nil
+	}
+	size := 4 +
+		uvarintLen(uint64(uint32(r.Iv.Origin))) +
+		uvarintLen(uint64(uint32(r.Iv.Seq))) +
+		uvarintLen(uint64(uint32(r.LinkSeq))) +
+		uvarintLen(uint64(uint32(r.Epoch))) +
+		uvarintLen(uint64(len(r.Iv.Span)))
+	for _, p := range r.Iv.Span {
+		size += uvarintLen(uint64(uint32(p)))
+	}
+	return size + r.Iv.Lo.DeltaSize(basis) + r.Iv.Hi.DeltaSize(r.Iv.Lo)
+}
+
+// uvarintLen is the encoded length of a uvarint.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// DecodeReportInto parses a report of either wire version into *r, reusing
+// r's clock and span backing arrays when they have capacity — the
+// allocation-free decode path. basis supplies the stream basis for
+// basis-relative v2 frames (see AppendReportV2) and may be nil otherwise; a
+// basis-relative frame decoded without its basis is rejected as corrupt,
+// which makes a transport drop the connection — exactly right, since the
+// stream state is unrecoverable and a redial resets both ends' bases.
+func DecodeReportInto(data []byte, r *Report, basis vclock.VC) error {
+	ver, err := FrameVersion(data)
+	if err != nil {
+		return err
+	}
+	if ver == Version1 {
+		return decodeReportV1(data, r)
+	}
+	if len(data) < 4 {
+		return fmt.Errorf("wire: report header: %w", ErrTruncated)
+	}
+	if data[2] != KindReport {
+		return fmt.Errorf("wire: v2 kind %d is not a report: %w", data[2], ErrCorrupt)
+	}
+	flags := data[3]
+	if flags&^(flagAgg|flagDeltaLo) != 0 {
+		return fmt.Errorf("wire: report flags 0x%02x: %w", flags, ErrCorrupt)
+	}
+	rest := data[4:]
+	var fields [5]uint64
+	for i := range fields {
+		v, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return uvarintFieldErr(sz)
+		}
+		if v > 1<<32-1 {
+			return fmt.Errorf("wire: report field %d overflows u32: %w", i, ErrCorrupt)
+		}
+		fields[i], rest = v, rest[sz:]
+	}
+	r.Iv.Origin = int(uint32(fields[0]))
+	r.Iv.Seq = int(uint32(fields[1]))
+	r.LinkSeq = int(uint32(fields[2]))
+	r.Epoch = int(uint32(fields[3]))
+	r.Iv.Agg = flags&flagAgg != 0
+	spanLen := int(fields[4])
+	if spanLen > MaxSpan {
+		return fmt.Errorf("wire: report span of %d ids: %w", spanLen, ErrCorrupt)
+	}
+	if len(rest) < spanLen { // every id costs at least one byte
+		return fmt.Errorf("wire: report span body: %w", ErrTruncated)
+	}
+	if cap(r.Iv.Span) >= spanLen {
+		r.Iv.Span = r.Iv.Span[:spanLen]
+	} else {
+		r.Iv.Span = make([]int, spanLen)
+	}
+	for i := range r.Iv.Span {
+		v, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return uvarintFieldErr(sz)
+		}
+		if v > 1<<32-1 {
+			return fmt.Errorf("wire: span id overflows u32: %w", ErrCorrupt)
+		}
+		r.Iv.Span[i], rest = int(uint32(v)), rest[sz:]
+	}
+	loBase := vclock.VC(nil)
+	if flags&flagDeltaLo != 0 {
+		if basis == nil {
+			return fmt.Errorf("wire: basis-relative report without stream basis: %w", ErrCorrupt)
+		}
+		loBase = basis
+	}
+	rest, err = consumeDelta(rest, &r.Iv.Lo, loBase)
+	if err != nil {
+		return err
+	}
+	rest, err = consumeDelta(rest, &r.Iv.Hi, r.Iv.Lo)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes: %w", len(rest), ErrCorrupt)
+	}
+	finishReport(r)
+	return nil
+}
+
+// consumeDelta adapts vclock.ConsumeDelta to wire's error taxonomy.
+func consumeDelta(data []byte, dst *vclock.VC, base vclock.VC) ([]byte, error) {
+	rest, err := vclock.ConsumeDelta(data, dst, base)
+	if err != nil {
+		return nil, wrapVClockErr(err)
+	}
+	return rest, nil
+}
+
+// wrapVClockErr re-wraps a vclock codec error in the matching wire sentinel.
+func wrapVClockErr(err error) error {
+	if errors.Is(err, vclock.ErrTruncated) {
+		return fmt.Errorf("wire: %v: %w", err, ErrTruncated)
+	}
+	return fmt.Errorf("wire: %v: %w", err, ErrCorrupt)
+}
+
+// uvarintFieldErr classifies a failed binary.Uvarint inside a frame body.
+func uvarintFieldErr(sz int) error {
+	if sz == 0 {
+		return fmt.Errorf("wire: report field: %w", ErrTruncated)
+	}
+	return fmt.Errorf("wire: report field overflows varint: %w", ErrCorrupt)
+}
+
+// finishReport derives the fields not carried on the wire.
+func finishReport(r *Report) {
+	r.Iv.Term = nil
+	r.Iv.Members = nil
+	r.Iv.Bases = 1
+	if r.Iv.Agg {
+		// Base count is not carried on the wire; span size is the best
+		// lower bound a receiver has.
+		r.Iv.Bases = len(r.Iv.Span)
+	}
+}
+
+// bufPool recycles encoder scratch buffers. Encoders hand frames to
+// transports that never retain them past the call (transport.Transport's
+// Send contract), so a small pool removes the per-message allocation
+// entirely. The pool holds *[]byte, not []byte: storing a bare slice in an
+// interface boxes its header on every Put, which would put one allocation
+// right back on the path the pool exists to clear.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// GetBuffer returns a pooled scratch buffer with *buf sliced to length zero.
+// Append the frame to *buf and hand the same pointer to PutBuffer once the
+// frame has been copied out (transports copy on Send).
+func GetBuffer() *[]byte {
+	buf := bufPool.Get().(*[]byte)
+	*buf = (*buf)[:0]
+	return buf
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer. The caller must not
+// touch *buf afterwards.
+func PutBuffer(buf *[]byte) {
+	if cap(*buf) > 1<<20 {
+		return // drop oversized one-offs instead of pinning them in the pool
+	}
+	bufPool.Put(buf)
+}

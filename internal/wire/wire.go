@@ -62,7 +62,9 @@ var (
 	ErrTruncated = errors.New("truncated frame")
 )
 
-// FrameKind returns the kind byte of a frame after validating the magic.
+// FrameKind returns the kind byte of a frame after validating the magic. It
+// understands both frame versions: v1 carries the kind right after the magic,
+// v2 inserts a version byte between them (see v2.go).
 func FrameKind(data []byte) (byte, error) {
 	if len(data) < 2 {
 		return 0, fmt.Errorf("wire: frame header: %w", ErrTruncated)
@@ -71,6 +73,12 @@ func FrameKind(data []byte) (byte, error) {
 		return 0, fmt.Errorf("wire: bad magic 0x%02x: %w", data[0], ErrCorrupt)
 	}
 	k := data[1]
+	if k == verV2 {
+		if len(data) < 3 {
+			return 0, fmt.Errorf("wire: frame header: %w", ErrTruncated)
+		}
+		k = data[2]
+	}
 	if k != KindReport && k != KindHeartbeat && k != KindAttach {
 		return 0, fmt.Errorf("wire: unknown kind %d: %w", k, ErrCorrupt)
 	}
@@ -120,15 +128,24 @@ func EncodeReport(r Report) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeReport parses a report, validating framing.
+// DecodeReport parses a report of either wire version, validating framing.
+// It accepts only self-contained frames (a basis-relative v2 frame needs its
+// stream basis — use DecodeReportInto) and always returns fresh storage.
 func DecodeReport(data []byte) (Report, error) {
 	var r Report
+	err := DecodeReportInto(data, &r, nil)
+	return r, err
+}
+
+// decodeReportV1 parses a fixed-width v1 report into *r, reusing r's clock
+// and span backing arrays when they have capacity.
+func decodeReportV1(data []byte, r *Report) error {
 	rest, err := frameBody(data, KindReport, "report")
 	if err != nil {
-		return r, err
+		return err
 	}
 	if len(rest) < 17 {
-		return r, fmt.Errorf("wire: report header: %w", ErrTruncated)
+		return fmt.Errorf("wire: report header: %w", ErrTruncated)
 	}
 	r.Iv.Origin = int(binary.BigEndian.Uint32(rest))
 	r.Iv.Seq = int(binary.BigEndian.Uint32(rest[4:]))
@@ -136,51 +153,39 @@ func DecodeReport(data []byte) (Report, error) {
 	r.Epoch = int(binary.BigEndian.Uint32(rest[12:]))
 	r.Iv.Agg = rest[16] == 1
 	rest = rest[17:]
-	r.Iv.Span, rest, err = consumeIDs(rest, "report span")
+	r.Iv.Span, rest, err = consumeIDsInto(r.Iv.Span, rest, "report span")
 	if err != nil {
-		return r, err
+		return err
 	}
-	var lo vclock.VC
-	n, err := consumeVC(rest, &lo)
+	rest, err = consumeVC(rest, &r.Iv.Lo)
 	if err != nil {
-		return r, err
+		return err
 	}
-	rest = rest[n:]
-	var hi vclock.VC
-	n, err = consumeVC(rest, &hi)
+	rest, err = consumeVC(rest, &r.Iv.Hi)
 	if err != nil {
-		return r, err
+		return err
 	}
-	rest = rest[n:]
 	if len(rest) != 0 {
-		return r, fmt.Errorf("wire: %d trailing bytes: %w", len(rest), ErrCorrupt)
+		return fmt.Errorf("wire: %d trailing bytes: %w", len(rest), ErrCorrupt)
 	}
-	r.Iv.Lo, r.Iv.Hi = lo, hi
-	r.Iv.Bases = 1
-	if r.Iv.Agg {
-		// Base count is not carried on the wire; span size is the best
-		// lower bound a receiver has.
-		r.Iv.Bases = len(r.Iv.Span)
-	}
-	return r, nil
+	finishReport(r)
+	return nil
 }
 
-func consumeVC(data []byte, v *vclock.VC) (int, error) {
+// consumeVC reads one length-prefixed fixed-width clock into *v (reusing its
+// backing array when possible) and returns the remaining bytes.
+func consumeVC(data []byte, v *vclock.VC) ([]byte, error) {
 	if len(data) < 4 {
-		return 0, fmt.Errorf("wire: vector clock header: %w", ErrTruncated)
+		return nil, fmt.Errorf("wire: vector clock header: %w", ErrTruncated)
 	}
-	n := int(binary.BigEndian.Uint32(data))
-	if n > MaxSpan {
-		return 0, fmt.Errorf("wire: vector clock of %d components: %w", n, ErrCorrupt)
+	if n := int(binary.BigEndian.Uint32(data)); n > MaxSpan {
+		return nil, fmt.Errorf("wire: vector clock of %d components: %w", n, ErrCorrupt)
 	}
-	size := 4 + 8*n
-	if len(data) < size {
-		return 0, fmt.Errorf("wire: vector clock body: %w", ErrTruncated)
+	rest, err := vclock.ConsumeBinary(data, v)
+	if err != nil {
+		return nil, wrapVClockErr(err)
 	}
-	if err := v.UnmarshalBinary(data[:size]); err != nil {
-		return 0, fmt.Errorf("wire: %v: %w", err, ErrCorrupt)
-	}
-	return size, nil
+	return rest, nil
 }
 
 // Heartbeat is one liveness beacon between tree neighbours. Beyond "I am
@@ -318,23 +323,37 @@ func appendIDs(buf []byte, ids []int) []byte {
 // consumeIDs reads a length-prefixed process-id list, rejecting lengths the
 // remaining bytes cannot back before allocating anything.
 func consumeIDs(data []byte, what string) ([]int, []byte, error) {
+	return consumeIDsInto(nil, data, what)
+}
+
+// consumeIDsInto is consumeIDs reusing dst's backing array when it has
+// capacity; a non-empty list read into an empty dst still allocates.
+func consumeIDsInto(dst []int, data []byte, what string) ([]int, []byte, error) {
 	if len(data) < 4 {
-		return nil, nil, fmt.Errorf("wire: %s length: %w", what, ErrTruncated)
+		return dst, nil, fmt.Errorf("wire: %s length: %w", what, ErrTruncated)
 	}
 	n := int(binary.BigEndian.Uint32(data))
 	data = data[4:]
 	if n > MaxSpan {
-		return nil, nil, fmt.Errorf("wire: %s of %d ids: %w", what, n, ErrCorrupt)
+		return dst, nil, fmt.Errorf("wire: %s of %d ids: %w", what, n, ErrCorrupt)
 	}
 	if len(data) < 4*n {
-		return nil, nil, fmt.Errorf("wire: %s body: %w", what, ErrTruncated)
+		return dst, nil, fmt.Errorf("wire: %s body: %w", what, ErrTruncated)
 	}
-	var ids []int
-	if n > 0 {
-		ids = make([]int, n)
-		for i := range ids {
-			ids[i] = int(binary.BigEndian.Uint32(data[4*i:]))
+	ids := dst[:0]
+	if n == 0 {
+		// Preserve the historical "empty list decodes as nil" shape when the
+		// caller brought no storage.
+		if dst == nil {
+			ids = nil
 		}
+	} else if cap(ids) < n {
+		ids = make([]int, n)
+	} else {
+		ids = ids[:n]
+	}
+	for i := 0; i < n; i++ {
+		ids[i] = int(binary.BigEndian.Uint32(data[4*i:]))
 	}
 	return ids, data[4*n:], nil
 }
