@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz figures alpha examples smoke fmt vet clean
+.PHONY: all build test test-short race cover bench bench-json bench-scale fuzz figures alpha examples smoke fmt vet clean
 
 all: build vet test
 
@@ -26,9 +26,13 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Refresh the recorded benchmark trajectory (BENCH_hotpath.json).
+# Refresh the recorded benchmark trajectories (append-only; see EXPERIMENTS.md).
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Live-runtime scale lanes at p ∈ {127, 511, 1023} → BENCH_scale.json.
+bench-scale:
+	$(GO) run ./cmd/benchjson -suite scale
 
 # Short fuzz passes over the wire codecs. Patterns are anchored: a bare
 # FuzzDecodeReport would match both FuzzDecodeReport and FuzzDecodeReportV2,
@@ -38,6 +42,7 @@ fuzz:
 	$(GO) test -run FuzzDecodeDelta -fuzz FuzzDecodeDelta -fuzztime 30s ./internal/vclock/
 	$(GO) test -run 'FuzzDecodeReport$$' -fuzz 'FuzzDecodeReport$$' -fuzztime 30s ./internal/wire/
 	$(GO) test -run FuzzDecodeReportV2 -fuzz FuzzDecodeReportV2 -fuzztime 30s ./internal/wire/
+	$(GO) test -run FuzzDecodeReportBatch -fuzz FuzzDecodeReportBatch -fuzztime 30s ./internal/wire/
 	$(GO) test -run FuzzDecodeHeartbeat -fuzz FuzzDecodeHeartbeat -fuzztime 30s ./internal/wire/
 	$(GO) test -run FuzzDecodeAttach -fuzz FuzzDecodeAttach -fuzztime 30s ./internal/wire/
 

@@ -1,20 +1,28 @@
-// Command benchjson runs the hot-path benchmark suite and records the
-// results as one machine-readable JSON file (BENCH_hotpath.json by default).
-// Checked in and regenerated per change, the file is the repository's
-// benchmark trajectory: `git log -p BENCH_hotpath.json` shows how ns/op,
-// B/op, allocs/op and bytes/frame moved with every hot-path PR, without
-// anyone re-running old commits.
+// Command benchjson runs a benchmark suite and records the results in a
+// machine-readable JSON file. Checked in and regenerated per change, each
+// file is a benchmark trajectory: an append-only array with one entry per
+// recorded run, so `git log -p BENCH_hotpath.json` — or just reading the
+// file — shows how ns/op, B/op, allocs/op, bytes/frame and intervals/sec
+// moved with every perf PR, without anyone re-running old commits.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson            # full suite → BENCH_hotpath.json
-//	go run ./cmd/benchjson -short     # quicker pass (CI)
-//	go run ./cmd/benchjson -out F     # write elsewhere
+//	go run ./cmd/benchjson                  # hot-path suite → BENCH_hotpath.json
+//	go run ./cmd/benchjson -suite scale     # scale suite → BENCH_scale.json
+//	go run ./cmd/benchjson -short           # quicker pass (CI)
+//	go run ./cmd/benchjson -out F           # write elsewhere
+//	go run ./cmd/benchjson -label "PR 4"    # annotate the trajectory entry
 //
-// The suite covers the layers of the report hot path: vclock codec and
-// comparisons, wire encode/decode (v1 vs v2, pooled), interval aggregation
-// and queue, detector node work, TCP loopback, and the simulator's Figure
-// 4/5 byte-volume sweeps (bytes-v1/run vs bytes-v2/run).
+// The hotpath suite covers the layers of the report hot path: vclock codec
+// and comparisons, wire encode/decode (v1 vs v2, pooled), interval
+// aggregation and queue, detector node work, TCP loopback, and the
+// simulator's Figure 4/5 byte-volume sweeps. The scale suite runs the live
+// runtime's p ∈ {127, 511, 1023} lanes (BenchmarkLiveScale: legacy seed
+// plane vs sharded vs batched) plus the batched report encode path, and
+// summarizes the p=511 speedup over the pre-change baseline.
+//
+// Files recorded in the old single-run format are migrated in place: the
+// previous run becomes the trajectory's first entry.
 package main
 
 import (
@@ -38,13 +46,18 @@ type suite struct {
 	short     string // benchtime override under -short ("" keeps Benchtime)
 }
 
-var suites = []suite{
+var hotpathSuites = []suite{
 	{Pkg: "./internal/vclock", Pattern: "BenchmarkCompareLess|BenchmarkAppendDelta|BenchmarkConsumeDelta|BenchmarkString|BenchmarkLess|BenchmarkMarshal", Benchtime: "20000x"},
 	{Pkg: "./internal/wire", Pattern: "BenchmarkEncodeReport|BenchmarkDecodeReport", Benchtime: "20000x"},
 	{Pkg: "./internal/interval", Pattern: "BenchmarkAggregate|BenchmarkOverlapAll|BenchmarkQueueCycle", Benchtime: "20000x"},
 	{Pkg: "./internal/core", Pattern: "BenchmarkNodeDetection|BenchmarkNodeElimination", Benchtime: "200x", short: "50x"},
 	{Pkg: "./internal/transport/tcptransport", Pattern: "BenchmarkLoopbackRoundTrip|BenchmarkRebase", Benchtime: "50000x", short: "5000x"},
 	{Pkg: ".", Pattern: "BenchmarkFigure4_Messages|BenchmarkFigure5_Messages", Benchtime: "1x"},
+}
+
+var scaleSuites = []suite{
+	{Pkg: "./internal/livenet", Pattern: "BenchmarkLiveScale", Benchtime: "16x", short: "2x"},
+	{Pkg: "./internal/wire", Pattern: "BenchmarkAppendReportBatch|BenchmarkDecodeReportBatch", Benchtime: "20000x", short: "2000x"},
 }
 
 // result is one benchmark line.
@@ -59,21 +72,46 @@ type suiteOut struct {
 	Results []result `json:"results"`
 }
 
-type output struct {
-	Note    string             `json:"note"`
+// run is one trajectory entry: everything a single benchjson invocation
+// measured.
+type run struct {
+	Label   string             `json:"label,omitempty"`
 	Go      string             `json:"go"`
 	GOARCH  string             `json:"goarch"`
 	Suites  []suiteOut         `json:"suites"`
 	Summary map[string]float64 `json:"summary"`
 }
 
+// trajectory is the on-disk document: a note plus the append-only run list.
+type trajectory struct {
+	Note       string `json:"note"`
+	Trajectory []run  `json:"trajectory"`
+}
+
 func main() {
-	out := flag.String("out", "BENCH_hotpath.json", "output file")
+	suiteName := flag.String("suite", "hotpath", "suite to run: hotpath or scale")
+	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
+	label := flag.String("label", "", "free-form annotation for this trajectory entry")
 	short := flag.Bool("short", false, "shorter benchtimes for CI lanes")
 	flag.Parse()
 
-	doc := output{
-		Note:   "regenerate with: make bench-json (go run ./cmd/benchjson)",
+	var suites []suite
+	var summarize func([]suiteOut) map[string]float64
+	switch *suiteName {
+	case "hotpath":
+		suites, summarize = hotpathSuites, summarizeHotpath
+	case "scale":
+		suites, summarize = scaleSuites, summarizeScale
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want hotpath or scale)\n", *suiteName)
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = "BENCH_" + *suiteName + ".json"
+	}
+
+	entry := run{
+		Label:  *label,
 		Go:     runtime.Version(),
 		GOARCH: runtime.GOARCH,
 	}
@@ -89,9 +127,13 @@ func main() {
 			os.Exit(1)
 		}
 		s.Benchtime = bt
-		doc.Suites = append(doc.Suites, suiteOut{suite: s, Results: results})
+		entry.Suites = append(entry.Suites, suiteOut{suite: s, Results: results})
 	}
-	doc.Summary = summarize(doc.Suites)
+	entry.Summary = summarize(entry.Suites)
+
+	doc := load(*out)
+	doc.Note = "trajectory of recorded runs, newest last; append with: go run ./cmd/benchjson -suite " + *suiteName
+	doc.Trajectory = append(doc.Trajectory, entry)
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -103,7 +145,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "benchjson: appended run %d to %s\n", len(doc.Trajectory), *out)
+}
+
+// load reads an existing trajectory file. A file in the pre-trajectory
+// format (one bare run object) is migrated: it becomes the first entry. A
+// missing or unreadable file starts a fresh trajectory.
+func load(path string) trajectory {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return trajectory{}
+	}
+	var doc trajectory
+	if err := json.Unmarshal(data, &doc); err == nil && doc.Trajectory != nil {
+		return doc
+	}
+	var old struct {
+		Go      string             `json:"go"`
+		GOARCH  string             `json:"goarch"`
+		Suites  []suiteOut         `json:"suites"`
+		Summary map[string]float64 `json:"summary"`
+	}
+	if err := json.Unmarshal(data, &old); err == nil && old.Suites != nil {
+		return trajectory{Trajectory: []run{{
+			Label: "migrated from single-run format", Go: old.Go, GOARCH: old.GOARCH,
+			Suites: old.Suites, Summary: old.Summary,
+		}}}
+	}
+	return trajectory{}
 }
 
 func runSuite(pkg, pattern, benchtime string) ([]result, error) {
@@ -159,36 +228,39 @@ func parseLine(line string) (result, bool) {
 	return r, len(r.Metrics) > 0
 }
 
-// summarize derives the headline numbers the acceptance criteria track.
-func summarize(suites []suiteOut) map[string]float64 {
-	metric := func(pkg, name, unit string) (float64, bool) {
-		for _, s := range suites {
-			if s.Pkg != pkg {
-				continue
-			}
-			for _, r := range s.Results {
-				if r.Name == name {
-					v, ok := r.Metrics[unit]
-					return v, ok
-				}
+// metric finds one benchmark metric in a suite set.
+func metric(suites []suiteOut, pkg, name, unit string) (float64, bool) {
+	for _, s := range suites {
+		if s.Pkg != pkg {
+			continue
+		}
+		for _, r := range s.Results {
+			if r.Name == name {
+				v, ok := r.Metrics[unit]
+				return v, ok
 			}
 		}
-		return 0, false
 	}
+	return 0, false
+}
+
+// summarizeHotpath derives the headline numbers the wire/hot-path acceptance
+// criteria track.
+func summarizeHotpath(suites []suiteOut) map[string]float64 {
 	sum := map[string]float64{}
-	v1F, ok1 := metric("./internal/wire", "BenchmarkEncodeReportV2/v1", "bytes/frame")
-	absF, ok2 := metric("./internal/wire", "BenchmarkEncodeReportV2/absolute", "bytes/frame")
-	dltF, ok3 := metric("./internal/wire", "BenchmarkEncodeReportV2/delta", "bytes/frame")
+	v1F, ok1 := metric(suites, "./internal/wire", "BenchmarkEncodeReportV2/v1", "bytes/frame")
+	absF, ok2 := metric(suites, "./internal/wire", "BenchmarkEncodeReportV2/absolute", "bytes/frame")
+	dltF, ok3 := metric(suites, "./internal/wire", "BenchmarkEncodeReportV2/delta", "bytes/frame")
 	if ok1 && ok2 && v1F > 0 {
 		sum["frame_reduction_pct_v2_absolute"] = 100 * (1 - absF/v1F)
 	}
 	if ok1 && ok3 && v1F > 0 {
 		sum["frame_reduction_pct_v2_delta"] = 100 * (1 - dltF/v1F)
 	}
-	if a, ok := metric("./internal/wire", "BenchmarkEncodeReportPooled", "allocs/op"); ok {
+	if a, ok := metric(suites, "./internal/wire", "BenchmarkEncodeReportPooled", "allocs/op"); ok {
 		sum["pooled_encode_allocs_per_op"] = a
 	}
-	if a, ok := metric("./internal/wire", "BenchmarkDecodeReportPooled/v2-delta", "allocs/op"); ok {
+	if a, ok := metric(suites, "./internal/wire", "BenchmarkDecodeReportPooled/v2-delta", "allocs/op"); ok {
 		sum["pooled_decode_allocs_per_op"] = a
 	}
 	// Simulated byte-volume reduction across the Figure 4/5 height sweeps
@@ -211,13 +283,45 @@ func summarize(suites []suiteOut) map[string]float64 {
 	if worst >= 0 {
 		sum["sim_bytes_reduction_pct_min"] = worst
 	}
-	if v1, ok1 := metric("./internal/transport/tcptransport", "BenchmarkLoopbackRoundTrip/v1", "ns/op"); ok1 {
-		if v2, ok2 := metric("./internal/transport/tcptransport", "BenchmarkLoopbackRoundTrip/v2", "ns/op"); ok2 && v2 > 0 {
+	if v1, ok1 := metric(suites, "./internal/transport/tcptransport", "BenchmarkLoopbackRoundTrip/v1", "ns/op"); ok1 {
+		if v2, ok2 := metric(suites, "./internal/transport/tcptransport", "BenchmarkLoopbackRoundTrip/v2", "ns/op"); ok2 && v2 > 0 {
 			sum["loopback_v1_over_v2_speedup"] = v1 / v2
 		}
-		if nc, ok2 := metric("./internal/transport/tcptransport", "BenchmarkLoopbackRoundTrip/v2-nochain", "ns/op"); ok2 && nc > 0 {
+		if nc, ok2 := metric(suites, "./internal/transport/tcptransport", "BenchmarkLoopbackRoundTrip/v2-nochain", "ns/op"); ok2 && nc > 0 {
 			sum["loopback_v1_over_v2_nochain_speedup"] = v1 / nc
 		}
+	}
+	return sum
+}
+
+// summarizeScale derives the scale-lane headlines: per-size throughput for
+// every lane, the p=511 speedups over the recorded pre-change baseline (the
+// legacy lane, measured in the same run), goroutine high-water marks, and
+// the batched encode path's allocation count.
+func summarizeScale(suites []suiteOut) map[string]float64 {
+	sum := map[string]float64{}
+	lanes := []string{"legacy", "sharded", "batched"}
+	for _, p := range []int{127, 511, 1023} {
+		for _, lane := range lanes {
+			name := fmt.Sprintf("BenchmarkLiveScale/p=%d/%s", p, lane)
+			if v, ok := metric(suites, "./internal/livenet", name, "intervals/sec"); ok {
+				sum[fmt.Sprintf("p%d_%s_intervals_per_sec", p, lane)] = v
+			}
+			if v, ok := metric(suites, "./internal/livenet", name, "peak-goroutines"); ok {
+				sum[fmt.Sprintf("p%d_%s_peak_goroutines", p, lane)] = v
+			}
+		}
+		base := sum[fmt.Sprintf("p%d_legacy_intervals_per_sec", p)]
+		if base > 0 {
+			for _, lane := range lanes[1:] {
+				if v := sum[fmt.Sprintf("p%d_%s_intervals_per_sec", p, lane)]; v > 0 {
+					sum[fmt.Sprintf("p%d_speedup_%s_vs_legacy", p, lane)] = v / base
+				}
+			}
+		}
+	}
+	if a, ok := metric(suites, "./internal/wire", "BenchmarkAppendReportBatch", "allocs/op"); ok {
+		sum["batch_encode_allocs_per_op"] = a
 	}
 	return sum
 }

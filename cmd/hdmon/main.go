@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -67,10 +69,42 @@ func main() {
 		resend   = flag.Bool("resend", false, "re-report last aggregate after adoption (Figure 2(c) behaviour)")
 		live     = flag.Bool("live", false, "run on real goroutines/channels instead of the simulator")
 		verbose  = flag.Bool("v", false, "print every detection at every level")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run here")
+		memprof  = flag.String("memprofile", "", "write a heap profile taken after the run here")
 		failures failureList
 	)
 	flag.Var(&failures, "fail", "inject failure node@time, or node@round with -live (repeatable)")
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hdmon:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hdmon:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hdmon:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hdmon:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	var topo *hierdet.Topology
 	switch *shape {

@@ -30,7 +30,13 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"hierdet"
@@ -48,6 +54,9 @@ func main() {
 		seed     = flag.Int64("seed", 42, "init: workload seed")
 		id       = flag.Int("id", -1, "node id this process hosts")
 		gate     = flag.String("gate", "", "barrier file to await between feeding phases")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile here, flushed on SIGINT/SIGTERM")
+		memprof  = flag.String("memprofile", "", "write a heap profile here on SIGINT/SIGTERM")
+		pprofSrv = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -58,10 +67,64 @@ func main() {
 		}
 		return
 	}
+	if err := startProfiling(*cpuprof, *memprof, *pprofSrv); err != nil {
+		fmt.Fprintln(os.Stderr, "hierdet-node:", err)
+		os.Exit(1)
+	}
 	if err := runNode(*config, *id, *gate); err != nil {
 		fmt.Fprintln(os.Stderr, "hierdet-node:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiling wires the node's observability hooks: file-based CPU/heap
+// profiles and an optional live pprof endpoint. The process runs until
+// killed (runNode never returns), so profile flushing hangs off a
+// SIGINT/SIGTERM handler rather than a defer.
+func startProfiling(cpuprof, memprof, addr string) error {
+	if addr != "" {
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "hierdet-node: pprof:", err)
+			}
+		}()
+	}
+	var cpuFile *os.File
+	if cpuprof != "" {
+		f, err := os.Create(cpuprof)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuFile = f
+	}
+	if cpuprof != "" || memprof != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memprof != "" {
+				if f, err := os.Create(memprof); err != nil {
+					fmt.Fprintln(os.Stderr, "hierdet-node:", err)
+				} else {
+					runtime.GC()
+					if err := pprof.WriteHeapProfile(f); err != nil {
+						fmt.Fprintln(os.Stderr, "hierdet-node:", err)
+					}
+					f.Close()
+				}
+			}
+			os.Exit(0)
+		}()
+	}
+	return nil
 }
 
 // writeClusterFile builds a balanced-binary-tree deployment on localhost. It

@@ -263,6 +263,50 @@ func (nd *Node) OnInterval(src int, iv interval.Interval) []Detection {
 	return nd.detect(nd.one[:])
 }
 
+// OnIntervals ingests a run of consecutive intervals of one source, in
+// succession order, as a single batch: everything is enqueued first and the
+// detection loop runs once — Algorithm 1 line 2 amortized over the run,
+// which is what the batched runtimes feed it (a resequencer's released run,
+// an ObserveBatch call). The emitted detections are exactly those of the
+// equivalent one-at-a-time OnInterval sequence (property-tested to byte
+// identity): an elimination proof against a head persists against every
+// successor of that head, so which provably-useless intervals a fixed point
+// discards never changes which solutions exist. The bookkeeping may differ —
+// a batch exposes the run's later intervals inside the same fixed point
+// where the sequential path starts a fresh one, so the two paths can
+// classify a discarded interval differently (Eliminated vs Pruned vs still
+// resident), and ExactPrune's Eq. 9 successor peek sees batch-delivered
+// successors earlier.
+func (nd *Node) OnIntervals(src int, ivs []interval.Interval) []Detection {
+	if len(ivs) == 0 {
+		return nil
+	}
+	q, ok := nd.queues[src]
+	if !ok {
+		nd.stats.Dropped += len(ivs)
+		return nil
+	}
+	wasEmpty := q.Empty()
+	for _, iv := range ivs {
+		if nd.cfg.Strict {
+			if prev, ok := nd.lastHi[src]; ok && !prev.Hi.Less(iv.Lo) {
+				panic(fmt.Sprintf("core: node %d: succession violated on source %d: prev max %v, next min %v",
+					nd.id, src, prev.Hi, iv.Lo))
+			}
+			nd.lastHi[src] = iv
+		}
+		q.Enqueue(iv)
+		nd.stats.IntervalsIn++
+	}
+	// Algorithm 1 line 2: only a new head can change the outcome, and the
+	// batch exposed one exactly when the queue was empty before it.
+	if !wasEmpty {
+		return nil
+	}
+	nd.one[0] = src
+	return nd.detect(nd.one[:])
+}
+
 // detect runs the elimination loop and, repeatedly, solution extraction and
 // pruning, starting from the queues named in trigger. It returns every
 // solution set found, in detection order.

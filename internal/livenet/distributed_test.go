@@ -299,3 +299,64 @@ func TestDistributedOverTCP(t *testing.T) {
 		t.Errorf("survivor root detections = %d, want %d", got, phase2)
 	}
 }
+
+// TestDistributedBatchWindow: with report coalescing on, child→parent
+// traffic crosses the transport as KindReportBatch frames — and detection
+// output is unchanged. The tap on every endpoint proves batch frames
+// actually traveled (coalescing engaged, not just degenerated to singles).
+func TestDistributedBatchWindow(t *testing.T) {
+	const rounds = 10
+	build := func() *tree.Topology { return tree.Balanced(2, 2) }
+	e := workload.Generate(workload.Config{Topology: build(), Rounds: rounds, Seed: 17, PGlobal: 1})
+
+	net := transport.NewNetwork()
+	var tapMu sync.Mutex
+	batchFrames := 0
+	var log detLog
+	clusters := make(map[int]*Cluster, 7)
+	for id := 0; id < 7; id++ {
+		ep := net.Endpoint(id)
+		ep.Drop = func(to int, frame []byte) bool {
+			if k, err := wire.FrameKind(frame); err == nil && k == wire.KindReportBatch {
+				tapMu.Lock()
+				batchFrames++
+				tapMu.Unlock()
+			}
+			return false
+		}
+		clusters[id] = New(Config{
+			Topology: build(), Seed: 13, Strict: true, KeepMembers: true,
+			HbEvery:      time.Millisecond,
+			StartupGrace: 5 * time.Millisecond,
+			BatchWindow:  500 * time.Microsecond,
+			Transport:    ep,
+			LocalNodes:   []int{id},
+			OnDetect:     log.add,
+		})
+	}
+
+	feedRangeMulti(clusters, e, 0, rounds)
+	waitCond(t, "root detections with batched wire frames", func() bool { return log.rootSpan(7) >= rounds })
+	time.Sleep(20 * time.Millisecond) // settle: surplus detections would be a bug
+
+	var dets []Detection
+	for id := 0; id < 7; id++ {
+		dets = append(dets, clusters[id].Stop()...)
+	}
+	soundRoots(t, dets)
+	if got := spanCount(dets, 7); got != rounds {
+		t.Errorf("root detections = %d, want %d", got, rounds)
+	}
+	tapMu.Lock()
+	defer tapMu.Unlock()
+	if batchFrames == 0 {
+		t.Error("no KindReportBatch frames on the wire; coalescing never engaged")
+	}
+	bad := 0
+	for id, c := range clusters {
+		bad += c.Metrics()[id].BadFrames
+	}
+	if bad != 0 {
+		t.Errorf("bad frames = %d, want 0", bad)
+	}
+}

@@ -1,14 +1,28 @@
-// Package livenet runs the hierarchical detector over real concurrency: one
-// goroutine per process, Go channels as the communication links. It is the
-// natural Go embedding of the paper's system model — asynchronous processes,
-// asynchronous non-FIFO message passing — and complements internal/simnet,
-// which trades real concurrency for determinism.
+// Package livenet runs the hierarchical detector over real concurrency. It
+// is the natural Go embedding of the paper's system model — asynchronous
+// processes, asynchronous non-FIFO message passing — and complements
+// internal/simnet, which trades real concurrency for determinism.
 //
-// Delivery of each message is handed to its own goroutine with a small
-// pseudo-random delay, so messages on one link genuinely race and arrive out
-// of order; the same per-link sequence numbers and resequencers as the
-// simulated runtime (shared via internal/repair) restore queue order at the
-// receiver.
+// The delivery plane is built for scale: every node owns a bounded mailbox
+// shard, a small worker pool drains the shards (one worker per node at a
+// time, so detector state stays single-writer), and a single hashed timer
+// wheel carries every delayed message, repair timeout and heartbeat tick.
+// Steady-state goroutine count is the pool plus the wheel — independent of
+// the process count and of the number of in-flight messages — where the seed
+// design spent one goroutine per node plus one per in-flight message.
+// Messages on one link still genuinely race and arrive out of order (the
+// wheel quantizes each message's pseudo-random delay); the same per-link
+// sequence numbers and resequencers as the simulated runtime (shared via
+// internal/repair) restore queue order at the receiver.
+//
+// With Config.BatchWindow > 0 each node coalesces the reports it owes its
+// parent and flushes them as one message (one wire frame, in distributed
+// mode) per window — the live runtime's port of the simulator's BatchWindow,
+// trading up to one window of detection latency for per-message overhead.
+// Arrivals batch symmetrically: runs of in-order reports released together
+// by a resequencer feed the detector through core.Node's batch ingestion
+// (OnIntervals), which runs the elimination loop once per exposed head
+// rather than once per arrival (Algorithm 1 line 2).
 //
 // With heartbeats enabled (Config.HbEvery > 0) the cluster is fault
 // tolerant per the paper's §III-F: Kill crashes a process, its tree
@@ -21,14 +35,17 @@
 //
 // Lifecycle is race-clean by construction: a single mutex guards the
 // cluster state machine (running → stopping → stopped) and a message-credit
-// ledger; every inbox message holds exactly one credit from before it is
-// sent until after it is handled, timers take their credit when armed, and
-// Stop waits on a condition variable until the ledger drains before closing
-// any channel. There is no sleep-polling and no unsynchronized flag.
+// ledger; every message holds exactly one credit from before it is sent
+// until after it is handled, timers take their credit when armed, and Stop
+// waits on a condition variable until the ledger drains before tearing the
+// pool and the wheel down. There is no sleep-polling, no unsynchronized
+// flag, and — unlike the seed's per-message sleep goroutines — nothing left
+// sleeping after Stop returns: the wheel cancels its remaining (uncredited)
+// entries instead of firing them.
 //
 // With Config.Transport set the cluster becomes one participant of a
 // distributed deployment: it hosts only Config.LocalNodes, traffic between
-// co-hosted nodes stays on the channels, and everything else is wire-encoded
+// co-hosted nodes stays in-process, and everything else is wire-encoded
 // (internal/wire) and shipped through the transport — the in-process Network
 // of internal/transport for deterministic tests, real TCP sockets
 // (internal/transport/tcptransport) for separate OS processes. Distributed
@@ -41,12 +58,14 @@ package livenet
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"hierdet/internal/core"
 	"hierdet/internal/interval"
+	"hierdet/internal/repair"
 	"hierdet/internal/transport"
 	"hierdet/internal/tree"
 	"hierdet/internal/wire"
@@ -54,15 +73,38 @@ import (
 
 // Config parameterizes a cluster.
 type Config struct {
-	// Topology is the spanning tree; one goroutine runs per alive node.
+	// Topology is the spanning tree; one detector node runs per alive node.
 	Topology *tree.Topology
 	// MaxDelay bounds the random per-message delivery delay (default 200µs;
-	// larger values force more reordering).
+	// larger values force more reordering). The timer wheel quantizes delays
+	// to its tick (MaxDelay/8, clamped to [20µs, 1ms]).
 	MaxDelay time.Duration
 	// Seed drives the delay distribution.
 	Seed int64
 	// Strict and KeepMembers configure the detector nodes (see core.Config).
 	Strict, KeepMembers bool
+
+	// Workers sizes the pool that drains the mailbox shards. Zero means
+	// GOMAXPROCS.
+	Workers int
+	// MailboxBound caps each node's mailbox shard for external producers:
+	// Observe and ObserveBatch block while the destination shard is at the
+	// bound, pushing back on the workload. Internal cascade traffic is not
+	// bounded (a blocked worker could deadlock the pool). Zero means 4096.
+	MailboxBound int
+	// BatchWindow coalesces each node's child→parent reports and flushes
+	// them as one message (one wire frame in distributed mode) per window.
+	// Zero sends every report immediately, the paper's per-detection
+	// behaviour.
+	BatchWindow time.Duration
+	// LegacyDelivery restores the seed's delivery plane in full: one inbox
+	// channel and one goroutine per node, one sleeping goroutine per delayed
+	// message, one time.AfterFunc per repair timer and a per-node heartbeat
+	// ticker, instead of the mailbox shards, worker pool and timer wheel. It
+	// exists so the scale benchmarks can measure the rebuilt plane against
+	// the pre-change baseline forever; production configurations leave it
+	// off.
+	LegacyDelivery bool
 
 	// HbEvery enables failure handling: on this period every node publishes
 	// a liveness beacon and checks the beacons of its tree neighbours. Zero
@@ -94,7 +136,7 @@ type Config struct {
 	// OnDetect, when set, is called for every detection as it is recorded —
 	// the streaming complement of Stop's batch return, which a long-running
 	// process (cmd/hierdet-node) needs. It runs off the cluster's locks but
-	// on node goroutines, so it must be quick and must not call Stop.
+	// on worker goroutines, so it must be quick and must not call Stop.
 	OnDetect func(Detection)
 
 	// Transport switches the cluster to distributed mode: it hosts only
@@ -137,13 +179,17 @@ const (
 	clusterStopped
 )
 
-// Cluster is a running set of detector goroutines. Create with New, feed
-// local intervals with Observe, optionally crash processes with Kill, then
-// call Stop to drain and collect every detection.
+// Cluster is a running set of detector nodes. Create with New, feed local
+// intervals with Observe or ObserveBatch, optionally crash processes with
+// Kill, then call Stop to drain and collect every detection.
 type Cluster struct {
 	cfg     Config
 	nodes   map[int]*liveNode
-	wg      sync.WaitGroup
+	wg      sync.WaitGroup // worker pool
+	wheel   *wheel
+	runq    chan *liveNode
+	bound   int // mailbox bound for external producers
+	workers int
 	remote  bool      // distributed mode: Transport is set
 	startAt time.Time // StartupGrace reference point
 
@@ -186,16 +232,25 @@ func New(cfg Config) *Cluster {
 	if cfg.Transport != nil && cfg.StartupGrace == 0 {
 		cfg.StartupGrace = 2 * cfg.HbTimeout
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MailboxBound <= 0 {
+		cfg.MailboxBound = 4096
+	}
 	c := &Cluster{
 		cfg:     cfg,
 		remote:  cfg.Transport != nil,
 		startAt: time.Now(),
 		topo:    cfg.Topology,
+		bound:   cfg.MailboxBound,
+		workers: cfg.Workers,
 		nodes:   make(map[int]*liveNode),
 		killed:  make(map[int]bool),
 		seeking: make(map[int]bool),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.wheel = newWheel(c, cfg.MaxDelay/8)
 	hosted := cfg.Topology.AliveNodes()
 	if c.remote && len(cfg.LocalNodes) > 0 {
 		hosted = cfg.LocalNodes
@@ -206,14 +261,37 @@ func New(cfg Config) *Cluster {
 		}
 		c.nodes[id] = newLiveNode(c, id)
 	}
+	// Sentinel stops (one nil per worker) ride the same queue as work, so
+	// the capacity covers every node being scheduled at once plus them.
+	c.runq = make(chan *liveNode, len(c.nodes)+c.workers)
 	if c.remote {
 		if err := cfg.Transport.Start(c.onFrame); err != nil {
 			panic(fmt.Sprintf("livenet: transport start: %v", err))
 		}
 	}
-	for _, ln := range c.nodes {
+	go c.wheel.run()
+	if cfg.LegacyDelivery {
+		// The seed delivery plane, whole: one goroutine and one inbox channel
+		// per node, heartbeats on per-node tickers (in runLegacy), delayed
+		// messages on fresh sleeping goroutines (in post). The wheel stays up
+		// but idle so Stop's teardown is uniform.
+		for _, ln := range c.nodes {
+			ln.inbox = make(chan message, 256)
+			c.wg.Add(1)
+			go ln.runLegacy()
+		}
+		return c
+	}
+	for i := 0; i < c.workers; i++ {
 		c.wg.Add(1)
-		go ln.run()
+		go c.worker()
+	}
+	if cfg.HbEvery > 0 {
+		for _, ln := range c.nodes {
+			// Stagger first beats so the cluster does not pulse in lockstep.
+			first := 1 + time.Duration(ln.rng.Int64N(int64(cfg.HbEvery)))
+			c.wheel.schedule(ln, message{kind: msgHbTick}, first, cfg.HbEvery)
+		}
 	}
 	return c
 }
@@ -221,10 +299,39 @@ func New(cfg Config) *Cluster {
 // Observe feeds one completed local-predicate interval of process p into the
 // cluster. Intervals of one process must be observed in generation order
 // (they are at the emitting process by construction); different processes
-// may call Observe concurrently. Observe must not be called after Stop;
+// may call Observe concurrently. Observe blocks while p's mailbox shard is
+// at its bound (backpressure) and must not be called after Stop;
 // observations for killed processes are silently dropped (the process is
 // dead — it generates nothing).
 func (c *Cluster) Observe(p int, iv interval.Interval) {
+	ln := c.admit(p, 1)
+	if ln == nil {
+		return
+	}
+	c.enqueue(ln, message{kind: msgLocal, from: p, iv: iv}, true)
+}
+
+// ObserveBatch feeds a run of consecutive completed intervals of process p,
+// in generation order, as one delivery: the detector enqueues them all and
+// runs detection once per exposed head (Algorithm 1 line 2) instead of once
+// per interval. The cluster retains ivs until the batch is handled; the
+// caller must not modify it afterwards. Semantics are identical to calling
+// Observe once per interval — only the per-message overhead differs.
+func (c *Cluster) ObserveBatch(p int, ivs []interval.Interval) {
+	if len(ivs) == 0 {
+		return
+	}
+	ln := c.admit(p, 1)
+	if ln == nil {
+		return
+	}
+	c.enqueue(ln, message{kind: msgLocalBatch, from: p, ivs: ivs}, true)
+}
+
+// admit performs Observe/ObserveBatch's shared lifecycle check and takes
+// credits message deliveries. It returns nil when the observation should be
+// silently dropped (killed process).
+func (c *Cluster) admit(p, credits int) *liveNode {
 	ln, ok := c.nodes[p]
 	if !ok {
 		panic(fmt.Sprintf("livenet: Observe for unknown process %d", p))
@@ -236,12 +343,11 @@ func (c *Cluster) Observe(p int, iv interval.Interval) {
 	}
 	if c.killed[p] {
 		c.mu.Unlock()
-		return
+		return nil
 	}
-	c.pending++
+	c.pending += credits
 	c.mu.Unlock()
-	// Synchronous send: preserves the caller's per-process generation order.
-	ln.inbox <- message{kind: msgLocal, from: p, iv: iv}
+	return ln
 }
 
 // Kill crashes process node (crash-stop: it stops beating, handling and
@@ -275,9 +381,10 @@ func (c *Cluster) Kill(node int) int {
 
 // Drain blocks until the message-credit ledger is empty: every observation
 // fed so far, and the whole report cascade it triggered, has been handled.
-// Armed repair timers hold credits too, so after the survivors have begun a
-// reattachment Drain also covers its conclusion. It does not stop anything;
-// Observe may be called again afterwards.
+// Armed repair timers and pending batch-window flushes hold credits too, so
+// after the survivors have begun a reattachment Drain also covers its
+// conclusion. It does not stop anything; Observe may be called again
+// afterwards.
 func (c *Cluster) Drain() {
 	c.mu.Lock()
 	for c.pending != 0 {
@@ -286,7 +393,7 @@ func (c *Cluster) Drain() {
 	c.mu.Unlock()
 }
 
-// Stop waits for the cluster to go idle, shuts the goroutines down and
+// Stop waits for the cluster to go idle, shuts the delivery plane down and
 // returns every detection, ordered by node id and then detection order at
 // that node.
 //
@@ -294,8 +401,11 @@ func (c *Cluster) Drain() {
 // panic, internal cascade traffic still flows), then Stop waits on the
 // condition variable until the credit ledger drains. Because every message
 // acquires its credit under mu before it is sent — timers at arm time — a
-// drained ledger means no send can be in flight, so moving to stopped and
-// closing the inboxes cannot race a send.
+// drained ledger means no credited delivery can be outstanding, so moving to
+// stopped and cancelling the wheel cannot lose work. The wheel's surviving
+// entries are the uncredited heartbeat ticks; they are discarded, the
+// workers take their stop sentinels, and nothing is left sleeping or
+// running when Stop returns.
 func (c *Cluster) Stop() []Detection {
 	c.mu.Lock()
 	if c.state != clusterRunning {
@@ -308,8 +418,20 @@ func (c *Cluster) Stop() []Detection {
 	}
 	c.state = clusterStopped
 	c.mu.Unlock()
-	for _, ln := range c.nodes {
-		close(ln.inbox)
+	// Order matters: the wheel must be fully gone before the stop sentinels
+	// go out, because an advancing wheel pushes nodes onto the run queue.
+	c.wheel.stop()
+	<-c.wheel.done
+	if c.cfg.LegacyDelivery {
+		// Seed teardown: the drained ledger means no send can be in flight,
+		// so closing the inboxes cannot race one.
+		for _, ln := range c.nodes {
+			close(ln.inbox)
+		}
+	} else {
+		for i := 0; i < c.workers; i++ {
+			c.runq <- nil
+		}
 	}
 	c.wg.Wait()
 	if c.remote {
@@ -349,11 +471,13 @@ func (c *Cluster) Repairs() []RepairEvent {
 	return append([]RepairEvent(nil), c.repairs...)
 }
 
-// post ships a message to a node's inbox on its own goroutine after delay,
-// taking the message's pending credit first. During stopping the internal
-// cascade is still allowed — Stop drains it; only after stopped (all inboxes
-// about to close, ledger empty so nothing can legally be in flight) is the
-// message dropped.
+// post ships a message to a node's mailbox after delay, taking the message's
+// pending credit first. During stopping the internal cascade is still
+// allowed — Stop drains it; only after stopped (ledger empty, so nothing can
+// legally be in flight) is the message dropped. Zero-delay messages enqueue
+// directly; delayed ones ride the wheel — or, under LegacyDelivery, a fresh
+// sleeping goroutine, the seed behaviour the scale benchmarks baseline
+// against.
 func (c *Cluster) post(to int, msg message, delay time.Duration) {
 	dst, ok := c.nodes[to]
 	if !ok {
@@ -366,17 +490,22 @@ func (c *Cluster) post(to int, msg message, delay time.Duration) {
 	}
 	c.pending++
 	c.mu.Unlock()
-	go func() {
-		if delay > 0 {
+	switch {
+	case delay <= 0:
+		c.enqueue(dst, msg, false)
+	case c.cfg.LegacyDelivery:
+		go func() {
 			time.Sleep(delay)
-		}
-		dst.inbox <- msg
-	}()
+			c.enqueue(dst, msg, false)
+		}()
+	default:
+		c.wheel.schedule(dst, msg, delay, 0)
+	}
 }
 
 // armTimer schedules a timer message, taking its pending credit at arm time:
-// an armed timer keeps the ledger non-zero, so Stop cannot close the inbox a
-// pending timer will fire into.
+// an armed timer keeps the ledger non-zero, so Stop cannot tear the delivery
+// plane down under a pending timer.
 func (c *Cluster) armTimer(ln *liveNode, d time.Duration, msg message) {
 	c.mu.Lock()
 	if c.state == clusterStopped {
@@ -385,7 +514,11 @@ func (c *Cluster) armTimer(ln *liveNode, d time.Duration, msg message) {
 	}
 	c.pending++
 	c.mu.Unlock()
-	time.AfterFunc(d, func() { ln.inbox <- msg })
+	if c.cfg.LegacyDelivery {
+		time.AfterFunc(d, func() { c.enqueue(ln, msg, false) })
+		return
+	}
+	c.wheel.schedule(ln, msg, d, 0)
 }
 
 // done returns one message's credit to the ledger.
@@ -418,7 +551,7 @@ func (c *Cluster) notifyRepair(orphan, newParent int) {
 	}
 }
 
-// send routes a message: through the in-process inbox when this cluster
+// send routes a message: through the in-process mailbox when this cluster
 // hosts the destination (or is not distributed at all), wire-encoded over
 // the transport otherwise. The transport is best-effort and asynchronous, so
 // remote sends take no ledger credit — like the paper's network, a remote
@@ -445,7 +578,22 @@ func (c *Cluster) send(to int, msg message, delay time.Duration) {
 	}
 }
 
-// encodeMessage wire-encodes an inbox message for a remote peer. Timer kinds
+// sendBatch routes a flushed report-batch: one in-process message when the
+// destination is hosted here, one self-contained wire batch frame (reports
+// delta-chained against each other inside the frame, encoded through a
+// pooled buffer — the zero-allocation batched encode path) otherwise.
+func (c *Cluster) sendBatch(to, from int, batch []repair.Report, delay time.Duration) {
+	if _, local := c.nodes[to]; local || !c.remote {
+		c.post(to, message{kind: msgReportBatch, from: from, reps: batch}, delay)
+		return
+	}
+	buf := wire.GetBuffer()
+	*buf = wire.AppendReportBatch(*buf, batch)
+	c.cfg.Transport.Send(to, *buf)
+	wire.PutBuffer(buf)
+}
+
+// encodeMessage wire-encodes a mailbox message for a remote peer. Timer kinds
 // never travel; msgLocal never leaves its process; reports take the pooled
 // v2 path in send.
 func encodeMessage(msg message) []byte {
@@ -488,6 +636,13 @@ func (c *Cluster) onFrame(to int, frame []byte) {
 		// A node only reports aggregates it created, so the interval's
 		// origin identifies the sender.
 		msg = message{kind: msgReport, from: r.Iv.Origin, seq: r.LinkSeq, epoch: r.Epoch, iv: r.Iv}
+	case wire.KindReportBatch:
+		batch, err := wire.DecodeReportBatch(frame)
+		if err != nil || len(batch) == 0 {
+			ln.m.badFrames.Add(1)
+			return
+		}
+		msg = message{kind: msgReportBatch, from: batch[0].Iv.Origin, reps: batch}
 	case wire.KindHeartbeat:
 		hb, err := wire.DecodeHeartbeat(frame)
 		if err != nil {

@@ -37,6 +37,13 @@ type Metrics struct {
 	// BadFrames counts transport frames addressed to this node that failed
 	// wire decoding and were dropped (distributed mode only).
 	BadFrames int
+	// BatchFlushes counts batch-window flushes this node sent its parent
+	// (Config.BatchWindow > 0 only); MsgsOut counts each flush as one
+	// message, so reports-per-flush is the coalescing win.
+	BatchFlushes int
+	// MailboxHighWater is the deepest this node's mailbox shard has been —
+	// the backpressure signal of the sharded delivery plane.
+	MailboxHighWater int
 }
 
 // nodeMetrics is the atomic backing store for Metrics. Gauges are written
@@ -52,6 +59,7 @@ type nodeMetrics struct {
 	childDrops      atomic.Int64
 	heartbeats      atomic.Int64
 	badFrames       atomic.Int64
+	batchFlushes    atomic.Int64
 }
 
 // gaugeReseq republishes the resequencer-depth gauges after a queue changed.
@@ -83,6 +91,7 @@ func (m *nodeMetrics) snapshot() Metrics {
 		ChildDrops:     int(m.childDrops.Load()),
 		Heartbeats:     int(m.heartbeats.Load()),
 		BadFrames:      int(m.badFrames.Load()),
+		BatchFlushes:   int(m.batchFlushes.Load()),
 	}
 }
 
@@ -91,7 +100,9 @@ func (m *nodeMetrics) snapshot() Metrics {
 func (c *Cluster) Metrics() map[int]Metrics {
 	out := make(map[int]Metrics, len(c.nodes))
 	for id, ln := range c.nodes {
-		out[id] = ln.m.snapshot()
+		m := ln.m.snapshot()
+		m.MailboxHighWater = ln.mb.highWater()
+		out[id] = m
 	}
 	return out
 }

@@ -1,7 +1,7 @@
 package livenet
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,14 +13,18 @@ import (
 	"hierdet/internal/tree"
 )
 
-// msgKind discriminates what flows through a node's inbox.
+// msgKind discriminates what flows through a node's mailbox.
 type msgKind int
 
 const (
 	msgLocal       msgKind = iota // a completed local-predicate interval
+	msgLocalBatch                 // a run of completed local intervals (ObserveBatch)
 	msgReport                     // a child→parent aggregate report
+	msgReportBatch                // a window's worth of reports, flushed as one message
 	msgAttach                     // a reattachment-protocol message
 	msgHeartbeat                  // a liveness beat with repair state (distributed mode)
+	msgHbTick                     // the wheel's recurring heartbeat tick (uncredited)
+	msgFlush                      // batch-window flush timer
 	msgSeekTimeout                // per-candidate grant timeout (seq = reqID)
 	msgSeekBackoff                // between-rounds pause (seq = round)
 )
@@ -34,33 +38,47 @@ type hbInfo struct {
 	covered     []int
 }
 
-// message is one inbox entry. Every message holds one credit in the
-// cluster's pending ledger from before it is sent until after it is handled.
+// message is one mailbox entry. Every message except the heartbeat tick
+// holds one credit in the cluster's pending ledger from before it is sent
+// until after it is handled (see creditedKind).
 type message struct {
 	kind  msgKind
 	from  int
 	seq   int // linkSeq (msgReport), reqID or round (timers)
 	epoch int
 	iv    interval.Interval
+	ivs   []interval.Interval // msgLocalBatch payload
+	reps  []repair.Report     // msgReportBatch payload
 	att   repair.Msg
 	hb    hbInfo
 }
 
 // liveNode is one process: a detector node plus its links. All fields below
-// inbox are confined to the node's run goroutine (handle and beat both
-// execute there), so they need no locks; cross-goroutine state lives in the
-// cluster (under mu) or in atomics.
+// mb are confined to the worker currently running the node (the mailbox's
+// scheduled flag admits at most one at a time), so they need no locks;
+// cross-goroutine state lives in the cluster (under mu) or in atomics.
 type liveNode struct {
-	c     *Cluster
-	id    int
+	c    *Cluster
+	id   int
+	mb   mailbox
+	down atomic.Bool  // crashed: drain messages without handling, stop beating
+	beat atomic.Int64 // liveness beacon: UnixNano of the last published beat
+
+	// inbox replaces mb under Config.LegacyDelivery: the seed's per-node
+	// channel, drained by a dedicated goroutine (runLegacy). Nil otherwise.
 	inbox chan message
-	down  atomic.Bool  // crashed: drain messages without handling, stop beating
-	beat  atomic.Int64 // liveness beacon: UnixNano of the last published beat
 
 	node    *core.Node
 	parent  int
 	outSeq  int                // per-current-link counter for reports to parent
 	lastAgg *interval.Interval // most recent aggregate, for resend-on-adopt
+
+	// Batch-window report coalescing (Config.BatchWindow > 0): reports owed
+	// to the parent buffer here until the armed flush timer fires.
+	outBuf       []repair.Report
+	flushPending bool
+
+	ivScratch []interval.Interval // reused batch-ingestion staging
 
 	reseq     map[int]*repair.Resequencer // child id → resequencer
 	epochs    *repair.Epochs
@@ -69,13 +87,17 @@ type liveNode struct {
 	suspected map[int]bool
 
 	// Distributed-mode failure-detector state, maintained from heartbeat
-	// messages (all run-goroutine confined, like everything above):
-	// when each peer was last heard, the covered set each child last
-	// reported, and whether the parent said this tree's root is seeking.
+	// messages (all worker-confined, like everything above): when each peer
+	// was last heard, the covered set each child last reported, and whether
+	// the parent said this tree's root is seeking.
 	lastHeard     map[int]time.Time
 	covered       map[int][]int
 	rootSeekingHB bool
 
+	// rng drives this node's delivery-delay jitter. PCG rather than the
+	// classic rand.Source: seeding the latter costs ~20µs of warmup per
+	// node, which at p≥512 turns into >10ms of pure startup overhead per
+	// cluster.
 	rng   *rand.Rand
 	rngMu sync.Mutex
 
@@ -87,7 +109,6 @@ func newLiveNode(c *Cluster, id int) *liveNode {
 	ln := &liveNode{
 		c:         c,
 		id:        id,
-		inbox:     make(chan message, 256),
 		node:      core.NewNode(id, coreCfg, true),
 		parent:    c.topo.Parent(id),
 		reseq:     make(map[int]*repair.Resequencer),
@@ -95,8 +116,9 @@ func newLiveNode(c *Cluster, id int) *liveNode {
 		suspected: make(map[int]bool),
 		lastHeard: make(map[int]time.Time),
 		covered:   make(map[int][]int),
-		rng:       rand.New(rand.NewSource(c.cfg.Seed ^ int64(id)<<17)),
+		rng:       rand.New(rand.NewPCG(uint64(c.cfg.Seed), uint64(id)<<17|1)),
 	}
+	ln.mb.init()
 	ln.seeker = repair.NewSeeker(id, ln)
 	ln.adopter = repair.NewAdopter(id, ln)
 	for _, child := range c.topo.Children(id) {
@@ -112,9 +134,10 @@ func newLiveNode(c *Cluster, id int) *liveNode {
 	return ln
 }
 
-// run is the node's goroutine: handle inbox messages, and — with heartbeats
-// enabled — publish and check liveness beacons on the heartbeat period.
-func (ln *liveNode) run() {
+// runLegacy is the seed's node goroutine, preserved verbatim for the
+// LegacyDelivery baseline: handle inbox messages one channel receive at a
+// time, and — with heartbeats enabled — beat on a per-node ticker.
+func (ln *liveNode) runLegacy() {
 	defer ln.c.wg.Done()
 	var tick <-chan time.Time
 	if ln.c.cfg.HbEvery > 0 {
@@ -134,7 +157,9 @@ func (ln *liveNode) run() {
 			if !ln.down.Load() {
 				ln.handle(msg)
 			}
-			ln.c.done()
+			if creditedKind(msg.kind) {
+				ln.c.done()
+			}
 		case <-tick:
 			if !ln.down.Load() {
 				ln.heartbeat()
@@ -147,6 +172,8 @@ func (ln *liveNode) handle(msg message) {
 	switch msg.kind {
 	case msgLocal:
 		ln.deliver(ln.node.OnInterval(ln.id, msg.iv))
+	case msgLocalBatch:
+		ln.deliver(ln.node.OnIntervals(ln.id, msg.ivs))
 	case msgReport:
 		ln.m.msgsIn.Add(1)
 		rs, ok := ln.reseq[msg.from]
@@ -156,17 +183,19 @@ func (ln *liveNode) handle(msg message) {
 			ln.m.stale.Add(1)
 			return
 		}
-		ready := rs.Accept(repair.Report{Iv: msg.iv, LinkSeq: msg.seq, Epoch: msg.epoch})
+		ln.ingest(msg.from, rs.Accept(repair.Report{Iv: msg.iv, LinkSeq: msg.seq, Epoch: msg.epoch}))
 		ln.gaugeReseq()
-		for _, r := range ready {
-			// In-order now; check the sender's reconfiguration epoch. An
-			// advance means the child's subtree changed and its stream
-			// restarted: the queued remainder of the old stream must go.
-			if ln.epochs.Observe(msg.from, r.Epoch) {
-				ln.node.ResetSource(msg.from)
-			}
-			ln.deliver(ln.node.OnInterval(msg.from, r.Iv))
+	case msgReportBatch:
+		ln.m.msgsIn.Add(1)
+		rs, ok := ln.reseq[msg.from]
+		if !ok {
+			ln.m.stale.Add(int64(len(msg.reps)))
+			return
 		}
+		for _, pl := range msg.reps {
+			ln.ingest(msg.from, rs.Accept(pl))
+		}
+		ln.gaugeReseq()
 	case msgAttach:
 		ln.m.msgsIn.Add(1)
 		ln.onAttach(msg.from, msg.att)
@@ -179,10 +208,45 @@ func (ln *liveNode) handle(msg message) {
 		if _, isChild := ln.reseq[msg.from]; isChild && msg.hb.covered != nil {
 			ln.covered[msg.from] = msg.hb.covered
 		}
+	case msgHbTick:
+		if ln.c.cfg.HbEvery > 0 {
+			ln.heartbeat()
+		}
+	case msgFlush:
+		ln.flushReports()
 	case msgSeekTimeout:
 		ln.seeker.OnTimeout(msg.seq)
 	case msgSeekBackoff:
 		ln.seeker.OnBackoff(msg.seq)
+	}
+}
+
+// ingest feeds a resequencer's released run — in-order reports from one
+// child — into the detector. Consecutive reports of one reconfiguration
+// epoch go in as one batch (Algorithm 1 line 2: enqueue all, then detect
+// per exposed head); an epoch advance in the middle of the run means the
+// child's subtree changed and its stream restarted, so the queued remainder
+// of the old stream is discarded before the new epoch's reports enter.
+func (ln *liveNode) ingest(from int, ready []repair.Report) {
+	for i := 0; i < len(ready); {
+		if ln.epochs.Observe(from, ready[i].Epoch) {
+			ln.node.ResetSource(from)
+		}
+		j := i + 1
+		for j < len(ready) && ready[j].Epoch == ready[i].Epoch {
+			j++
+		}
+		if j == i+1 {
+			ln.deliver(ln.node.OnInterval(from, ready[i].Iv))
+		} else {
+			ivs := ln.ivScratch[:0]
+			for k := i; k < j; k++ {
+				ivs = append(ivs, ready[k].Iv)
+			}
+			ln.deliver(ln.node.OnIntervals(from, ivs))
+			ln.ivScratch = ivs[:0]
+		}
+		i = j
 	}
 }
 
@@ -198,17 +262,14 @@ func (ln *liveNode) deliver(dets []core.Detection) {
 	}
 }
 
-// report ships an aggregate to the parent on its own goroutine after a
-// random delay — deliberately unordered with respect to other reports on the
-// same link. Reports to a crashed parent are lost (its goroutine drains
-// them unhandled), exactly like in-flight messages to a crashed process.
+// report ships an aggregate to the parent — immediately on a racing delayed
+// path when batch windows are off, or into the window buffer when they are
+// on. Reports to a crashed parent are lost (its mailbox drains unhandled),
+// exactly like in-flight messages to a crashed process.
 func (ln *liveNode) report(agg interval.Interval) {
 	cp := agg
 	ln.lastAgg = &cp
-	msg := message{kind: msgReport, from: ln.id, seq: ln.outSeq, epoch: ln.epochs.Stamp(), iv: agg}
-	ln.outSeq++
-	ln.m.msgsOut.Add(1)
-	ln.c.send(ln.parent, msg, ln.delay())
+	ln.emit(agg)
 }
 
 // resendLast re-reports the most recent aggregate to a newly adopted parent
@@ -217,10 +278,47 @@ func (ln *liveNode) resendLast() {
 	if ln.lastAgg == nil || ln.parent == tree.None {
 		return
 	}
-	msg := message{kind: msgReport, from: ln.id, seq: ln.outSeq, epoch: ln.epochs.Stamp(), iv: *ln.lastAgg}
+	ln.emit(*ln.lastAgg)
+}
+
+// emit assigns the next link sequence number and either sends the report or
+// buffers it for the pending batch-window flush, arming the flush timer if
+// none is armed. The timer is a credited wheel entry, so Drain and Stop
+// cover buffered reports.
+func (ln *liveNode) emit(agg interval.Interval) {
+	pl := repair.Report{Iv: agg, LinkSeq: ln.outSeq, Epoch: ln.epochs.Stamp()}
 	ln.outSeq++
+	if ln.c.cfg.BatchWindow <= 0 {
+		ln.m.msgsOut.Add(1)
+		ln.c.send(ln.parent, message{kind: msgReport, from: ln.id, seq: pl.LinkSeq, epoch: pl.Epoch, iv: pl.Iv}, ln.delay())
+		return
+	}
+	ln.outBuf = append(ln.outBuf, pl)
+	if !ln.flushPending {
+		ln.flushPending = true
+		ln.c.armTimer(ln, ln.c.cfg.BatchWindow, message{kind: msgFlush})
+	}
+}
+
+// flushReports sends the buffered window to the parent as one message (one
+// wire frame in distributed mode). Runs on the node's worker from the flush
+// timer, and synchronously before a parent switch — buffered sequence
+// numbers belong to the old link, so they must go (or be lost) there.
+func (ln *liveNode) flushReports() {
+	ln.flushPending = false
+	if len(ln.outBuf) == 0 {
+		return
+	}
+	if ln.parent == tree.None {
+		ln.outBuf = ln.outBuf[:0]
+		return
+	}
+	batch := make([]repair.Report, len(ln.outBuf))
+	copy(batch, ln.outBuf)
+	ln.outBuf = ln.outBuf[:0]
 	ln.m.msgsOut.Add(1)
-	ln.c.send(ln.parent, msg, ln.delay())
+	ln.m.batchFlushes.Add(1)
+	ln.c.sendBatch(ln.parent, ln.id, batch, ln.delay())
 }
 
 // dropChild removes a dead or reassigned child's queue, returning the
@@ -329,7 +427,7 @@ func (ln *liveNode) watchPeers() []int {
 
 // suspect handles a stale beacon or heartbeat silence. For a peer this
 // cluster hosts, the suspicion is validated against the failure injector's
-// record before acting: a goroutine starved by the scheduler can miss beats
+// record before acting: a node starved by the scheduler can miss beats
 // without having crashed, and acting on a false suspicion would wrongly
 // reconfigure the tree. (The check stands in for the perfect failure
 // detector the paper's crash-stop model assumes.) A remote peer offers no
@@ -370,7 +468,7 @@ func (ln *liveNode) suspect(peer int) {
 // delay draws a random per-message delivery delay.
 func (ln *liveNode) delay() time.Duration {
 	ln.rngMu.Lock()
-	d := time.Duration(ln.rng.Int63n(int64(ln.c.cfg.MaxDelay)))
+	d := time.Duration(ln.rng.Int64N(int64(ln.c.cfg.MaxDelay)))
 	ln.rngMu.Unlock()
 	return d
 }

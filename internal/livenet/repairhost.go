@@ -157,6 +157,7 @@ func (ln *liveNode) TryAttach(granter int) bool {
 		}
 		delete(c.seeking, ln.id)
 		c.mu.Unlock()
+		ln.flushReports() // buffered sequence numbers belong to the old link
 		ln.parent = granter
 		ln.outSeq = 0
 		ln.rootSeekingHB = false // refreshed by the new parent's beats
@@ -172,6 +173,7 @@ func (ln *liveNode) TryAttach(granter int) bool {
 	c.topo.SetParent(ln.id, granter)
 	delete(c.seeking, ln.id)
 	c.mu.Unlock()
+	ln.flushReports() // buffered sequence numbers belong to the old link
 	ln.parent = granter
 	ln.outSeq = 0
 	ln.m.repairs.Add(1)
@@ -193,6 +195,7 @@ func (ln *liveNode) Partitioned() {
 	c.mu.Lock()
 	delete(c.seeking, ln.id)
 	c.mu.Unlock()
+	ln.flushReports() // to the old (dead) parent; a root buffers nothing
 	ln.parent = tree.None
 	ln.rootSeekingHB = false // this node is the root now, and it is done seeking
 	ln.m.repairs.Add(1)

@@ -1,0 +1,133 @@
+package livenet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+// BenchmarkLiveScale runs full balanced trees through the live runtime at
+// p ∈ {127, 511, 1023} in three lanes:
+//
+//	legacy   the seed delivery plane in full (Config.LegacyDelivery): one
+//	         goroutine + inbox channel per node, one sleeping goroutine per
+//	         delayed message, fed one Observe call per interval — the
+//	         pre-change baseline
+//	sharded  the rebuilt plane (mailbox shards + worker pool + timer wheel),
+//	         same per-interval feeding — isolates the delivery-plane gain
+//	batched  the rebuilt plane driven the way it is meant to be at scale:
+//	         ObserveBatch ingestion, batch-window report coalescing — the
+//	         full new path
+//
+// Each iteration builds a cluster, feeds every process's stream at full
+// speed, and drains via Stop. Reported metrics:
+//
+//	intervals/sec   end-to-end ingestion throughput (observed locals / wall)
+//	peak-goroutines high-water goroutine count during the run — the new
+//	                plane must stay O(p); the legacy plane scales with
+//	                in-flight messages
+//	detections/op   sanity: every lane must detect every round at the root
+//
+// The scale lane (make bench-scale / cmd/benchjson -suite scale) records
+// these into BENCH_scale.json; the p=511 batched-vs-legacy ratio is the
+// acceptance headline.
+func BenchmarkLiveScale(b *testing.B) {
+	for _, h := range []int{6, 8, 9} { // 127, 511, 1023 nodes
+		topo := tree.Balanced(2, h)
+		p := topo.N()
+		rounds := 8
+		if p >= 1000 {
+			rounds = 6 // keep the legacy lane's goroutine storm affordable
+		}
+		e := workload.Generate(workload.Config{Topology: topo, Rounds: rounds, Seed: 42, PGlobal: 1})
+		total := 0
+		for _, s := range e.Streams {
+			total += len(s)
+		}
+		for _, mode := range []struct {
+			name      string
+			legacy    bool
+			batchFeed bool
+			window    time.Duration
+		}{
+			{"legacy", true, false, 0},
+			{"sharded", false, false, 0},
+			{"batched", false, true, 200 * time.Microsecond},
+		} {
+			b.Run(fmt.Sprintf("p=%d/%s", p, mode.name), func(b *testing.B) {
+				benchLiveScale(b, topo, e, total, rounds, mode.legacy, mode.batchFeed, mode.window)
+			})
+		}
+	}
+}
+
+func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, total, rounds int, legacy, batchFeed bool, window time.Duration) {
+	peak := 0
+	roots := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(Config{
+			Topology:       topo,
+			Seed:           int64(i + 1),
+			MaxDelay:       500 * time.Microsecond,
+			LegacyDelivery: legacy,
+			BatchWindow:    window,
+		})
+
+		stop := make(chan struct{})
+		sampled := make(chan struct{})
+		go func() {
+			defer close(sampled)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n := runtime.NumGoroutine(); n > peak {
+					peak = n
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}()
+
+		if batchFeed {
+			for p := range e.Streams {
+				c.ObserveBatch(p, e.Streams[p])
+			}
+		} else {
+			var wg sync.WaitGroup
+			for p := range e.Streams {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for _, iv := range e.Streams[p] {
+						c.Observe(p, iv)
+					}
+				}(p)
+			}
+			wg.Wait()
+		}
+		dets := c.Stop()
+		close(stop)
+		<-sampled
+		for _, d := range dets {
+			if d.AtRoot {
+				roots++
+			}
+		}
+	}
+	b.StopTimer()
+	if roots != rounds*b.N {
+		b.Fatalf("root detections = %d, want %d — the plane under test is broken", roots, rounds*b.N)
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "intervals/sec")
+	b.ReportMetric(float64(peak), "peak-goroutines")
+	b.ReportMetric(float64(roots)/float64(b.N), "detections/op")
+}

@@ -1,0 +1,135 @@
+package livenet
+
+import "sync"
+
+// sched.go — the delivery plane's mailbox shards and worker pool.
+//
+// Every node owns one bounded mailbox shard: a mutex-guarded slice the
+// producers append to and a worker drains in one swap. A node is "scheduled"
+// while its shard is non-empty and at most one worker runs a node at a time,
+// so all per-node detector state stays single-writer exactly as it was when
+// each node had its own goroutine — but the steady-state goroutine count is
+// now the worker pool plus the timer wheel, independent of both p and the
+// number of in-flight messages.
+//
+// Backpressure is asymmetric on purpose. External producers (Observe,
+// ObserveBatch) block while the destination shard is at its bound — the
+// cluster pushes back on the workload instead of buffering it without limit.
+// Internal cascade traffic never blocks: a worker that blocked appending to
+// a sibling's full shard could deadlock the pool, and cascade volume is
+// bounded by the detection math (each accepted interval triggers a bounded
+// report cascade), so the shards stay near the bound even under stress.
+
+// mailbox is one node's delivery shard.
+type mailbox struct {
+	mu        sync.Mutex
+	notFull   sync.Cond
+	buf       []message
+	spare     []message // worker-owned swap buffer, recycled every drain
+	scheduled bool
+	high      int // high-water mark of len(buf), for Metrics
+}
+
+func (mb *mailbox) init() { mb.notFull.L = &mb.mu }
+
+// enqueue appends msg to ln's shard and schedules the node on the run queue
+// if it was idle. external marks producer traffic subject to the bound.
+func (c *Cluster) enqueue(ln *liveNode, msg message, external bool) {
+	if c.cfg.LegacyDelivery {
+		// The seed's channel send: per-message handoff to the node goroutine,
+		// backpressure from the channel capacity.
+		ln.inbox <- msg
+		return
+	}
+	mb := &ln.mb
+	mb.mu.Lock()
+	if external {
+		for len(mb.buf) >= c.bound {
+			mb.notFull.Wait()
+		}
+	}
+	mb.buf = append(mb.buf, msg)
+	if len(mb.buf) > mb.high {
+		mb.high = len(mb.buf)
+	}
+	schedule := !mb.scheduled
+	mb.scheduled = true
+	mb.mu.Unlock()
+	if schedule {
+		c.runq <- ln
+	}
+}
+
+// worker is one pool goroutine: pop a scheduled node, drain its shard once,
+// re-queue it if producers kept it non-empty. One drain per pop keeps the
+// pool fair across nodes while still handing the detector whole batches. A
+// nil pop is Stop's sentinel: the queue is never closed (late requeues must
+// stay legal), each worker instead consumes exactly one sentinel and exits.
+func (c *Cluster) worker() {
+	defer c.wg.Done()
+	for ln := range c.runq {
+		if ln == nil {
+			return
+		}
+		c.runNode(ln)
+	}
+}
+
+// runNode drains one swap of ln's mailbox. The scheduled flag stays set from
+// the pop until the shard is observed empty, so no second worker can claim
+// the node concurrently.
+func (c *Cluster) runNode(ln *liveNode) {
+	mb := &ln.mb
+	mb.mu.Lock()
+	batch := mb.buf
+	mb.buf = mb.spare[:0]
+	mb.spare = nil
+	mb.mu.Unlock()
+	mb.notFull.Broadcast()
+
+	// After the ledger drained and the state reached stopped, the only
+	// messages left are uncredited heartbeat ticks from the wheel's last
+	// turns; dropping them keeps post-Stop callbacks (child drops, repairs,
+	// detections) from firing into a cluster the caller believes final.
+	c.mu.Lock()
+	stopped := c.state == clusterStopped
+	c.mu.Unlock()
+
+	down := ln.down.Load()
+	for i := range batch {
+		if !down && !stopped {
+			ln.handle(batch[i])
+		}
+		if creditedKind(batch[i].kind) {
+			c.done()
+		}
+		batch[i] = message{} // release interval/clock references
+		down = ln.down.Load()
+	}
+
+	mb.mu.Lock()
+	if mb.spare == nil || cap(batch) > cap(mb.spare) {
+		mb.spare = batch[:0]
+	}
+	requeue := len(mb.buf) > 0
+	if !requeue {
+		mb.scheduled = false
+	}
+	mb.mu.Unlock()
+	if requeue {
+		c.runq <- ln
+	}
+}
+
+// creditedKind reports whether a message kind holds a ledger credit. Only
+// heartbeat ticks are uncredited: they are periodic background work that
+// must not keep an idle cluster from stopping (the seed runtime used a
+// per-node ticker for the same reason).
+func creditedKind(k msgKind) bool { return k != msgHbTick }
+
+// highWater reads the shard's high-water mark.
+func (mb *mailbox) highWater() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.high
+}

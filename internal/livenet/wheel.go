@@ -1,0 +1,222 @@
+package livenet
+
+import (
+	"sync"
+	"time"
+)
+
+// wheel is the cluster's single hashed timer wheel: every delayed message,
+// repair timeout and heartbeat tick in the cluster is one entry in one wheel
+// driven by one goroutine. The seed design slept a fresh goroutine per
+// delayed message and armed a time.AfterFunc per repair timer, so the
+// goroutine count scaled with the number of in-flight messages; the wheel
+// caps the delivery plane at a single goroutine regardless of load, which is
+// what lets the scale benchmarks run p ≥ 512 trees without drowning the
+// scheduler.
+//
+// Layout: a power-of-two ring of slots, each a linked list of entries. An
+// entry due in d is placed ceil(d/tick)-1 slots ahead of the cursor, with a
+// rounds counter absorbing delays longer than one rotation. The goroutine
+// sleeps until the next slot boundary (absolute deadlines against the wheel
+// epoch, so processing jitter never accumulates), expires the slot, and
+// re-arms recurring entries. When the wheel empties it parks on a channel
+// and the epoch restarts on the next insert — an idle cluster burns no
+// timer wakeups at all.
+//
+// Lifecycle: entries that deliver credited messages hold their ledger credit
+// from insertion (the caller takes it) until the delivery is handled, so
+// Cluster.Stop's drain covers everything the wheel still owes. stop() runs
+// after the drain: by then only uncredited recurring entries (heartbeat
+// ticks) remain, and they are discarded without firing — the clean
+// cancellation the seed's sleeping goroutines could not offer.
+type wheel struct {
+	c    *Cluster
+	tick time.Duration
+
+	mu     sync.Mutex
+	slots  []*wheelEntry
+	mask   int
+	cursor int       // slot the next advance will expire
+	count  int       // live entries across all slots
+	epoch  time.Time // time of tick 0 of the current busy period
+	ticked int64     // advances processed this busy period
+	parked bool      // goroutine is waiting on kick
+
+	kick    chan struct{} // insert-into-empty-wheel wakeup (capacity 1)
+	stopped chan struct{}
+	done    chan struct{} // closed when the wheel goroutine has exited
+}
+
+// wheelEntry is one scheduled delivery. Entries are owned by the wheel while
+// queued and never shared, so they need no locks of their own.
+type wheelEntry struct {
+	ln     *liveNode
+	msg    message
+	rounds int
+	// period re-arms the entry after each fire (heartbeat ticks). Recurring
+	// entries are uncredited and die with the wheel — or earlier, when their
+	// node is down.
+	period time.Duration
+	next   *wheelEntry
+}
+
+// wheelSlots is the ring size. Delays land within one rotation as long as
+// they are under wheelSlots×tick; longer ones (repair timeouts against a
+// microsecond tick) ride the rounds counter.
+const wheelSlots = 512
+
+func newWheel(c *Cluster, tick time.Duration) *wheel {
+	if tick < 20*time.Microsecond {
+		tick = 20 * time.Microsecond
+	}
+	if tick > time.Millisecond {
+		tick = time.Millisecond
+	}
+	return &wheel{
+		c:       c,
+		tick:    tick,
+		slots:   make([]*wheelEntry, wheelSlots),
+		mask:    wheelSlots - 1,
+		parked:  true,
+		kick:    make(chan struct{}, 1),
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// schedule inserts a one-shot or recurring (period > 0) entry due in d. The
+// caller has already taken the entry's ledger credit if its message carries
+// one.
+func (w *wheel) schedule(ln *liveNode, msg message, d, period time.Duration) {
+	e := &wheelEntry{ln: ln, msg: msg, period: period}
+	w.mu.Lock()
+	w.insertLocked(e, d)
+	wake := w.parked
+	w.mu.Unlock()
+	if wake {
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// insertLocked places e due in d ticks from now. Caller holds mu.
+func (w *wheel) insertLocked(e *wheelEntry, d time.Duration) {
+	if w.count == 0 {
+		// Empty wheel: restart the epoch so the loop does not spin through
+		// the ticks that elapsed while it was parked.
+		w.epoch = time.Now()
+		w.ticked = 0
+	}
+	ticks := int((d + w.tick - 1) / w.tick)
+	if ticks < 1 {
+		ticks = 1
+	}
+	idx := (w.cursor + ticks - 1) & w.mask
+	e.rounds = (ticks - 1) / wheelSlots
+	e.next = w.slots[idx]
+	w.slots[idx] = e
+	w.count++
+}
+
+// run is the wheel goroutine. It signals exit on its own done channel (not
+// the cluster's worker WaitGroup): Stop must know the wheel is fully gone
+// before it sends the workers their stop sentinels, because an advancing
+// wheel pushes nodes onto the run queue.
+func (w *wheel) run() {
+	defer close(w.done)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		w.mu.Lock()
+		if w.count == 0 {
+			w.parked = true
+			w.mu.Unlock()
+			select {
+			case <-w.kick:
+				continue
+			case <-w.stopped:
+				return
+			}
+		}
+		w.parked = false
+		deadline := w.epoch.Add(time.Duration(w.ticked+1) * w.tick)
+		w.mu.Unlock()
+
+		if wait := time.Until(deadline); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-w.stopped:
+				w.drain()
+				return
+			}
+		}
+		w.advance()
+	}
+}
+
+// advance expires the cursor slot: due entries are collected under the lock
+// and delivered outside it (delivery takes mailbox locks), not-yet-due
+// entries decrement rounds and stay, recurring entries re-arm after firing.
+func (w *wheel) advance() {
+	var due *wheelEntry
+	w.mu.Lock()
+	var keep *wheelEntry
+	for e := w.slots[w.cursor]; e != nil; {
+		next := e.next
+		if e.rounds > 0 {
+			e.rounds--
+			e.next = keep
+			keep = e
+		} else {
+			w.count--
+			e.next = due
+			due = e
+		}
+		e = next
+	}
+	w.slots[w.cursor] = keep
+	w.cursor = (w.cursor + 1) & w.mask
+	w.ticked++
+	w.mu.Unlock()
+
+	for e := due; e != nil; e = e.next {
+		if e.msg.kind == msgHbTick && !e.ln.down.Load() && !w.c.remote {
+			// Publish the single-process liveness beacon at fire time, not
+			// handle time: a node whose mailbox is backed up with work is
+			// busy, not dead, and must not be suspected for it.
+			e.ln.beat.Store(time.Now().UnixNano())
+		}
+		w.c.enqueue(e.ln, e.msg, false)
+		if e.period > 0 && !e.ln.down.Load() {
+			w.mu.Lock()
+			w.insertLocked(&wheelEntry{ln: e.ln, msg: e.msg, period: e.period}, e.period)
+			w.mu.Unlock()
+		}
+	}
+}
+
+// stop cancels the wheel. It runs after the cluster's ledger drained, so the
+// surviving entries are uncredited (recurring ticks); credited strays —
+// impossible by the drain argument, but cheap to honor — have their credits
+// returned so no ledger accounting is ever lost.
+func (w *wheel) stop() {
+	close(w.stopped)
+}
+
+// drain discards every queued entry on the way out, returning stray credits.
+func (w *wheel) drain() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.slots {
+		for e := w.slots[i]; e != nil; e = e.next {
+			if e.period == 0 && creditedKind(e.msg.kind) {
+				w.c.done()
+			}
+			w.count--
+		}
+		w.slots[i] = nil
+	}
+}

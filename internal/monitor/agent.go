@@ -44,6 +44,8 @@ type agent struct {
 	outBuf       ivlBatch
 	flushPending bool
 
+	ivScratch []interval.Interval // reused batch-ingestion staging
+
 	// epochs stamps outgoing reports and tracks each child stream's last
 	// seen epoch (shared with the live runtime; see repair.Epochs).
 	epochs *repair.Epochs
@@ -124,16 +126,7 @@ func (a *agent) OnMessage(at simnet.Time, msg simnet.Message) {
 			return
 		}
 		for _, pl := range batch {
-			for _, ready := range rs.Accept(pl) {
-				// In-order now; check the sender's reconfiguration epoch.
-				if a.epochs.Observe(msg.From, ready.Epoch) {
-					// The child's subtree changed: its stream restarted, so
-					// the queued remainder of the old stream must go, and
-					// our own output stream restarts in turn.
-					a.node.ResetSource(msg.From)
-				}
-				a.r.record(at, a.node.OnInterval(msg.From, ready.Iv), a.id)
-			}
+			a.ingest(at, msg.From, rs.Accept(pl))
 		}
 	case KindHb:
 		a.lastHeard[msg.From] = at
@@ -149,6 +142,36 @@ func (a *agent) OnMessage(at simnet.Time, msg simnet.Message) {
 		a.onAttach(at, msg.From, msg.Payload.(repair.Msg))
 	default:
 		panic(fmt.Sprintf("monitor: agent %d got unknown message kind %q", a.id, msg.Kind))
+	}
+}
+
+// ingest feeds a resequencer's released run — in-order reports from one
+// child — into the detector. Consecutive reports of one reconfiguration
+// epoch enter as a single batch (Algorithm 1 line 2 amortized over the run,
+// via core's OnIntervals); an epoch advance inside the run means the child's
+// subtree changed and its stream restarted, so the queued remainder of the
+// old stream is discarded — and our own output stream restarts in turn —
+// before the new epoch's reports enter.
+func (a *agent) ingest(at simnet.Time, from int, ready []ivlPayload) {
+	for i := 0; i < len(ready); {
+		if a.epochs.Observe(from, ready[i].Epoch) {
+			a.node.ResetSource(from)
+		}
+		j := i + 1
+		for j < len(ready) && ready[j].Epoch == ready[i].Epoch {
+			j++
+		}
+		if j == i+1 {
+			a.r.record(at, a.node.OnInterval(from, ready[i].Iv), a.id)
+		} else {
+			ivs := a.ivScratch[:0]
+			for k := i; k < j; k++ {
+				ivs = append(ivs, ready[k].Iv)
+			}
+			a.r.record(at, a.node.OnIntervals(from, ivs), a.id)
+			a.ivScratch = ivs[:0]
+		}
+		i = j
 	}
 }
 

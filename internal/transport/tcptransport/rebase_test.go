@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hierdet/internal/interval"
+	"hierdet/internal/repair"
 	"hierdet/internal/vclock"
 	"hierdet/internal/wire"
 )
@@ -225,5 +226,62 @@ func TestUndeltaRejectsOrphanDeltaFrame(t *testing.T) {
 	}
 	if !back.Iv.Lo.Equal(rep.Iv.Lo) || !back.Iv.Hi.Equal(rep.Iv.Hi) {
 		t.Fatalf("un-deltaed report altered: %+v vs %+v", back, rep)
+	}
+}
+
+// TestBatchFramesPassThrough: a report-batch frame carries its own
+// intra-frame delta chain, so the connection-scoped machinery must treat it
+// as opaque on both sides — pass it through verbatim and leave the basis
+// maps exactly as they were, or the next single-report frame would decode
+// against the wrong chain point.
+func TestBatchFramesPassThrough(t *testing.T) {
+	stream := reportStream(3, 6, 4)
+	reps := make([]repair.Report, len(stream))
+	for i, r := range stream {
+		reps[i] = repair.Report{Iv: r.Iv, LinkSeq: r.LinkSeq, Epoch: r.Epoch}
+	}
+	batch := wire.AppendReportBatch(nil, reps)
+
+	var rb rebaser
+	rb.reset()
+	single0 := wire.EncodeReportV2(stream[0])
+	rb.rebase(single0) // establishes a basis for origin 3
+	basisBefore := rb.bases[3].Clone()
+	if out := rb.rebase(batch); &out[0] != &batch[0] {
+		t.Fatal("rebaser re-encoded a batch frame instead of passing it through")
+	}
+	if !rb.bases[3].Equal(basisBefore) {
+		t.Fatalf("rebaser basis moved on a batch frame: %v -> %v", basisBefore, rb.bases[3])
+	}
+	// A subsequent single report still delta-encodes against the pre-batch
+	// basis, and the mirrored unbaser recovers it.
+	single1 := wire.EncodeReportV2(stream[1])
+	delta := append([]byte(nil), rb.rebase(single1)...)
+	if !wire.ReportIsDelta(delta) {
+		t.Fatal("chain broke: single report after a batch frame is not a delta")
+	}
+
+	var ub unbaser
+	if _, err := ub.undelta(0, single0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ub.undelta(0, batch)
+	if err != nil {
+		t.Fatalf("unbaser rejected a batch frame: %v", err)
+	}
+	if &out[0] != &batch[0] {
+		t.Fatal("unbaser rewrote a batch frame instead of passing it through")
+	}
+	back, err := wire.DecodeReportBatch(out)
+	if err != nil || len(back) != len(reps) {
+		t.Fatalf("batch frame corrupted in transit: %d reports, err %v", len(back), err)
+	}
+	abs, err := ub.undelta(0, delta)
+	if err != nil {
+		t.Fatalf("single delta after batch frame failed to undelta: %v", err)
+	}
+	rep, err := wire.DecodeReport(abs)
+	if err != nil || !rep.Iv.Hi.Equal(stream[1].Iv.Hi) {
+		t.Fatalf("post-batch single report arrived altered: %+v, err %v", rep, err)
 	}
 }

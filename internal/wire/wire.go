@@ -37,11 +37,13 @@ import (
 
 const magic = 0xD7
 
-// Message kinds on the wire.
+// Message kinds on the wire. KindReportBatch exists only under v2 framing
+// (see batch.go); the other kinds appear in both frame versions.
 const (
-	KindReport    = 1
-	KindHeartbeat = 2
-	KindAttach    = 3
+	KindReport      = 1
+	KindHeartbeat   = 2
+	KindAttach      = 3
+	KindReportBatch = 4
 )
 
 // MaxSpan bounds the span (and covered-set) length a decoder accepts before
@@ -73,13 +75,18 @@ func FrameKind(data []byte) (byte, error) {
 		return 0, fmt.Errorf("wire: bad magic 0x%02x: %w", data[0], ErrCorrupt)
 	}
 	k := data[1]
+	v2 := false
 	if k == verV2 {
 		if len(data) < 3 {
 			return 0, fmt.Errorf("wire: frame header: %w", ErrTruncated)
 		}
 		k = data[2]
+		v2 = true
 	}
-	if k != KindReport && k != KindHeartbeat && k != KindAttach {
+	switch {
+	case k == KindReport || k == KindHeartbeat || k == KindAttach:
+	case k == KindReportBatch && v2: // batch frames are v2-only
+	default:
 		return 0, fmt.Errorf("wire: unknown kind %d: %w", k, ErrCorrupt)
 	}
 	return k, nil

@@ -6,10 +6,13 @@ import (
 	"hierdet/internal/livenet"
 )
 
-// LiveCluster runs the hierarchical detector over real goroutines and
-// channels — one goroutine per process, per-message delivery goroutines as
-// asynchronous (non-FIFO) links. It is the concurrency-native counterpart of
-// Simulate: nondeterministic scheduling, identical detection semantics.
+// LiveCluster runs the hierarchical detector over real concurrency: every
+// process owns a bounded mailbox shard, a small worker pool drains the
+// shards, and one timer wheel carries all delayed deliveries and heartbeats
+// — steady-state goroutine count stays O(workers), independent of both the
+// process count and the in-flight message count. It is the
+// concurrency-native counterpart of Simulate: nondeterministic scheduling,
+// identical detection semantics.
 //
 // With HbEvery set, the cluster also runs the paper's §III-F failure
 // handling live: Kill crash-stops a node, survivors detect the silence via
@@ -41,6 +44,17 @@ type LiveConfig struct {
 	Seed int64
 	// Verify enables order checking and solution-set retention.
 	Verify bool
+
+	// Workers sizes the pool draining the per-process mailboxes (default
+	// GOMAXPROCS); MailboxBound caps each mailbox for Observe/ObserveBatch
+	// callers, which block at the bound (default 4096).
+	Workers      int
+	MailboxBound int
+	// BatchWindow coalesces each node's child→parent reports into one
+	// message (one wire frame in distributed mode) per window, trading up to
+	// one window of detection latency for per-message overhead. Zero sends
+	// every report immediately.
+	BatchWindow time.Duration
 
 	// HbEvery enables failure handling: every node publishes a heartbeat
 	// and watches its tree neighbours on this period. Zero disables
@@ -90,6 +104,9 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		Seed:              cfg.Seed,
 		Strict:            cfg.Verify,
 		KeepMembers:       cfg.Verify,
+		Workers:           cfg.Workers,
+		MailboxBound:      cfg.MailboxBound,
+		BatchWindow:       cfg.BatchWindow,
 		HbEvery:           cfg.HbEvery,
 		HbTimeout:         cfg.HbTimeout,
 		SeekTimeout:       cfg.SeekTimeout,
