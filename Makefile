@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-scale fuzz figures alpha examples smoke fmt vet clean
+.PHONY: all build test test-short race cover bench bench-json bench-scale fuzz figures alpha examples smoke smoke-metrics fmt vet lint clean
 
 all: build vet test
 
@@ -65,11 +65,24 @@ examples:
 smoke:
 	timeout 180 $(GO) run ./examples/distributed
 
+# Observability proof: three hierdet-node OS processes, /metrics scraped off
+# node 0's pprof endpoint and checked for every exposition plane.
+smoke-metrics:
+	timeout 180 ./scripts/metrics_smoke.sh
+
 fmt:
 	gofmt -w .
 
 vet:
 	$(GO) vet ./...
+
+# vet plus staticcheck when it's on PATH (CI installs it; locally optional).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, ran go vet only"; \
+	fi
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -68,6 +69,7 @@ func main() {
 		distrep  = flag.Bool("distrepair", false, "repair the tree with the distributed attach protocol (implies -heartbeats)")
 		resend   = flag.Bool("resend", false, "re-report last aggregate after adoption (Figure 2(c) behaviour)")
 		live     = flag.Bool("live", false, "run on real goroutines/channels instead of the simulator")
+		metrics  = flag.String("metrics-addr", "", "with -live: serve Prometheus /metrics on this address for the run's duration")
 		verbose  = flag.Bool("v", false, "print every detection at every level")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run here")
 		memprof  = flag.String("memprofile", "", "write a heap profile taken after the run here")
@@ -131,7 +133,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-live supports only the hierarchical algorithm")
 			os.Exit(2)
 		}
-		runLive(topo, *rounds, *pglobal, *pgroup, *seed, failures, *resend, *verbose)
+		runLive(topo, *rounds, *pglobal, *pgroup, *seed, failures, *resend, *verbose, *metrics)
 		return
 	}
 
@@ -203,7 +205,7 @@ func main() {
 // runLive executes the workload on the live runtime: one goroutine per
 // process, reports racing over channels, failures crash-stopped at round
 // boundaries and repaired by heartbeats plus the distributed attach protocol.
-func runLive(topo *hierdet.Topology, rounds int, pglobal, pgroup float64, seed int64, failures failureList, resend, verbose bool) {
+func runLive(topo *hierdet.Topology, rounds int, pglobal, pgroup float64, seed int64, failures failureList, resend, verbose bool, metricsAddr string) {
 	exec := hierdet.GenerateWorkload(topo, rounds, seed, pglobal, pgroup, 0)
 
 	// In live mode a failure's time is the round boundary it lands on.
@@ -219,12 +221,25 @@ func runLive(topo *hierdet.Topology, rounds int, pglobal, pgroup float64, seed i
 	repaired := make(chan hierdet.LiveRepair, topo.N())
 	cluster := hierdet.NewLiveCluster(hierdet.LiveConfig{
 		Topology: topo, Seed: seed, Verify: true,
-		HbEvery:           500 * time.Microsecond,
-		ResendLastOnAdopt: resend,
-		OnRepair: func(orphan, newParent int) {
-			repaired <- hierdet.LiveRepair{Orphan: orphan, NewParent: newParent}
+		Failure: hierdet.LiveFailureOptions{
+			HbEvery:           500 * time.Microsecond,
+			ResendLastOnAdopt: resend,
+		},
+		Events: func(e hierdet.Event) {
+			if e.Kind == hierdet.EventRepairConcluded {
+				repaired <- hierdet.LiveRepair{Orphan: e.Node, NewParent: e.Peer}
+			}
 		},
 	})
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", cluster.Registry().Handler())
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "hdmon: metrics:", err)
+			}
+		}()
+	}
 
 	feed := func(lo, hi int) {
 		var wg sync.WaitGroup
@@ -288,28 +303,16 @@ func runLive(topo *hierdet.Topology, rounds int, pglobal, pgroup float64, seed i
 	}
 	fmt.Printf("root detections: %d (of %d total at all levels)\n", roots, len(dets))
 
-	metrics := cluster.Metrics()
-	var in, out, dup, stale, repairs int
-	high := 0
-	for _, m := range metrics {
-		in += m.MsgsIn
-		out += m.MsgsOut
-		dup += m.Duplicates
-		stale += m.StaleReports
-		repairs += m.Repairs
-		if m.ReseqHighWater > high {
-			high = m.ReseqHighWater
-		}
-	}
+	cm := cluster.ClusterMetrics()
 	fmt.Printf("messages: %d in / %d out; duplicates dropped: %d; stale reports: %d; "+
-		"reseq high water: %d; repairs: %d\n", in, out, dup, stale, high, repairs)
+		"reseq high water: %d; repairs: %d\n",
+		cm.MsgsIn, cm.MsgsOut, cm.Duplicates, cm.StaleReports, cm.ReseqHighWater, cm.Repairs)
 	if verbose {
 		fmt.Println("\nper-node metrics:")
 		fmt.Printf("  %-4s %6s %6s %5s %6s %5s %4s\n", "node", "in", "out", "dup", "detect", "buf^", "rep")
-		for _, id := range cluster.NodeIDs() {
-			m := metrics[id]
+		for _, m := range cluster.MetricsByNode() {
 			fmt.Printf("  %-4d %6d %6d %5d %6d %5d %4d\n",
-				id, m.MsgsIn, m.MsgsOut, m.Duplicates, m.Detections, m.ReseqHighWater, m.Repairs)
+				m.ID, m.MsgsIn, m.MsgsOut, m.Duplicates, m.Detections, m.ReseqHighWater, m.Repairs)
 		}
 	}
 }

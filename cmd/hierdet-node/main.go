@@ -182,20 +182,30 @@ func runNode(path string, id int, gate string) error {
 	}
 
 	c := hierdet.NewLiveCluster(hierdet.LiveConfig{
-		Topology:     topo,
-		Seed:         f.Seed + int64(id),
-		HbEvery:      time.Duration(f.HbEveryMs) * time.Millisecond,
-		HbTimeout:    time.Duration(f.HbTimeoutMs) * time.Millisecond,
-		StartupGrace: time.Duration(f.StartupGraceMs) * time.Millisecond,
-		Transport:    tr,
-		LocalNodes:   []int{id},
-		OnDetect: func(d hierdet.LiveDetection) {
-			fmt.Printf("DETECT id=%d root=%t span=%d\n", d.Node, d.AtRoot, len(d.Det.Agg.Span))
+		Topology: topo,
+		Seed:     f.Seed + int64(id),
+		Failure: hierdet.LiveFailureOptions{
+			HbEvery:   time.Duration(f.HbEveryMs) * time.Millisecond,
+			HbTimeout: time.Duration(f.HbTimeoutMs) * time.Millisecond,
 		},
-		OnRepair: func(orphan, newParent int) {
-			fmt.Printf("REPAIR orphan=%d parent=%d\n", orphan, newParent)
+		Distributed: hierdet.LiveDistributedOptions{
+			Transport:    tr,
+			LocalNodes:   []int{id},
+			StartupGrace: time.Duration(f.StartupGraceMs) * time.Millisecond,
+		},
+		Events: func(e hierdet.Event) {
+			switch e.Kind {
+			case hierdet.EventSolutionFound:
+				fmt.Printf("DETECT id=%d root=%t span=%d\n", e.Node, e.AtRoot, len(e.Agg.Span))
+			case hierdet.EventRepairConcluded:
+				fmt.Printf("REPAIR orphan=%d parent=%d\n", e.Node, e.Peer)
+			}
 		},
 	})
+	// Mount Prometheus exposition next to the pprof handlers: with -pprof set
+	// the shared default mux already serves, so the scrape endpoint appears on
+	// the same address.
+	http.Handle("/metrics", c.Registry().Handler())
 	fmt.Printf("READY id=%d addr=%s\n", id, tr.Addr())
 
 	pace := time.Duration(f.FeedEveryMs) * time.Millisecond

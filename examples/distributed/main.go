@@ -185,8 +185,12 @@ func reference() (full, survivor int, err error) {
 	repaired := make(chan int, 4)
 	c := hierdet.NewLiveCluster(hierdet.LiveConfig{
 		Topology: topo, Seed: seed, Verify: true,
-		HbEvery:  time.Millisecond,
-		OnRepair: func(orphan, newParent int) { repaired <- orphan },
+		Failure: hierdet.LiveFailureOptions{HbEvery: time.Millisecond},
+		Events: func(e hierdet.Event) {
+			if e.Kind == hierdet.EventRepairConcluded {
+				repaired <- e.Node
+			}
+		},
 	})
 	feed := func(lo, hi int) {
 		for k := lo; k < hi; k++ {

@@ -86,10 +86,16 @@ func main() {
 	repaired := make(chan hierdet.LiveRepair, 4)
 	cluster := hierdet.NewLiveCluster(hierdet.LiveConfig{
 		Topology: build(), Seed: 11, Verify: true,
-		HbEvery:           300 * time.Microsecond,
-		ResendLastOnAdopt: true,
-		OnRepair: func(orphan, newParent int) {
-			repaired <- hierdet.LiveRepair{Orphan: orphan, NewParent: newParent}
+		Failure: hierdet.LiveFailureOptions{
+			HbEvery:           300 * time.Microsecond,
+			ResendLastOnAdopt: true,
+		},
+		// The Events stream carries every repair (and much more); filter for
+		// the RepairConcluded kind to follow the reattachment protocol live.
+		Events: func(e hierdet.Event) {
+			if e.Kind == hierdet.EventRepairConcluded {
+				repaired <- hierdet.LiveRepair{Orphan: e.Node, NewParent: e.Peer}
+			}
 		},
 	})
 	feed := func(lo, hi int) {

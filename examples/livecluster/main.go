@@ -33,7 +33,9 @@ func main() {
 		Topology: topo,
 		Seed:     99,
 		Verify:   true,
-		MaxDelay: time.Millisecond, // force heavy reordering
+		Delivery: hierdet.LiveDeliveryOptions{
+			MaxDelay: time.Millisecond, // force heavy reordering
+		},
 	})
 
 	start := time.Now()

@@ -61,10 +61,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hierdet/internal/core"
 	"hierdet/internal/interval"
+	"hierdet/internal/obsv"
 	"hierdet/internal/repair"
 	"hierdet/internal/transport"
 	"hierdet/internal/tree"
@@ -139,6 +141,18 @@ type Config struct {
 	// on worker goroutines, so it must be quick and must not call Stop.
 	OnDetect func(Detection)
 
+	// Events, when set, receives the cluster's full lifecycle stream —
+	// every interval observed, report sent and received, solution found,
+	// interval pruned, node suspected, repair concluded and transport
+	// redial (see obsv.EventKind). It subsumes OnDetect and OnRepair:
+	// every detection arrives as a SolutionFound event and every concluded
+	// repair as a RepairConcluded event, in the same order the deprecated
+	// callbacks would have seen them. Events for one node are delivered in
+	// that node's causal order; events of different nodes interleave, so
+	// the sink must be safe for concurrent calls. Like OnDetect it runs on
+	// runtime goroutines: keep it quick and never call Stop from it.
+	Events func(obsv.Event)
+
 	// Transport switches the cluster to distributed mode: it hosts only
 	// LocalNodes, and messages to every other topology node are wire-encoded
 	// and shipped through the transport (see the package comment). The
@@ -192,6 +206,16 @@ type Cluster struct {
 	workers int
 	remote  bool      // distributed mode: Transport is set
 	startAt time.Time // StartupGrace reference point
+
+	// Observability plane: the metrics registry every family registers
+	// into, the per-kind event counters (index = obsv.EventKind), and the
+	// scheduler-pool instruments (see registerFamilies).
+	reg         *obsv.Registry
+	evCounts    [obsv.TransportRedial + 1]*obsv.Counter
+	busyWorkers atomic.Int64
+	drains      atomic.Int64
+	drained     atomic.Int64
+	drainHist   *obsv.Histogram
 
 	// mu guards everything below: the lifecycle state machine, the
 	// message-credit ledger (pending, see post/armTimer/done), the topology
@@ -251,6 +275,7 @@ func New(cfg Config) *Cluster {
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.wheel = newWheel(c, cfg.MaxDelay/8)
+	c.reg = obsv.NewRegistry()
 	hosted := cfg.Topology.AliveNodes()
 	if c.remote && len(cfg.LocalNodes) > 0 {
 		hosted = cfg.LocalNodes
@@ -264,7 +289,16 @@ func New(cfg Config) *Cluster {
 	// Sentinel stops (one nil per worker) ride the same queue as work, so
 	// the capacity covers every node being scheduled at once plus them.
 	c.runq = make(chan *liveNode, len(c.nodes)+c.workers)
+	c.registerFamilies()
 	if c.remote {
+		// A transport that knows how to describe itself (tcptransport does)
+		// joins the cluster's registry and event stream before any traffic
+		// flows.
+		if inst, ok := cfg.Transport.(interface {
+			Instrument(*obsv.Registry, func(obsv.Event))
+		}); ok {
+			inst.Instrument(c.reg, c.emitEvent)
+		}
 		if err := cfg.Transport.Start(c.onFrame); err != nil {
 			panic(fmt.Sprintf("livenet: transport start: %v", err))
 		}
@@ -531,10 +565,14 @@ func (c *Cluster) done() {
 	c.mu.Unlock()
 }
 
+// record stores a detection and notifies the sinks. It runs on the detecting
+// node's worker, so SolutionFound events keep that node's causal order.
 func (c *Cluster) record(d Detection) {
 	c.mu.Lock()
 	c.dets = append(c.dets, d)
 	c.mu.Unlock()
+	c.emitEvent(obsv.Event{Kind: obsv.SolutionFound, Node: d.Node, Peer: obsv.NoPeer,
+		Seq: d.Det.Agg.Seq, Count: 1, AtRoot: d.AtRoot, Agg: d.Det.Agg, Set: d.Det.Set})
 	if c.cfg.OnDetect != nil {
 		c.cfg.OnDetect(d)
 	}
@@ -546,6 +584,7 @@ func (c *Cluster) notifyRepair(orphan, newParent int) {
 	c.mu.Lock()
 	c.repairs = append(c.repairs, RepairEvent{Orphan: orphan, NewParent: newParent})
 	c.mu.Unlock()
+	c.emitEvent(obsv.Event{Kind: obsv.RepairConcluded, Node: orphan, Peer: newParent, Count: 1})
 	if c.cfg.OnRepair != nil {
 		c.cfg.OnRepair(orphan, newParent)
 	}

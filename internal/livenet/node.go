@@ -9,6 +9,7 @@ import (
 
 	"hierdet/internal/core"
 	"hierdet/internal/interval"
+	"hierdet/internal/obsv"
 	"hierdet/internal/repair"
 	"hierdet/internal/tree"
 )
@@ -102,6 +103,9 @@ type liveNode struct {
 	rngMu sync.Mutex
 
 	m nodeMetrics
+	// lastPruned is the detector's Pruned count as of the last syncCoreStats,
+	// so the IntervalPruned event can carry the delta. Worker-confined.
+	lastPruned int
 }
 
 func newLiveNode(c *Cluster, id int) *liveNode {
@@ -171,8 +175,10 @@ func (ln *liveNode) runLegacy() {
 func (ln *liveNode) handle(msg message) {
 	switch msg.kind {
 	case msgLocal:
+		ln.c.emitEvent(obsv.Event{Kind: obsv.IntervalObserved, Node: ln.id, Peer: obsv.NoPeer, Count: 1})
 		ln.deliver(ln.node.OnInterval(ln.id, msg.iv))
 	case msgLocalBatch:
+		ln.c.emitEvent(obsv.Event{Kind: obsv.IntervalObserved, Node: ln.id, Peer: obsv.NoPeer, Count: len(msg.ivs)})
 		ln.deliver(ln.node.OnIntervals(ln.id, msg.ivs))
 	case msgReport:
 		ln.m.msgsIn.Add(1)
@@ -183,6 +189,7 @@ func (ln *liveNode) handle(msg message) {
 			ln.m.stale.Add(1)
 			return
 		}
+		ln.c.emitEvent(obsv.Event{Kind: obsv.ReportRecv, Node: ln.id, Peer: msg.from, Seq: msg.seq, Count: 1})
 		ln.ingest(msg.from, rs.Accept(repair.Report{Iv: msg.iv, LinkSeq: msg.seq, Epoch: msg.epoch}))
 		ln.gaugeReseq()
 	case msgReportBatch:
@@ -192,6 +199,8 @@ func (ln *liveNode) handle(msg message) {
 			ln.m.stale.Add(int64(len(msg.reps)))
 			return
 		}
+		ln.c.emitEvent(obsv.Event{Kind: obsv.ReportRecv, Node: ln.id, Peer: msg.from,
+			Seq: msg.reps[0].LinkSeq, Count: len(msg.reps)})
 		for _, pl := range msg.reps {
 			ln.ingest(msg.from, rs.Accept(pl))
 		}
@@ -250,7 +259,8 @@ func (ln *liveNode) ingest(from int, ready []repair.Report) {
 	}
 }
 
-// deliver records a batch of detections and reports each aggregate upward.
+// deliver records a batch of detections and reports each aggregate upward,
+// then mirrors the detector's counters into the scrape-safe atomics.
 func (ln *liveNode) deliver(dets []core.Detection) {
 	for _, det := range dets {
 		atRoot := ln.parent == tree.None
@@ -260,6 +270,7 @@ func (ln *liveNode) deliver(dets []core.Detection) {
 			ln.report(det.Agg)
 		}
 	}
+	ln.syncCoreStats()
 }
 
 // report ships an aggregate to the parent — immediately on a racing delayed
@@ -290,6 +301,7 @@ func (ln *liveNode) emit(agg interval.Interval) {
 	ln.outSeq++
 	if ln.c.cfg.BatchWindow <= 0 {
 		ln.m.msgsOut.Add(1)
+		ln.c.emitEvent(obsv.Event{Kind: obsv.ReportSent, Node: ln.id, Peer: ln.parent, Seq: pl.LinkSeq, Count: 1})
 		ln.c.send(ln.parent, message{kind: msgReport, from: ln.id, seq: pl.LinkSeq, epoch: pl.Epoch, iv: pl.Iv}, ln.delay())
 		return
 	}
@@ -318,6 +330,8 @@ func (ln *liveNode) flushReports() {
 	ln.outBuf = ln.outBuf[:0]
 	ln.m.msgsOut.Add(1)
 	ln.m.batchFlushes.Add(1)
+	ln.c.emitEvent(obsv.Event{Kind: obsv.ReportSent, Node: ln.id, Peer: ln.parent,
+		Seq: batch[0].LinkSeq, Count: len(batch)})
 	ln.c.sendBatch(ln.parent, ln.id, batch, ln.delay())
 }
 
@@ -453,6 +467,7 @@ func (ln *liveNode) suspect(peer int) {
 		c.mu.Unlock()
 	}
 	ln.suspected[peer] = true
+	ln.c.emitEvent(obsv.Event{Kind: obsv.NodeSuspected, Node: ln.id, Peer: peer, Count: 1})
 	switch {
 	case peer == ln.parent:
 		// Our subtree is orphaned: renegotiate a parent (paper §III-F).

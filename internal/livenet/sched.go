@@ -79,6 +79,8 @@ func (c *Cluster) worker() {
 // the pop until the shard is observed empty, so no second worker can claim
 // the node concurrently.
 func (c *Cluster) runNode(ln *liveNode) {
+	c.busyWorkers.Add(1)
+	defer c.busyWorkers.Add(-1)
 	mb := &ln.mb
 	mb.mu.Lock()
 	batch := mb.buf
@@ -86,6 +88,9 @@ func (c *Cluster) runNode(ln *liveNode) {
 	mb.spare = nil
 	mb.mu.Unlock()
 	mb.notFull.Broadcast()
+	c.drains.Add(1)
+	c.drained.Add(int64(len(batch)))
+	c.drainHist.Observe(float64(len(batch)))
 
 	// After the ledger drained and the state reached stopped, the only
 	// messages left are uncredited heartbeat ticks from the wheel's last
@@ -127,9 +132,9 @@ func (c *Cluster) runNode(ln *liveNode) {
 // per-node ticker for the same reason).
 func creditedKind(k msgKind) bool { return k != msgHbTick }
 
-// highWater reads the shard's high-water mark.
-func (mb *mailbox) highWater() int {
+// depths reads the shard's current depth and its high-water mark.
+func (mb *mailbox) depths() (current, highWater int) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	return mb.high
+	return len(mb.buf), mb.high
 }

@@ -2,6 +2,7 @@ package livenet
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -45,6 +46,11 @@ type wheel struct {
 	kick    chan struct{} // insert-into-empty-wheel wakeup (capacity 1)
 	stopped chan struct{}
 	done    chan struct{} // closed when the wheel goroutine has exited
+
+	// Scrape-safe observability mirrors: how far past its deadline the last
+	// advance ran, and total advances across all busy periods.
+	lagNanos   atomic.Int64
+	ticksTotal atomic.Int64
 }
 
 // wheelEntry is one scheduled delivery. Entries are owned by the wheel while
@@ -153,6 +159,7 @@ func (w *wheel) run() {
 				return
 			}
 		}
+		w.lagNanos.Store(int64(time.Since(deadline)))
 		w.advance()
 	}
 }
@@ -181,6 +188,7 @@ func (w *wheel) advance() {
 	w.cursor = (w.cursor + 1) & w.mask
 	w.ticked++
 	w.mu.Unlock()
+	w.ticksTotal.Add(1)
 
 	for e := due; e != nil; e = e.next {
 		if e.msg.kind == msgHbTick && !e.ln.down.Load() && !w.c.remote {
@@ -196,6 +204,13 @@ func (w *wheel) advance() {
 			w.mu.Unlock()
 		}
 	}
+}
+
+// entries reads the wheel's live entry count.
+func (w *wheel) entries() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
 }
 
 // stop cancels the wheel. It runs after the cluster's ledger drained, so the

@@ -1,0 +1,96 @@
+package tcptransport
+
+import (
+	"sync/atomic"
+
+	"hierdet/internal/obsv"
+)
+
+// instrument.go — the transport's seat in the cluster's observability plane.
+//
+// livenet.New type-asserts its Transport for this method before Start, so a
+// TCP-backed cluster gets transport families in the same registry (and
+// TransportRedial events on the same stream) as the detector planes without
+// livenet importing this package.
+
+// Instrument registers the transport's metric families with reg and installs
+// events as the sink for TransportRedial. Every family is func-backed: the
+// scrape reads the same atomics Stats does, so the write path pays nothing.
+// Call before Start; calling it again replaces the sink but re-registering
+// the families panics (registry redefinition), so wire one registry per
+// transport.
+func (t *Transport) Instrument(reg *obsv.Registry, events func(obsv.Event)) {
+	t.mu.Lock()
+	t.events = events
+	t.mu.Unlock()
+
+	counter := func(name, help string, v *atomic.Int64) {
+		reg.Func(name, help, obsv.KindCounter, nil, func(emit func(float64, ...string)) {
+			emit(float64(v.Load()))
+		})
+	}
+	counter("hierdet_transport_frames_out_total", "Frames written to peers (redeliveries included).", &t.framesOut)
+	counter("hierdet_transport_frames_in_total", "Frames delivered from peers.", &t.framesIn)
+	counter("hierdet_transport_bytes_out_total", "Payload bytes written, after delta compression.", &t.bytesOut)
+	counter("hierdet_transport_bytes_in_total", "Payload bytes read, before delta reconstruction.", &t.bytesIn)
+	counter("hierdet_transport_redelivered_total", "Frames replayed from the redelivery window after reconnects.", &t.redelivered)
+	counter("hierdet_transport_dials_total", "Successful outbound dials.", &t.dials)
+	counter("hierdet_transport_redials_total", "Reconnects among the successful dials.", &t.redials)
+	counter("hierdet_transport_backlog_dropped_total", "Frames dropped because a peer's queue overflowed MaxBacklog.", &t.backlogDropped)
+	counter("hierdet_transport_corrupt_frames_total", "Envelopes rejected by a reader (connection dropped).", &t.corruptFrames)
+	counter("hierdet_transport_flushes_total", "Coalesced writes (one flush may carry many frames).", &t.flushes)
+
+	reg.Func("hierdet_transport_peers", "Outbound peer links with a live writer.",
+		obsv.KindGauge, nil, func(emit func(float64, ...string)) {
+			t.mu.Lock()
+			n := len(t.peers)
+			t.mu.Unlock()
+			emit(float64(n))
+		})
+	reg.Func("hierdet_transport_backlog_depth", "Frames queued across all peer links awaiting a write.",
+		obsv.KindGauge, nil, func(emit func(float64, ...string)) {
+			emit(float64(t.queuedFrames()))
+		})
+	reg.Func("hierdet_transport_redelivery_ring", "Frames held across all redelivery rings for replay.",
+		obsv.KindGauge, nil, func(emit func(float64, ...string)) {
+			total := int64(0)
+			for _, p := range t.snapshotPeers() {
+				total += p.ringLen.Load()
+			}
+			emit(float64(total))
+		})
+}
+
+// emitRedial reports a successful reconnect to the installed sink, if any.
+// The event is emitted from the peer's writer goroutine, so it is ordered
+// per link (see obsv.TransportRedial).
+func (t *Transport) emitRedial(peerID int) {
+	t.mu.Lock()
+	sink := t.events
+	t.mu.Unlock()
+	if sink != nil {
+		sink(obsv.Event{Kind: obsv.TransportRedial, Node: peerID, Peer: obsv.NoPeer, Count: 1})
+	}
+}
+
+// snapshotPeers copies the peer set out from under the transport lock.
+func (t *Transport) snapshotPeers() []*peer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// queuedFrames sums the per-peer queues.
+func (t *Transport) queuedFrames() int {
+	total := 0
+	for _, p := range t.snapshotPeers() {
+		p.mu.Lock()
+		total += len(p.queue)
+		p.mu.Unlock()
+	}
+	return total
+}

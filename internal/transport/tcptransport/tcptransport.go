@@ -49,6 +49,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hierdet/internal/obsv"
 )
 
 // Config parameterizes a TCP transport.
@@ -107,6 +109,9 @@ type Stats struct {
 	// volume, which the byte-cost experiments compare against the
 	// fixed-width v1 framing.
 	BytesOut int
+	// BytesIn counts payload bytes read (envelope headers excluded, before
+	// delta reconstruction) — the inbound counterpart of BytesOut.
+	BytesIn int
 }
 
 // Transport is a running TCP transport. Create with New, wire into a
@@ -127,7 +132,11 @@ type Transport struct {
 	framesOut, framesIn, redelivered atomic.Int64
 	dials, redials                   atomic.Int64
 	backlogDropped, corruptFrames    atomic.Int64
-	flushes, bytesOut                atomic.Int64
+	flushes, bytesOut, bytesIn       atomic.Int64
+
+	// events is the cluster's lifecycle sink, installed by Instrument before
+	// Start; nil when the transport runs unobserved. Guarded by mu.
+	events func(obsv.Event)
 }
 
 // New binds the listener immediately (so Addr is valid before Start) but
@@ -228,6 +237,7 @@ func (t *Transport) Stats() Stats {
 		CorruptFrames:  int(t.corruptFrames.Load()),
 		Flushes:        int(t.flushes.Load()),
 		BytesOut:       int(t.bytesOut.Load()),
+		BytesIn:        int(t.bytesIn.Load()),
 	}
 }
 
@@ -320,6 +330,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
+		t.bytesIn.Add(int64(size))
 		payload, err := ub.undelta(to, payload)
 		if err != nil {
 			// Undecodable stream state (e.g. a basis-relative frame whose
@@ -355,8 +366,9 @@ type peer struct {
 	done   chan struct{} // closed with the peer, wakes backoff sleeps
 	conn   net.Conn      // current connection, for abortConn; owned by writeLoop
 
-	sent [][]byte // redelivery ring, most recent last; writeLoop only
-	rng  *rand.Rand
+	sent    [][]byte     // redelivery ring, most recent last; writeLoop only
+	ringLen atomic.Int64 // len(sent), mirrored for scrapes
+	rng     *rand.Rand
 
 	// Write-path scratch, owned by writeLoop: the per-connection delta
 	// encoder (reset on every dial, so replayed absolute frames restart the
@@ -453,6 +465,7 @@ func (p *peer) writeLoop() {
 			p.reb.reset() // new connection, new stream: bases start over
 			if dialed {
 				p.t.redials.Add(1)
+				p.t.emitRedial(p.id)
 				// The previous connection may have died with frames in
 				// the kernel buffer: replay the window ahead of new
 				// traffic and let the receiver's resequencers dedup.
@@ -530,6 +543,7 @@ func (p *peer) remember(batch [][]byte) {
 	if over := len(p.sent) - w; over > 0 {
 		p.sent = append([][]byte(nil), p.sent[over:]...)
 	}
+	p.ringLen.Store(int64(len(p.sent)))
 }
 
 // writeBatch writes every frame of a batch through one buffered flush,

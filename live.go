@@ -14,11 +14,13 @@ import (
 // concurrency-native counterpart of Simulate: nondeterministic scheduling,
 // identical detection semantics.
 //
-// With HbEvery set, the cluster also runs the paper's §III-F failure
+// With Failure.HbEvery set, the cluster also runs the paper's §III-F failure
 // handling live: Kill crash-stops a node, survivors detect the silence via
 // heartbeats, orphaned subtrees renegotiate parents with the attach
 // protocol, and detection continues over the survivors. Kill, Metrics,
-// Drain, Failed and Repairs are available on the returned cluster.
+// Drain, Failed and Repairs are available on the returned cluster, and the
+// observability plane — ClusterMetrics, MetricsByNode, Registry and the
+// Events stream — watches all of it.
 type LiveCluster = livenet.Cluster
 
 // LiveDetection is one detection observed by a LiveCluster.
@@ -26,7 +28,8 @@ type LiveDetection = livenet.Detection
 
 // LiveMetrics is a per-node snapshot of a live cluster's runtime counters:
 // messages in/out, resequencer buffer depth and high-water mark, duplicates
-// and stale reports dropped, detections, repairs and dead children dropped.
+// and stale reports dropped, detector queue/pruning counts, detections,
+// repairs, dead children dropped, and mailbox depth.
 type LiveMetrics = livenet.Metrics
 
 // LiveRepair records one completed tree repair in a live cluster: the
@@ -34,17 +37,11 @@ type LiveMetrics = livenet.Metrics
 // orphan exhausted its candidates and became a partition root).
 type LiveRepair = livenet.RepairEvent
 
-// LiveConfig parameterizes NewLiveCluster.
-type LiveConfig struct {
-	// Topology is the spanning tree (required).
-	Topology *Topology
+// LiveDeliveryOptions tunes the cluster's delivery plane: the simulated
+// network delay, the worker pool and mailbox shards, and report batching.
+type LiveDeliveryOptions struct {
 	// MaxDelay bounds each report's random delivery delay (default 200µs).
 	MaxDelay time.Duration
-	// Seed drives the delay distribution.
-	Seed int64
-	// Verify enables order checking and solution-set retention.
-	Verify bool
-
 	// Workers sizes the pool draining the per-process mailboxes (default
 	// GOMAXPROCS); MailboxBound caps each mailbox for Observe/ObserveBatch
 	// callers, which block at the bound (default 4096).
@@ -55,7 +52,10 @@ type LiveConfig struct {
 	// one window of detection latency for per-message overhead. Zero sends
 	// every report immediately.
 	BatchWindow time.Duration
+}
 
+// LiveFailureOptions enables and tunes the paper's §III-F failure handling.
+type LiveFailureOptions struct {
 	// HbEvery enables failure handling: every node publishes a heartbeat
 	// and watches its tree neighbours on this period. Zero disables
 	// failure handling entirely (and Kill panics).
@@ -71,15 +71,11 @@ type LiveConfig struct {
 	// lost in flight through the dead node may be recovered at the cost of
 	// possible re-detections.
 	ResendLastOnAdopt bool
-	// OnRepair, if set, is called after each orphan finishes repair —
-	// adopted by newParent, or NoParent if it declared itself a partition
-	// root. Called outside cluster locks.
-	OnRepair func(orphan, newParent int)
-	// OnDetect, if set, streams each detection as it is recorded — the
-	// live complement of Stop's batch return. It runs on node goroutines,
-	// so it must be quick and must not call Stop.
-	OnDetect func(LiveDetection)
+}
 
+// LiveDistributedOptions runs the cluster as one participant of a
+// multi-process deployment.
+type LiveDistributedOptions struct {
 	// Transport switches the cluster into distributed mode: it hosts only
 	// LocalNodes, and traffic to every other tree node is wire-encoded and
 	// shipped through the transport (NewTCPTransport for real sockets). The
@@ -94,27 +90,135 @@ type LiveConfig struct {
 	StartupGrace time.Duration
 }
 
+// LiveConfig parameterizes NewLiveCluster. Tuning lives in the three option
+// groups — Delivery, Failure and Distributed; the flat fields mirroring them
+// are deprecated aliases kept for source compatibility, consulted only where
+// the grouped field is unset.
+type LiveConfig struct {
+	// Topology is the spanning tree (required).
+	Topology *Topology
+	// Seed drives the delay distribution.
+	Seed int64
+	// Verify enables order checking and solution-set retention.
+	Verify bool
+
+	// Delivery tunes the delivery plane (delay, worker pool, batching).
+	Delivery LiveDeliveryOptions
+	// Failure enables and tunes §III-F failure handling.
+	Failure LiveFailureOptions
+	// Distributed runs this cluster as one participant of a multi-process
+	// deployment.
+	Distributed LiveDistributedOptions
+
+	// Events, if set, receives the cluster's full lifecycle stream — every
+	// interval observed, report sent and received, solution found, interval
+	// pruned, node suspected, repair concluded and transport redial — as one
+	// ordered sink (per-node causal order; see EventKind). It subsumes
+	// OnDetect and OnRepair: a SolutionFound event carries everything a
+	// LiveDetection does, a RepairConcluded everything an OnRepair call does.
+	// The sink runs on cluster goroutines: it must be quick, safe for
+	// concurrent calls, and must not call Stop.
+	Events func(Event)
+
+	// OnRepair is called after each orphan finishes repair — adopted by
+	// newParent, or NoParent if it declared itself a partition root. Called
+	// outside cluster locks.
+	//
+	// Deprecated: consume RepairConcluded events from Events instead.
+	OnRepair func(orphan, newParent int)
+	// OnDetect streams each detection as it is recorded — the live
+	// complement of Stop's batch return. It runs on node goroutines, so it
+	// must be quick and must not call Stop.
+	//
+	// Deprecated: consume SolutionFound events from Events instead.
+	OnDetect func(LiveDetection)
+
+	// Deprecated: use Delivery.MaxDelay.
+	MaxDelay time.Duration
+	// Deprecated: use Delivery.Workers.
+	Workers int
+	// Deprecated: use Delivery.MailboxBound.
+	MailboxBound int
+	// Deprecated: use Delivery.BatchWindow.
+	BatchWindow time.Duration
+	// Deprecated: use Failure.HbEvery.
+	HbEvery time.Duration
+	// Deprecated: use Failure.HbTimeout.
+	HbTimeout time.Duration
+	// Deprecated: use Failure.SeekTimeout.
+	SeekTimeout time.Duration
+	// Deprecated: use Failure.ResendLastOnAdopt.
+	ResendLastOnAdopt bool
+	// Deprecated: use Distributed.Transport.
+	Transport Transport
+	// Deprecated: use Distributed.LocalNodes.
+	LocalNodes []int
+	// Deprecated: use Distributed.StartupGrace.
+	StartupGrace time.Duration
+}
+
+// resolve folds the deprecated flat aliases into the grouped options: each
+// grouped field wins where set, the alias fills it where not. Booleans OR
+// (there is no "explicitly false" to distinguish from unset).
+func (cfg LiveConfig) resolve() LiveConfig {
+	d, f, x := &cfg.Delivery, &cfg.Failure, &cfg.Distributed
+	if d.MaxDelay == 0 {
+		d.MaxDelay = cfg.MaxDelay
+	}
+	if d.Workers == 0 {
+		d.Workers = cfg.Workers
+	}
+	if d.MailboxBound == 0 {
+		d.MailboxBound = cfg.MailboxBound
+	}
+	if d.BatchWindow == 0 {
+		d.BatchWindow = cfg.BatchWindow
+	}
+	if f.HbEvery == 0 {
+		f.HbEvery = cfg.HbEvery
+	}
+	if f.HbTimeout == 0 {
+		f.HbTimeout = cfg.HbTimeout
+	}
+	if f.SeekTimeout == 0 {
+		f.SeekTimeout = cfg.SeekTimeout
+	}
+	f.ResendLastOnAdopt = f.ResendLastOnAdopt || cfg.ResendLastOnAdopt
+	if x.Transport == nil {
+		x.Transport = cfg.Transport
+	}
+	if x.LocalNodes == nil {
+		x.LocalNodes = cfg.LocalNodes
+	}
+	if x.StartupGrace == 0 {
+		x.StartupGrace = cfg.StartupGrace
+	}
+	return cfg
+}
+
 // NewLiveCluster builds and starts a live cluster. Feed completed local
 // intervals with Observe (safe from one goroutine per process) and call Stop
 // to drain and collect the detections.
 func NewLiveCluster(cfg LiveConfig) *LiveCluster {
+	cfg = cfg.resolve()
 	return livenet.New(livenet.Config{
 		Topology:          cfg.Topology,
-		MaxDelay:          cfg.MaxDelay,
+		MaxDelay:          cfg.Delivery.MaxDelay,
 		Seed:              cfg.Seed,
 		Strict:            cfg.Verify,
 		KeepMembers:       cfg.Verify,
-		Workers:           cfg.Workers,
-		MailboxBound:      cfg.MailboxBound,
-		BatchWindow:       cfg.BatchWindow,
-		HbEvery:           cfg.HbEvery,
-		HbTimeout:         cfg.HbTimeout,
-		SeekTimeout:       cfg.SeekTimeout,
-		ResendLastOnAdopt: cfg.ResendLastOnAdopt,
+		Workers:           cfg.Delivery.Workers,
+		MailboxBound:      cfg.Delivery.MailboxBound,
+		BatchWindow:       cfg.Delivery.BatchWindow,
+		HbEvery:           cfg.Failure.HbEvery,
+		HbTimeout:         cfg.Failure.HbTimeout,
+		SeekTimeout:       cfg.Failure.SeekTimeout,
+		ResendLastOnAdopt: cfg.Failure.ResendLastOnAdopt,
+		Events:            cfg.Events,
 		OnRepair:          cfg.OnRepair,
 		OnDetect:          cfg.OnDetect,
-		Transport:         cfg.Transport,
-		LocalNodes:        cfg.LocalNodes,
-		StartupGrace:      cfg.StartupGrace,
+		Transport:         cfg.Distributed.Transport,
+		LocalNodes:        cfg.Distributed.LocalNodes,
+		StartupGrace:      cfg.Distributed.StartupGrace,
 	})
 }

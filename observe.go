@@ -1,0 +1,61 @@
+package hierdet
+
+import (
+	"hierdet/internal/livenet"
+	"hierdet/internal/obsv"
+)
+
+// observe.go — the public face of the observability layer. A live cluster
+// exposes three complementary views:
+//
+//   - Events (LiveConfig.Events): the typed lifecycle stream, one ordered
+//     sink for everything the detector does.
+//   - Cluster.ClusterMetrics / Cluster.MetricsByNode: aggregate and per-node
+//     snapshots with stable JSON encodings.
+//   - Cluster.Registry: the metric families behind both, ready for
+//     Prometheus text exposition (MetricsRegistry.Handler serves /metrics).
+
+// Event is one entry of a live cluster's lifecycle stream; see EventKind for
+// what each kind carries.
+type Event = obsv.Event
+
+// EventKind discriminates lifecycle events.
+type EventKind = obsv.EventKind
+
+// Lifecycle event kinds (see the obsv package for field-by-field semantics).
+const (
+	// EventIntervalObserved: completed local intervals entered the detector.
+	EventIntervalObserved = obsv.IntervalObserved
+	// EventReportSent: a node shipped a report message to its parent.
+	EventReportSent = obsv.ReportSent
+	// EventReportRecv: a node accepted a report message from a child.
+	EventReportRecv = obsv.ReportRecv
+	// EventSolutionFound: a node detected a satisfaction of the predicate.
+	EventSolutionFound = obsv.SolutionFound
+	// EventIntervalPruned: detection deleted queue heads (Eq. 10).
+	EventIntervalPruned = obsv.IntervalPruned
+	// EventNodeSuspected: a failure detector concluded a neighbour is dead.
+	EventNodeSuspected = obsv.NodeSuspected
+	// EventRepairConcluded: an orphan root finished reattachment (§III-F).
+	EventRepairConcluded = obsv.RepairConcluded
+	// EventTransportRedial: the transport re-established a peer connection.
+	EventTransportRedial = obsv.TransportRedial
+)
+
+// NoPeer marks an absent Event counterparty (it equals NoParent).
+const NoPeer = obsv.NoPeer
+
+// MetricsRegistry holds a cluster's metric families
+// (LiveCluster.Registry); its Handler method serves Prometheus text
+// exposition, WritePrometheus writes it to any io.Writer.
+type MetricsRegistry = obsv.Registry
+
+// ClusterMetrics is an aggregate snapshot across every plane of a live
+// cluster — detector sums, scheduler occupancy, timer-wheel state, the
+// lifecycle ledger and per-kind event counts — with a stable JSON encoding
+// (LiveCluster.ClusterMetrics).
+type ClusterMetrics = livenet.ClusterMetrics
+
+// NodeMetrics pairs a node id with its LiveMetrics snapshot — the
+// iteration-stable per-node form (LiveCluster.MetricsByNode).
+type NodeMetrics = livenet.NodeMetrics

@@ -1,0 +1,161 @@
+package hierdet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLiveConfigResolveGroupedVsFlat pins the alias semantics of the grouped
+// LiveConfig: a grouped field wins where set, the deprecated flat field
+// fills it where not, and booleans OR.
+func TestLiveConfigResolveGroupedVsFlat(t *testing.T) {
+	// Flat-only config: everything folds into the groups.
+	flat := LiveConfig{
+		MaxDelay:          time.Millisecond,
+		Workers:           3,
+		MailboxBound:      128,
+		BatchWindow:       time.Microsecond,
+		HbEvery:           2 * time.Millisecond,
+		HbTimeout:         9 * time.Millisecond,
+		SeekTimeout:       time.Second,
+		ResendLastOnAdopt: true,
+		LocalNodes:        []int{1, 2},
+		StartupGrace:      time.Minute,
+	}.resolve()
+	if flat.Delivery.MaxDelay != time.Millisecond || flat.Delivery.Workers != 3 ||
+		flat.Delivery.MailboxBound != 128 || flat.Delivery.BatchWindow != time.Microsecond {
+		t.Errorf("flat delivery fields not folded: %+v", flat.Delivery)
+	}
+	if flat.Failure.HbEvery != 2*time.Millisecond || flat.Failure.HbTimeout != 9*time.Millisecond ||
+		flat.Failure.SeekTimeout != time.Second || !flat.Failure.ResendLastOnAdopt {
+		t.Errorf("flat failure fields not folded: %+v", flat.Failure)
+	}
+	if len(flat.Distributed.LocalNodes) != 2 || flat.Distributed.StartupGrace != time.Minute {
+		t.Errorf("flat distributed fields not folded: %+v", flat.Distributed)
+	}
+
+	// Grouped set alongside conflicting flat values: grouped wins.
+	both := LiveConfig{
+		Delivery:  LiveDeliveryOptions{MaxDelay: 5 * time.Millisecond, Workers: 7},
+		Failure:   LiveFailureOptions{HbEvery: time.Second},
+		MaxDelay:  time.Nanosecond,
+		Workers:   1,
+		HbEvery:   time.Nanosecond,
+		HbTimeout: 4 * time.Second,
+	}.resolve()
+	if both.Delivery.MaxDelay != 5*time.Millisecond || both.Delivery.Workers != 7 {
+		t.Errorf("grouped delivery lost to flat aliases: %+v", both.Delivery)
+	}
+	if both.Failure.HbEvery != time.Second {
+		t.Errorf("grouped HbEvery lost to flat alias: %v", both.Failure.HbEvery)
+	}
+	// Unset grouped fields still pick up their flat alias.
+	if both.Failure.HbTimeout != 4*time.Second {
+		t.Errorf("unset grouped HbTimeout ignored flat alias: %v", both.Failure.HbTimeout)
+	}
+}
+
+// TestLiveClusterFlatAndGroupedEquivalent runs the same workload through a
+// flat-configured and a grouped-configured cluster and expects identical
+// detection counts — the deprecated spelling stays a strict synonym.
+func TestLiveClusterFlatAndGroupedEquivalent(t *testing.T) {
+	const rounds = 8
+	run := func(cfg LiveConfig) int {
+		topo := BalancedTree(2, 2)
+		cfg.Topology, cfg.Seed, cfg.Verify = topo, 5, true
+		exec := GenerateWorkload(topo, rounds, 5, 1, 0, 0)
+		c := NewLiveCluster(cfg)
+		for p := 0; p < topo.N(); p++ {
+			for _, iv := range exec.Streams[p] {
+				c.Observe(p, iv)
+			}
+		}
+		roots := 0
+		for _, d := range c.Stop() {
+			if d.AtRoot {
+				roots++
+			}
+		}
+		return roots
+	}
+	flat := run(LiveConfig{MaxDelay: 300 * time.Microsecond, BatchWindow: 100 * time.Microsecond})
+	grouped := run(LiveConfig{Delivery: LiveDeliveryOptions{
+		MaxDelay: 300 * time.Microsecond, BatchWindow: 100 * time.Microsecond}})
+	if flat != rounds || grouped != rounds {
+		t.Fatalf("flat = %d, grouped = %d root detections, want %d each", flat, grouped, rounds)
+	}
+}
+
+// TestDistributedExpositionIncludesTransport runs a two-participant TCP
+// deployment and checks each participant's registry carries the transport
+// families next to the detector ones — the full scrape surface of a
+// distributed node.
+func TestDistributedExpositionIncludesTransport(t *testing.T) {
+	topo := ChainTree(2)
+	mkTransport := func() *TCPTransport {
+		tr, err := NewTCPTransport(TCPConfig{Listen: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	trs := []*TCPTransport{mkTransport(), mkTransport()}
+	addrs := map[int]string{0: trs[0].Addr(), 1: trs[1].Addr()}
+	for _, tr := range trs {
+		tr.SetPeers(addrs)
+	}
+
+	exec := GenerateWorkload(topo, 6, 3, 1, 0, 0)
+	clusters := make([]*LiveCluster, 2)
+	for id := 0; id < 2; id++ {
+		clusters[id] = NewLiveCluster(LiveConfig{
+			Topology: topo, Seed: 3, Verify: true,
+			Distributed: LiveDistributedOptions{
+				Transport:  trs[id],
+				LocalNodes: []int{id},
+			},
+		})
+	}
+	for k := 0; k < 6; k++ {
+		for id := 0; id < 2; id++ {
+			clusters[id].Observe(id, exec.Streams[id][k])
+		}
+	}
+	// The root eventually sees all 6 pulses flow in over TCP.
+	deadline := time.Now().Add(20 * time.Second)
+	for clusters[0].ClusterMetrics().Detections < 6 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for detections over the transport")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var sb strings.Builder
+	if err := clusters[0].Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE hierdet_transport_frames_in_total counter",
+		"# TYPE hierdet_transport_frames_out_total counter",
+		"hierdet_transport_bytes_in_total",
+		"hierdet_transport_bytes_out_total",
+		"hierdet_transport_dials_total",
+		"hierdet_transport_redelivery_ring",
+		"hierdet_node_msgs_in_total",
+		"hierdet_sched_workers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("distributed exposition missing %q", want)
+		}
+	}
+	st := trs[0].Stats()
+	if st.BytesIn == 0 {
+		t.Error("transport BytesIn stayed zero on a run that received frames")
+	}
+
+	for id := 1; id >= 0; id-- {
+		clusters[id].Stop()
+	}
+}

@@ -1,0 +1,22 @@
+// Command freeport prints one free localhost TCP port, for shell scripts
+// that need to hand a concrete address to a process before it starts
+// (scripts/metrics_smoke.sh). Same reserve-and-release trick as
+// hierdet-node -init uses for node ports.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freeport:", err)
+		os.Exit(1)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	fmt.Println(port)
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# metrics_smoke.sh — end-to-end scrape check of the observability layer.
+#
+# Builds hierdet-node, generates a 3-node deployment, launches the three OS
+# processes with node 0 serving its pprof/metrics endpoint, scrapes /metrics
+# once traffic is flowing, and asserts the Prometheus exposition carries the
+# core families of every plane: detector nodes, the scheduler, the timer
+# wheel, the cluster ledger, events and the TCP transport. Localhost only.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    kill "${pids[@]}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/hierdet-node" ./cmd/hierdet-node
+
+# Reserve a port for the metrics endpoint the same way the cluster file
+# reserves node ports: bind an ephemeral listener, read it back, release it.
+metrics_port=$(go run ./scripts/freeport 2>/dev/null || true)
+if [ -z "$metrics_port" ]; then
+    metrics_port=6464
+fi
+metrics_addr="127.0.0.1:$metrics_port"
+
+"$workdir/hierdet-node" -init -o "$workdir/cluster.json" -n 3 -rounds 200 -phase1 199
+
+"$workdir/hierdet-node" -config "$workdir/cluster.json" -id 0 -pprof "$metrics_addr" >"$workdir/node0.log" 2>&1 &
+pids+=($!)
+"$workdir/hierdet-node" -config "$workdir/cluster.json" -id 1 >"$workdir/node1.log" 2>&1 &
+pids+=($!)
+"$workdir/hierdet-node" -config "$workdir/cluster.json" -id 2 >"$workdir/node2.log" 2>&1 &
+pids+=($!)
+
+# Wait for the endpoint to answer and for detections to start flowing.
+scrape="$workdir/metrics.txt"
+ok=0
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$metrics_addr/metrics" >"$scrape" 2>/dev/null &&
+        grep -q 'hierdet_node_detections_total{node="0"} [1-9]' "$scrape"; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$ok" != 1 ]; then
+    echo "metrics_smoke: no scrape with detections after 20s" >&2
+    echo "--- last scrape ---" >&2
+    cat "$scrape" >&2 || true
+    echo "--- node 0 log ---" >&2
+    cat "$workdir/node0.log" >&2
+    exit 1
+fi
+
+# Core series of every plane must be present in the exposition.
+for series in \
+    'hierdet_node_msgs_in_total{node="0"}' \
+    'hierdet_node_intervals_in_total{node="0"}' \
+    'hierdet_node_mailbox_depth{node="0"}' \
+    'hierdet_sched_workers ' \
+    'hierdet_sched_workers_busy ' \
+    'hierdet_sched_drains_total ' \
+    'hierdet_wheel_tick_seconds ' \
+    'hierdet_wheel_entries ' \
+    'hierdet_cluster_nodes 1' \
+    'hierdet_transport_frames_in_total ' \
+    'hierdet_transport_frames_out_total ' \
+    'hierdet_transport_dials_total ' \
+    'hierdet_events_total{kind="interval_observed"}' \
+    'hierdet_events_total{kind="solution_found"}' \
+    'hierdet_events_total{kind="report_recv"}'; do
+    if ! grep -qF "$series" "$scrape"; then
+        echo "metrics_smoke: exposition missing '$series'" >&2
+        cat "$scrape" >&2
+        exit 1
+    fi
+done
+
+# Valid exposition shape: every non-comment line is `name{labels} value`.
+if grep -vE '^(#|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (\+|-)?Inf|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? NaN|$)' "$scrape" >&2; then
+    echo "metrics_smoke: malformed exposition lines above" >&2
+    exit 1
+fi
+
+echo "metrics_smoke: OK ($(grep -c '^hierdet_' "$scrape") hierdet series scraped from $metrics_addr)"
