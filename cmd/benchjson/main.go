@@ -7,19 +7,30 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson                  # hot-path suite → BENCH_hotpath.json
-//	go run ./cmd/benchjson -suite scale     # scale suite → BENCH_scale.json
-//	go run ./cmd/benchjson -short           # quicker pass (CI)
-//	go run ./cmd/benchjson -out F           # write elsewhere
-//	go run ./cmd/benchjson -label "PR 4"    # annotate the trajectory entry
+//	go run ./cmd/benchjson -label "PR 4"    # hot-path suite → BENCH_hotpath.json
+//	go run ./cmd/benchjson -suite scale -label "PR 6 post"  # → BENCH_scale.json
+//	go run ./cmd/benchjson -short -label L  # quicker pass (CI)
+//	go run ./cmd/benchjson -out F -label L  # write elsewhere
+//	go run ./cmd/benchjson -suite scale -compare            # diff last two entries
+//
+// Every recorded entry must carry a unique, non-empty -label: the trajectory
+// is the repo's perf ledger, and an unlabeled or duplicated entry is exactly
+// the silent gap that makes a ledger unreadable months later, so benchjson
+// refuses to append one instead of recording it quietly.
+//
+// -compare prints a benchstat-style table of the last two recorded entries
+// (old → new ns/op and intervals/sec per benchmark, plus summary deltas)
+// without running anything; CI attaches it next to the refreshed JSON.
 //
 // The hotpath suite covers the layers of the report hot path: vclock codec
 // and comparisons, wire encode/decode (v1 vs v2, pooled), interval
 // aggregation and queue, detector node work, TCP loopback, and the
 // simulator's Figure 4/5 byte-volume sweeps. The scale suite runs the live
 // runtime's p ∈ {127, 511, 1023} lanes (BenchmarkLiveScale: legacy seed
-// plane vs sharded vs batched) plus the batched report encode path, and
-// summarizes the p=511 speedup over the pre-change baseline.
+// plane vs sharded vs batched vs parallel) plus the batched report encode
+// path, and summarizes each size's lane speedups — including the parallel
+// engine's ratio over the batched sequential baseline, the current
+// acceptance headline.
 //
 // Files recorded in the old single-run format are migrated in place: the
 // previous run becomes the trajectory's first entry.
@@ -31,11 +42,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // suite is one `go test -bench` invocation.
@@ -91,8 +105,9 @@ type trajectory struct {
 func main() {
 	suiteName := flag.String("suite", "hotpath", "suite to run: hotpath or scale")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
-	label := flag.String("label", "", "free-form annotation for this trajectory entry")
+	label := flag.String("label", "", "unique annotation for this trajectory entry (required when recording)")
 	short := flag.Bool("short", false, "shorter benchtimes for CI lanes")
+	compare := flag.Bool("compare", false, "print a benchstat-style diff of the last two recorded entries and exit")
 	flag.Parse()
 
 	var suites []suite
@@ -108,6 +123,21 @@ func main() {
 	}
 	if *out == "" {
 		*out = "BENCH_" + *suiteName + ".json"
+	}
+
+	if *compare {
+		doc := load(*out)
+		if len(doc.Trajectory) < 2 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s holds %d entries; -compare needs two\n", *out, len(doc.Trajectory))
+			os.Exit(1)
+		}
+		printCompare(os.Stdout, doc.Trajectory[len(doc.Trajectory)-2], doc.Trajectory[len(doc.Trajectory)-1])
+		return
+	}
+
+	if strings.TrimSpace(*label) == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: refusing to record an unlabeled trajectory entry — pass -label (e.g. -label \"PR 6 post\")")
+		os.Exit(2)
 	}
 
 	entry := run{
@@ -132,7 +162,13 @@ func main() {
 	entry.Summary = summarize(entry.Suites)
 
 	doc := load(*out)
-	doc.Note = "trajectory of recorded runs, newest last; append with: go run ./cmd/benchjson -suite " + *suiteName
+	for _, prev := range doc.Trajectory {
+		if prev.Label == *label {
+			fmt.Fprintf(os.Stderr, "benchjson: %s already records an entry labeled %q — every trajectory entry needs a unique label\n", *out, *label)
+			os.Exit(2)
+		}
+	}
+	doc.Note = "trajectory of recorded runs, newest last; append with: go run ./cmd/benchjson -suite " + *suiteName + " -label <unique label>"
 	doc.Trajectory = append(doc.Trajectory, entry)
 
 	buf, err := json.MarshalIndent(doc, "", "  ")
@@ -228,6 +264,81 @@ func parseLine(line string) (result, bool) {
 	return r, len(r.Metrics) > 0
 }
 
+// printCompare renders a benchstat-style diff of two trajectory entries: one
+// row per benchmark and tracked unit with old value, new value and relative
+// delta, followed by the summary keys the two runs share. Benchmarks present
+// in only one entry are listed so a lane appearing or vanishing is visible
+// rather than silently dropped.
+func printCompare(w io.Writer, old, new run) {
+	fmt.Fprintf(w, "old: %s\nnew: %s\n\n", entryTitle(old), entryTitle(new))
+	oldRes, newRes := flattenResults(old), flattenResults(new)
+	var names []string
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tunit\told\tnew\tdelta")
+	for _, name := range names {
+		nr := newRes[name]
+		or, ok := oldRes[name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t\t(absent)\t\tnew benchmark\n", name)
+			continue
+		}
+		for _, unit := range [...]string{"ns/op", "intervals/sec", "B/op", "allocs/op", "bytes/frame"} {
+			nv, okN := nr.Metrics[unit]
+			ov, okO := or.Metrics[unit]
+			if !okN || !okO || ov == 0 {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.4g\t%.4g\t%+.1f%%\n", name, unit, ov, nv, 100*(nv/ov-1))
+		}
+	}
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			fmt.Fprintf(tw, "%s\t\t\t(absent)\tbenchmark removed\n", name)
+		}
+	}
+	tw.Flush()
+	var keys []string
+	for k := range new.Summary {
+		if _, ok := old.Summary[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) > 0 {
+		sort.Strings(keys)
+		fmt.Fprintln(w, "\nsummary")
+		for _, k := range keys {
+			ov, nv := old.Summary[k], new.Summary[k]
+			if ov != 0 {
+				fmt.Fprintf(w, "  %s: %.4g -> %.4g (%+.1f%%)\n", k, ov, nv, 100*(nv/ov-1))
+			} else {
+				fmt.Fprintf(w, "  %s: %.4g -> %.4g\n", k, ov, nv)
+			}
+		}
+	}
+}
+
+func entryTitle(r run) string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return "(unlabeled)"
+}
+
+// flattenResults indexes an entry's benchmark lines by name.
+func flattenResults(r run) map[string]result {
+	out := map[string]result{}
+	for _, s := range r.Suites {
+		for _, res := range s.Results {
+			out[res.Name] = res
+		}
+	}
+	return out
+}
+
 // metric finds one benchmark metric in a suite set.
 func metric(suites []suiteOut, pkg, name, unit string) (float64, bool) {
 	for _, s := range suites {
@@ -295,12 +406,13 @@ func summarizeHotpath(suites []suiteOut) map[string]float64 {
 }
 
 // summarizeScale derives the scale-lane headlines: per-size throughput for
-// every lane, the p=511 speedups over the recorded pre-change baseline (the
-// legacy lane, measured in the same run), goroutine high-water marks, and
-// the batched encode path's allocation count.
+// every lane, each size's speedups over the recorded baselines (legacy for
+// the delivery-plane lanes, batched-sequential for the parallel engine —
+// both measured in the same run), goroutine high-water marks, and the
+// batched encode path's allocation count.
 func summarizeScale(suites []suiteOut) map[string]float64 {
 	sum := map[string]float64{}
-	lanes := []string{"legacy", "sharded", "batched"}
+	lanes := []string{"legacy", "sharded", "batched", "parallel"}
 	for _, p := range []int{127, 511, 1023} {
 		for _, lane := range lanes {
 			name := fmt.Sprintf("BenchmarkLiveScale/p=%d/%s", p, lane)
@@ -317,6 +429,11 @@ func summarizeScale(suites []suiteOut) map[string]float64 {
 				if v := sum[fmt.Sprintf("p%d_%s_intervals_per_sec", p, lane)]; v > 0 {
 					sum[fmt.Sprintf("p%d_speedup_%s_vs_legacy", p, lane)] = v / base
 				}
+			}
+		}
+		if batched := sum[fmt.Sprintf("p%d_batched_intervals_per_sec", p)]; batched > 0 {
+			if par := sum[fmt.Sprintf("p%d_parallel_intervals_per_sec", p)]; par > 0 {
+				sum[fmt.Sprintf("p%d_speedup_parallel_vs_batched", p)] = par / batched
 			}
 		}
 	}

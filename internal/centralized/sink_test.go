@@ -11,7 +11,7 @@ import (
 // pulse builds one synchronized pulse of n mutually overlapping intervals;
 // pulse p+1 begins strictly after pulse p ends.
 func pulse(n, p int) []interval.Interval {
-	base := uint64(p * 10)
+	base := uint32(p * 10)
 	out := make([]interval.Interval, n)
 	for i := 0; i < n; i++ {
 		lo := make(vclock.VC, n)
@@ -145,7 +145,7 @@ func TestSinkWithoutOwnPredicate(t *testing.T) {
 	}
 }
 
-func tenOf(a, b uint64) vclock.VC {
+func tenOf(a, b uint32) vclock.VC {
 	v := vclock.New(10)
 	v[0], v[1] = a, b
 	return v

@@ -120,7 +120,7 @@ func TestBatchEquivalenceRegression(t *testing.T) {
 // holds pairwise) and succeed each other cleanly across rounds.
 func sync3(origin, seq, lo, hi int) interval.Interval {
 	return interval.New(origin, seq,
-		vclock.Of(uint64(lo), uint64(lo), uint64(lo)), vclock.Of(uint64(hi), uint64(hi), uint64(hi)))
+		vclock.Of(uint32(lo), uint32(lo), uint32(lo)), vclock.Of(uint32(hi), uint32(hi), uint32(hi)))
 }
 
 // TestRemoveChildDeepQueues: with sources 0 and 1 five rounds deep and
@@ -156,7 +156,7 @@ func TestRemoveChildDeepQueues(t *testing.T) {
 		if !interval.OverlapAll(d.Set) {
 			t.Fatalf("detection %d is not a valid solution", r)
 		}
-		if want := vclock.Of(uint64(10*r+1), uint64(10*r+1), uint64(10*r+1)); !d.Agg.Lo.Equal(want) {
+		if want := vclock.Of(uint32(10*r+1), uint32(10*r+1), uint32(10*r+1)); !d.Agg.Lo.Equal(want) {
 			t.Fatalf("detection %d out of round order: agg lo %v, want %v", r, d.Agg.Lo, want)
 		}
 	}

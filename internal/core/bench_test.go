@@ -13,7 +13,7 @@ import (
 func benchPulses(n, k int) [][]interval.Interval {
 	out := make([][]interval.Interval, k)
 	for p := 0; p < k; p++ {
-		base := uint64(p * 10)
+		base := uint32(p * 10)
 		set := make([]interval.Interval, n)
 		for i := 0; i < n; i++ {
 			lo := make(vclock.VC, n)
@@ -70,7 +70,7 @@ func BenchmarkNodeElimination(b *testing.B) {
 		for k := 0; k < 64; k++ {
 			lo := make(vclock.VC, n)
 			hi := make(vclock.VC, n)
-			t := uint64(k*n+src) * 4
+			t := uint32(k*n+src) * 4
 			for c := 0; c < n; c++ {
 				lo[c] = t + 1
 				hi[c] = t + 2

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/vclock"
+)
+
+// This file implements the parallel detection engine: the same Algorithm 1
+// loop as detect/eliminate/prune, restructured so the O(n)-per-comparison
+// work — the only part that grows with system size — partitions across a
+// bounded worker Pool, and so the aggregates it publishes live in a flat
+// struct-of-arrays vclock.Store instead of per-detection clones.
+//
+// Equivalence with the sequential engine is structural, not approximate, and
+// the sequential path is kept verbatim as the property-test oracle (Config
+// {Parallel: false}):
+//
+//   - Each elimination round first snapshots the round's head-to-head pairs
+//     in the sequential iteration order, then evaluates the pair verdicts —
+//     inline, or fanned out when the round carries enough components — and
+//     finally applies the verdicts serially in that same pair order. Within a
+//     round no queue mutates (deletions happen after the pair sweep, exactly
+//     like the sequential loop), so the verdicts are a pure function of the
+//     heads and the parallel engine deletes exactly the heads the sequential
+//     engine deletes, in the same order, producing byte-identical detections
+//     and identical Stats.
+//
+//   - Queues stay single-writer: workers read only the pair snapshots (bounds
+//     are immutable once published), and an epoch guard — Queue.Gen sampled
+//     around every fanned-out round — turns any concurrent mutation into an
+//     immediate panic rather than a race. Producers are never blocked by a
+//     cascade: in the live runtime they enqueue into mailboxes, and the
+//     detector drains them only between detect calls.
+
+// cmpTask snapshots one head-to-head pair of an elimination round: the source
+// ids (for verdict application) and the four bound clocks (so workers never
+// touch queues or maps).
+type cmpTask struct {
+	a, b               int
+	xLo, xHi, yLo, yHi vclock.VC
+}
+
+// cmpVerdict holds the two fused Less results for one pair.
+type cmpVerdict struct {
+	xBeforeY, yBeforeX bool
+}
+
+// defaultFanoutThreshold is the minimum number of clock components a
+// comparison round must carry before it is worth shipping to the pool; below
+// it, fanout overhead (job publication, wakeups, the completion barrier)
+// exceeds the comparison work itself. pairs×n components at 8 bytes each
+// puts the default at ~256 KiB of scanned bounds per round.
+const defaultFanoutThreshold = 32768
+
+func (nd *Node) fanoutThreshold() int {
+	if nd.cfg.FanoutThreshold > 0 {
+		return nd.cfg.FanoutThreshold
+	}
+	return defaultFanoutThreshold
+}
+
+// detectPar is detect for the parallel engine: the identical outer loop, with
+// eliminate/solution/prune swapped for their partitioned forms and the
+// aggregate materialized flat (interval.AggregateFlat) instead of scratch
+// aggregation plus a compact clone.
+func (nd *Node) detectPar(trigger []int) []Detection {
+	var dets []Detection
+	updated := append(nd.scratchA[:0], trigger...)
+	for {
+		nd.eliminatePar(updated)
+		sol, ok := nd.solutionPar()
+		if !ok {
+			nd.scratchA = updated[:0]
+			return dets
+		}
+		agg := interval.AggregateFlat(nd.store, sol, nd.id, nd.aggSeq, nd.cfg.KeepMembers)
+		nd.aggSeq++
+		nd.stats.Detections++
+		dets = append(dets, Detection{Node: nd.id, Set: sol, Agg: agg})
+		updated = nd.prunePar(updated[:0])
+	}
+}
+
+// eliminatePar is eliminate with each round split into snapshot → verdicts →
+// serial application. The snapshot walks (cur × srcs) in the sequential
+// order; verdict evaluation is embarrassingly parallel; application replays
+// the sequential addUnique/DeleteHead sequence from the verdicts.
+func (nd *Node) eliminatePar(trigger []int) {
+	cur := append(nd.scratchElimA[:0], trigger...)
+	next := nd.scratchElimB[:0]
+	for len(cur) > 0 {
+		next = next[:0]
+		pairs := nd.pairScratch[:0]
+		for _, a := range cur {
+			qa, ok := nd.queues[a]
+			if !ok || qa.Empty() {
+				continue
+			}
+			x := qa.HeadRef()
+			for _, b := range nd.srcs {
+				if b == a {
+					continue
+				}
+				qb := nd.queues[b]
+				if qb.Empty() {
+					continue
+				}
+				y := qb.HeadRef()
+				pairs = append(pairs, cmpTask{a: a, b: b, xLo: x.Lo, xHi: x.Hi, yLo: y.Lo, yHi: y.Hi})
+			}
+		}
+		if cap(nd.verdictScratch) < len(pairs) {
+			nd.verdictScratch = make([]cmpVerdict, len(pairs))
+		}
+		verdicts := nd.verdictScratch[:len(pairs)]
+		nd.compareAll(pairs, verdicts)
+		for i := range pairs {
+			nd.stats.VecComparisons += 2
+			if !verdicts[i].xBeforeY {
+				next = addUnique(next, pairs[i].b)
+			}
+			if !verdicts[i].yBeforeX {
+				next = addUnique(next, pairs[i].a)
+			}
+		}
+		nd.pairScratch = pairs[:0]
+		for _, c := range next {
+			if q := nd.queues[c]; !q.Empty() {
+				q.DeleteHead()
+				nd.noteRemovals(1)
+				nd.stats.Eliminated++
+			}
+		}
+		cur, next = next, cur
+	}
+	nd.scratchElimA, nd.scratchElimB = cur[:0], next[:0]
+}
+
+// compareAll fills verdicts[i] with the fused CompareLess of pairs[i],
+// fanning the round out to the pool when it carries enough components and
+// running it inline otherwise. Fanned-out rounds are epoch-guarded: every
+// queue's generation is sampled before and after, and a moved generation —
+// a producer mutating a queue mid-round — panics.
+func (nd *Node) compareAll(pairs []cmpTask, verdicts []cmpVerdict) {
+	if nd.cfg.Pool == nil || len(pairs) < 2 || len(pairs)*nd.cfg.N < nd.fanoutThreshold() {
+		if len(pairs) > 0 {
+			nd.cfg.Pool.noteInline()
+		}
+		for i := range pairs {
+			p := &pairs[i]
+			verdicts[i].xBeforeY, verdicts[i].yBeforeX = vclock.CompareLess(p.xLo, p.yHi, p.yLo, p.xHi)
+		}
+		return
+	}
+	gens := nd.genScratch[:0]
+	for _, s := range nd.srcs {
+		gens = append(gens, nd.queues[s].Gen())
+	}
+	nd.cfg.Pool.Run(len(pairs), func(i int) {
+		p := &pairs[i]
+		verdicts[i].xBeforeY, verdicts[i].yBeforeX = vclock.CompareLess(p.xLo, p.yHi, p.yLo, p.xHi)
+	})
+	for i, s := range nd.srcs {
+		if nd.queues[s].Gen() != gens[i] {
+			panic(fmt.Sprintf("core: node %d: queue %d mutated during a parallel comparison round (single-writer contract violated)", nd.id, s))
+		}
+	}
+	nd.genScratch = gens[:0]
+}
+
+// solutionPar is solution with the set carved from a slab instead of a fresh
+// allocation: solution sets escape into Detections, and at production rates
+// one make per detection was measurable. A slab chunk is retained only as
+// long as some detection carved from it.
+func (nd *Node) solutionPar() ([]interval.Interval, bool) {
+	if len(nd.srcs) == 0 {
+		return nil, false
+	}
+	for _, s := range nd.srcs {
+		if nd.queues[s].Empty() {
+			return nil, false
+		}
+	}
+	need := len(nd.srcs)
+	if len(nd.solSlab)+need > cap(nd.solSlab) {
+		// Slab chunks double from a few sets up to solSlabChunk: most nodes
+		// publish few detections, so a fixed large chunk would strand memory
+		// per node at scale.
+		c := 2 * cap(nd.solSlab)
+		if c < 2*need {
+			c = 2 * need
+		}
+		if c > solSlabChunk && c > need {
+			c = solSlabChunk
+			if c < need {
+				c = need
+			}
+		}
+		nd.solSlab = make([]interval.Interval, 0, c)
+	}
+	base := len(nd.solSlab)
+	nd.solSlab = nd.solSlab[:base+need]
+	sol := nd.solSlab[base : base+need : base+need]
+	for i, s := range nd.srcs {
+		sol[i] = *nd.queues[s].HeadRef()
+	}
+	if nd.cfg.Strict && !interval.OverlapAll(sol) {
+		panic(fmt.Sprintf("core: node %d: solution set fails pairwise overlap", nd.id))
+	}
+	return sol, true
+}
+
+// solSlabChunk sizes the solution-set slab (in intervals). Sets are d+1
+// intervals, so one chunk serves tens of detections at typical fanouts.
+const solSlabChunk = 256
+
+// prunePar is prune with the per-head keep decisions evaluated concurrently.
+// Each head's decision reads only queue heads (and Eq. 9 successor peeks) and
+// writes its own verdict slot; comparisons are tallied per head and summed in
+// source order, so Stats match the sequential engine exactly. Small source
+// sets fall through to the sequential prune — the verdicts are identical,
+// fanout just isn't worth it below the threshold.
+func (nd *Node) prunePar(removable []int) []int {
+	srcs := nd.srcs
+	if nd.cfg.Pool == nil || len(srcs) < 4 || len(srcs)*(len(srcs)-1)*nd.cfg.N < nd.fanoutThreshold() {
+		return nd.prune(removable)
+	}
+	if cap(nd.keepScratch) < len(srcs) {
+		nd.keepScratch = make([]pruneVerdict, len(srcs))
+	}
+	keeps := nd.keepScratch[:len(srcs)]
+	gens := nd.genScratch[:0]
+	for _, s := range srcs {
+		gens = append(gens, nd.queues[s].Gen())
+	}
+	nd.cfg.Pool.Run(len(srcs), func(i int) {
+		keeps[i] = nd.pruneKeep(srcs[i])
+	})
+	for i, s := range srcs {
+		if nd.queues[s].Gen() != gens[i] {
+			panic(fmt.Sprintf("core: node %d: queue %d mutated during a parallel pruning round (single-writer contract violated)", nd.id, s))
+		}
+	}
+	nd.genScratch = gens[:0]
+	for i, a := range srcs {
+		nd.stats.VecComparisons += keeps[i].comparisons
+		if !keeps[i].keep {
+			removable = append(removable, a)
+		}
+	}
+	if len(removable) == 0 {
+		panic(fmt.Sprintf("core: node %d: pruning found no removable interval (Theorem 4 violated)", nd.id))
+	}
+	for _, a := range removable {
+		nd.queues[a].DeleteHead()
+		nd.noteRemovals(1)
+		nd.stats.Pruned++
+	}
+	sort.Ints(removable)
+	return removable
+}
+
+// pruneVerdict is one head's pruning decision plus the comparisons it cost,
+// so the serial tally reproduces the sequential VecComparisons count.
+type pruneVerdict struct {
+	keep        bool
+	comparisons int
+}
+
+// pruneKeep evaluates Eq. 10 (and, under ExactPrune, Eq. 9) for source a's
+// head — the loop body of the sequential prune, reading queues but mutating
+// nothing, so concurrent evaluations are independent.
+func (nd *Node) pruneKeep(a int) pruneVerdict {
+	var v pruneVerdict
+	xa := nd.queues[a].HeadRef()
+	for _, b := range nd.srcs {
+		if b == a {
+			continue
+		}
+		qb := nd.queues[b]
+		xb := qb.HeadRef()
+		v.comparisons++
+		if !xb.Hi.Less(xa.Hi) {
+			continue
+		}
+		if nd.cfg.ExactPrune && qb.Len() > 1 {
+			v.comparisons++
+			if !qb.At(1).Lo.Less(xa.Hi) {
+				continue
+			}
+		}
+		v.keep = true
+		return v
+	}
+	return v
+}

@@ -92,6 +92,25 @@ type Config struct {
 	// the queues (see BenchmarkAblationPruneRule). Safety is unchanged —
 	// Eq. 9 is the exact characterization — and liveness follows a fortiori.
 	ExactPrune bool
+
+	// Parallel switches the node to the partitioned detection engine: the
+	// same Algorithm 1 loop, with comparison rounds snapshotted and fanned
+	// out across Pool, aggregates published from a flat vclock.Store, and
+	// solution sets carved from a slab. Detections and Stats are
+	// byte-identical to the sequential engine (property-tested); the
+	// sequential path remains available as the oracle when Parallel is off.
+	Parallel bool
+
+	// Pool is the shared comparison worker set for the parallel engine. A
+	// nil Pool keeps the partitioned engine on the calling goroutine (flat
+	// storage and slabs still apply; rounds just never fan out). Ignored
+	// unless Parallel is set.
+	Pool *Pool
+
+	// FanoutThreshold overrides the minimum number of clock components a
+	// comparison round must carry before it fans out to Pool (0 = default).
+	// Tests lower it to force fanout at toy sizes.
+	FanoutThreshold int
 }
 
 // Node is the per-process detector state machine.
@@ -123,6 +142,24 @@ type Node struct {
 	scratchElimA, scratchElimB []int
 	aggScratch                 interval.Interval
 	one                        [1]int
+
+	// resident / residentHigh track the node-level interval residency and
+	// its true peak — the maximum number of intervals concurrently queued
+	// across all queues, maintained incrementally at every enqueue and
+	// deletion. Summing per-queue HighWater marks instead (the old
+	// QueueSizes behaviour) overstates the peak because queues peak at
+	// different times.
+	resident, residentHigh int
+
+	// Parallel-engine state (nil/empty under the sequential oracle): the
+	// flat bounds store, the pair/verdict/gen scratch of eliminatePar and
+	// prunePar, and the solution-set slab.
+	store          *vclock.Store
+	pairScratch    []cmpTask
+	verdictScratch []cmpVerdict
+	genScratch     []uint64
+	keepScratch    []pruneVerdict
+	solSlab        []interval.Interval
 }
 
 // NewNode returns a detector for process id in an n-process system. If local
@@ -138,6 +175,9 @@ func NewNode(id int, cfg Config, local bool) *Node {
 		queues: make(map[int]*interval.Queue),
 		lastHi: make(map[int]interval.Interval),
 	}
+	if cfg.Parallel {
+		nd.store = vclock.NewStore(cfg.N)
+	}
 	if local {
 		nd.addSource(id)
 	}
@@ -150,14 +190,38 @@ func (nd *Node) ID() int { return nd.id }
 // Stats returns a copy of the node's counters.
 func (nd *Node) Stats() Stats { return nd.stats }
 
-// QueueSizes returns the current and high-water interval counts across all
-// queues, for the space-complexity experiments.
+// QueueSizes returns the node's current interval residency across all queues
+// and its true node-level high-water mark — the maximum number of intervals
+// ever *concurrently* resident, maintained incrementally at every enqueue and
+// deletion. (An earlier version summed the per-queue HighWater marks, which
+// overstates the peak whenever queues peak at different times; per-queue
+// peaks remain available via QueueHighWaters.)
 func (nd *Node) QueueSizes() (current, highWater int) {
-	for _, q := range nd.queues {
-		current += q.Len()
-		highWater += q.HighWater
+	return nd.resident, nd.residentHigh
+}
+
+// QueueHighWaters returns each source's own peak residency. The values can
+// legitimately sum to more than the node-level high-water mark reported by
+// QueueSizes: a queue's peak is local to its own timeline.
+func (nd *Node) QueueHighWaters() map[int]int {
+	out := make(map[int]int, len(nd.queues))
+	for src, q := range nd.queues {
+		out[src] = q.HighWater
 	}
-	return current, highWater
+	return out
+}
+
+// noteEnqueue and noteRemovals maintain the node-level residency accounting
+// next to every queue mutation.
+func (nd *Node) noteEnqueue() {
+	nd.resident++
+	if nd.resident > nd.residentHigh {
+		nd.residentHigh = nd.resident
+	}
+}
+
+func (nd *Node) noteRemovals(k int) {
+	nd.resident -= k
 }
 
 // Sources returns the queue keys in deterministic order (the node's own id
@@ -197,9 +261,11 @@ func (nd *Node) AddChild(child int) {
 // exactly how the algorithm keeps detecting the partial predicate over the
 // surviving processes (paper §III-F).
 func (nd *Node) RemoveChild(child int) []Detection {
-	if _, ok := nd.queues[child]; !ok {
+	q, ok := nd.queues[child]
+	if !ok {
 		return nil
 	}
+	nd.noteRemovals(q.Len())
 	delete(nd.queues, child)
 	delete(nd.lastHi, child)
 	for i, s := range nd.srcs {
@@ -231,6 +297,7 @@ func (nd *Node) ResetSource(src int) {
 	}
 	for !q.Empty() {
 		q.DeleteHead()
+		nd.noteRemovals(1)
 		nd.stats.EpochDiscards++
 	}
 	delete(nd.lastHi, src)
@@ -254,6 +321,7 @@ func (nd *Node) OnInterval(src int, iv interval.Interval) []Detection {
 		nd.lastHi[src] = iv
 	}
 	q.Enqueue(iv)
+	nd.noteEnqueue()
 	nd.stats.IntervalsIn++
 	// Algorithm 1 line 2: only a new head can change the outcome.
 	if q.Len() != 1 {
@@ -296,6 +364,7 @@ func (nd *Node) OnIntervals(src int, ivs []interval.Interval) []Detection {
 			nd.lastHi[src] = iv
 		}
 		q.Enqueue(iv)
+		nd.noteEnqueue()
 		nd.stats.IntervalsIn++
 	}
 	// Algorithm 1 line 2: only a new head can change the outcome, and the
@@ -309,8 +378,17 @@ func (nd *Node) OnIntervals(src int, ivs []interval.Interval) []Detection {
 
 // detect runs the elimination loop and, repeatedly, solution extraction and
 // pruning, starting from the queues named in trigger. It returns every
-// solution set found, in detection order.
+// solution set found, in detection order. The parallel engine (engine.go)
+// runs the same loop with partitioned rounds and flat aggregate storage;
+// this sequential body is kept verbatim as its property-test oracle.
 func (nd *Node) detect(trigger []int) []Detection {
+	if nd.cfg.Parallel {
+		return nd.detectPar(trigger)
+	}
+	return nd.detectSeq(trigger)
+}
+
+func (nd *Node) detectSeq(trigger []int) []Detection {
 	var dets []Detection
 	updated := append(nd.scratchA[:0], trigger...)
 	for {
@@ -371,6 +449,7 @@ func (nd *Node) eliminate(trigger []int) {
 		for _, c := range next {
 			if q := nd.queues[c]; !q.Empty() {
 				q.DeleteHead()
+				nd.noteRemovals(1)
 				nd.stats.Eliminated++
 			}
 		}
@@ -461,6 +540,7 @@ func (nd *Node) prune(removable []int) []int {
 	}
 	for _, a := range removable {
 		nd.queues[a].DeleteHead()
+		nd.noteRemovals(1)
 		nd.stats.Pruned++
 	}
 	sort.Ints(removable)

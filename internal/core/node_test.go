@@ -274,7 +274,7 @@ func TestRepeatedDetectionPulses(t *testing.T) {
 // interval straddles the pulse's causal frontier, so all n intervals mutually
 // overlap, and pulse p+1 begins strictly after pulse p ends.
 func pulseIntervals(n, pulse int) []interval.Interval {
-	base := uint64(pulse * 10)
+	base := uint32(pulse * 10)
 	out := make([]interval.Interval, n)
 	for p := 0; p < n; p++ {
 		lo := make(vclock.VC, n)

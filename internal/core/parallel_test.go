@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hierdet/internal/workload"
+)
+
+// The parallel engine's contract (engine.go) is stronger than the batch
+// ingestion property next door: not just byte-identical detections but
+// identical Stats, because each elimination round snapshots its pairs in the
+// sequential iteration order, evaluates verdicts as pure functions of the
+// heads, and applies them serially. These tests pin that contract as a
+// property over chaotic executions with reconfigurations mixed in, across
+// worker counts, with FanoutThreshold=1 so every multi-pair round actually
+// crosses the pool (the default threshold would keep small test clocks
+// inline and the pool untouched). Run under -race, the snapshot/verdict
+// phases double as a data-race check on the single-writer queue contract.
+
+// parallelEquivalent drives one sequential-oracle node and one parallel node
+// through an identical schedule — random per-source chunks, interleaved
+// RemoveChild and ResetSource reconfigurations — and requires byte-identical
+// detections and identical Stats at every point where both have quiesced.
+func parallelEquivalent(t *testing.T, seed int64, nSel uint8, pool *Pool) bool {
+	n := 2 + int(nSel%5) // 2..6 sources
+	streams := workload.GenerateChaotic(workload.ChaoticConfig{
+		N: n, Steps: 50 * n, Seed: seed,
+	}).Streams
+
+	seq := NewNode(99, Config{N: n, Strict: true, KeepMembers: true}, false)
+	par := NewNode(99, Config{N: n, Strict: true, KeepMembers: true,
+		Parallel: true, Pool: pool, FanoutThreshold: 1}, false)
+	for p := 0; p < n; p++ {
+		seq.AddChild(p)
+		par.AddChild(p)
+	}
+
+	rng := rand.New(rand.NewSource(seed ^ 0x9a11e1))
+	idx := make([]int, n)
+	removed := make([]bool, n)
+	live := n
+	var seqDets, parDets []Detection
+	for {
+		progressed := false
+		for p := 0; p < n; p++ {
+			if removed[p] {
+				continue
+			}
+			// Reconfigurations, rarely: drop a source for good (keeping at
+			// least two live so detection stays possible), or reset its
+			// stream as a repair epoch would — discard the queue, forget the
+			// succession baseline, keep feeding.
+			if live > 2 && rng.Intn(40) == 0 {
+				seqDets = append(seqDets, seq.RemoveChild(p)...)
+				parDets = append(parDets, par.RemoveChild(p)...)
+				removed[p] = true
+				live--
+				progressed = true
+				continue
+			}
+			if rng.Intn(40) == 0 {
+				seq.ResetSource(p)
+				par.ResetSource(p)
+			}
+			left := len(streams[p]) - idx[p]
+			if left == 0 {
+				continue
+			}
+			k := 1 + rng.Intn(left)
+			run := streams[p][idx[p] : idx[p]+k]
+			idx[p] += k
+			progressed = true
+			seqDets = append(seqDets, seq.OnIntervals(p, run)...)
+			parDets = append(parDets, par.OnIntervals(p, run)...)
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	if ss, ps := seq.Stats(), par.Stats(); ss != ps {
+		t.Logf("seed %d n %d: stats diverge:\n  seq %+v\n  par %+v", seed, n, ss, ps)
+		return false
+	}
+	sc, sh := seq.QueueSizes()
+	pc, ph := par.QueueSizes()
+	if sc != pc || sh != ph {
+		t.Logf("seed %d n %d: queue accounting diverges: seq %d/%d par %d/%d", seed, n, sc, sh, pc, ph)
+		return false
+	}
+	if !bytes.Equal(encodeDetections(seqDets), encodeDetections(parDets)) {
+		t.Logf("seed %d n %d: detection streams diverge (%d vs %d detections)",
+			seed, n, len(seqDets), len(parDets))
+		return false
+	}
+	return true
+}
+
+// TestQuickParallelEquivalence checks the parity property across worker
+// counts: a single helper (maximum interleaving with the caller), a small
+// pool, and an oversubscribed one.
+func TestQuickParallelEquivalence(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		pool := NewPool(workers)
+		defer pool.Close()
+		f := func(seed int64, nSel uint8) bool { return parallelEquivalent(t, seed, nSel, pool) }
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestParallelEquivalenceNilPool pins the pool-less parallel configuration —
+// flat aggregate storage and slab-carved sets with every round inline — which
+// is what a single-core deployment runs.
+func TestParallelEquivalenceNilPool(t *testing.T) {
+	f := func(seed int64, nSel uint8) bool { return parallelEquivalent(t, seed, nSel, nil) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelEpochInterleaving pins a deterministic repair-epoch schedule:
+// two sources five rounds deep, a third reset mid-stream (epoch bump), then
+// refilled. Sequential and parallel engines must discard, re-baseline and
+// detect identically — including the EpochDiscards counter.
+func TestParallelEpochInterleaving(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	mk := func(parallel bool) *Node {
+		cfg := Config{N: 3, Strict: true, KeepMembers: true}
+		if parallel {
+			cfg.Parallel, cfg.Pool, cfg.FanoutThreshold = true, pool, 1
+		}
+		nd := NewNode(99, cfg, false)
+		for p := 0; p < 3; p++ {
+			nd.AddChild(p)
+		}
+		return nd
+	}
+	seq, par := mk(false), mk(true)
+
+	var seqDets, parDets []Detection
+	feed := func(src, seqNo, lo, hi int) {
+		iv := sync3(src, seqNo, lo, hi)
+		seqDets = append(seqDets, seq.OnInterval(src, iv)...)
+		parDets = append(parDets, par.OnInterval(src, iv)...)
+	}
+	// Source 2 runs five rounds ahead while 0 and 1 are silent: nothing can
+	// be detected (every solution needs a head from all three queues), so
+	// all five sit blocked in queue 2.
+	for r := 0; r < 5; r++ {
+		feed(2, r, 10*r+1, 10*r+3)
+	}
+	// Source 2's subtree repairs: the epoch bump discards its whole queue
+	// and forgets the succession baseline, then the new epoch restarts its
+	// Seq at zero, interleaved with sources 0 and 1 finally reporting.
+	seq.ResetSource(2)
+	par.ResetSource(2)
+	for r := 0; r < 5; r++ {
+		feed(0, r, 10*r+1, 10*r+3)
+		feed(1, r, 10*r+1, 10*r+3)
+		feed(2, r, 10*r+1, 10*r+3)
+	}
+
+	ss, ps := seq.Stats(), par.Stats()
+	if ss != ps {
+		t.Fatalf("stats diverge:\n  seq %+v\n  par %+v", ss, ps)
+	}
+	if ss.EpochDiscards == 0 {
+		t.Fatal("schedule never exercised an epoch discard")
+	}
+	if ss.Detections != 5 {
+		t.Fatalf("detections = %d, want 5", ss.Detections)
+	}
+	if !bytes.Equal(encodeDetections(seqDets), encodeDetections(parDets)) {
+		t.Fatal("detection streams diverge")
+	}
+}

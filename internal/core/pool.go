@@ -1,0 +1,153 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the bounded worker set the parallel detection engine fans
+// comparison rounds across. One pool is shared by every node of a detector
+// instance (a live cluster passes the same pool to all of its core nodes), so
+// the steady-state goroutine count stays O(workers) no matter how many nodes
+// detect concurrently — the same scaling contract the delivery plane keeps.
+//
+// Run partitions an index space across the helpers and the calling goroutine;
+// the caller always participates, so a pool adds latency only when it adds
+// parallelism. Work items must be independent and must not touch shared
+// mutable state: the engine only ships pure vector-clock comparisons here,
+// and applies their verdicts serially afterwards (see eliminatePar).
+type Pool struct {
+	workers int
+	jobs    chan *poolJob
+	quit    chan struct{}
+	once    sync.Once
+
+	// Occupancy and traffic counters for the observability plane.
+	busy    atomic.Int64
+	fanouts atomic.Int64
+	inlines atomic.Int64
+	tasks   atomic.Int64
+}
+
+type poolJob struct {
+	fn   func(int)
+	next atomic.Int64
+	n    int64
+	done sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of helper goroutines; workers
+// ≤ 0 means GOMAXPROCS. A single-worker pool still fans out (one helper plus
+// the caller); use inline thresholds, not pool size, to avoid fanning out
+// small rounds.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		jobs:    make(chan *poolJob, workers),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.helper()
+	}
+	return p
+}
+
+// Workers returns the helper count the pool was started with.
+func (p *Pool) Workers() int { return p.workers }
+
+// Busy returns how many helpers are currently executing round work.
+func (p *Pool) Busy() int64 { return p.busy.Load() }
+
+// Fanouts returns how many comparison rounds were partitioned across the
+// pool; Inlines counts the rounds that stayed on the calling goroutine
+// because they were below the fanout threshold.
+func (p *Pool) Fanouts() int64 { return p.fanouts.Load() }
+
+// Inlines returns the number of rounds executed inline (see Fanouts).
+func (p *Pool) Inlines() int64 { return p.inlines.Load() }
+
+// Tasks returns the total number of work items executed through Run,
+// including the caller's share of fanned-out rounds.
+func (p *Pool) Tasks() int64 { return p.tasks.Load() }
+
+// noteInline records a round that ran inline, for the occupancy counters.
+func (p *Pool) noteInline() {
+	if p != nil {
+		p.inlines.Add(1)
+	}
+}
+
+// Run executes fn(0)…fn(n-1), partitioned across the pool's helpers and the
+// calling goroutine, and returns once every index has completed. Indices are
+// claimed atomically, so the assignment is nondeterministic — callers must
+// make the work order-independent. fn must not call Run (rounds do not nest)
+// and must not block on pool-driven work.
+func (p *Pool) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	j := &poolJob{fn: fn, n: int64(n)}
+	j.done.Add(n)
+	p.fanouts.Add(1)
+	// Wake at most n-1 helpers (the caller covers the rest); non-blocking
+	// sends so a saturated pool degrades to caller-only execution instead of
+	// queueing behind other rounds.
+	wake := p.workers
+	if wake > n-1 {
+		wake = n - 1
+	}
+	for i := 0; i < wake; i++ {
+		select {
+		case p.jobs <- j:
+		default:
+			i = wake // buffer full: every helper already has work
+		}
+	}
+	p.drain(j)
+	j.done.Wait()
+}
+
+// drain claims and executes indices until the job is exhausted.
+func (p *Pool) drain(j *poolJob) {
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.n {
+			return
+		}
+		j.fn(int(i))
+		p.tasks.Add(1)
+		j.done.Done()
+	}
+}
+
+func (p *Pool) helper() {
+	for {
+		select {
+		case j := <-p.jobs:
+			p.busy.Add(1)
+			p.drain(j)
+			p.busy.Add(-1)
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Close stops the helper goroutines. Run must not be in flight or called
+// after Close. Closing a nil pool is a no-op; Close is idempotent.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.quit) })
+}

@@ -22,8 +22,8 @@ func TestAggregateIntoMatchesAggregate(t *testing.T) {
 			lo := make(vclock.VC, n)
 			hi := make(vclock.VC, n)
 			for c := 0; c < n; c++ {
-				lo[c] = uint64(r.Intn(10))
-				hi[c] = lo[c] + uint64(r.Intn(10))
+				lo[c] = uint32(r.Intn(10))
+				hi[c] = lo[c] + uint32(r.Intn(10))
 			}
 			xs[i] = New(r.Intn(n), i, lo, hi)
 			if r.Intn(2) == 0 { // overlapping spans exercise the dedup

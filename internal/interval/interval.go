@@ -197,6 +197,57 @@ func AggregateInto(dst *Interval, xs []Interval, origin, seq int, keepMembers bo
 	}
 }
 
+// AggregateFlat computes ⊓xs as a freshly published aggregate whose bounds
+// live in a flat vclock.Store — the parallel engine's replacement for the
+// AggregateInto-then-CompactClone pair. Two layout decisions make it cheap
+// while producing component-for-component the same values as Aggregate:
+//
+//   - A singleton solution set aggregates to itself (⊓{x} = x), so instead of
+//     cloning 2n clock components the result aliases x's bounds and span
+//     directly. Bounds and spans are immutable once published, which makes the
+//     sharing safe; leaf nodes — half the tree — detect only singletons, so
+//     their entire aggregation cost disappears.
+//
+//   - A multi-member set merges directly into an arena-carved Lo/Hi pair via
+//     the fused bounds kernels (vclock.BoundsInit/BoundsFold, vectorized on
+//     amd64): the first two members seed the pair in one pass with no
+//     intermediate copy, each further member folds in with one more pass,
+//     and the aggregate is born compact — no scratch interval, no second
+//     copy, one heap allocation per Store chunk instead of one per
+//     detection.
+//
+// The caller owns st and must be the only goroutine allocating from it.
+func AggregateFlat(st *vclock.Store, xs []Interval, origin, seq int, keepMembers bool) Interval {
+	if len(xs) == 0 {
+		panic("interval: Aggregate of empty set")
+	}
+	out := Interval{Origin: origin, Seq: seq, Agg: true}
+	if keepMembers {
+		out.Members = append([]Interval(nil), xs...)
+	}
+	if len(xs) == 1 {
+		x := &xs[0]
+		out.Lo, out.Hi = x.Lo, x.Hi
+		out.Span = x.Span
+		out.Bases = x.Bases
+		return out
+	}
+	lo, hi := st.AllocPair()
+	vclock.BoundsInit(lo, hi, xs[0].Lo, xs[0].Hi, xs[1].Lo, xs[1].Hi)
+	for i := 2; i < len(xs); i++ {
+		vclock.BoundsFold(lo, hi, xs[i].Lo, xs[i].Hi)
+	}
+	out.Lo, out.Hi = lo, hi
+	spanCap, bases := 0, 0
+	for i := range xs {
+		spanCap += len(xs[i].Span)
+		bases += xs[i].Bases
+	}
+	out.Span = mergeSpans(xs, spanCap)
+	out.Bases = bases
+	return out
+}
+
 // sizedVC resizes v to n components, reusing its backing array if possible.
 func sizedVC(v vclock.VC, n int) vclock.VC {
 	if cap(v) >= n {
@@ -208,6 +259,38 @@ func sizedVC(v vclock.VC, n int) vclock.VC {
 // insertUnique adds p to a sorted id list, keeping it sorted and duplicate
 // free. Spans are bounded by subtree size and usually tiny, so the linear
 // shift beats a set structure.
+// mergeSpans unions the members' spans. Each Span is sorted and duplicate-
+// free, so a k-way merge builds the union in one linear pass — at a tree
+// root the union covers every process, and inserting BFS-interleaved subtree
+// ids one at a time (insertUnique) degenerated to a quadratic memmove there.
+func mergeSpans(xs []Interval, spanCap int) []int {
+	var idxArr [8]int
+	var idx []int
+	if len(xs) <= len(idxArr) {
+		idx = idxArr[:len(xs)]
+	} else {
+		idx = make([]int, len(xs))
+	}
+	span := make([]int, 0, spanCap)
+	for {
+		best, bestV := -1, 0
+		for i := range xs {
+			if idx[i] < len(xs[i].Span) {
+				if v := xs[i].Span[idx[i]]; best == -1 || v < bestV {
+					best, bestV = i, v
+				}
+			}
+		}
+		if best == -1 {
+			return span
+		}
+		idx[best]++
+		if len(span) == 0 || span[len(span)-1] != bestV {
+			span = append(span, bestV)
+		}
+	}
+}
+
 func insertUnique(s []int, p int) []int {
 	i := len(s)
 	for i > 0 && s[i-1] > p {

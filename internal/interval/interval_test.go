@@ -234,15 +234,15 @@ func TestEq7AggregationAssociativity(t *testing.T) {
 func randPulse(r *rand.Rand, n, k int) []Interval {
 	frontier := make(vclock.VC, n)
 	for i := range frontier {
-		frontier[i] = uint64(3 + r.Intn(4))
+		frontier[i] = uint32(3 + r.Intn(4))
 	}
 	out := make([]Interval, k)
 	for i := range out {
 		lo := make(vclock.VC, n)
 		hi := make(vclock.VC, n)
 		for c := range lo {
-			lo[c] = frontier[c] - uint64(1+r.Intn(3))
-			hi[c] = frontier[c] + uint64(1+r.Intn(3))
+			lo[c] = frontier[c] - uint32(1+r.Intn(3))
+			hi[c] = frontier[c] + uint32(1+r.Intn(3))
 		}
 		out[i] = New(i%n, i/n, lo, hi)
 	}

@@ -22,6 +22,13 @@ type Queue struct {
 	// HighWater tracks the maximum number of intervals ever resident, for
 	// the space-complexity experiments.
 	HighWater int
+
+	// gen counts mutations (enqueues and deletions). The parallel detection
+	// engine snapshots it around every fanned-out comparison round and panics
+	// if it moved: queues are single-writer by contract, and the epoch guard
+	// turns a violation of that contract into an immediate, attributable
+	// failure instead of a silent data race. Reads do not bump it.
+	gen uint64
 }
 
 // NewQueue returns an empty queue.
@@ -33,8 +40,14 @@ func (q *Queue) Len() int { return q.size }
 // Empty reports whether the queue holds no intervals.
 func (q *Queue) Empty() bool { return q.size == 0 }
 
+// Gen returns the queue's mutation epoch: it advances on every enqueue and
+// deletion and is stable across reads, so two equal observations bracket a
+// mutation-free window.
+func (q *Queue) Gen() uint64 { return q.gen }
+
 // Enqueue appends x at the tail.
 func (q *Queue) Enqueue(x Interval) {
+	q.gen++
 	if q.size == len(q.buf) {
 		q.grow()
 	}
@@ -55,11 +68,25 @@ func (q *Queue) Head() Interval {
 	return q.buf[q.head]
 }
 
+// HeadRef returns a pointer to the interval at the front, valid only until
+// the queue's next mutation. The parallel engine's snapshot loops read heads
+// through it to skip the by-value copy of the full Interval struct that
+// Head() costs on every head-to-head check; the epoch guard (Gen) already
+// polices the no-mutation window the pointer depends on. It panics on an
+// empty queue.
+func (q *Queue) HeadRef() *Interval {
+	if q.size == 0 {
+		panic("interval: HeadRef of empty queue")
+	}
+	return &q.buf[q.head]
+}
+
 // DeleteHead removes the interval at the front. It panics on an empty queue.
 func (q *Queue) DeleteHead() Interval {
 	if q.size == 0 {
 		panic("interval: DeleteHead of empty queue")
 	}
+	q.gen++
 	x := q.buf[q.head]
 	q.buf[q.head] = Interval{} // release references for GC
 	q.head = (q.head + 1) & q.mask

@@ -8,7 +8,7 @@ import (
 )
 
 func ivl(seq int) Interval {
-	return New(0, seq, vclock.Of(uint64(seq*2+1)), vclock.Of(uint64(seq*2+2)))
+	return New(0, seq, vclock.Of(uint32(seq*2+1)), vclock.Of(uint32(seq*2+2)))
 }
 
 func TestQueueFIFO(t *testing.T) {

@@ -71,7 +71,7 @@ func TestHierarchyAgreesWithLattice(t *testing.T) {
 		// Random execution.
 		type msg struct {
 			to    int
-			stamp []uint64
+			stamp []uint32
 		}
 		var inflight []msg
 		for step := 0; step < 40; step++ {

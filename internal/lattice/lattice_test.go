@@ -135,7 +135,7 @@ func TestStateBudget(t *testing.T) {
 		evs := make([]Event, 20)
 		for k := range evs {
 			vc := vclock.New(2)
-			vc[p] = uint64(k + 1)
+			vc[p] = uint32(k + 1)
 			evs[k] = Event{VC: vc}
 		}
 		return evs
@@ -194,7 +194,7 @@ func TestCrossValidationAgainstIntervalDetectors(t *testing.T) {
 		// A short random execution with random toggles and messages.
 		type msg struct {
 			to    int
-			stamp []uint64
+			stamp []uint32
 		}
 		var inflight []msg
 		for step := 0; step < 25; step++ {

@@ -105,8 +105,21 @@ type Config struct {
 	// ticker, instead of the mailbox shards, worker pool and timer wheel. It
 	// exists so the scale benchmarks can measure the rebuilt plane against
 	// the pre-change baseline forever; production configurations leave it
-	// off.
+	// off. LegacyDelivery implies SequentialDetect: the seed plane is a
+	// baseline, and baselines do not silently absorb later engine work.
 	LegacyDelivery bool
+
+	// SequentialDetect restores the single-threaded in-node detection
+	// engine — the paper's Algorithm 1 loop exactly as it ran before the
+	// parallel engine landed. It is the property-test oracle and the
+	// benchmark baseline lane (the role LegacyDelivery plays for the
+	// delivery plane); production configurations leave it off and get the
+	// partitioned engine with flat aggregate storage.
+	SequentialDetect bool
+	// DetectWorkers sizes the comparison worker set the parallel detection
+	// engine shares across every hosted node (core.Pool). Zero means
+	// GOMAXPROCS. Ignored under SequentialDetect/LegacyDelivery.
+	DetectWorkers int
 
 	// HbEvery enables failure handling: on this period every node publishes
 	// a liveness beacon and checks the beacons of its tree neighbours. Zero
@@ -204,8 +217,11 @@ type Cluster struct {
 	runq    chan *liveNode
 	bound   int // mailbox bound for external producers
 	workers int
-	remote  bool      // distributed mode: Transport is set
-	startAt time.Time // StartupGrace reference point
+	// detectPool is the comparison worker set shared by every hosted node's
+	// parallel detection engine; nil under SequentialDetect/LegacyDelivery.
+	detectPool *core.Pool
+	remote     bool      // distributed mode: Transport is set
+	startAt    time.Time // StartupGrace reference point
 
 	// Observability plane: the metrics registry every family registers
 	// into, the per-kind event counters (index = obsv.EventKind), and the
@@ -276,6 +292,13 @@ func New(cfg Config) *Cluster {
 	c.cond = sync.NewCond(&c.mu)
 	c.wheel = newWheel(c, cfg.MaxDelay/8)
 	c.reg = obsv.NewRegistry()
+	if !cfg.SequentialDetect && !cfg.LegacyDelivery {
+		dw := cfg.DetectWorkers
+		if dw <= 0 {
+			dw = runtime.GOMAXPROCS(0)
+		}
+		c.detectPool = core.NewPool(dw)
+	}
 	hosted := cfg.Topology.AliveNodes()
 	if c.remote && len(cfg.LocalNodes) > 0 {
 		hosted = cfg.LocalNodes
@@ -468,6 +491,9 @@ func (c *Cluster) Stop() []Detection {
 		}
 	}
 	c.wg.Wait()
+	// With the delivery workers gone no detection can be in flight, so the
+	// comparison pool can be torn down without a round mid-fanout.
+	c.detectPool.Close()
 	if c.remote {
 		// Incoming frames have been dropped (not credited) since the state
 		// reached stopped; Close additionally waits out any receive callback

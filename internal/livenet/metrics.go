@@ -38,6 +38,12 @@ type Metrics struct {
 	IntervalsIn int `json:"intervalsIn"`
 	Pruned      int `json:"pruned"`
 	Eliminated  int `json:"eliminated"`
+	// QueueDepth is the detector's current interval residency across its
+	// queues; QueueHighWater is the node-level peak — the most intervals
+	// ever *concurrently* resident, not the sum of per-queue peaks (queues
+	// peak at different times, so that sum overstates pressure).
+	QueueDepth     int `json:"queueDepth"`
+	QueueHighWater int `json:"queueHighWater"`
 	// Repairs counts reattachments this node concluded as the orphan root
 	// (adoptions plus partition give-ups).
 	Repairs int `json:"repairs"`
@@ -80,6 +86,8 @@ type nodeMetrics struct {
 	intervalsIn     atomic.Int64
 	pruned          atomic.Int64
 	eliminated      atomic.Int64
+	queueDepth      atomic.Int64
+	queueHigh       atomic.Int64
 	repairs         atomic.Int64
 	childDrops      atomic.Int64
 	heartbeats      atomic.Int64
@@ -111,6 +119,9 @@ func (ln *liveNode) syncCoreStats() {
 	ln.m.intervalsIn.Store(int64(st.IntervalsIn))
 	ln.m.eliminated.Store(int64(st.Eliminated))
 	ln.m.pruned.Store(int64(st.Pruned))
+	depth, high := ln.node.QueueSizes()
+	ln.m.queueDepth.Store(int64(depth))
+	ln.m.queueHigh.Store(int64(high))
 	if d := st.Pruned - ln.lastPruned; d > 0 {
 		ln.lastPruned = st.Pruned
 		ln.c.emitEvent(obsv.Event{Kind: obsv.IntervalPruned, Node: ln.id, Peer: obsv.NoPeer, Count: d})
@@ -130,6 +141,8 @@ func (m *nodeMetrics) snapshot() Metrics {
 		IntervalsIn:    int(m.intervalsIn.Load()),
 		Pruned:         int(m.pruned.Load()),
 		Eliminated:     int(m.eliminated.Load()),
+		QueueDepth:     int(m.queueDepth.Load()),
+		QueueHighWater: int(m.queueHigh.Load()),
 		Repairs:        int(m.repairs.Load()),
 		ChildDrops:     int(m.childDrops.Load()),
 		Heartbeats:     int(m.heartbeats.Load()),
@@ -202,10 +215,22 @@ type ClusterMetrics struct {
 	ReseqBuffered  int64 `json:"reseqBuffered"`
 	ReseqHighWater int64 `json:"reseqHighWater"` // max across nodes
 
+	QueueDepth     int64 `json:"queueDepth"`     // sum of current detector residencies
+	QueueHighWater int64 `json:"queueHighWater"` // max node-level peak across nodes
+
 	MailboxDepth     int `json:"mailboxDepth"`     // sum of current depths
 	MailboxHighWater int `json:"mailboxHighWater"` // max across nodes
 	WorkersBusy      int `json:"workersBusy"`
 	RunqDepth        int `json:"runqDepth"`
+
+	// Parallel detection engine (zero under SequentialDetect): the shared
+	// comparison pool's size and occupancy, and how many comparison rounds
+	// fanned out across it versus staying inline below the threshold.
+	DetectWorkers int   `json:"detectWorkers"`
+	DetectBusy    int64 `json:"detectBusy"`
+	DetectFanouts int64 `json:"detectFanouts"`
+	DetectInlines int64 `json:"detectInlines"`
+	DetectTasks   int64 `json:"detectTasks"`
 
 	Drains          int64 `json:"drains"`
 	MessagesDrained int64 `json:"messagesDrained"`
@@ -248,10 +273,21 @@ func (c *Cluster) ClusterMetrics() ClusterMetrics {
 		if int64(m.ReseqHighWater) > out.ReseqHighWater {
 			out.ReseqHighWater = int64(m.ReseqHighWater)
 		}
+		out.QueueDepth += int64(m.QueueDepth)
+		if int64(m.QueueHighWater) > out.QueueHighWater {
+			out.QueueHighWater = int64(m.QueueHighWater)
+		}
 		out.MailboxDepth += m.MailboxDepth
 		if m.MailboxHighWater > out.MailboxHighWater {
 			out.MailboxHighWater = m.MailboxHighWater
 		}
+	}
+	if p := c.detectPool; p != nil {
+		out.DetectWorkers = p.Workers()
+		out.DetectBusy = p.Busy()
+		out.DetectFanouts = p.Fanouts()
+		out.DetectInlines = p.Inlines()
+		out.DetectTasks = p.Tasks()
 	}
 	out.WorkersBusy = int(c.busyWorkers.Load())
 	out.RunqDepth = len(c.runq)
@@ -340,6 +376,26 @@ func (c *Cluster) registerFamilies() {
 		func(ln *liveNode) float64 { d, _ := ln.mb.depths(); return float64(d) })
 	perNode("hierdet_node_mailbox_high_water", "Deepest the node's mailbox shard has been.", obsv.KindGauge,
 		func(ln *liveNode) float64 { _, h := ln.mb.depths(); return float64(h) })
+	perNode("hierdet_node_queue_depth", "Intervals currently resident across the detector's queues.", obsv.KindGauge,
+		func(ln *liveNode) float64 { return float64(ln.m.queueDepth.Load()) })
+	perNode("hierdet_node_queue_high_water", "Peak concurrent interval residency at this node (not the sum of per-queue peaks).", obsv.KindGauge,
+		func(ln *liveNode) float64 { return float64(ln.m.queueHigh.Load()) })
+
+	// Parallel detection engine: pool size is a fixed gauge; occupancy and
+	// round/task traffic are func-backed reads of the pool's atomics. The
+	// families exist only when the parallel engine is on, so a scrape of a
+	// sequential-oracle cluster shows no parallel plane rather than zeros.
+	if p := c.detectPool; p != nil {
+		c.reg.Gauge("hierdet_detect_workers", "Comparison workers shared by the parallel detection engine.").Set(float64(p.Workers()))
+		c.reg.Func("hierdet_detect_busy", "Comparison workers currently executing round work (parallel-drain occupancy).",
+			obsv.KindGauge, nil, func(emit func(float64, ...string)) { emit(float64(p.Busy())) })
+		c.reg.Func("hierdet_detect_fanout_rounds_total", "Comparison rounds partitioned across the pool.",
+			obsv.KindCounter, nil, func(emit func(float64, ...string)) { emit(float64(p.Fanouts())) })
+		c.reg.Func("hierdet_detect_inline_rounds_total", "Comparison rounds executed inline below the fanout threshold.",
+			obsv.KindCounter, nil, func(emit func(float64, ...string)) { emit(float64(p.Inlines())) })
+		c.reg.Func("hierdet_detect_tasks_total", "Comparison tasks executed through the pool, including the caller's share.",
+			obsv.KindCounter, nil, func(emit func(float64, ...string)) { emit(float64(p.Tasks())) })
+	}
 
 	// Scheduler plane: pool size and bound are fixed gauges; occupancy and
 	// throughput are func-backed reads of the pool's atomics.

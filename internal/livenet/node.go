@@ -71,15 +71,17 @@ type liveNode struct {
 
 	node    *core.Node
 	parent  int
-	outSeq  int                // per-current-link counter for reports to parent
-	lastAgg *interval.Interval // most recent aggregate, for resend-on-adopt
+	outSeq  int               // per-current-link counter for reports to parent
+	lastAgg interval.Interval // most recent aggregate, for resend-on-adopt
+	hasAgg  bool              // lastAgg holds a real aggregate
 
 	// Batch-window report coalescing (Config.BatchWindow > 0): reports owed
 	// to the parent buffer here until the armed flush timer fires.
 	outBuf       []repair.Report
 	flushPending bool
 
-	ivScratch []interval.Interval // reused batch-ingestion staging
+	ivScratch  []interval.Interval // reused batch-ingestion staging
+	rdyScratch []repair.Report     // reused resequencer release staging
 
 	reseq     map[int]*repair.Resequencer // child id → resequencer
 	epochs    *repair.Epochs
@@ -109,7 +111,10 @@ type liveNode struct {
 }
 
 func newLiveNode(c *Cluster, id int) *liveNode {
-	coreCfg := core.Config{N: c.topo.N(), Strict: c.cfg.Strict, KeepMembers: c.cfg.KeepMembers}
+	coreCfg := core.Config{
+		N: c.topo.N(), Strict: c.cfg.Strict, KeepMembers: c.cfg.KeepMembers,
+		Parallel: c.detectPool != nil, Pool: c.detectPool,
+	}
 	ln := &liveNode{
 		c:         c,
 		id:        id,
@@ -190,7 +195,8 @@ func (ln *liveNode) handle(msg message) {
 			return
 		}
 		ln.c.emitEvent(obsv.Event{Kind: obsv.ReportRecv, Node: ln.id, Peer: msg.from, Seq: msg.seq, Count: 1})
-		ln.ingest(msg.from, rs.Accept(repair.Report{Iv: msg.iv, LinkSeq: msg.seq, Epoch: msg.epoch}))
+		ln.rdyScratch = rs.AcceptInto(repair.Report{Iv: msg.iv, LinkSeq: msg.seq, Epoch: msg.epoch}, ln.rdyScratch[:0])
+		ln.ingest(msg.from, ln.rdyScratch)
 		ln.gaugeReseq()
 	case msgReportBatch:
 		ln.m.msgsIn.Add(1)
@@ -202,7 +208,8 @@ func (ln *liveNode) handle(msg message) {
 		ln.c.emitEvent(obsv.Event{Kind: obsv.ReportRecv, Node: ln.id, Peer: msg.from,
 			Seq: msg.reps[0].LinkSeq, Count: len(msg.reps)})
 		for _, pl := range msg.reps {
-			ln.ingest(msg.from, rs.Accept(pl))
+			ln.rdyScratch = rs.AcceptInto(pl, ln.rdyScratch[:0])
+			ln.ingest(msg.from, ln.rdyScratch)
 		}
 		ln.gaugeReseq()
 	case msgAttach:
@@ -278,18 +285,17 @@ func (ln *liveNode) deliver(dets []core.Detection) {
 // on. Reports to a crashed parent are lost (its mailbox drains unhandled),
 // exactly like in-flight messages to a crashed process.
 func (ln *liveNode) report(agg interval.Interval) {
-	cp := agg
-	ln.lastAgg = &cp
+	ln.lastAgg, ln.hasAgg = agg, true
 	ln.emit(agg)
 }
 
 // resendLast re-reports the most recent aggregate to a newly adopted parent
 // (paper §III-B / Figure 2(c)).
 func (ln *liveNode) resendLast() {
-	if ln.lastAgg == nil || ln.parent == tree.None {
+	if !ln.hasAgg || ln.parent == tree.None {
 		return
 	}
-	ln.emit(*ln.lastAgg)
+	ln.emit(ln.lastAgg)
 }
 
 // emit assigns the next link sequence number and either sends the report or

@@ -21,8 +21,13 @@ import (
 //	sharded  the rebuilt plane (mailbox shards + worker pool + timer wheel),
 //	         same per-interval feeding — isolates the delivery-plane gain
 //	batched  the rebuilt plane driven the way it is meant to be at scale:
-//	         ObserveBatch ingestion, batch-window report coalescing — the
-//	         full new path
+//	         ObserveBatch ingestion, batch-window report coalescing —
+//	         pinned to the sequential detection oracle so it keeps
+//	         measuring exactly what it measured when it was the headline
+//	         lane
+//	parallel the batched plane with the parallel detection engine:
+//	         partitioned comparison rounds, flat aggregate storage,
+//	         slab-carved solution sets — the full current path
 //
 // Each iteration builds a cluster, feeds every process's stream at full
 // speed, and drains via Stop. Reported metrics:
@@ -34,8 +39,8 @@ import (
 //	detections/op   sanity: every lane must detect every round at the root
 //
 // The scale lane (make bench-scale / cmd/benchjson -suite scale) records
-// these into BENCH_scale.json; the p=511 batched-vs-legacy ratio is the
-// acceptance headline.
+// these into BENCH_scale.json; the p=1023 parallel-vs-batched ratio is the
+// current acceptance headline (batched-vs-legacy was the PR 4 one).
 func BenchmarkLiveScale(b *testing.B) {
 	for _, h := range []int{6, 8, 9} { // 127, 511, 1023 nodes
 		topo := tree.Balanced(2, h)
@@ -49,35 +54,43 @@ func BenchmarkLiveScale(b *testing.B) {
 		for _, s := range e.Streams {
 			total += len(s)
 		}
-		for _, mode := range []struct {
-			name      string
-			legacy    bool
-			batchFeed bool
-			window    time.Duration
-		}{
-			{"legacy", true, false, 0},
-			{"sharded", false, false, 0},
-			{"batched", false, true, 200 * time.Microsecond},
+		for _, mode := range []benchMode{
+			{name: "legacy", legacy: true, sequential: true},
+			{name: "sharded", sequential: true},
+			{name: "batched", batchFeed: true, window: 200 * time.Microsecond, sequential: true},
+			{name: "parallel", batchFeed: true, window: 200 * time.Microsecond},
 		} {
 			b.Run(fmt.Sprintf("p=%d/%s", p, mode.name), func(b *testing.B) {
-				benchLiveScale(b, topo, e, total, rounds, mode.legacy, mode.batchFeed, mode.window)
+				benchLiveScale(b, topo, e, total, rounds, mode)
 			})
 		}
 	}
 }
 
-func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, total, rounds int, legacy, batchFeed bool, window time.Duration) {
+// benchMode selects one lane's plane and engine. The sharded/batched lanes
+// pin SequentialDetect so they keep measuring the PR 4 configuration; the
+// parallel lane is the batched plane with the current engine.
+type benchMode struct {
+	name       string
+	legacy     bool
+	batchFeed  bool
+	window     time.Duration
+	sequential bool
+}
+
+func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, total, rounds int, mode benchMode) {
 	peak := 0
 	roots := 0
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := New(Config{
-			Topology:       topo,
-			Seed:           int64(i + 1),
-			MaxDelay:       500 * time.Microsecond,
-			LegacyDelivery: legacy,
-			BatchWindow:    window,
+			Topology:         topo,
+			Seed:             int64(i + 1),
+			MaxDelay:         500 * time.Microsecond,
+			LegacyDelivery:   mode.legacy,
+			BatchWindow:      mode.window,
+			SequentialDetect: mode.sequential,
 		})
 
 		stop := make(chan struct{})
@@ -97,7 +110,7 @@ func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, to
 			}
 		}()
 
-		if batchFeed {
+		if mode.batchFeed {
 			for p := range e.Streams {
 				c.ObserveBatch(p, e.Streams[p])
 			}

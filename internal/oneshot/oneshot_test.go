@@ -8,7 +8,7 @@ import (
 )
 
 func pulse(n, p int) []interval.Interval {
-	base := uint64(p * 10)
+	base := uint32(p * 10)
 	out := make([]interval.Interval, n)
 	for i := 0; i < n; i++ {
 		lo := make(vclock.VC, n)

@@ -32,16 +32,29 @@ func NewResequencer() *Resequencer {
 // Accept ingests one report and returns the (possibly empty) batch now
 // deliverable in order.
 func (q *Resequencer) Accept(r Report) []Report {
+	return q.AcceptInto(r, nil)
+}
+
+// AcceptInto is Accept with a caller-owned result buffer: deliverable
+// reports are appended to out and the extended slice returned. The steady
+// state is in-order arrival releasing exactly one report per call, so the
+// hot path reuses one scratch slice per link instead of allocating a
+// single-element slice per report, and skips the pending map entirely when
+// nothing is buffered.
+func (q *Resequencer) AcceptInto(r Report, out []Report) []Report {
 	if r.LinkSeq < q.next {
 		q.dropped++
-		return nil // duplicate: already delivered
+		return out // duplicate: already delivered
+	}
+	if r.LinkSeq == q.next && len(q.pending) == 0 {
+		q.next++ // in order, nothing buffered: deliver without touching the map
+		return append(out, r)
 	}
 	if _, dup := q.pending[r.LinkSeq]; dup {
 		q.dropped++
-		return nil // duplicate: already buffered, keep the first copy
+		return out // duplicate: already buffered, keep the first copy
 	}
 	q.pending[r.LinkSeq] = r
-	var out []Report
 	for {
 		next, ok := q.pending[q.next]
 		if !ok {

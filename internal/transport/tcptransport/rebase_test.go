@@ -16,14 +16,14 @@ import (
 func reportStream(origin, count, n int) []wire.Report {
 	clock := make(vclock.VC, n)
 	for c := range clock {
-		clock[c] = uint64(1<<21 + c*977) // deep-run components, 3–4 varint bytes
+		clock[c] = uint32(1<<21 + c*977) // deep-run components, 3–4 varint bytes
 	}
 	out := make([]wire.Report, count)
 	for i := range out {
 		lo := clock.Clone()
 		hi := clock.Clone()
 		for c := range hi {
-			hi[c] += uint64(1 + (i+c)%3)
+			hi[c] += uint32(1 + (i+c)%3)
 		}
 		clock = hi.Clone()
 		clock[origin%n] += 2 // small gap before the next interval

@@ -10,8 +10,8 @@ func benchPair(n int) (VC, VC) {
 	r := rand.New(rand.NewSource(int64(n)))
 	a, b := make(VC, n), make(VC, n)
 	for i := range a {
-		a[i] = uint64(r.Intn(100))
-		b[i] = a[i] + uint64(r.Intn(3)) // mostly comparable, some ties
+		a[i] = uint32(r.Intn(100))
+		b[i] = a[i] + uint32(r.Intn(3)) // mostly comparable, some ties
 	}
 	return a, b
 }
@@ -89,8 +89,8 @@ func BenchmarkAppendDelta(b *testing.B) {
 		base := make(VC, n)
 		v := make(VC, n)
 		for i := range base {
-			base[i] = uint64(1000 + i)
-			v[i] = base[i] + uint64(i%3)
+			base[i] = uint32(1000 + i)
+			v[i] = base[i] + uint32(i%3)
 		}
 		buf := make([]byte, 0, WireSize(n))
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
@@ -108,8 +108,8 @@ func BenchmarkConsumeDelta(b *testing.B) {
 		base := make(VC, n)
 		v := make(VC, n)
 		for i := range base {
-			base[i] = uint64(1000 + i)
-			v[i] = base[i] + uint64(i%3)
+			base[i] = uint32(1000 + i)
+			v[i] = base[i] + uint32(i%3)
 		}
 		data := v.AppendDelta(nil, base)
 		dst := make(VC, n)

@@ -1,0 +1,52 @@
+package vclock
+
+// Bounds kernels for interval aggregation (⊓, paper Eq. 5/6): an aggregate's
+// lower bound is the component-wise max of the members' Lo and its upper
+// bound the component-wise min of their Hi. BoundsInit seeds a destination
+// pair from the first two members in one fused pass — no intermediate copy —
+// and BoundsFold folds each further member in. On amd64 with AVX2 both run
+// vectorized (bounds_amd64.s); the scalar bodies below are the portable
+// implementation and the differential-test oracle.
+
+// BoundsInit sets lo = max(aLo, bLo) and hi = min(aHi, bHi) component-wise.
+// All six clocks must have equal length; lo and hi must not alias the
+// sources.
+func BoundsInit(lo, hi, aLo, aHi, bLo, bHi VC) {
+	lo.check(aLo)
+	lo.check(bLo)
+	hi.check(aHi)
+	hi.check(bHi)
+	boundsInitImpl(lo, hi, aLo, aHi, bLo, bHi)
+}
+
+// BoundsFold folds one more member in: lo = max(lo, mLo), hi = min(hi, mHi)
+// component-wise.
+func BoundsFold(lo, hi, mLo, mHi VC) {
+	lo.check(mLo)
+	hi.check(mHi)
+	boundsFoldImpl(lo, hi, mLo, mHi)
+}
+
+func boundsInitScalar(lo, hi, aLo, aHi, bLo, bHi VC) {
+	for k := range lo {
+		l, h := aLo[k], aHi[k]
+		if v := bLo[k]; v > l {
+			l = v
+		}
+		if v := bHi[k]; v < h {
+			h = v
+		}
+		lo[k], hi[k] = l, h
+	}
+}
+
+func boundsFoldScalar(lo, hi, mLo, mHi VC) {
+	for k := range lo {
+		if v := mLo[k]; v > lo[k] {
+			lo[k] = v
+		}
+		if v := mHi[k]; v < hi[k] {
+			hi[k] = v
+		}
+	}
+}

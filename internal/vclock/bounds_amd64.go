@@ -1,0 +1,42 @@
+//go:build amd64
+
+package vclock
+
+// boundsVecMin is the clock width from which the vector bounds kernels beat
+// the scalar loops.
+const boundsVecMin = 16
+
+// boundsInitQuad and boundsFoldQuad are the AVX2 kernels (bounds_amd64.s);
+// n must be positive and a multiple of 8.
+//
+//go:noescape
+func boundsInitQuad(lo, hi, aLo, aHi, bLo, bHi *uint32, n int)
+
+//go:noescape
+func boundsFoldQuad(lo, hi, mLo, mHi *uint32, n int)
+
+func boundsInitImpl(lo, hi, aLo, aHi, bLo, bHi VC) {
+	n := len(lo)
+	if !hasAVX2 || n < boundsVecMin {
+		boundsInitScalar(lo, hi, aLo, aHi, bLo, bHi)
+		return
+	}
+	m := n &^ 7
+	boundsInitQuad(&lo[0], &hi[0], &aLo[0], &aHi[0], &bLo[0], &bHi[0], m)
+	if m < n {
+		boundsInitScalar(lo[m:], hi[m:], aLo[m:], aHi[m:], bLo[m:], bHi[m:])
+	}
+}
+
+func boundsFoldImpl(lo, hi, mLo, mHi VC) {
+	n := len(lo)
+	if !hasAVX2 || n < boundsVecMin {
+		boundsFoldScalar(lo, hi, mLo, mHi)
+		return
+	}
+	m := n &^ 7
+	boundsFoldQuad(&lo[0], &hi[0], &mLo[0], &mHi[0], m)
+	if m < n {
+		boundsFoldScalar(lo[m:], hi[m:], mLo[m:], mHi[m:])
+	}
+}

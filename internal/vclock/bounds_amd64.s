@@ -1,0 +1,73 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// With uint32 components the bounds kernels map directly onto AVX2's unsigned
+// doubleword max/min (VPMAXUD/VPMINUD) — no sign-flip idiom, one instruction
+// per merge, eight lanes per 32-byte vector.
+
+// func boundsInitQuad(lo, hi, aLo, aHi, bLo, bHi *uint32, n int)
+TEXT ·boundsInitQuad(SB), NOSPLIT, $0-56
+	MOVQ lo+0(FP), SI
+	MOVQ hi+8(FP), DI
+	MOVQ aLo+16(FP), R8
+	MOVQ aHi+24(FP), R9
+	MOVQ bLo+32(FP), R10
+	MOVQ bHi+40(FP), R11
+	MOVQ n+48(FP), CX
+
+loop:
+	// lo = max(aLo, bLo)
+	VMOVDQU (R8), Y0
+	VMOVDQU (R10), Y1
+	VPMAXUD Y1, Y0, Y2
+	VMOVDQU Y2, (SI)
+
+	// hi = min(aHi, bHi)
+	VMOVDQU (R9), Y0
+	VMOVDQU (R11), Y1
+	VPMINUD Y1, Y0, Y2
+	VMOVDQU Y2, (DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	SUBQ $8, CX
+	JNZ  loop
+
+	VZEROUPPER
+	RET
+
+// func boundsFoldQuad(lo, hi, mLo, mHi *uint32, n int)
+TEXT ·boundsFoldQuad(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), SI
+	MOVQ hi+8(FP), DI
+	MOVQ mLo+16(FP), R8
+	MOVQ mHi+24(FP), R9
+	MOVQ n+32(FP), CX
+
+loop:
+	// lo = max(lo, mLo)
+	VMOVDQU (SI), Y0
+	VMOVDQU (R8), Y1
+	VPMAXUD Y1, Y0, Y2
+	VMOVDQU Y2, (SI)
+
+	// hi = min(hi, mHi)
+	VMOVDQU (DI), Y0
+	VMOVDQU (R9), Y1
+	VPMINUD Y1, Y0, Y2
+	VMOVDQU Y2, (DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	SUBQ $8, CX
+	JNZ  loop
+
+	VZEROUPPER
+	RET

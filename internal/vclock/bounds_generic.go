@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package vclock
+
+func boundsInitImpl(lo, hi, aLo, aHi, bLo, bHi VC) {
+	boundsInitScalar(lo, hi, aLo, aHi, bLo, bHi)
+}
+
+func boundsFoldImpl(lo, hi, mLo, mHi VC) {
+	boundsFoldScalar(lo, hi, mLo, mHi)
+}

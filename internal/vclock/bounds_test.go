@@ -1,0 +1,42 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBoundsKernelsMatchScalar differentially tests the arch-specific bounds
+// kernels (the AVX2 path on amd64) against the scalar loops, across widths
+// straddling the vector stride and values at the unsigned/signed boundary.
+func TestBoundsKernelsMatchScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	pool := []uint32{0, 1, 2, 7, 1<<31 - 1, 1 << 31, 1<<31 + 1, ^uint32(0)}
+	fill := func(n int) VC {
+		v := make(VC, n)
+		for k := range v {
+			v[k] = pool[r.Intn(len(pool))]
+		}
+		return v
+	}
+	for _, n := range []int{1, 3, 4, 5, 15, 16, 17, 33, 100, 1023} {
+		for trial := 0; trial < 200; trial++ {
+			aLo, aHi, bLo, bHi := fill(n), fill(n), fill(n), fill(n)
+
+			gotLo, gotHi := make(VC, n), make(VC, n)
+			BoundsInit(gotLo, gotHi, aLo, aHi, bLo, bHi)
+			wantLo, wantHi := make(VC, n), make(VC, n)
+			boundsInitScalar(wantLo, wantHi, aLo, aHi, bLo, bHi)
+			if !gotLo.Equal(wantLo) || !gotHi.Equal(wantHi) {
+				t.Fatalf("BoundsInit n=%d:\n got lo=%v hi=%v\nwant lo=%v hi=%v", n, gotLo, gotHi, wantLo, wantHi)
+			}
+
+			mLo, mHi := fill(n), fill(n)
+			wantLo, wantHi = gotLo.Clone(), gotHi.Clone()
+			boundsFoldScalar(wantLo, wantHi, mLo, mHi)
+			BoundsFold(gotLo, gotHi, mLo, mHi)
+			if !gotLo.Equal(wantLo) || !gotHi.Equal(wantHi) {
+				t.Fatalf("BoundsFold n=%d:\n got lo=%v hi=%v\nwant lo=%v hi=%v", n, gotLo, gotHi, wantLo, wantHi)
+			}
+		}
+	}
+}

@@ -25,7 +25,9 @@ const MaxComponents = 1 << 20
 // MarshalBinary encodes the clock as a length-prefixed sequence of big-endian
 // 64-bit components — wire format v1, fixed 8 bytes per component. The wire
 // layer ships interval bounds between detector nodes in this form when
-// talking to pre-v2 peers.
+// talking to pre-v2 peers. The field stays 8 bytes even though components are
+// uint32 in memory, so v1 encodings are bit-for-bit stable across the
+// narrowing; the decoder rejects inbound components that no longer fit.
 func (v VC) MarshalBinary() ([]byte, error) {
 	return v.AppendBinary(make([]byte, 0, WireSize(len(v)))), nil
 }
@@ -36,7 +38,7 @@ func (v VC) MarshalBinary() ([]byte, error) {
 func (v VC) AppendBinary(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
 	for _, c := range v {
-		buf = binary.BigEndian.AppendUint64(buf, c)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(c))
 	}
 	return buf
 }
@@ -71,17 +73,25 @@ func ConsumeBinary(data []byte, dst *VC) (rest []byte, err error) {
 	}
 	out := sized(dst, n)
 	for k := range out {
-		out[k] = binary.BigEndian.Uint64(data[4+8*k:])
+		c := binary.BigEndian.Uint64(data[4+8*k:])
+		if c > maxComponent {
+			return nil, fmt.Errorf("vclock: component %d value %d exceeds the uint32 clock domain: %w", k, c, ErrCorrupt)
+		}
+		out[k] = uint32(c)
 	}
 	*dst = out
 	return data[4+8*n:], nil
 }
 
+// maxComponent is the largest value a clock component can hold.
+const maxComponent = 1<<32 - 1
+
 // AppendDelta appends the v2 delta-varint encoding of v against base to buf
 // and returns the extended buffer: a uvarint component count followed by one
 // zig-zag varint per component holding the wrapped difference v[k]−base[k].
-// A nil base encodes against the zero clock (absolute values). Wrapping
-// arithmetic makes the round trip exact for every uint64 value while keeping
+// A nil base encodes against the zero clock (absolute values). Differences
+// are computed in the signed 64-bit domain, where every pair of uint32
+// components subtracts exactly, so the round trip is lossless while keeping
 // small moves — the overwhelmingly common case for the near-monotone clocks
 // of successive reports (Theorem 2 succession) — at one or two bytes per
 // component. base must be nil or match v's length.
@@ -91,11 +101,11 @@ func (v VC) AppendDelta(buf []byte, base VC) []byte {
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(v)))
 	for k, c := range v {
-		var b uint64
+		var b uint32
 		if base != nil {
 			b = base[k]
 		}
-		buf = binary.AppendVarint(buf, int64(c-b))
+		buf = binary.AppendVarint(buf, int64(c)-int64(b))
 	}
 	return buf
 }
@@ -131,11 +141,15 @@ func ConsumeDelta(data []byte, dst *VC, base VC) (rest []byte, err error) {
 			return nil, varintErr(sz, "delta component")
 		}
 		data = data[sz:]
-		var b uint64
+		var b int64
 		if base != nil {
-			b = base[k]
+			b = int64(base[k])
 		}
-		out[k] = b + uint64(d)
+		c := b + d
+		if c < 0 || c > maxComponent {
+			return nil, fmt.Errorf("vclock: delta component %d lands at %d, outside the uint32 clock domain: %w", k, c, ErrCorrupt)
+		}
+		out[k] = uint32(c)
 	}
 	*dst = out
 	return data, nil
@@ -150,11 +164,11 @@ func (v VC) DeltaSize(base VC) int {
 	}
 	size := uvarintLen(uint64(len(v)))
 	for k, c := range v {
-		var b uint64
+		var b uint32
 		if base != nil {
 			b = base[k]
 		}
-		d := int64(c - b)
+		d := int64(c) - int64(b)
 		size += uvarintLen(uint64(d)<<1 ^ uint64(d>>63)) // zig-zag image
 	}
 	return size

@@ -9,7 +9,7 @@ import (
 )
 
 func TestAppendConsumeBinaryRoundTrip(t *testing.T) {
-	v := Of(0, 1, math.MaxUint64, 42)
+	v := Of(0, 1, math.MaxUint32, 42)
 	buf := v.AppendBinary(nil)
 	legacy, _ := v.MarshalBinary()
 	if !bytes.Equal(buf, legacy) {
@@ -49,7 +49,7 @@ func TestDeltaRoundTrip(t *testing.T) {
 		{"zero base", nil, Of(3, 0, 5)},
 		{"small forward", Of(10, 20, 30), Of(12, 20, 31)},
 		{"mixed direction", Of(10, 20, 30), Of(9, 25, 30)},
-		{"extremes", Of(0, math.MaxUint64), Of(math.MaxUint64, 0)},
+		{"extremes", Of(0, math.MaxUint32), Of(math.MaxUint32, 0)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -79,8 +79,8 @@ func TestDeltaCompression(t *testing.T) {
 	base := make(VC, n)
 	v := make(VC, n)
 	for i := range base {
-		base[i] = uint64(1000 + i)
-		v[i] = base[i] + uint64(i%3) // deltas 0..2
+		base[i] = uint32(1000 + i)
+		v[i] = base[i] + uint32(i%3) // deltas 0..2
 	}
 	size := v.DeltaSize(base)
 	if size > 2+n { // count prefix + 1 byte per component
@@ -142,7 +142,7 @@ func TestCompareLessMatchesLess(t *testing.T) {
 		mk := func() VC {
 			v := make(VC, n)
 			for i := range v {
-				v[i] = uint64(r.Intn(4))
+				v[i] = uint32(r.Intn(4))
 			}
 			return v
 		}

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package vclock
+
+func compareLessImpl(aLo, bHi, bLo, aHi VC) (aLob, bLoa bool) {
+	return compareLessScalar(aLo, bHi, bLo, aHi)
+}

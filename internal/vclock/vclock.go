@@ -29,7 +29,18 @@ import (
 // valid and compares as concurrent with everything non-empty of its own size
 // only; operations on VCs of differing lengths panic, as mixing clock domains
 // is always a programming error.
-type VC []uint64
+//
+// Components are uint32: entry k counts events executed by process k, and
+// 2³²−1 events per process outlasts any detection run by orders of magnitude
+// (a process ticking 10⁶ events/second overflows after ~71 minutes only at
+// 10⁹ events/second — real predicate-bearing event rates are far lower, and
+// detector deployments are bounded-duration). Width is the dominant cost of
+// the algorithm at scale — every hot-path structure and comparison streams
+// whole clocks of n components — so halving the component narrows the
+// memory footprint and bandwidth of the entire detection pipeline. The v1
+// wire format keeps its fixed 8-byte component field for compatibility;
+// codecs reject inbound components that no longer fit.
+type VC []uint32
 
 // New returns a zeroed vector clock for an n-process system.
 func New(n int) VC {
@@ -40,7 +51,7 @@ func New(n int) VC {
 }
 
 // Of builds a VC from literal components; convenient in tests and examples.
-func Of(components ...uint64) VC {
+func Of(components ...uint32) VC {
 	v := make(VC, len(components))
 	copy(v, components)
 	return v
@@ -201,14 +212,25 @@ func (v VC) Less(u VC) bool {
 // CompareLess evaluates the two Less comparisons of the pairwise Definitely
 // condition — aLob = (aLo < bHi) and bLoa = (bLo < aHi) — in one fused pass
 // over the component index. The elimination loop and Overlap run exactly this
-// pair on every head-to-head check, and at large n the fused loop halves the
-// bounds checking and loop overhead of two separate Less calls while keeping
-// their early exit: each comparison settles to false the moment a component
-// exceeds its counterpart, and the loop stops once both are settled.
+// pair on every head-to-head check; the common verdict at a detecting node is
+// "both true" (Eq. 2 overlap), which no early exit can shortcut — every
+// component must be inspected — so on amd64 with AVX2 the pass runs a
+// vectorized kernel (compare_amd64.s) at four components per step. Elsewhere,
+// and below the vector break-even width, it runs the fused scalar loop, which
+// keeps the early exits: each comparison settles to false the moment a
+// component exceeds its counterpart, and the loop stops once both are
+// settled. Both paths compute the identical pure function of the operands.
 func CompareLess(aLo, bHi, bLo, aHi VC) (aLob, bLoa bool) {
 	aLo.check(bHi)
 	bLo.check(aHi)
 	aLo.check(bLo)
+	return compareLessImpl(aLo, bHi, bLo, aHi)
+}
+
+// compareLessScalar is the portable fused comparison loop: the non-amd64
+// implementation, the short-clock fast path, and the differential-test oracle
+// for the vector kernel.
+func compareLessScalar(aLo, bHi, bLo, aHi VC) (aLob, bLoa bool) {
 	// Main loop: both comparisons still alive. The moment one resolves to
 	// false, fall back to a plain single-comparison tail for the other.
 	var strictA, strictB bool
@@ -277,7 +299,7 @@ func (v VC) String() string {
 		if k > 0 {
 			buf = append(buf, ' ')
 		}
-		buf = strconv.AppendUint(buf, c, 10)
+		buf = strconv.AppendUint(buf, uint64(c), 10)
 	}
 	buf = append(buf, ']')
 	return string(buf)

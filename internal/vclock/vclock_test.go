@@ -163,7 +163,7 @@ func TestCopyFrom(t *testing.T) {
 }
 
 func TestMarshalRoundTrip(t *testing.T) {
-	orig := Of(0, 1, 1<<40, 42)
+	orig := Of(0, 1, 1<<30, 42)
 	data, err := orig.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
@@ -197,7 +197,7 @@ func TestUnmarshalErrors(t *testing.T) {
 func randVC(r *rand.Rand, n int) VC {
 	v := make(VC, n)
 	for k := range v {
-		v[k] = uint64(r.Intn(4))
+		v[k] = uint32(r.Intn(4))
 	}
 	return v
 }
@@ -288,9 +288,9 @@ func TestQuickLatticeProperties(t *testing.T) {
 }
 
 func TestQuickMarshalRoundTrip(t *testing.T) {
-	f := func(raw []uint64) bool {
+	f := func(raw []uint32) bool {
 		if len(raw) == 0 {
-			raw = []uint64{0}
+			raw = []uint32{0}
 		}
 		v := VC(raw)
 		data, err := v.MarshalBinary()

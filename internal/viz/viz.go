@@ -27,7 +27,7 @@ func Timeline(e *workload.Execution, width int) string {
 	var b strings.Builder
 
 	// Scale: the largest local event count across processes.
-	maxEvents := uint64(1)
+	maxEvents := uint32(1)
 	for _, stream := range e.Streams {
 		if n := len(stream); n > 0 {
 			last := stream[n-1]
@@ -36,8 +36,8 @@ func Timeline(e *workload.Execution, width int) string {
 			}
 		}
 	}
-	col := func(event uint64) int {
-		c := int(event * uint64(width-1) / maxEvents)
+	col := func(event uint32) int {
+		c := int(uint64(event) * uint64(width-1) / uint64(maxEvents))
 		if c >= width {
 			c = width - 1
 		}

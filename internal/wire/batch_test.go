@@ -12,12 +12,12 @@ import (
 // stream, near-monotone clocks, consecutive link sequence numbers.
 func windowReports(n int) []repair.Report {
 	out := make([]repair.Report, 0, n)
-	lo := []uint64{100, 200, 300, 400}
+	lo := []uint32{100, 200, 300, 400}
 	for i := 0; i < n; i++ {
-		hi := []uint64{lo[0] + 3, lo[1] + 1, lo[2] + 4, lo[3] + 2}
+		hi := []uint32{lo[0] + 3, lo[1] + 1, lo[2] + 4, lo[3] + 2}
 		r := v2Report(2, i, i, 1, vclock.Of(lo...), vclock.Of(hi...))
 		out = append(out, repair.Report{Iv: r.Iv, LinkSeq: r.LinkSeq, Epoch: r.Epoch})
-		lo = []uint64{hi[0] + 2, hi[1] + 5, hi[2] + 1, hi[3] + 3}
+		lo = []uint32{hi[0] + 2, hi[1] + 5, hi[2] + 1, hi[3] + 3}
 	}
 	return out
 }

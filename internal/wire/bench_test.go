@@ -17,8 +17,8 @@ func benchReport(n int) Report {
 	lo := make(vclock.VC, n)
 	hi := make(vclock.VC, n)
 	for i := range lo {
-		lo[i] = uint64(i)
-		hi[i] = uint64(i + 10)
+		lo[i] = uint32(i)
+		hi[i] = uint32(i + 10)
 	}
 	span := make([]int, n/2)
 	for i := range span {

@@ -21,6 +21,8 @@ import (
 // enforces FIFO mode when differential accounting is enabled.
 //
 // Frame layout (big endian): n u32 | count u32 | (index u32, value u64)^count.
+// The value field stays 8 bytes for frame-format stability even though clock
+// components are uint32 in memory; the decoder rejects oversized values.
 
 // DiffEncoder encodes successive clocks for one direction of one link.
 type DiffEncoder struct {
@@ -41,7 +43,7 @@ func (e *DiffEncoder) Encode(v vclock.VC) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(changed)))
 	for _, i := range changed {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(i))
-		buf = binary.BigEndian.AppendUint64(buf, v[i])
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v[i]))
 	}
 	if e.prev == nil {
 		e.prev = v.Clone()
@@ -80,7 +82,11 @@ func (d *DiffDecoder) Decode(data []byte) (vclock.VC, error) {
 		if idx < 0 || idx >= n {
 			return nil, fmt.Errorf("wire: diff frame component %d out of range", idx)
 		}
-		d.prev[idx] = binary.BigEndian.Uint64(data[8+12*k+4:])
+		val := binary.BigEndian.Uint64(data[8+12*k+4:])
+		if val > 1<<32-1 {
+			return nil, fmt.Errorf("wire: diff frame component %d value %d exceeds the uint32 clock domain", idx, val)
+		}
+		d.prev[idx] = uint32(val)
 	}
 	return d.prev.Clone(), nil
 }

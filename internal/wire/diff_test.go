@@ -57,7 +57,7 @@ func TestDiffRandomSequences(t *testing.T) {
 			// clock sequences on a link.
 			for i := range cur {
 				if r.Intn(3) == 0 {
-					cur[i] += uint64(1 + r.Intn(4))
+					cur[i] += uint32(1 + r.Intn(4))
 				}
 			}
 			got, err := dec.Decode(enc.Encode(cur))

@@ -35,14 +35,14 @@ func main() {
 	}, 1, 5, false)
 	reports = append(reports, wire.Report{Iv: agg, LinkSeq: 9, Epoch: 1})
 
-	// Large-component clocks exercise the full 8-byte width v1 reserves and
-	// v2 compresses away.
+	// Large-component clocks exercise the top of the uint32 clock domain —
+	// the widest values v1's fixed 8-byte field carries and v2 compresses.
 	big := make(vclock.VC, 32)
 	bigHi := make(vclock.VC, 32)
 	r := rand.New(rand.NewSource(11))
 	for i := range big {
-		big[i] = uint64(r.Int63())
-		bigHi[i] = big[i] + uint64(r.Intn(100))
+		big[i] = uint32(r.Int63n(1 << 31))
+		bigHi[i] = big[i] + uint32(r.Intn(100))
 	}
 	reports = append(reports, wire.Report{Iv: interval.New(17, 1234, big, bigHi), LinkSeq: 1 << 20, Epoch: 3})
 

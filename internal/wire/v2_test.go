@@ -110,7 +110,7 @@ func TestCrossCodecEquivalence(t *testing.T) {
 		n := 1 + r.Intn(16)
 		clock := make(vclock.VC, n)
 		for c := range clock {
-			clock[c] = uint64(r.Intn(50))
+			clock[c] = uint32(r.Intn(50))
 		}
 		var basis vclock.VC // receiver-side chain state
 		var sendBasis vclock.VC
@@ -119,11 +119,11 @@ func TestCrossCodecEquivalence(t *testing.T) {
 			lo := clock.Clone()
 			hi := clock.Clone()
 			for c := range hi {
-				hi[c] += uint64(r.Intn(4))
+				hi[c] += uint32(r.Intn(4))
 			}
 			clock = hi.Clone()
 			for c := range clock {
-				clock[c] += uint64(r.Intn(3)) // gap between intervals
+				clock[c] += uint32(r.Intn(3)) // gap between intervals
 			}
 			rep := v2Report(r.Intn(n), step, step, trial%5, lo, hi)
 			if r.Intn(3) == 0 {

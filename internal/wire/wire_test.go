@@ -62,8 +62,8 @@ func TestQuickReportRoundTrip(t *testing.T) {
 		lo := make(vclock.VC, n)
 		hi := make(vclock.VC, n)
 		for c := range lo {
-			lo[c] = uint64(r.Intn(1000))
-			hi[c] = lo[c] + uint64(r.Intn(1000))
+			lo[c] = uint32(r.Intn(1000))
+			hi[c] = lo[c] + uint32(r.Intn(1000))
 		}
 		iv := interval.New(r.Intn(n), r.Intn(100), lo, hi)
 		data, err := EncodeReport(Report{Iv: iv, LinkSeq: r.Intn(1 << 20)})

@@ -22,9 +22,9 @@ type executionJSON struct {
 type intervalJSON struct {
 	Origin int      `json:"origin"`
 	Seq    int      `json:"seq"`
-	Lo     []uint64 `json:"lo"`
-	Hi     []uint64 `json:"hi"`
-	Term   []uint64 `json:"term,omitempty"`
+	Lo     []uint32 `json:"lo"`
+	Hi     []uint32 `json:"hi"`
+	Term   []uint32 `json:"term,omitempty"`
 }
 
 type roundJSON struct {
@@ -41,9 +41,9 @@ func (e *Execution) MarshalJSON() ([]byte, error) {
 		for k, iv := range s {
 			out.Streams[p][k] = intervalJSON{
 				Origin: iv.Origin, Seq: iv.Seq,
-				Lo:   append([]uint64(nil), iv.Lo...),
-				Hi:   append([]uint64(nil), iv.Hi...),
-				Term: append([]uint64(nil), iv.Term...),
+				Lo:   append([]uint32(nil), iv.Lo...),
+				Hi:   append([]uint32(nil), iv.Hi...),
+				Term: append([]uint32(nil), iv.Term...),
 			}
 		}
 	}

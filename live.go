@@ -52,6 +52,17 @@ type LiveDeliveryOptions struct {
 	// one window of detection latency for per-message overhead. Zero sends
 	// every report immediately.
 	BatchWindow time.Duration
+	// SequentialDetect restores the single-threaded in-node detection
+	// engine (the paper's Algorithm 1 loop exactly as it ran before the
+	// parallel engine) — the property-test oracle and benchmark baseline.
+	// Leave it off to get the partitioned engine: comparison rounds fan out
+	// across a shared worker set and aggregates are published from a flat
+	// vector-clock store, with byte-identical detections.
+	SequentialDetect bool
+	// DetectWorkers sizes the comparison worker set the parallel detection
+	// engine shares across all nodes (default GOMAXPROCS). Ignored under
+	// SequentialDetect.
+	DetectWorkers int
 }
 
 // LiveFailureOptions enables and tunes the paper's §III-F failure handling.
@@ -210,6 +221,8 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		Workers:           cfg.Delivery.Workers,
 		MailboxBound:      cfg.Delivery.MailboxBound,
 		BatchWindow:       cfg.Delivery.BatchWindow,
+		SequentialDetect:  cfg.Delivery.SequentialDetect,
+		DetectWorkers:     cfg.Delivery.DetectWorkers,
 		HbEvery:           cfg.Failure.HbEvery,
 		HbTimeout:         cfg.Failure.HbTimeout,
 		SeekTimeout:       cfg.Failure.SeekTimeout,

@@ -2,21 +2,35 @@
 // that need to hand a concrete address to a process before it starts
 // (scripts/metrics_smoke.sh). Same reserve-and-release trick as
 // hierdet-node -init uses for node ports.
+//
+// Reserve-and-release is racy by construction — the port is free only at
+// the instant of release — so the caller must treat a later bind failure as
+// retryable (metrics_smoke.sh retries the whole launch with fresh ports).
+// This command only bounds its own failure mode: a transient Listen error
+// (ephemeral range exhausted on a busy CI box) retries briefly instead of
+// failing the script's first and only reservation.
 package main
 
 import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 )
 
 func main() {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "freeport:", err)
-		os.Exit(1)
+	var err error
+	for attempt, backoff := 0, 10*time.Millisecond; attempt < 5; attempt, backoff = attempt+1, backoff*2 {
+		var ln net.Listener
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err == nil {
+			port := ln.Addr().(*net.TCPAddr).Port
+			ln.Close()
+			fmt.Println(port)
+			return
+		}
+		time.Sleep(backoff)
 	}
-	port := ln.Addr().(*net.TCPAddr).Port
-	ln.Close()
-	fmt.Println(port)
+	fmt.Fprintln(os.Stderr, "freeport:", err)
+	os.Exit(1)
 }

@@ -6,50 +6,89 @@
 # once traffic is flowing, and asserts the Prometheus exposition carries the
 # core families of every plane: detector nodes, the scheduler, the timer
 # wheel, the cluster ledger, events and the TCP transport. Localhost only.
+#
+# Ports are reserved with the bind-read-release trick (scripts/freeport for
+# the metrics endpoint, hierdet-node -init for the node ports), which is
+# inherently racy: another process can grab a port in the window between
+# release and re-bind, and on a shared CI box that window loses now and
+# then. Losing it is detectable but not recoverable mid-run — a node that
+# failed to bind is dead — so the whole attempt (reserve ports, init,
+# launch, scrape) retries with fresh ports under a bounded backoff instead
+# of failing the build on the first collision.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 pids=()
+stop_nodes() {
+    if [ "${#pids[@]}" -gt 0 ]; then
+        kill "${pids[@]}" 2>/dev/null || true
+        wait "${pids[@]}" 2>/dev/null || true
+        pids=()
+    fi
+}
 cleanup() {
-    kill "${pids[@]}" 2>/dev/null || true
-    wait 2>/dev/null || true
+    stop_nodes
     rm -rf "$workdir"
 }
 trap cleanup EXIT
 
 go build -o "$workdir/hierdet-node" ./cmd/hierdet-node
 
-# Reserve a port for the metrics endpoint the same way the cluster file
-# reserves node ports: bind an ephemeral listener, read it back, release it.
-metrics_port=$(go run ./scripts/freeport 2>/dev/null || true)
-if [ -z "$metrics_port" ]; then
-    metrics_port=6464
-fi
-metrics_addr="127.0.0.1:$metrics_port"
-
-"$workdir/hierdet-node" -init -o "$workdir/cluster.json" -n 3 -rounds 200 -phase1 199
-
-"$workdir/hierdet-node" -config "$workdir/cluster.json" -id 0 -pprof "$metrics_addr" >"$workdir/node0.log" 2>&1 &
-pids+=($!)
-"$workdir/hierdet-node" -config "$workdir/cluster.json" -id 1 >"$workdir/node1.log" 2>&1 &
-pids+=($!)
-"$workdir/hierdet-node" -config "$workdir/cluster.json" -id 2 >"$workdir/node2.log" 2>&1 &
-pids+=($!)
-
-# Wait for the endpoint to answer and for detections to start flowing.
+# attempt: fresh ports, fresh cluster file, launch, poll for a scrape with
+# detections. Returns nonzero on any failure (bind lost, endpoint never
+# answered, no detections) so the caller can back off and retry; a lost
+# bind surfaces either as "address already in use" in a node log (checked
+# each poll, fails the attempt immediately) or as a scrape timeout.
 scrape="$workdir/metrics.txt"
+metrics_addr=""
+attempt() {
+    local metrics_port
+    metrics_port=$(go run ./scripts/freeport 2>/dev/null || true)
+    if [ -z "$metrics_port" ]; then
+        metrics_port=6464
+    fi
+    metrics_addr="127.0.0.1:$metrics_port"
+
+    "$workdir/hierdet-node" -init -o "$workdir/cluster.json" -n 3 -rounds 200 -phase1 199
+
+    "$workdir/hierdet-node" -config "$workdir/cluster.json" -id 0 -pprof "$metrics_addr" >"$workdir/node0.log" 2>&1 &
+    pids+=($!)
+    "$workdir/hierdet-node" -config "$workdir/cluster.json" -id 1 >"$workdir/node1.log" 2>&1 &
+    pids+=($!)
+    "$workdir/hierdet-node" -config "$workdir/cluster.json" -id 2 >"$workdir/node2.log" 2>&1 &
+    pids+=($!)
+
+    for _ in $(seq 1 75); do
+        if curl -fsS "http://$metrics_addr/metrics" >"$scrape" 2>/dev/null &&
+            grep -q 'hierdet_node_detections_total{node="0"} [1-9]' "$scrape"; then
+            return 0
+        fi
+        if grep -l 'address already in use' "$workdir"/node*.log >/dev/null 2>&1; then
+            echo "metrics_smoke: a node lost its reserved port (address already in use)" >&2
+            return 1
+        fi
+        sleep 0.2
+    done
+    echo "metrics_smoke: no scrape with detections after 15s on $metrics_addr" >&2
+    return 1
+}
+
+max_attempts=5
 ok=0
-for _ in $(seq 1 100); do
-    if curl -fsS "http://$metrics_addr/metrics" >"$scrape" 2>/dev/null &&
-        grep -q 'hierdet_node_detections_total{node="0"} [1-9]' "$scrape"; then
+for try in $(seq 1 "$max_attempts"); do
+    if attempt; then
         ok=1
         break
     fi
-    sleep 0.2
+    stop_nodes
+    if [ "$try" -lt "$max_attempts" ]; then
+        echo "metrics_smoke: attempt $try/$max_attempts failed; retrying with fresh ports in ${try}s" >&2
+        sleep "$try"
+    fi
 done
 if [ "$ok" != 1 ]; then
-    echo "metrics_smoke: no scrape with detections after 20s" >&2
+    echo "metrics_smoke: all $max_attempts attempts failed" >&2
     echo "--- last scrape ---" >&2
     cat "$scrape" >&2 || true
     echo "--- node 0 log ---" >&2
