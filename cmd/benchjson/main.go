@@ -72,6 +72,7 @@ var hotpathSuites = []suite{
 var scaleSuites = []suite{
 	{Pkg: "./internal/livenet", Pattern: "BenchmarkLiveScale", Benchtime: "16x", short: "2x"},
 	{Pkg: "./internal/wire", Pattern: "BenchmarkAppendReportBatch|BenchmarkDecodeReportBatch", Benchtime: "20000x", short: "2000x"},
+	{Pkg: "./internal/tenantplane", Pattern: "BenchmarkMultiTenant", Benchtime: "2x", short: "1x"},
 }
 
 // result is one benchmark line.
@@ -439,6 +440,24 @@ func summarizeScale(suites []suiteOut) map[string]float64 {
 	}
 	if a, ok := metric(suites, "./internal/wire", "BenchmarkAppendReportBatch", "allocs/op"); ok {
 		sum["batch_encode_allocs_per_op"] = a
+	}
+	for _, tenants := range []int{1, 16, 256} {
+		name := fmt.Sprintf("BenchmarkMultiTenant/p=63/tenants=%d", tenants)
+		if v, ok := metric(suites, "./internal/tenantplane", name, "intervals/sec"); ok {
+			sum[fmt.Sprintf("tenants%d_intervals_per_sec", tenants)] = v
+		}
+		if v, ok := metric(suites, "./internal/tenantplane", name, "per-tenant-intervals/sec"); ok {
+			sum[fmt.Sprintf("tenants%d_per_tenant_intervals_per_sec", tenants)] = v
+		}
+	}
+	// Multiplexing overhead: how much total plane throughput costs relative
+	// to running the same workload as one predicate.
+	if base := sum["tenants1_intervals_per_sec"]; base > 0 {
+		for _, tenants := range []int{16, 256} {
+			if v := sum[fmt.Sprintf("tenants%d_intervals_per_sec", tenants)]; v > 0 {
+				sum[fmt.Sprintf("tenants%d_throughput_vs_single", tenants)] = v / base
+			}
+		}
 	}
 	return sum
 }

@@ -17,6 +17,15 @@
 //	REPAIR orphan=3 parent=2            a §III-F reattachment concluded here
 //	FED id=2 phase=1                    this process finished feeding a phase
 //
+// With -tenants N (at -init time; recorded in the cluster file) each process
+// serves N predicates — tenants "t0".."tN-1", one detection tree each, with
+// per-tenant workload seeds — multiplexed over the deployment's single TCP
+// mesh, and the protocol lines carry a tenant= field:
+//
+//	READY id=2 addr=127.0.0.1:41233 tenants=2
+//	DETECT id=0 tenant=t1 root=true span=7
+//	REPAIR tenant=t0 orphan=3 parent=2
+//
 // The workload is fed in two phases, [0, Phase1) and [Phase1, Rounds), with
 // a file-based barrier between them: after phase 1 every process polls for
 // the file named by -gate and resumes only once it exists. The pause gives an
@@ -52,6 +61,7 @@ func main() {
 		rounds   = flag.Int("rounds", 12, "init: workload rounds")
 		phase1   = flag.Int("phase1", 0, "init: rounds before the gate (default rounds/2)")
 		seed     = flag.Int64("seed", 42, "init: workload seed")
+		tenants  = flag.Int("tenants", 1, "init: predicates multiplexed per process")
 		id       = flag.Int("id", -1, "node id this process hosts")
 		gate     = flag.String("gate", "", "barrier file to await between feeding phases")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile here, flushed on SIGINT/SIGTERM")
@@ -61,7 +71,7 @@ func main() {
 	flag.Parse()
 
 	if *initMode {
-		if err := writeClusterFile(*out, *n, *rounds, *phase1, *seed); err != nil {
+		if err := writeClusterFile(*out, *n, *rounds, *phase1, *seed, *tenants); err != nil {
 			fmt.Fprintln(os.Stderr, "hierdet-node:", err)
 			os.Exit(1)
 		}
@@ -133,7 +143,7 @@ func startProfiling(cpuprof, memprof, addr string) error {
 // (A released port can in principle be re-taken before the node binds it;
 // on a quiet machine the window is harmless, and a collision just means
 // regenerating the file.)
-func writeClusterFile(path string, n, rounds, phase1 int, seed int64) error {
+func writeClusterFile(path string, n, rounds, phase1 int, seed int64, tenants int) error {
 	if n < 2 {
 		return fmt.Errorf("need at least 2 nodes, got %d", n)
 	}
@@ -142,6 +152,7 @@ func writeClusterFile(path string, n, rounds, phase1 int, seed int64) error {
 		Parents: make([]int, n),
 		Addrs:   make([]string, n),
 		Rounds:  rounds, Phase1: phase1, Seed: seed, PGlobal: 1,
+		Tenants: tenants,
 	}
 	for i := 0; i < n; i++ {
 		f.Parents[i] = topo.Parent(i)
@@ -155,7 +166,7 @@ func writeClusterFile(path string, n, rounds, phase1 int, seed int64) error {
 	if err := f.Save(path); err != nil {
 		return err
 	}
-	fmt.Printf("WROTE %s nodes=%d rounds=%d phase1=%d\n", path, n, f.Rounds, f.Phase1)
+	fmt.Printf("WROTE %s nodes=%d rounds=%d phase1=%d tenants=%d\n", path, n, f.Rounds, f.Phase1, f.Tenants)
 	return nil
 }
 
@@ -179,6 +190,9 @@ func runNode(path string, id int, gate string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if f.Tenants > 1 {
+		return runTenants(f, topo, tr, id, gate)
 	}
 
 	c := hierdet.NewLiveCluster(hierdet.LiveConfig{
@@ -218,18 +232,93 @@ func runNode(path string, id int, gate string) error {
 
 	feed(0, f.Phase1)
 	fmt.Printf("FED id=%d phase=1\n", id)
-	if gate != "" {
-		for {
-			if _, err := os.Stat(gate); err == nil {
-				break
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-	}
+	awaitGate(gate)
 	feed(f.Phase1, f.Rounds)
 	fmt.Printf("FED id=%d phase=2\n", id)
 
 	// Stay alive — detection and failure handling continue until the
 	// orchestrator (or the shell) kills the process.
+	select {}
+}
+
+// awaitGate polls for the barrier file between feeding phases; an empty gate
+// means the phases run back to back.
+func awaitGate(gate string) {
+	if gate == "" {
+		return
+	}
+	for {
+		if _, err := os.Stat(gate); err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// runTenants is the -tenants mode: one TenantMultiplexer per process serving
+// f.Tenants predicates over the shared transport. Each tenant reuses the
+// deployment's spanning tree but regenerates its own workload from
+// Seed+tenant, so the tenants' detections interleave on the mesh without
+// being copies of each other. Each process runs a single-member monitor
+// fleet over a process-local lease table — the file-based deployment has no
+// shared coordination service, so the lease state (and the hierdet_lease_*
+// metric families) reflects this process's own view.
+func runTenants(f *clusterfile.File, topo *hierdet.Topology, tr *hierdet.TCPTransport, id int, gate string) error {
+	leases := hierdet.NewLeaseTable(time.Second)
+	plane, err := hierdet.NewTenantMultiplexer(hierdet.TenantConfig{
+		Transport:  tr,
+		LocalNodes: []int{id},
+		Monitor:    fmt.Sprintf("node-%d", id),
+		Leases:     leases,
+		Events: func(e hierdet.Event) {
+			switch e.Kind {
+			case hierdet.EventSolutionFound:
+				fmt.Printf("DETECT id=%d tenant=%s root=%t span=%d\n", e.Node, e.Tenant, e.AtRoot, len(e.Agg.Span))
+			case hierdet.EventRepairConcluded:
+				fmt.Printf("REPAIR tenant=%s orphan=%d parent=%d\n", e.Tenant, e.Node, e.Peer)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	handles := make([]*hierdet.TenantHandle, f.Tenants)
+	execs := make([]*hierdet.Execution, f.Tenants)
+	for k := range handles {
+		h, err := plane.RegisterPredicate(fmt.Sprintf("t%d", k), hierdet.TenantSpec{
+			Topology:     topo,
+			Seed:         f.Seed + int64(id*f.Tenants+k),
+			HbEvery:      time.Duration(f.HbEveryMs) * time.Millisecond,
+			HbTimeout:    time.Duration(f.HbTimeoutMs) * time.Millisecond,
+			StartupGrace: time.Duration(f.StartupGraceMs) * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		handles[k] = h
+		execs[k] = hierdet.GenerateWorkload(topo, f.Rounds, f.Seed+int64(k), f.PGlobal, 0, 0)
+	}
+	http.Handle("/metrics", plane.Registry().Handler())
+	fmt.Printf("READY id=%d addr=%s tenants=%d\n", id, tr.Addr(), f.Tenants)
+
+	pace := time.Duration(f.FeedEveryMs) * time.Millisecond
+	feed := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			for k, h := range handles {
+				if r < len(execs[k].Streams[id]) {
+					h.Observe(id, execs[k].Streams[id][r])
+				}
+			}
+			time.Sleep(pace)
+		}
+	}
+
+	feed(0, f.Phase1)
+	fmt.Printf("FED id=%d phase=1\n", id)
+	awaitGate(gate)
+	feed(f.Phase1, f.Rounds)
+	fmt.Printf("FED id=%d phase=2\n", id)
+
 	select {}
 }

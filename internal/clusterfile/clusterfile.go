@@ -29,6 +29,11 @@ type File struct {
 	Seed    int64   `json:"seed"`
 	PGlobal float64 `json:"pglobal"`
 
+	// Tenants multiplexes this many predicates ("t0".."tN-1", one detection
+	// tree each, workload seeds Seed, Seed+1, ...) over the deployment's one
+	// TCP mesh. 0 or 1 runs the classic single-predicate node.
+	Tenants int `json:"tenants,omitempty"`
+
 	// Failure detector timings, in milliseconds (generous defaults for
 	// separate OS processes on one machine; see Normalize).
 	HbEveryMs      int `json:"hbEveryMs"`
@@ -51,6 +56,9 @@ func (f *File) Normalize() {
 	}
 	if f.PGlobal == 0 {
 		f.PGlobal = 1
+	}
+	if f.Tenants == 0 {
+		f.Tenants = 1
 	}
 	if f.HbEveryMs == 0 {
 		f.HbEveryMs = 5
@@ -76,6 +84,9 @@ func (f *File) Validate() error {
 	}
 	if len(f.Addrs) != n {
 		return fmt.Errorf("clusterfile: %d addrs for %d nodes", len(f.Addrs), n)
+	}
+	if f.Tenants < 0 {
+		return fmt.Errorf("clusterfile: negative tenant count %d", f.Tenants)
 	}
 	roots := 0
 	for i, p := range f.Parents {

@@ -36,6 +36,30 @@ func TestRoundTrip(t *testing.T) {
 	if got.HbEveryMs == 0 || got.HbTimeoutMs == 0 || got.StartupGraceMs == 0 || got.FeedEveryMs == 0 {
 		t.Errorf("timings not normalized: %+v", got)
 	}
+	// Tenants defaults to the classic single-predicate node.
+	if got.Tenants != 1 {
+		t.Errorf("Tenants = %d, want 1 after normalization", got.Tenants)
+	}
+}
+
+func TestTenantsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	f := sevenNode()
+	f.Tenants = 16
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tenants != 16 {
+		t.Errorf("Tenants = %d, want 16", got.Tenants)
+	}
+	f.Tenants = -1
+	if err := f.Validate(); err == nil {
+		t.Error("negative tenant count accepted")
+	}
 }
 
 func TestTopologyMatchesBuilder(t *testing.T) {

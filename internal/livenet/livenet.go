@@ -227,7 +227,7 @@ type Cluster struct {
 	// into, the per-kind event counters (index = obsv.EventKind), and the
 	// scheduler-pool instruments (see registerFamilies).
 	reg         *obsv.Registry
-	evCounts    [obsv.TransportRedial + 1]*obsv.Counter
+	evCounts    [obsv.NumEventKinds]*obsv.Counter
 	busyWorkers atomic.Int64
 	drains      atomic.Int64
 	drained     atomic.Int64
@@ -723,6 +723,12 @@ func (c *Cluster) onFrame(to int, frame []byte) {
 			return
 		}
 		msg = message{kind: msgAttach, from: a.From, att: a.Msg}
+	default:
+		// Valid framing of a kind a bare cluster does not consume (a tenant
+		// envelope that escaped its mux, or a future addition): dropped, not
+		// a zero-value message.
+		ln.m.badFrames.Add(1)
+		return
 	}
 	c.post(to, msg, 0)
 }

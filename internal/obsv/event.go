@@ -36,7 +36,23 @@ const (
 	// behind it). Emitted from the transport's writer goroutine, so it is
 	// ordered per peer link rather than per detector node.
 	TransportRedial
+	// TenantRegistered: the tenant plane instantiated a detection tree for
+	// Tenant (Node is its ownership bucket). Emitted by a Multiplexer, not
+	// by clusters.
+	TenantRegistered
+	// TenantEvicted: the tenant plane stopped and unregistered Tenant's
+	// detection tree (Node is its ownership bucket).
+	TenantEvicted
+	// LeaseAcquired: Monitor took the lease on ownership bucket Node.
+	LeaseAcquired
+	// LeaseLost: Monitor released, lost or was rebalanced off the lease on
+	// ownership bucket Node.
+	LeaseLost
 )
+
+// NumEventKinds is one past the largest valid EventKind — the size of any
+// array indexed by kind.
+const NumEventKinds = int(LeaseLost) + 1
 
 // NoPeer marks an absent counterparty (it equals tree.None, so a
 // RepairConcluded with Peer == NoPeer is a partition give-up).
@@ -53,6 +69,10 @@ var eventKindNames = [...]string{
 	"node_suspected",
 	"repair_concluded",
 	"transport_redial",
+	"tenant_registered",
+	"tenant_evicted",
+	"lease_acquired",
+	"lease_lost",
 }
 
 func (k EventKind) String() string {
@@ -65,8 +85,8 @@ func (k EventKind) String() string {
 // EventKinds lists every valid kind, in declaration order — the stable
 // iteration order for per-kind accounting.
 func EventKinds() []EventKind {
-	out := make([]EventKind, 0, int(TransportRedial))
-	for k := IntervalObserved; k <= TransportRedial; k++ {
+	out := make([]EventKind, 0, NumEventKinds-1)
+	for k := IntervalObserved; k <= LeaseLost; k++ {
 		out = append(out, k)
 	}
 	return out
@@ -104,4 +124,10 @@ type Event struct {
 	// (Verify/KeepMembers) is on; nil otherwise. The slice is shared with
 	// the detection record — sinks must not modify it.
 	Set []interval.Interval
+	// Tenant names the detection tree the event belongs to when the emitter
+	// is a tenant plane: set on Tenant* events and on every per-tenant
+	// cluster event a Multiplexer forwards. Empty for a bare cluster.
+	Tenant string
+	// Monitor identifies the fleet monitor acting on Lease* events.
+	Monitor string
 }

@@ -175,8 +175,11 @@ func TestConcurrentScrapeAndUpdate(t *testing.T) {
 
 func TestEventKindStrings(t *testing.T) {
 	kinds := EventKinds()
-	if len(kinds) != 8 {
-		t.Fatalf("got %d kinds, want 8", len(kinds))
+	if len(kinds) != NumEventKinds-1 {
+		t.Fatalf("got %d kinds, want %d", len(kinds), NumEventKinds-1)
+	}
+	if len(kinds) != 12 {
+		t.Fatalf("got %d kinds, want 12", len(kinds))
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {

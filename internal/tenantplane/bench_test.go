@@ -1,0 +1,75 @@
+package tenantplane
+
+import (
+	"fmt"
+	"testing"
+
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+// BenchmarkMultiTenant measures the cost of multiplexing: the same total
+// predicate work spread over 1, 16 and 256 tenants at a fixed tree size.
+// Every tenant runs the full workload, so throughput is expected to scale
+// with the tenant count while per-tenant throughput shows the multiplexing
+// overhead (registration, per-cluster planes, plane bookkeeping) against the
+// tenants=1 baseline. Clusters run lean (one worker, sequential engine) so
+// the lane measures the plane, not GOMAXPROCS contention between 256 worker
+// pools.
+func BenchmarkMultiTenant(b *testing.B) {
+	const rounds = 4
+	topo := tree.Balanced(2, 5) // p = 63
+	p := topo.N()
+	e := workload.Generate(workload.Config{Topology: topo, Rounds: rounds, Seed: 42, PGlobal: 1})
+	perTenant := 0
+	for _, s := range e.Streams {
+		perTenant += len(s)
+	}
+
+	for _, tenants := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("p=%d/tenants=%d", p, tenants), func(b *testing.B) {
+			roots := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plane, err := NewMultiplexer(Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles := make([]*Handle, tenants)
+				for k := range handles {
+					h, err := plane.RegisterPredicate(fmt.Sprintf("bench-%03d", k), Spec{
+						Topology: tree.Balanced(2, 5),
+						Seed:     int64(i*tenants + k + 1),
+						Workers:  1, SequentialDetect: true,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles[k] = h
+				}
+				for _, h := range handles {
+					for proc := range e.Streams {
+						h.ObserveBatch(proc, e.Streams[proc])
+					}
+				}
+				for name, dets := range plane.Close() {
+					_ = name
+					for _, d := range dets {
+						if d.AtRoot {
+							roots++
+						}
+					}
+				}
+			}
+			b.StopTimer()
+			if roots != rounds*tenants*b.N {
+				b.Fatalf("root detections = %d, want %d — a tenant's plane is broken", roots, rounds*tenants*b.N)
+			}
+			total := float64(perTenant) * float64(tenants) * float64(b.N)
+			b.ReportMetric(total/b.Elapsed().Seconds(), "intervals/sec")
+			b.ReportMetric(total/float64(tenants)/b.Elapsed().Seconds(), "per-tenant-intervals/sec")
+			b.ReportMetric(float64(roots)/float64(b.N), "detections/op")
+		})
+	}
+}

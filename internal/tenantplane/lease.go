@@ -1,0 +1,154 @@
+package tenantplane
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LeaseTable is the fleet's shared ownership state: a TTL'd liveness record
+// per monitor and a lease holder per bucket. It is the coordination-service
+// document of the ARO-RP pattern (monitor docs with TTLs, a bucket
+// assignment derived from whoever is alive) reduced to its semantics — an
+// in-memory table safe for concurrent monitors. A deployment that wants the
+// table shared across OS processes puts it behind its coordination service
+// of choice; every rule below is expressed so that a remote implementation
+// can replicate it: no operation reads more than the liveness set and one
+// bucket's holder, and every decision is a compare-and-set on those.
+//
+// The invariant that makes expiry implicit: a bucket lease is valid exactly
+// while its holder's liveness record is current. Monitors renew one liveness
+// record per tick, not 256 leases, and a crashed monitor's buckets all
+// expire together when its record lapses — rebalance-on-expiry needs no
+// per-bucket timers.
+type LeaseTable struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu    sync.Mutex
+	live  map[string]time.Time // monitor → liveness record expiry
+	owner [BucketCount]string  // bucket → holder ("" = never held)
+}
+
+// NewLeaseTable builds a table whose liveness records last ttl. now, when
+// non-nil, replaces time.Now — the injection point deterministic failover
+// tests use.
+func NewLeaseTable(ttl time.Duration, now func() time.Time) *LeaseTable {
+	if ttl <= 0 {
+		panic("tenantplane: lease TTL must be positive")
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &LeaseTable{ttl: ttl, now: now, live: make(map[string]time.Time)}
+}
+
+// TTL returns the table's liveness-record duration.
+func (t *LeaseTable) TTL() time.Duration { return t.ttl }
+
+// Beat refreshes monitor's liveness record to now+TTL, creating it on the
+// first call. Every lease the monitor holds stays valid for another TTL.
+func (t *LeaseTable) Beat(monitor string) {
+	t.mu.Lock()
+	t.live[monitor] = t.now().Add(t.ttl)
+	t.mu.Unlock()
+}
+
+// Retire deletes monitor's liveness record immediately — the clean-shutdown
+// path. Its leases expire with the record, without waiting out the TTL.
+func (t *LeaseTable) Retire(monitor string) {
+	t.mu.Lock()
+	delete(t.live, monitor)
+	t.mu.Unlock()
+}
+
+// Live returns the monitors whose liveness records are current, sorted.
+func (t *LeaseTable) Live() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	out := make([]string, 0, len(t.live))
+	for m, exp := range t.live {
+		if exp.After(now) {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// liveLocked reports whether monitor's liveness record is current.
+func (t *LeaseTable) liveLocked(monitor string) bool {
+	exp, ok := t.live[monitor]
+	return ok && exp.After(t.now())
+}
+
+// Acquire attempts to take bucket's lease for monitor. It succeeds when the
+// bucket is unheld, held by monitor already, or held by a monitor whose
+// liveness record has expired — the rebalance-on-expiry rule. The caller
+// should have Beat recently; acquiring without a current liveness record is
+// refused (the lease would be born expired).
+func (t *LeaseTable) Acquire(bucket int, monitor string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.liveLocked(monitor) {
+		return false
+	}
+	holder := t.owner[bucket]
+	if holder != "" && holder != monitor && t.liveLocked(holder) {
+		return false
+	}
+	t.owner[bucket] = monitor
+	return true
+}
+
+// Release gives bucket's lease up if monitor holds it — the voluntary half
+// of rebalancing.
+func (t *LeaseTable) Release(bucket int, monitor string) {
+	t.mu.Lock()
+	if t.owner[bucket] == monitor {
+		t.owner[bucket] = ""
+	}
+	t.mu.Unlock()
+}
+
+// Owner returns bucket's current holder, or "" when the bucket is unheld or
+// its holder's liveness record has expired.
+func (t *LeaseTable) Owner(bucket int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if h := t.owner[bucket]; h != "" && t.liveLocked(h) {
+		return h
+	}
+	return ""
+}
+
+// OwnedBy returns the buckets monitor holds valid leases on, ascending.
+func (t *LeaseTable) OwnedBy(monitor string) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.liveLocked(monitor) {
+		return nil
+	}
+	var out []int
+	for b, h := range t.owner {
+		if h == monitor {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Owners snapshots the valid assignment: bucket → holder, expired and
+// unheld buckets absent.
+func (t *LeaseTable) Owners() map[int]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]string)
+	for b, h := range t.owner {
+		if h != "" && t.liveLocked(h) {
+			out[b] = h
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package tenantplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hierdet/internal/obsv"
+)
+
+// fakeClock is an injectable clock for deterministic lease tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBucketOfAndWireIDStable(t *testing.T) {
+	for _, id := range []string{"", "alpha", "beta", "tenant-255"} {
+		b := BucketOf(id)
+		if b < 0 || b >= BucketCount {
+			t.Fatalf("BucketOf(%q) = %d out of range", id, b)
+		}
+		if b != BucketOf(id) {
+			t.Fatalf("BucketOf(%q) not stable", id)
+		}
+		if WireID(id) == 0 {
+			t.Fatalf("WireID(%q) = 0; zero is reserved for untagged traffic", id)
+		}
+	}
+	if BucketOf("alpha") == BucketOf("beta") && WireID("alpha") == WireID("beta") {
+		t.Fatal("test tenants collide on both hashes; pick different names")
+	}
+}
+
+func TestLeaseTableExpiryRules(t *testing.T) {
+	clk := newFakeClock()
+	tab := NewLeaseTable(100*time.Millisecond, clk.Now)
+
+	if tab.Acquire(3, "m1") {
+		t.Fatal("acquire without a liveness record must fail (lease would be born expired)")
+	}
+	tab.Beat("m1")
+	if !tab.Acquire(3, "m1") {
+		t.Fatal("live monitor could not take an unheld bucket")
+	}
+	if got := tab.Owner(3); got != "m1" {
+		t.Fatalf("Owner(3) = %q, want m1", got)
+	}
+
+	// A live holder's lease is exclusive.
+	tab.Beat("m2")
+	if tab.Acquire(3, "m2") {
+		t.Fatal("m2 stole a bucket from a live holder")
+	}
+
+	// The lease is valid exactly as long as the holder's liveness record:
+	// once m1's record lapses, the bucket reads unheld and m2 may take it.
+	clk.Advance(101 * time.Millisecond)
+	if got := tab.Owner(3); got != "" {
+		t.Fatalf("Owner(3) after holder expiry = %q, want unheld", got)
+	}
+	tab.Beat("m2") // m2's own record also lapsed above
+	if !tab.Acquire(3, "m2") {
+		t.Fatal("m2 could not take an expired bucket")
+	}
+	if got := tab.Owner(3); got != "m2" {
+		t.Fatalf("Owner(3) = %q, want m2", got)
+	}
+
+	// Retire drops the record immediately — no TTL wait.
+	tab.Retire("m2")
+	if got := tab.Owner(3); got != "" {
+		t.Fatalf("Owner(3) after retire = %q, want unheld", got)
+	}
+	if live := tab.Live(); len(live) != 0 {
+		t.Fatalf("Live() = %v, want empty", live)
+	}
+}
+
+// TestMonitorFairShareAndFailover drives two monitors by hand on a fake
+// clock: they split the ring evenly; when one stops renewing, the survivor
+// re-owns every bucket on its first tick after the TTL — the
+// "rebalance within one TTL" acceptance criterion, with no slack beyond the
+// tick that notices.
+func TestMonitorFairShareAndFailover(t *testing.T) {
+	clk := newFakeClock()
+	tab := NewLeaseTable(100*time.Millisecond, clk.Now)
+
+	var mu sync.Mutex
+	events := map[string][2]int{} // monitor → {acquired, lost}
+	sink := func(e obsv.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		c := events[e.Monitor]
+		switch e.Kind {
+		case obsv.LeaseAcquired:
+			c[0]++
+		case obsv.LeaseLost:
+			c[1]++
+		}
+		events[e.Monitor] = c
+	}
+	m1 := NewMonitor(MonitorConfig{ID: "m1", Table: tab, Events: sink})
+	m2 := NewMonitor(MonitorConfig{ID: "m2", Table: tab, Events: sink})
+
+	// Solo, m1 takes the whole ring.
+	m1.Tick()
+	if got := len(m1.Owned()); got != BucketCount {
+		t.Fatalf("solo monitor owns %d buckets, want %d", got, BucketCount)
+	}
+
+	// m2 joins: fair share is 128 each. m1 sheds on its next tick, m2
+	// acquires what was shed.
+	m2.Tick()
+	m1.Tick()
+	m2.Tick()
+	if g1, g2 := len(m1.Owned()), len(m2.Owned()); g1 != 128 || g2 != 128 {
+		t.Fatalf("split = %d/%d, want 128/128", g1, g2)
+	}
+	// Stable from here: further ticks change nothing.
+	m1.Tick()
+	m2.Tick()
+	if g1, g2 := len(m1.Owned()), len(m2.Owned()); g1 != 128 || g2 != 128 {
+		t.Fatalf("split moved to %d/%d after steady-state ticks", g1, g2)
+	}
+
+	// m1 dies silently (no Retire, no more beats). Within one TTL its
+	// record lapses; m2's first tick after that re-owns all 256.
+	clk.Advance(tab.TTL() + time.Millisecond)
+	m2.Tick()
+	if got := len(m2.Owned()); got != BucketCount {
+		t.Fatalf("survivor owns %d buckets after failover, want %d", got, BucketCount)
+	}
+	if got := len(tab.OwnedBy("m1")); got != 0 {
+		t.Fatalf("dead monitor still holds %d valid leases", got)
+	}
+
+	// The ledger balances: every acquisition is matched by a loss except
+	// the buckets currently held.
+	mu.Lock()
+	defer mu.Unlock()
+	for _, m := range []*Monitor{m1, m2} {
+		c := events[m.ID()]
+		held := 0
+		if m == m2 {
+			held = BucketCount
+		}
+		// m1's shed buckets were released; its remaining 128 expired
+		// without events (it never ticked again to notice).
+		if m == m1 {
+			held = 128
+		}
+		if c[0]-c[1] != held {
+			t.Fatalf("%s: %d acquired - %d lost = %d, want %d", m.ID(), c[0], c[1], c[0]-c[1], held)
+		}
+	}
+}
+
+// TestMonitorStopReleasesEverything: a clean shutdown returns the buckets to
+// the fleet immediately instead of making it wait out the TTL.
+func TestMonitorStopReleasesEverything(t *testing.T) {
+	clk := newFakeClock()
+	tab := NewLeaseTable(time.Second, clk.Now)
+	m1 := NewMonitor(MonitorConfig{ID: "m1", Table: tab})
+	m2 := NewMonitor(MonitorConfig{ID: "m2", Table: tab})
+	m1.Tick()
+	m2.Tick()
+	m1.Stop()
+	m2.Tick()
+	if got := len(m2.Owned()); got != BucketCount {
+		t.Fatalf("survivor owns %d buckets after peer's clean stop, want %d (no TTL wait)", got, BucketCount)
+	}
+	m1.Stop() // idempotent
+}

@@ -1,0 +1,150 @@
+package tenantplane
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/transport"
+	"hierdet/internal/vclock"
+	"hierdet/internal/wire"
+)
+
+// recvLog collects frames one tenant port delivered, with a channel to wait
+// on (the in-process Network delivers on fresh goroutines).
+type recvLog struct {
+	ch chan []byte
+}
+
+func newRecvLog() *recvLog { return &recvLog{ch: make(chan []byte, 16)} }
+
+func (l *recvLog) recv(to int, frame []byte) {
+	l.ch <- append([]byte(nil), frame...)
+}
+
+func (l *recvLog) next(t *testing.T, what string) []byte {
+	t.Helper()
+	select {
+	case f := <-l.ch:
+		return f
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		return nil
+	}
+}
+
+func (l *recvLog) empty() bool { return len(l.ch) == 0 }
+
+func muxReport(origin int) wire.Report {
+	return wire.Report{
+		Iv: interval.Interval{
+			Lo:     vclock.VC{3, 1, 4},
+			Hi:     vclock.VC{3, 2, 6},
+			Origin: origin,
+			Seq:    1,
+			Span:   []int{origin},
+		},
+		LinkSeq: 1,
+	}
+}
+
+// TestMuxRoutesTenants wires two muxes through the in-process Network — the
+// shape of two fleet processes sharing one mesh — and checks the full
+// demultiplexing contract: reports travel inline-tagged, control frames
+// enveloped, tenant 0 byte-identical, unknown tenants counted and dropped.
+func TestMuxRoutesTenants(t *testing.T) {
+	net := transport.NewNetwork()
+	muxA := NewMux(net.Endpoint(0))
+	muxB := NewMux(net.Endpoint(1))
+	defer muxA.Close()
+	defer muxB.Close()
+
+	portFor := func(m *Mux, tenant uint32) transport.Transport {
+		p, err := m.Port(tenant)
+		if err != nil {
+			t.Fatalf("Port(%d): %v", tenant, err)
+		}
+		return p
+	}
+	a0, a7, a9 := portFor(muxA, 0), portFor(muxA, 7), portFor(muxA, 9)
+	b0, b7 := portFor(muxB, 0), portFor(muxB, 7)
+
+	logs := map[string]*recvLog{"b0": newRecvLog(), "b7": newRecvLog(), "a7": newRecvLog()}
+	for port, log := range map[transport.Transport]*recvLog{b0: logs["b0"], b7: logs["b7"], a7: logs["a7"]} {
+		if err := port.Start(log.recv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a0.Start(func(int, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a9.Start(func(int, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A control frame on tenant 7 rides an envelope and arrives unwrapped,
+	// byte-identical to what the cluster handed the port.
+	hb := wire.EncodeHeartbeat(wire.Heartbeat{Sender: 0, Epoch: 2})
+	a7.Send(1, hb)
+	if got := logs["b7"].next(t, "tenant-7 heartbeat"); !bytes.Equal(got, hb) {
+		t.Fatalf("tenant-7 heartbeat corrupted: % x != % x", got, hb)
+	}
+
+	// A report on tenant 7 travels inline-tagged: the receiver sees the tag
+	// (routing needs no strip) and decodes the same report with Tenant set.
+	rep := muxReport(0)
+	a7.Send(1, wire.EncodeReportV2(rep))
+	frame := logs["b7"].next(t, "tenant-7 report")
+	if tn, err := wire.ReportTenantV2(frame); err != nil || tn != 7 {
+		t.Fatalf("delivered report tenant = %d, %v; want 7", tn, err)
+	}
+	var got wire.Report
+	if err := wire.DecodeReportInto(frame, &got, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := rep
+	want.Tenant = 7
+	if got.Tenant != 7 || !got.Iv.Lo.Equal(want.Iv.Lo) || got.Iv.Origin != want.Iv.Origin {
+		t.Fatalf("tenant-7 report decoded as %+v, want %+v", got, want)
+	}
+
+	// Tenant 0 frames pass byte-identical both ways.
+	bare := wire.EncodeReportV2(muxReport(0))
+	a0.Send(1, bare)
+	if got := logs["b0"].next(t, "tenant-0 report"); !bytes.Equal(got, bare) {
+		t.Fatal("tenant-0 report was rewritten by the mux")
+	}
+
+	// Reverse direction shares the same switchboard.
+	b7.Send(0, hb)
+	if got := logs["a7"].next(t, "reverse tenant-7 heartbeat"); !bytes.Equal(got, hb) {
+		t.Fatal("reverse-direction heartbeat corrupted")
+	}
+
+	// Tenant 9 is not registered on B: its frames are dropped and counted,
+	// and no registered port sees them.
+	a9.Send(1, hb)
+	a9.Send(1, wire.EncodeReportV2(muxReport(0)))
+	deadline := time.Now().Add(5 * time.Second)
+	for muxB.Dropped() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("muxB dropped = %d, want 2", muxB.Dropped())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !logs["b0"].empty() || !logs["b7"].empty() {
+		t.Fatal("unknown-tenant frame leaked into a registered port")
+	}
+
+	// Wire ids are exclusive while claimed, free again after Close.
+	if _, err := muxA.Port(7); err == nil {
+		t.Fatal("duplicate Port(7) claim succeeded")
+	}
+	if err := a7.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := muxA.Port(7); err != nil {
+		t.Fatalf("Port(7) after Close: %v", err)
+	}
+}

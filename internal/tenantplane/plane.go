@@ -1,0 +1,437 @@
+package tenantplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hierdet/internal/interval"
+	"hierdet/internal/livenet"
+	"hierdet/internal/obsv"
+	"hierdet/internal/transport"
+	"hierdet/internal/tree"
+)
+
+// Config parameterizes a Multiplexer — the per-fleet-member state shared by
+// every tenant it hosts.
+type Config struct {
+	// Transport, when set, is the shared message plane: every tenant's
+	// cluster sends through it, demultiplexed by wire tenant id. The
+	// Multiplexer owns it (Close closes it). Nil means every tenant runs
+	// non-distributed in this process.
+	Transport transport.Transport
+	// LocalNodes is the topology subset this process hosts, shared by all
+	// tenants (distributed mode only).
+	LocalNodes []int
+	// Events receives the plane's lifecycle stream: TenantRegistered and
+	// TenantEvicted, LeaseAcquired/LeaseLost from the fleet monitor, and
+	// every hosted cluster's own events annotated with Event.Tenant. Same
+	// contract as livenet's sink: concurrent calls, keep it quick.
+	Events func(obsv.Event)
+
+	// Monitor names this process in the active/active monitor fleet and,
+	// together with Leases, enables bucket ownership: the plane runs one
+	// Monitor competing for leases on the shared table. Empty disables
+	// ownership (every Handle reports Owned() == false).
+	Monitor string
+	// Leases is the fleet's shared lease table (required when Monitor is
+	// set). Fleets in one process share the *LeaseTable directly; a
+	// multi-process fleet puts the same semantics behind its coordination
+	// service.
+	Leases *LeaseTable
+	// LeaseEvery overrides the monitor's renewal period (default TTL/4).
+	LeaseEvery time.Duration
+}
+
+// Spec describes one tenant's predicate: its spanning tree plus the
+// per-cluster runtime knobs the tenant wants. Zero values inherit livenet's
+// defaults, so Spec{Topology: topo} is a complete registration.
+type Spec struct {
+	// Topology is the tenant's detection tree (required).
+	Topology *tree.Topology
+	// Seed drives the tenant cluster's delivery randomness.
+	Seed int64
+	// Strict and KeepMembers configure the detector nodes (see core.Config).
+	Strict, KeepMembers bool
+	// MaxDelay, Workers, MailboxBound, BatchWindow, SequentialDetect and
+	// DetectWorkers tune the tenant cluster's delivery and detection planes
+	// (see livenet.Config).
+	MaxDelay         time.Duration
+	Workers          int
+	MailboxBound     int
+	BatchWindow      time.Duration
+	SequentialDetect bool
+	DetectWorkers    int
+	// HbEvery, HbTimeout, SeekTimeout, ResendLastOnAdopt and StartupGrace
+	// configure the tenant's failure handling (see livenet.Config).
+	HbEvery, HbTimeout, SeekTimeout time.Duration
+	ResendLastOnAdopt               bool
+	StartupGrace                    time.Duration
+	// Events, when set, receives this tenant's cluster events (annotated
+	// with Event.Tenant) in addition to the plane-level Config.Events sink.
+	Events func(obsv.Event)
+	// Wire overrides the tenant's wire id (default WireID(tenantID)). Use
+	// it to resolve a registration-time hash collision. Zero means derive;
+	// the zero id itself is reserved for untagged single-tenant traffic.
+	Wire uint32
+}
+
+// Handle is one registered tenant: the live cluster plus its plane identity.
+type Handle struct {
+	p      *Multiplexer
+	name   string
+	wire   uint32
+	bucket int
+	c      *livenet.Cluster
+
+	stopOnce sync.Once
+	dets     []livenet.Detection
+}
+
+// Name returns the tenant id the predicate was registered under.
+func (h *Handle) Name() string { return h.name }
+
+// Wire returns the tenant's wire id (its tag on shared-transport frames).
+func (h *Handle) Wire() uint32 { return h.wire }
+
+// Bucket returns the ownership bucket the tenant id hashes to.
+func (h *Handle) Bucket() int { return h.bucket }
+
+// Cluster exposes the tenant's underlying live cluster — metrics, Kill,
+// Drain and the rest of the single-tenant API.
+func (h *Handle) Cluster() *livenet.Cluster { return h.c }
+
+// Owned reports whether this plane's monitor currently holds the lease on
+// the tenant's bucket — i.e. whether this fleet member owns the tenant.
+// Without a monitor it is always false.
+func (h *Handle) Owned() bool {
+	return h.p.mon != nil && h.p.mon.Owns(h.bucket)
+}
+
+// Observe feeds one interval to the tenant's cluster.
+func (h *Handle) Observe(p int, iv interval.Interval) { h.c.Observe(p, iv) }
+
+// ObserveBatch feeds a batch of process p's intervals to the tenant's
+// cluster.
+func (h *Handle) ObserveBatch(p int, ivs []interval.Interval) { h.c.ObserveBatch(p, ivs) }
+
+// Stop unregisters the tenant — stops its cluster, frees its wire id and
+// emits TenantEvicted — and returns the tenant's detections. Idempotent.
+func (h *Handle) Stop() []livenet.Detection {
+	h.stopOnce.Do(func() {
+		h.dets = h.c.Stop()
+		h.p.forget(h)
+	})
+	return h.dets
+}
+
+// Multiplexer is the per-process face of the tenant plane: one shared
+// transport, one monitor-fleet membership, N tenants' clusters.
+type Multiplexer struct {
+	cfg Config
+	mux *Mux // nil without a shared transport
+	reg *obsv.Registry
+	mon *Monitor // nil without lease ownership
+
+	mu      sync.Mutex
+	tenants map[string]*Handle
+	byWire  map[uint32]string
+	closed  bool
+
+	registered *obsv.Counter
+	evicted    *obsv.Counter
+}
+
+// NewMultiplexer builds the plane and starts its shared transport (so a
+// listen failure is an error here, not a panic inside the first tenant's
+// cluster construction) and, when configured, its fleet monitor.
+func NewMultiplexer(cfg Config) (*Multiplexer, error) {
+	if cfg.Monitor != "" && cfg.Leases == nil {
+		return nil, fmt.Errorf("tenantplane: Config.Monitor %q set without Config.Leases", cfg.Monitor)
+	}
+	p := &Multiplexer{
+		cfg:     cfg,
+		reg:     obsv.NewRegistry(),
+		tenants: make(map[string]*Handle),
+		byWire:  make(map[uint32]string),
+	}
+	if cfg.Transport != nil {
+		p.mux = NewMux(cfg.Transport)
+		if err := p.mux.Start(); err != nil {
+			return nil, fmt.Errorf("tenantplane: starting shared transport: %w", err)
+		}
+		if in, ok := cfg.Transport.(interface {
+			Instrument(*obsv.Registry, func(obsv.Event))
+		}); ok {
+			in.Instrument(p.reg, p.emit)
+		}
+	}
+	p.registerFamilies()
+	if cfg.Monitor != "" {
+		p.mon = NewMonitor(MonitorConfig{
+			ID:     cfg.Monitor,
+			Table:  cfg.Leases,
+			Every:  cfg.LeaseEvery,
+			Events: p.emit,
+		})
+		p.mon.Start()
+	}
+	return p, nil
+}
+
+// Registry returns the plane's metric registry: per-tenant families, lease
+// state, shared-transport families and mux drops.
+func (p *Multiplexer) Registry() *obsv.Registry { return p.reg }
+
+// Monitor returns the plane's fleet monitor, or nil when ownership is off.
+func (p *Multiplexer) Monitor() *Monitor { return p.mon }
+
+// emit forwards a plane-level event to the configured sink.
+func (p *Multiplexer) emit(e obsv.Event) {
+	if p.cfg.Events != nil {
+		p.cfg.Events(e)
+	}
+}
+
+// RegisterPredicate instantiates a detection tree for the tenant over the
+// shared fleet and returns its handle. The tenant id must be unique on this
+// plane; its derived wire id must not collide with a registered tenant's
+// (supply Spec.Wire to resolve a collision).
+func (p *Multiplexer) RegisterPredicate(tenantID string, spec Spec) (*Handle, error) {
+	if tenantID == "" {
+		return nil, fmt.Errorf("tenantplane: empty tenant id")
+	}
+	if spec.Topology == nil {
+		return nil, fmt.Errorf("tenantplane: tenant %q: Spec.Topology is required", tenantID)
+	}
+	wid := spec.Wire
+	if wid == 0 {
+		wid = WireID(tenantID)
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("tenantplane: multiplexer is closed")
+	}
+	if _, dup := p.tenants[tenantID]; dup {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("tenantplane: tenant %q already registered", tenantID)
+	}
+	if other, dup := p.byWire[wid]; dup {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("tenantplane: tenant %q wire id %d collides with tenant %q (set Spec.Wire)", tenantID, wid, other)
+	}
+	// Reserve both names before building the cluster so a concurrent
+	// registration cannot race the same wire id.
+	h := &Handle{p: p, name: tenantID, wire: wid, bucket: BucketOf(tenantID)}
+	p.tenants[tenantID] = h
+	p.byWire[wid] = tenantID
+	p.mu.Unlock()
+
+	var tr transport.Transport
+	if p.mux != nil {
+		port, err := p.mux.Port(wid)
+		if err != nil {
+			p.forget(h)
+			return nil, err
+		}
+		tr = port
+	}
+
+	events := func(e obsv.Event) {
+		e.Tenant = tenantID
+		if spec.Events != nil {
+			spec.Events(e)
+		}
+		p.emit(e)
+	}
+	h.c = livenet.New(livenet.Config{
+		Topology:          spec.Topology,
+		MaxDelay:          spec.MaxDelay,
+		Seed:              spec.Seed,
+		Strict:            spec.Strict,
+		KeepMembers:       spec.KeepMembers,
+		Workers:           spec.Workers,
+		MailboxBound:      spec.MailboxBound,
+		BatchWindow:       spec.BatchWindow,
+		SequentialDetect:  spec.SequentialDetect,
+		DetectWorkers:     spec.DetectWorkers,
+		HbEvery:           spec.HbEvery,
+		HbTimeout:         spec.HbTimeout,
+		SeekTimeout:       spec.SeekTimeout,
+		ResendLastOnAdopt: spec.ResendLastOnAdopt,
+		StartupGrace:      spec.StartupGrace,
+		Events:            events,
+		Transport:         tr,
+		LocalNodes:        p.cfg.LocalNodes,
+	})
+
+	p.registered.Inc()
+	p.emit(obsv.Event{
+		Kind: obsv.TenantRegistered, Tenant: tenantID, Node: h.bucket,
+		Peer: obsv.NoPeer, Count: 1, Monitor: p.ownerOf(h.bucket),
+	})
+	return h, nil
+}
+
+// ownerOf returns the bucket's current lease holder, if ownership is on.
+func (p *Multiplexer) ownerOf(bucket int) string {
+	if p.cfg.Leases == nil {
+		return ""
+	}
+	return p.cfg.Leases.Owner(bucket)
+}
+
+// Tenant returns the handle registered under tenantID, or nil.
+func (p *Multiplexer) Tenant(tenantID string) *Handle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tenants[tenantID]
+}
+
+// Tenants returns the registered tenant ids, sorted.
+func (p *Multiplexer) Tenants() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.tenants))
+	for name := range p.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// forget removes a stopped tenant from the plane's maps and emits
+// TenantEvicted. The handle's cluster is already stopped (its mux port
+// closed with it).
+func (p *Multiplexer) forget(h *Handle) {
+	p.mu.Lock()
+	evict := p.tenants[h.name] == h
+	if evict {
+		delete(p.tenants, h.name)
+		delete(p.byWire, h.wire)
+	}
+	p.mu.Unlock()
+	if evict && h.c != nil {
+		p.evicted.Inc()
+		p.emit(obsv.Event{
+			Kind: obsv.TenantEvicted, Tenant: h.name, Node: h.bucket,
+			Peer: obsv.NoPeer, Count: 1, Monitor: p.ownerOf(h.bucket),
+		})
+	}
+}
+
+// Close stops every remaining tenant, the monitor and the shared transport,
+// returning each stopped tenant's detections keyed by tenant id.
+func (p *Multiplexer) Close() map[string][]livenet.Detection {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	handles := make([]*Handle, 0, len(p.tenants))
+	for _, h := range p.tenants {
+		handles = append(handles, h)
+	}
+	p.mu.Unlock()
+
+	out := make(map[string][]livenet.Detection, len(handles))
+	for _, h := range handles {
+		out[h.name] = h.Stop()
+	}
+	if p.mon != nil {
+		p.mon.Stop()
+	}
+	if p.mux != nil {
+		p.mux.Close()
+	} else if p.cfg.Transport != nil {
+		p.cfg.Transport.Close()
+	}
+	return out
+}
+
+// snapshot returns the live handles, sorted by tenant id, for scrapes.
+func (p *Multiplexer) snapshot() []*Handle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Handle, 0, len(p.tenants))
+	for _, h := range p.tenants {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// registerFamilies wires the plane's metric families: tenant counts, a
+// per-tenant breakdown of the headline cluster counters, lease-ownership
+// state and the mux's drop counter.
+func (p *Multiplexer) registerFamilies() {
+	p.registered = p.reg.Counter("hierdet_tenants_registered_total",
+		"Predicates registered on this plane since start.")
+	p.evicted = p.reg.Counter("hierdet_tenants_evicted_total",
+		"Tenants evicted (stopped and unregistered) since start.")
+	p.reg.Func("hierdet_tenants", "Tenants currently registered.",
+		obsv.KindGauge, nil, func(emit func(float64, ...string)) {
+			p.mu.Lock()
+			n := len(p.tenants)
+			p.mu.Unlock()
+			emit(float64(n))
+		})
+
+	perTenant := []struct {
+		name, help string
+		get        func(livenet.ClusterMetrics) float64
+	}{
+		{"hierdet_tenant_detections_total", "Solution sets found, by tenant.",
+			func(m livenet.ClusterMetrics) float64 { return float64(m.Detections) }},
+		{"hierdet_tenant_intervals_in_total", "Intervals observed, by tenant.",
+			func(m livenet.ClusterMetrics) float64 { return float64(m.IntervalsIn) }},
+		{"hierdet_tenant_msgs_in_total", "Messages delivered, by tenant.",
+			func(m livenet.ClusterMetrics) float64 { return float64(m.MsgsIn) }},
+		{"hierdet_tenant_msgs_out_total", "Messages sent, by tenant.",
+			func(m livenet.ClusterMetrics) float64 { return float64(m.MsgsOut) }},
+		{"hierdet_tenant_repairs_total", "Reattachments concluded, by tenant.",
+			func(m livenet.ClusterMetrics) float64 { return float64(m.Repairs) }},
+	}
+	for _, fam := range perTenant {
+		get := fam.get
+		p.reg.Func(fam.name, fam.help, obsv.KindCounter, []string{"tenant"},
+			func(emit func(float64, ...string)) {
+				for _, h := range p.snapshot() {
+					emit(get(h.c.ClusterMetrics()), h.name)
+				}
+			})
+	}
+	p.reg.Func("hierdet_tenant_owned", "Whether this plane's monitor owns the tenant's bucket, by tenant.",
+		obsv.KindGauge, []string{"tenant"}, func(emit func(float64, ...string)) {
+			for _, h := range p.snapshot() {
+				v := 0.0
+				if h.Owned() {
+					v = 1
+				}
+				emit(v, h.name)
+			}
+		})
+
+	if p.cfg.Monitor != "" {
+		p.reg.Func("hierdet_lease_buckets_owned", "Ownership buckets this monitor holds leases on.",
+			obsv.KindGauge, []string{"monitor"}, func(emit func(float64, ...string)) {
+				if p.mon != nil {
+					emit(float64(len(p.mon.Owned())), p.cfg.Monitor)
+				}
+			})
+		p.reg.Func("hierdet_lease_monitors_live", "Monitors with a current liveness record in the fleet.",
+			obsv.KindGauge, nil, func(emit func(float64, ...string)) {
+				emit(float64(len(p.cfg.Leases.Live())))
+			})
+	}
+	if p.mux != nil {
+		p.reg.Func("hierdet_mux_dropped_total", "Inbound frames dropped by the tenant mux (unknown or undecodable tenant).",
+			obsv.KindCounter, nil, func(emit func(float64, ...string)) {
+				emit(float64(p.mux.Dropped()))
+			})
+	}
+}

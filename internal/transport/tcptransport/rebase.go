@@ -32,15 +32,21 @@ import (
 
 // rebaser holds one connection's outbound delta state. Owned by the peer's
 // writeLoop; reset on every dial.
+//
+// Bases are keyed by (tenant, origin): with a tenant plane multiplexing many
+// detection trees over one connection, origin ids collide across tenants —
+// every tree numbers its processes from zero — and chaining tenant A's
+// report against tenant B's Hi would corrupt both streams. Single-tenant
+// traffic is all tenant 0, where the pair key degenerates to the origin.
 type rebaser struct {
-	bases map[int]vclock.VC // origin → Hi of the last report sent
-	rep   wire.Report       // decode scratch, storage reused across frames
-	buf   []byte            // encode scratch, valid until the next rebase call
+	bases map[[2]int]vclock.VC // (tenant, origin) → Hi of the last report sent
+	rep   wire.Report          // decode scratch, storage reused across frames
+	buf   []byte               // encode scratch, valid until the next rebase call
 }
 
 func (e *rebaser) reset() {
 	if e.bases == nil {
-		e.bases = make(map[int]vclock.VC)
+		e.bases = make(map[[2]int]vclock.VC)
 	}
 	clear(e.bases)
 }
@@ -58,13 +64,15 @@ func (e *rebaser) rebase(frame []byte) []byte {
 	if err := wire.DecodeReportInto(frame, &e.rep, nil); err != nil {
 		return frame
 	}
-	origin := e.rep.Iv.Origin
+	// AppendReportV2 round-trips e.rep.Tenant, so a tenant-tagged frame
+	// stays tagged through the basis-relative re-encoding.
+	key := [2]int{int(e.rep.Tenant), e.rep.Iv.Origin}
 	out := frame
-	if basis := e.bases[origin]; basis.Len() == e.rep.Iv.Lo.Len() {
+	if basis := e.bases[key]; basis.Len() == e.rep.Iv.Lo.Len() {
 		e.buf = wire.AppendReportV2(e.buf[:0], e.rep, basis)
 		out = e.buf
 	}
-	e.bases[origin] = append(e.bases[origin][:0], e.rep.Iv.Hi...)
+	e.bases[key] = append(e.bases[key][:0], e.rep.Iv.Hi...)
 	return out
 }
 
@@ -76,8 +84,8 @@ func (e *rebaser) rebase(frame []byte) []byte {
 // frame follows. A sender with delta chaining disabled therefore costs the
 // receiver one small copy per frame instead of a decode + re-encode.
 type unbaser struct {
-	bases   map[[2]int]vclock.VC // (to, origin) → Hi of the last delta-decoded report
-	pending map[[2]int][]byte    // (to, origin) → raw bytes of the last absolute frame
+	bases   map[[3]int]vclock.VC // (to, tenant, origin) → Hi of the last delta-decoded report
+	pending map[[3]int][]byte    // (to, tenant, origin) → raw bytes of the last absolute frame
 	rep     wire.Report
 	seed    wire.Report
 }
@@ -96,13 +104,17 @@ func (d *unbaser) undelta(to int, payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := [2]int{to, origin}
+	tenant, err := wire.ReportTenantV2(payload)
+	if err != nil {
+		return nil, err
+	}
+	key := [3]int{to, int(tenant), origin}
 	if !wire.ReportIsDelta(payload) {
 		// An absolute frame resets the origin's chain point: stash its raw
 		// bytes (the basis inside is only decoded if a delta frame needs it)
 		// and forget any decoded basis, which is now stale.
 		if d.pending == nil {
-			d.pending = make(map[[2]int][]byte)
+			d.pending = make(map[[3]int][]byte)
 		}
 		d.pending[key] = append(d.pending[key][:0], payload...)
 		delete(d.bases, key)
@@ -122,7 +134,7 @@ func (d *unbaser) undelta(to int, payload []byte) ([]byte, error) {
 	}
 	out := wire.AppendReportV2(make([]byte, 0, wire.ReportSizeV2(d.rep, nil)), d.rep, nil)
 	if d.bases == nil {
-		d.bases = make(map[[2]int]vclock.VC)
+		d.bases = make(map[[3]int]vclock.VC)
 	}
 	d.bases[key] = append(d.bases[key][:0], d.rep.Iv.Hi...)
 	if raw := d.pending[key]; raw != nil {

@@ -246,12 +246,12 @@ func TestBatchFramesPassThrough(t *testing.T) {
 	rb.reset()
 	single0 := wire.EncodeReportV2(stream[0])
 	rb.rebase(single0) // establishes a basis for origin 3
-	basisBefore := rb.bases[3].Clone()
+	basisBefore := rb.bases[[2]int{0, 3}].Clone()
 	if out := rb.rebase(batch); &out[0] != &batch[0] {
 		t.Fatal("rebaser re-encoded a batch frame instead of passing it through")
 	}
-	if !rb.bases[3].Equal(basisBefore) {
-		t.Fatalf("rebaser basis moved on a batch frame: %v -> %v", basisBefore, rb.bases[3])
+	if !rb.bases[[2]int{0, 3}].Equal(basisBefore) {
+		t.Fatalf("rebaser basis moved on a batch frame: %v -> %v", basisBefore, rb.bases[[2]int{0, 3}])
 	}
 	// A subsequent single report still delta-encodes against the pre-batch
 	// basis, and the mirrored unbaser recovers it.

@@ -1,0 +1,119 @@
+package wire
+
+// Tenant framing: the wire-level half of the multi-tenant control plane
+// (internal/tenantplane). One shared transport carries the traffic of many
+// independent detection trees, so every frame must say which tree it belongs
+// to — without costing the single-tenant deployment a byte.
+//
+// Two mechanisms, chosen per frame kind:
+//
+//   - Reports carry the tenant inline: flagTenant plus a tenant-id uvarint
+//     right after the flags byte (see v2.go). Inline beats an envelope here
+//     because reports are the frames a transport rewrites for cross-frame
+//     delta compression — an envelope would either break IsReportV2-based
+//     classification or force every chain operation to unwrap and rewrap.
+//     The tag sits at a fixed offset, so TagReportTenant/StripReportTenant
+//     splice it in O(len) copies without touching the clocks.
+//
+//   - Everything else (heartbeats, attach frames, report batches) travels
+//     wrapped in a tenant envelope, a v2-only frame that prefixes the inner
+//     frame with a tenant id:
+//
+//	tenantEnv := magic u8 | verV2 u8 | kind u8 (KindTenantEnv) |
+//	             tenant uv | inner frame bytes
+//
+// Tenant 0 — the default tenant, and the only one a pre-tenant peer can be —
+// is never tagged and never enveloped: its frames are byte-identical to the
+// single-tenant wire format, which is the whole backward-compatibility story
+// (v1 frames and untagged v2 frames decode as tenant 0).
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendTenantEnvelope appends a tenant envelope wrapping inner to dst and
+// returns the extended buffer. tenant must be nonzero: the default tenant's
+// frames travel bare.
+func AppendTenantEnvelope(dst []byte, tenant uint32, inner []byte) []byte {
+	if tenant == 0 {
+		panic("wire: tenant 0 frames travel unwrapped")
+	}
+	dst = append(dst, magic, verV2, KindTenantEnv)
+	dst = binary.AppendUvarint(dst, uint64(tenant))
+	return append(dst, inner...)
+}
+
+// TenantEnvelopeSize returns the encoded size of an envelope wrapping an
+// inner frame of innerLen bytes.
+func TenantEnvelopeSize(tenant uint32, innerLen int) int {
+	return 3 + uvarintLen(uint64(tenant)) + innerLen
+}
+
+// IsTenantEnvelope reports whether a frame is a tenant envelope.
+func IsTenantEnvelope(data []byte) bool {
+	return len(data) >= 3 && data[0] == magic && data[1] == verV2 && data[2] == KindTenantEnv
+}
+
+// DecodeTenantEnvelope splits a tenant envelope into its tenant id and inner
+// frame. The returned slice aliases data — the caller owns both or copies.
+func DecodeTenantEnvelope(data []byte) (uint32, []byte, error) {
+	if !IsTenantEnvelope(data) {
+		return 0, nil, fmt.Errorf("wire: not a tenant envelope: %w", ErrCorrupt)
+	}
+	v, sz := binary.Uvarint(data[3:])
+	if sz <= 0 {
+		return 0, nil, uvarintFieldErr(sz)
+	}
+	if v > 1<<32-1 {
+		return 0, nil, fmt.Errorf("wire: envelope tenant overflows u32: %w", ErrCorrupt)
+	}
+	if v == 0 {
+		return 0, nil, fmt.Errorf("wire: envelope carrying the default tenant: %w", ErrCorrupt)
+	}
+	inner := data[3+sz:]
+	if len(inner) == 0 {
+		return 0, nil, fmt.Errorf("wire: empty tenant envelope: %w", ErrTruncated)
+	}
+	return uint32(v), inner, nil
+}
+
+// TagReportTenant appends frame re-tagged with the given tenant id to dst: a
+// four-byte header with flagTenant set, the tenant uvarint, then the rest of
+// the original frame verbatim. frame must be an untagged v2 report; the
+// clocks are not decoded, so a basis-relative frame stays basis-relative.
+func TagReportTenant(dst []byte, tenant uint32, frame []byte) ([]byte, error) {
+	if tenant == 0 {
+		panic("wire: tenant 0 reports travel untagged")
+	}
+	if !IsReportV2(frame) {
+		return dst, fmt.Errorf("wire: not a v2 report frame: %w", ErrCorrupt)
+	}
+	if frame[3]&flagTenant != 0 {
+		return dst, fmt.Errorf("wire: report already tenant-tagged: %w", ErrCorrupt)
+	}
+	dst = append(dst, magic, verV2, KindReport, frame[3]|flagTenant)
+	dst = binary.AppendUvarint(dst, uint64(tenant))
+	return append(dst, frame[4:]...), nil
+}
+
+// StripReportTenant appends frame with its tenant tag removed to dst,
+// returning the extended buffer and the tag's tenant id. frame must be a
+// tenant-tagged v2 report.
+func StripReportTenant(dst []byte, frame []byte) ([]byte, uint32, error) {
+	if !IsReportV2(frame) {
+		return dst, 0, fmt.Errorf("wire: not a v2 report frame: %w", ErrCorrupt)
+	}
+	if frame[3]&flagTenant == 0 {
+		return dst, 0, fmt.Errorf("wire: report is not tenant-tagged: %w", ErrCorrupt)
+	}
+	v, sz := binary.Uvarint(frame[4:])
+	if sz <= 0 {
+		return dst, 0, uvarintFieldErr(sz)
+	}
+	if v == 0 || v > 1<<32-1 {
+		return dst, 0, fmt.Errorf("wire: report tenant tag %d: %w", v, ErrCorrupt)
+	}
+	dst = append(dst, magic, verV2, KindReport, frame[3]&^flagTenant)
+	return append(dst, frame[4+sz:]...), uint32(v), nil
+}

@@ -20,11 +20,13 @@ package wire
 // as in v1):
 //
 //	reportV2 := magic u8 | verV2 u8 | kind u8 (KindReport) | flags u8 |
-//	            origin uv | seq uv | linkSeq uv | epoch uv |
+//	            [tenant uv] | origin uv | seq uv | linkSeq uv | epoch uv |
 //	            spanLen uv | span uv[spanLen] |
 //	            lo vclock-delta | hi vclock-delta(base=lo)
 //
-// flags bit0 marks an aggregated interval, bit1 marks a basis-relative Lo.
+// flags bit0 marks an aggregated interval, bit1 marks a basis-relative Lo,
+// bit2 marks a tenant-tagged report (the tenant uvarint is present; see
+// tenant.go — tenant 0 is always encoded untagged).
 // verV2 (0x56) occupies the byte where v1 frames carry their kind; kinds stop
 // below 0x10, so one byte disambiguates every frame version on the wire and
 // mixed-version clusters decode each other's traffic during a rollout
@@ -63,6 +65,12 @@ const (
 const (
 	flagAgg     = 1 << 0
 	flagDeltaLo = 1 << 1
+	// flagTenant marks a tenant-tagged report: a tenant-id uvarint sits
+	// immediately after the flags byte, before every other varint field.
+	// Putting it first keeps tagging a cheap splice at a fixed offset — a
+	// transport can add or strip the tag without decoding the clocks — and
+	// leaving it off for tenant 0 keeps pre-tenant frames byte-identical.
+	flagTenant = 1 << 2
 )
 
 // FrameVersion returns the wire-format version of a frame after validating
@@ -103,7 +111,19 @@ func ReportOriginV2(data []byte) (int, error) {
 	if len(data) < 4 || data[0] != magic || data[1] != verV2 || data[2] != KindReport {
 		return 0, fmt.Errorf("wire: not a v2 report frame: %w", ErrCorrupt)
 	}
-	v, sz := binary.Uvarint(data[4:])
+	rest := data[4:]
+	if data[3]&flagTenant != 0 {
+		// Skip the tenant tag; the origin varint follows it.
+		v, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return 0, uvarintFieldErr(sz)
+		}
+		if v > 1<<32-1 {
+			return 0, fmt.Errorf("wire: report tenant overflows u32: %w", ErrCorrupt)
+		}
+		rest = rest[sz:]
+	}
+	v, sz := binary.Uvarint(rest)
 	if sz <= 0 {
 		return 0, uvarintFieldErr(sz)
 	}
@@ -111,6 +131,26 @@ func ReportOriginV2(data []byte) (int, error) {
 		return 0, fmt.Errorf("wire: report origin overflows u32: %w", ErrCorrupt)
 	}
 	return int(uint32(v)), nil
+}
+
+// ReportTenantV2 extracts the tenant id from a v2 report frame without
+// decoding the rest: 0 for untagged frames (the default tenant), the tag's
+// value otherwise. Transports use it to key per-tenant stream state.
+func ReportTenantV2(data []byte) (uint32, error) {
+	if len(data) < 4 || data[0] != magic || data[1] != verV2 || data[2] != KindReport {
+		return 0, fmt.Errorf("wire: not a v2 report frame: %w", ErrCorrupt)
+	}
+	if data[3]&flagTenant == 0 {
+		return 0, nil
+	}
+	v, sz := binary.Uvarint(data[4:])
+	if sz <= 0 {
+		return 0, uvarintFieldErr(sz)
+	}
+	if v > 1<<32-1 {
+		return 0, fmt.Errorf("wire: report tenant overflows u32: %w", ErrCorrupt)
+	}
+	return uint32(v), nil
 }
 
 // AppendReportV2 appends the v2 encoding of r to dst and returns the
@@ -128,7 +168,13 @@ func AppendReportV2(dst []byte, r Report, basis vclock.VC) []byte {
 		flags |= flagDeltaLo
 		loBase = basis
 	}
+	if r.Tenant != 0 {
+		flags |= flagTenant
+	}
 	dst = append(dst, magic, verV2, KindReport, flags)
+	if r.Tenant != 0 {
+		dst = binary.AppendUvarint(dst, uint64(r.Tenant))
+	}
 	dst = binary.AppendUvarint(dst, uint64(uint32(r.Iv.Origin)))
 	dst = binary.AppendUvarint(dst, uint64(uint32(r.Iv.Seq)))
 	dst = binary.AppendUvarint(dst, uint64(uint32(r.LinkSeq)))
@@ -155,8 +201,11 @@ func ReportSizeV2(r Report, basis vclock.VC) int {
 	if basis != nil && basis.Len() != r.Iv.Lo.Len() {
 		basis = nil
 	}
-	size := 4 +
-		uvarintLen(uint64(uint32(r.Iv.Origin))) +
+	size := 4
+	if r.Tenant != 0 {
+		size += uvarintLen(uint64(r.Tenant))
+	}
+	size += uvarintLen(uint64(uint32(r.Iv.Origin))) +
 		uvarintLen(uint64(uint32(r.Iv.Seq))) +
 		uvarintLen(uint64(uint32(r.LinkSeq))) +
 		uvarintLen(uint64(uint32(r.Epoch))) +
@@ -199,10 +248,26 @@ func DecodeReportInto(data []byte, r *Report, basis vclock.VC) error {
 		return fmt.Errorf("wire: v2 kind %d is not a report: %w", data[2], ErrCorrupt)
 	}
 	flags := data[3]
-	if flags&^(flagAgg|flagDeltaLo) != 0 {
+	if flags&^(flagAgg|flagDeltaLo|flagTenant) != 0 {
 		return fmt.Errorf("wire: report flags 0x%02x: %w", flags, ErrCorrupt)
 	}
 	rest := data[4:]
+	r.Tenant = 0
+	if flags&flagTenant != 0 {
+		v, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return uvarintFieldErr(sz)
+		}
+		if v > 1<<32-1 {
+			return fmt.Errorf("wire: report tenant overflows u32: %w", ErrCorrupt)
+		}
+		if v == 0 {
+			// Tenant 0 is always encoded untagged; a tagged zero is a frame
+			// no encoder produces.
+			return fmt.Errorf("wire: tenant tag carrying the default tenant: %w", ErrCorrupt)
+		}
+		r.Tenant, rest = uint32(v), rest[sz:]
+	}
 	var fields [5]uint64
 	for i := range fields {
 		v, sz := binary.Uvarint(rest)

@@ -265,6 +265,13 @@ func FuzzDecodeReportV2(f *testing.F) {
 	f.Add(AppendReportV2(nil, rep, vclock.Of(1, 0, 2)), true)
 	agg := interval.Aggregate([]interval.Interval{rep.Iv}, 0, 0, false)
 	f.Add(EncodeReportV2(Report{Iv: agg}), false)
+	tagged := rep
+	tagged.Tenant = 7
+	f.Add(EncodeReportV2(tagged), false)
+	tagged.Tenant = 1 << 31
+	f.Add(AppendReportV2(nil, tagged, vclock.Of(1, 0, 2)), true)
+	f.Add([]byte{magic, verV2, KindReport, flagTenant}, false)
+	f.Add([]byte{magic, verV2, KindReport, flagTenant, 0x80}, false)
 	f.Add([]byte{magic, verV2, KindReport, 0}, false)
 	f.Add([]byte{}, false)
 	f.Fuzz(func(t *testing.T, data []byte, withBasis bool) {
@@ -283,7 +290,8 @@ func FuzzDecodeReportV2(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if !r2.Iv.Lo.Equal(r.Iv.Lo) || !r2.Iv.Hi.Equal(r.Iv.Hi) ||
-			r2.Iv.Origin != r.Iv.Origin || r2.LinkSeq != r.LinkSeq || r2.Iv.Agg != r.Iv.Agg {
+			r2.Iv.Origin != r.Iv.Origin || r2.LinkSeq != r.LinkSeq ||
+			r2.Iv.Agg != r.Iv.Agg || r2.Tenant != r.Tenant {
 			t.Fatal("decode/encode/decode changed the report")
 		}
 	})

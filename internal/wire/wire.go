@@ -37,13 +37,15 @@ import (
 
 const magic = 0xD7
 
-// Message kinds on the wire. KindReportBatch exists only under v2 framing
-// (see batch.go); the other kinds appear in both frame versions.
+// Message kinds on the wire. KindReportBatch and KindTenantEnv exist only
+// under v2 framing (see batch.go and tenant.go); the other kinds appear in
+// both frame versions.
 const (
 	KindReport      = 1
 	KindHeartbeat   = 2
 	KindAttach      = 3
 	KindReportBatch = 4
+	KindTenantEnv   = 5
 )
 
 // MaxSpan bounds the span (and covered-set) length a decoder accepts before
@@ -86,6 +88,7 @@ func FrameKind(data []byte) (byte, error) {
 	switch {
 	case k == KindReport || k == KindHeartbeat || k == KindAttach:
 	case k == KindReportBatch && v2: // batch frames are v2-only
+	case k == KindTenantEnv && v2: // tenant envelopes are v2-only
 	default:
 		return 0, fmt.Errorf("wire: unknown kind %d: %w", k, ErrCorrupt)
 	}
@@ -106,6 +109,12 @@ type Report struct {
 	// the receiver to reset the stream's queue (succession across epochs is
 	// not guaranteed).
 	Epoch int
+	// Tenant is the detection tree this report belongs to when many trees
+	// share one transport (internal/tenantplane). Zero — the default, and
+	// the only value v1 frames can carry — encodes untagged, byte-identical
+	// to pre-tenant v2 frames; nonzero values ride a varint behind a flag
+	// bit (see v2.go).
+	Tenant uint32
 }
 
 // EncodeReport serializes a report.
@@ -158,6 +167,7 @@ func decodeReportV1(data []byte, r *Report) error {
 	r.Iv.Seq = int(binary.BigEndian.Uint32(rest[4:]))
 	r.LinkSeq = int(binary.BigEndian.Uint32(rest[8:]))
 	r.Epoch = int(binary.BigEndian.Uint32(rest[12:]))
+	r.Tenant = 0 // v1 predates tenant tagging: always the default tenant
 	r.Iv.Agg = rest[16] == 1
 	rest = rest[17:]
 	r.Iv.Span, rest, err = consumeIDsInto(r.Iv.Span, rest, "report span")

@@ -1,6 +1,7 @@
 package hierdet
 
 import (
+	"strings"
 	"time"
 
 	"hierdet/internal/livenet"
@@ -102,9 +103,11 @@ type LiveDistributedOptions struct {
 }
 
 // LiveConfig parameterizes NewLiveCluster. Tuning lives in the three option
-// groups — Delivery, Failure and Distributed; the flat fields mirroring them
-// are deprecated aliases kept for source compatibility, consulted only where
-// the grouped field is unset.
+// groups — Delivery, Failure and Distributed. The flat fields mirroring them
+// are deprecated aliases kept only so old code still compiles: setting any of
+// them is rejected (Validate returns a *FlatConfigError naming the
+// stragglers, and NewLiveCluster panics with it) rather than silently folded,
+// so a migrated deployment cannot carry tuning that no longer does anything.
 type LiveConfig struct {
 	// Topology is the spanning tree (required).
 	Topology *Topology
@@ -144,74 +147,82 @@ type LiveConfig struct {
 	// Deprecated: consume SolutionFound events from Events instead.
 	OnDetect func(LiveDetection)
 
-	// Deprecated: use Delivery.MaxDelay.
+	// Deprecated: use Delivery.MaxDelay. Setting this is rejected.
 	MaxDelay time.Duration
-	// Deprecated: use Delivery.Workers.
+	// Deprecated: use Delivery.Workers. Setting this is rejected.
 	Workers int
-	// Deprecated: use Delivery.MailboxBound.
+	// Deprecated: use Delivery.MailboxBound. Setting this is rejected.
 	MailboxBound int
-	// Deprecated: use Delivery.BatchWindow.
+	// Deprecated: use Delivery.BatchWindow. Setting this is rejected.
 	BatchWindow time.Duration
-	// Deprecated: use Failure.HbEvery.
+	// Deprecated: use Failure.HbEvery. Setting this is rejected.
 	HbEvery time.Duration
-	// Deprecated: use Failure.HbTimeout.
+	// Deprecated: use Failure.HbTimeout. Setting this is rejected.
 	HbTimeout time.Duration
-	// Deprecated: use Failure.SeekTimeout.
+	// Deprecated: use Failure.SeekTimeout. Setting this is rejected.
 	SeekTimeout time.Duration
-	// Deprecated: use Failure.ResendLastOnAdopt.
+	// Deprecated: use Failure.ResendLastOnAdopt. Setting this is rejected.
 	ResendLastOnAdopt bool
-	// Deprecated: use Distributed.Transport.
+	// Deprecated: use Distributed.Transport. Setting this is rejected.
 	Transport Transport
-	// Deprecated: use Distributed.LocalNodes.
+	// Deprecated: use Distributed.LocalNodes. Setting this is rejected.
 	LocalNodes []int
-	// Deprecated: use Distributed.StartupGrace.
+	// Deprecated: use Distributed.StartupGrace. Setting this is rejected.
 	StartupGrace time.Duration
 }
 
-// resolve folds the deprecated flat aliases into the grouped options: each
-// grouped field wins where set, the alias fills it where not. Booleans OR
-// (there is no "explicitly false" to distinguish from unset).
-func (cfg LiveConfig) resolve() LiveConfig {
-	d, f, x := &cfg.Delivery, &cfg.Failure, &cfg.Distributed
-	if d.MaxDelay == 0 {
-		d.MaxDelay = cfg.MaxDelay
+// FlatConfigError reports deprecated flat LiveConfig alias fields that were
+// set. The grouped options (Delivery, Failure, Distributed) are the only
+// configuration path; a flat value would be silently ignored, and a cluster
+// running without the tuning its config spells out is worse than a loud
+// constructor failure.
+type FlatConfigError struct {
+	// Fields names the offending LiveConfig fields, in declaration order.
+	Fields []string
+}
+
+func (e *FlatConfigError) Error() string {
+	return "hierdet: deprecated flat LiveConfig field(s) set: " +
+		strings.Join(e.Fields, ", ") +
+		" — move the value(s) into the Delivery/Failure/Distributed groups"
+}
+
+// Validate checks a LiveConfig for the deprecated flat alias fields,
+// returning a *FlatConfigError naming every one that is set, or nil for a
+// clean grouped configuration. NewLiveCluster panics with exactly this
+// error, so callers migrating old configs can check ahead of construction.
+func (cfg LiveConfig) Validate() error {
+	var bad []string
+	flag := func(set bool, name string) {
+		if set {
+			bad = append(bad, name)
+		}
 	}
-	if d.Workers == 0 {
-		d.Workers = cfg.Workers
+	flag(cfg.MaxDelay != 0, "MaxDelay")
+	flag(cfg.Workers != 0, "Workers")
+	flag(cfg.MailboxBound != 0, "MailboxBound")
+	flag(cfg.BatchWindow != 0, "BatchWindow")
+	flag(cfg.HbEvery != 0, "HbEvery")
+	flag(cfg.HbTimeout != 0, "HbTimeout")
+	flag(cfg.SeekTimeout != 0, "SeekTimeout")
+	flag(cfg.ResendLastOnAdopt, "ResendLastOnAdopt")
+	flag(cfg.Transport != nil, "Transport")
+	flag(cfg.LocalNodes != nil, "LocalNodes")
+	flag(cfg.StartupGrace != 0, "StartupGrace")
+	if bad != nil {
+		return &FlatConfigError{Fields: bad}
 	}
-	if d.MailboxBound == 0 {
-		d.MailboxBound = cfg.MailboxBound
-	}
-	if d.BatchWindow == 0 {
-		d.BatchWindow = cfg.BatchWindow
-	}
-	if f.HbEvery == 0 {
-		f.HbEvery = cfg.HbEvery
-	}
-	if f.HbTimeout == 0 {
-		f.HbTimeout = cfg.HbTimeout
-	}
-	if f.SeekTimeout == 0 {
-		f.SeekTimeout = cfg.SeekTimeout
-	}
-	f.ResendLastOnAdopt = f.ResendLastOnAdopt || cfg.ResendLastOnAdopt
-	if x.Transport == nil {
-		x.Transport = cfg.Transport
-	}
-	if x.LocalNodes == nil {
-		x.LocalNodes = cfg.LocalNodes
-	}
-	if x.StartupGrace == 0 {
-		x.StartupGrace = cfg.StartupGrace
-	}
-	return cfg
+	return nil
 }
 
 // NewLiveCluster builds and starts a live cluster. Feed completed local
 // intervals with Observe (safe from one goroutine per process) and call Stop
-// to drain and collect the detections.
+// to drain and collect the detections. It panics with a *FlatConfigError if
+// any deprecated flat alias field is set (see Validate).
 func NewLiveCluster(cfg LiveConfig) *LiveCluster {
-	cfg = cfg.resolve()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	return livenet.New(livenet.Config{
 		Topology:          cfg.Topology,
 		MaxDelay:          cfg.Delivery.MaxDelay,

@@ -40,6 +40,14 @@ const (
 	EventRepairConcluded = obsv.RepairConcluded
 	// EventTransportRedial: the transport re-established a peer connection.
 	EventTransportRedial = obsv.TransportRedial
+	// EventTenantRegistered: a tenant plane instantiated a predicate tree.
+	EventTenantRegistered = obsv.TenantRegistered
+	// EventTenantEvicted: a tenant's tree was stopped and unregistered.
+	EventTenantEvicted = obsv.TenantEvicted
+	// EventLeaseAcquired: a fleet monitor took ownership of a tenant bucket.
+	EventLeaseAcquired = obsv.LeaseAcquired
+	// EventLeaseLost: a fleet monitor lost (or shed) a tenant bucket.
+	EventLeaseLost = obsv.LeaseLost
 )
 
 // NoPeer marks an absent Event counterparty (it equals NoParent).

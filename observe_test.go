@@ -1,90 +1,68 @@
 package hierdet
 
 import (
+	"errors"
+	"slices"
 	"strings"
 	"testing"
 	"time"
 )
 
-// TestLiveConfigResolveGroupedVsFlat pins the alias semantics of the grouped
-// LiveConfig: a grouped field wins where set, the deprecated flat field
-// fills it where not, and booleans OR.
-func TestLiveConfigResolveGroupedVsFlat(t *testing.T) {
-	// Flat-only config: everything folds into the groups.
-	flat := LiveConfig{
+// TestLiveConfigRejectsFlatAliases pins satellite behaviour of the grouped
+// LiveConfig: the deprecated flat alias fields are no longer folded into the
+// groups — Validate names every straggler in a typed *FlatConfigError, and a
+// clean grouped configuration passes.
+func TestLiveConfigRejectsFlatAliases(t *testing.T) {
+	err := LiveConfig{
 		MaxDelay:          time.Millisecond,
 		Workers:           3,
-		MailboxBound:      128,
-		BatchWindow:       time.Microsecond,
-		HbEvery:           2 * time.Millisecond,
-		HbTimeout:         9 * time.Millisecond,
-		SeekTimeout:       time.Second,
 		ResendLastOnAdopt: true,
 		LocalNodes:        []int{1, 2},
-		StartupGrace:      time.Minute,
-	}.resolve()
-	if flat.Delivery.MaxDelay != time.Millisecond || flat.Delivery.Workers != 3 ||
-		flat.Delivery.MailboxBound != 128 || flat.Delivery.BatchWindow != time.Microsecond {
-		t.Errorf("flat delivery fields not folded: %+v", flat.Delivery)
+	}.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted flat alias fields")
 	}
-	if flat.Failure.HbEvery != 2*time.Millisecond || flat.Failure.HbTimeout != 9*time.Millisecond ||
-		flat.Failure.SeekTimeout != time.Second || !flat.Failure.ResendLastOnAdopt {
-		t.Errorf("flat failure fields not folded: %+v", flat.Failure)
+	var fce *FlatConfigError
+	if !errors.As(err, &fce) {
+		t.Fatalf("Validate error is %T, want *FlatConfigError", err)
 	}
-	if len(flat.Distributed.LocalNodes) != 2 || flat.Distributed.StartupGrace != time.Minute {
-		t.Errorf("flat distributed fields not folded: %+v", flat.Distributed)
+	if got, want := fce.Fields, []string{"MaxDelay", "Workers", "ResendLastOnAdopt", "LocalNodes"}; !slices.Equal(got, want) {
+		t.Fatalf("FlatConfigError.Fields = %v, want %v", got, want)
+	}
+	for _, f := range fce.Fields {
+		if !strings.Contains(err.Error(), f) {
+			t.Errorf("error text does not name %s: %q", f, err)
+		}
 	}
 
-	// Grouped set alongside conflicting flat values: grouped wins.
-	both := LiveConfig{
-		Delivery:  LiveDeliveryOptions{MaxDelay: 5 * time.Millisecond, Workers: 7},
-		Failure:   LiveFailureOptions{HbEvery: time.Second},
-		MaxDelay:  time.Nanosecond,
-		Workers:   1,
-		HbEvery:   time.Nanosecond,
-		HbTimeout: 4 * time.Second,
-	}.resolve()
-	if both.Delivery.MaxDelay != 5*time.Millisecond || both.Delivery.Workers != 7 {
-		t.Errorf("grouped delivery lost to flat aliases: %+v", both.Delivery)
+	grouped := LiveConfig{
+		Delivery: LiveDeliveryOptions{MaxDelay: time.Millisecond, Workers: 3},
+		Failure:  LiveFailureOptions{HbEvery: time.Millisecond, ResendLastOnAdopt: true},
+		Distributed: LiveDistributedOptions{
+			LocalNodes: []int{1, 2}, StartupGrace: time.Minute,
+		},
 	}
-	if both.Failure.HbEvery != time.Second {
-		t.Errorf("grouped HbEvery lost to flat alias: %v", both.Failure.HbEvery)
-	}
-	// Unset grouped fields still pick up their flat alias.
-	if both.Failure.HbTimeout != 4*time.Second {
-		t.Errorf("unset grouped HbTimeout ignored flat alias: %v", both.Failure.HbTimeout)
+	if err := grouped.Validate(); err != nil {
+		t.Fatalf("grouped-only config rejected: %v", err)
 	}
 }
 
-// TestLiveClusterFlatAndGroupedEquivalent runs the same workload through a
-// flat-configured and a grouped-configured cluster and expects identical
-// detection counts — the deprecated spelling stays a strict synonym.
-func TestLiveClusterFlatAndGroupedEquivalent(t *testing.T) {
-	const rounds = 8
-	run := func(cfg LiveConfig) int {
-		topo := BalancedTree(2, 2)
-		cfg.Topology, cfg.Seed, cfg.Verify = topo, 5, true
-		exec := GenerateWorkload(topo, rounds, 5, 1, 0, 0)
-		c := NewLiveCluster(cfg)
-		for p := 0; p < topo.N(); p++ {
-			for _, iv := range exec.Streams[p] {
-				c.Observe(p, iv)
-			}
+// TestNewLiveClusterPanicsOnFlatAliases: the constructor refuses to build a
+// cluster whose config carries values it would have to ignore.
+func TestNewLiveClusterPanicsOnFlatAliases(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewLiveCluster accepted a flat alias field")
 		}
-		roots := 0
-		for _, d := range c.Stop() {
-			if d.AtRoot {
-				roots++
-			}
+		if _, ok := r.(*FlatConfigError); !ok {
+			t.Fatalf("panic value is %T, want *FlatConfigError", r)
 		}
-		return roots
-	}
-	flat := run(LiveConfig{MaxDelay: 300 * time.Microsecond, BatchWindow: 100 * time.Microsecond})
-	grouped := run(LiveConfig{Delivery: LiveDeliveryOptions{
-		MaxDelay: 300 * time.Microsecond, BatchWindow: 100 * time.Microsecond}})
-	if flat != rounds || grouped != rounds {
-		t.Fatalf("flat = %d, grouped = %d root detections, want %d each", flat, grouped, rounds)
-	}
+	}()
+	NewLiveCluster(LiveConfig{
+		Topology: BalancedTree(2, 2),
+		HbEvery:  time.Millisecond, // deprecated spelling of Failure.HbEvery
+	})
 }
 
 // TestDistributedExpositionIncludesTransport runs a two-participant TCP

@@ -5,7 +5,10 @@
 # processes with node 0 serving its pprof/metrics endpoint, scrapes /metrics
 # once traffic is flowing, and asserts the Prometheus exposition carries the
 # core families of every plane: detector nodes, the scheduler, the timer
-# wheel, the cluster ledger, events and the TCP transport. Localhost only.
+# wheel, the cluster ledger, events and the TCP transport. A second phase
+# re-runs the deployment with -tenants 2 and asserts the tenant plane's
+# families — per-tenant counters, lease state and the mux drop counter —
+# appear with both tenant labels. Localhost only.
 #
 # Ports are reserved with the bind-read-release trick (scripts/freeport for
 # the metrics endpoint, hierdet-node -init for the node ports), which is
@@ -42,15 +45,17 @@ go build -o "$workdir/hierdet-node" ./cmd/hierdet-node
 # each poll, fails the attempt immediately) or as a scrape timeout.
 scrape="$workdir/metrics.txt"
 metrics_addr=""
+# attempt <tenants> <ready-series>: fresh ports, fresh cluster file, launch,
+# poll until a scrape carries the ready series with a nonzero value.
 attempt() {
-    local metrics_port
+    local tenants="$1" ready="$2" metrics_port
     metrics_port=$(go run ./scripts/freeport 2>/dev/null || true)
     if [ -z "$metrics_port" ]; then
         metrics_port=6464
     fi
     metrics_addr="127.0.0.1:$metrics_port"
 
-    "$workdir/hierdet-node" -init -o "$workdir/cluster.json" -n 3 -rounds 200 -phase1 199
+    "$workdir/hierdet-node" -init -o "$workdir/cluster.json" -n 3 -rounds 200 -phase1 199 -tenants "$tenants"
 
     "$workdir/hierdet-node" -config "$workdir/cluster.json" -id 0 -pprof "$metrics_addr" >"$workdir/node0.log" 2>&1 &
     pids+=($!)
@@ -61,7 +66,7 @@ attempt() {
 
     for _ in $(seq 1 75); do
         if curl -fsS "http://$metrics_addr/metrics" >"$scrape" 2>/dev/null &&
-            grep -q 'hierdet_node_detections_total{node="0"} [1-9]' "$scrape"; then
+            grep -q "$ready" "$scrape"; then
             return 0
         fi
         if grep -l 'address already in use' "$workdir"/node*.log >/dev/null 2>&1; then
@@ -75,26 +80,31 @@ attempt() {
 }
 
 max_attempts=5
-ok=0
-for try in $(seq 1 "$max_attempts"); do
-    if attempt; then
-        ok=1
-        break
+# run_phase <tenants> <ready-series>: the attempt loop with bounded backoff.
+run_phase() {
+    local tenants="$1" ready="$2" ok=0 try
+    for try in $(seq 1 "$max_attempts"); do
+        if attempt "$tenants" "$ready"; then
+            ok=1
+            break
+        fi
+        stop_nodes
+        if [ "$try" -lt "$max_attempts" ]; then
+            echo "metrics_smoke: attempt $try/$max_attempts failed; retrying with fresh ports in ${try}s" >&2
+            sleep "$try"
+        fi
+    done
+    if [ "$ok" != 1 ]; then
+        echo "metrics_smoke: all $max_attempts attempts failed" >&2
+        echo "--- last scrape ---" >&2
+        cat "$scrape" >&2 || true
+        echo "--- node 0 log ---" >&2
+        cat "$workdir/node0.log" >&2
+        exit 1
     fi
-    stop_nodes
-    if [ "$try" -lt "$max_attempts" ]; then
-        echo "metrics_smoke: attempt $try/$max_attempts failed; retrying with fresh ports in ${try}s" >&2
-        sleep "$try"
-    fi
-done
-if [ "$ok" != 1 ]; then
-    echo "metrics_smoke: all $max_attempts attempts failed" >&2
-    echo "--- last scrape ---" >&2
-    cat "$scrape" >&2 || true
-    echo "--- node 0 log ---" >&2
-    cat "$workdir/node0.log" >&2
-    exit 1
-fi
+}
+
+run_phase 1 'hierdet_node_detections_total{node="0"} [1-9]'
 
 # Core series of every plane must be present in the exposition.
 for series in \
@@ -121,9 +131,44 @@ for series in \
 done
 
 # Valid exposition shape: every non-comment line is `name{labels} value`.
-if grep -vE '^(#|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (\+|-)?Inf|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? NaN|$)' "$scrape" >&2; then
-    echo "metrics_smoke: malformed exposition lines above" >&2
-    exit 1
-fi
+check_shape() {
+    if grep -vE '^(#|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (\+|-)?Inf|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? NaN|$)' "$scrape" >&2; then
+        echo "metrics_smoke: malformed exposition lines above" >&2
+        exit 1
+    fi
+}
+check_shape
+single_series=$(grep -c '^hierdet_' "$scrape")
 
-echo "metrics_smoke: OK ($(grep -c '^hierdet_' "$scrape") hierdet series scraped from $metrics_addr)"
+# Phase 2: the same 3-process deployment serving two tenants. The scrape now
+# comes from the tenant plane's registry: per-tenant families labelled t0/t1,
+# the process's lease view and the mux drop counter, with the shared
+# transport's families alongside.
+stop_nodes
+run_phase 2 'hierdet_tenant_detections_total{tenant="t0"} [1-9]'
+
+for series in \
+    'hierdet_tenants 2' \
+    'hierdet_tenants_registered_total 2' \
+    'hierdet_tenant_detections_total{tenant="t0"}' \
+    'hierdet_tenant_detections_total{tenant="t1"}' \
+    'hierdet_tenant_intervals_in_total{tenant="t0"}' \
+    'hierdet_tenant_intervals_in_total{tenant="t1"}' \
+    'hierdet_tenant_msgs_in_total{tenant="t0"}' \
+    'hierdet_tenant_msgs_out_total{tenant="t1"}' \
+    'hierdet_tenant_owned{tenant="t0"} 1' \
+    'hierdet_tenant_owned{tenant="t1"} 1' \
+    'hierdet_lease_buckets_owned{monitor="node-0"} 256' \
+    'hierdet_lease_monitors_live 1' \
+    'hierdet_mux_dropped_total 0' \
+    'hierdet_transport_frames_in_total ' \
+    'hierdet_transport_frames_out_total '; do
+    if ! grep -qF "$series" "$scrape"; then
+        echo "metrics_smoke: tenant exposition missing '$series'" >&2
+        cat "$scrape" >&2
+        exit 1
+    fi
+done
+check_shape
+
+echo "metrics_smoke: OK ($single_series single-tenant + $(grep -c '^hierdet_' "$scrape") tenant-plane hierdet series scraped from $metrics_addr)"
