@@ -449,6 +449,12 @@ func summarizeScale(suites []suiteOut) map[string]float64 {
 		if v, ok := metric(suites, "./internal/tenantplane", name, "per-tenant-intervals/sec"); ok {
 			sum[fmt.Sprintf("tenants%d_per_tenant_intervals_per_sec", tenants)] = v
 		}
+		if v, ok := metric(suites, "./internal/tenantplane", name, "goroutines"); ok {
+			sum[fmt.Sprintf("tenants%d_goroutines", tenants)] = v
+		}
+		if v, ok := metric(suites, "./internal/tenantplane", name, "bytes/tenant"); ok {
+			sum[fmt.Sprintf("tenants%d_bytes_per_tenant", tenants)] = v
+		}
 	}
 	// Multiplexing overhead: how much total plane throughput costs relative
 	// to running the same workload as one predicate.

@@ -107,6 +107,12 @@ type Config struct {
 	// unless Parallel is set.
 	Pool *Pool
 
+	// Clocks, when set, is a shared chunk arena the node's flat vclock
+	// store carves from — many nodes (across many clusters, in the tenant
+	// plane) bump-allocate out of common slabs instead of each stranding
+	// its own chunk tails. Ignored unless Parallel is set.
+	Clocks *vclock.Arena
+
 	// FanoutThreshold overrides the minimum number of clock components a
 	// comparison round must carry before it fans out to Pool (0 = default).
 	// Tests lower it to force fanout at toy sizes.
@@ -176,7 +182,7 @@ func NewNode(id int, cfg Config, local bool) *Node {
 		lastHi: make(map[int]interval.Interval),
 	}
 	if cfg.Parallel {
-		nd.store = vclock.NewStore(cfg.N)
+		nd.store = vclock.NewStoreIn(cfg.N, cfg.Clocks)
 	}
 	if local {
 		nd.addSource(id)

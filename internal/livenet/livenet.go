@@ -121,6 +121,18 @@ type Config struct {
 	// GOMAXPROCS. Ignored under SequentialDetect/LegacyDelivery.
 	DetectWorkers int
 
+	// Scheduler attaches the cluster to a shared scheduler substrate (see
+	// NewSharedScheduler): the substrate's worker pool drains the mailbox
+	// shards, its timer wheel carries the delayed messages and heartbeat
+	// ticks, its comparison pool backs the parallel detection engine and its
+	// clock arena supplies the aggregate storage — the cluster spawns no
+	// delivery goroutines of its own. Workers and DetectWorkers are then
+	// ignored (the substrate's pools are sized once, at its creation);
+	// MailboxBound still applies per cluster. Nil (the default) keeps a
+	// private pool and wheel — a standalone cluster behaves exactly as
+	// before. Incompatible with LegacyDelivery.
+	Scheduler *SharedScheduler
+
 	// HbEvery enables failure handling: on this period every node publishes
 	// a liveness beacon and checks the beacons of its tree neighbours. Zero
 	// (the default) disables heartbeats and failure handling; Kill then
@@ -212,13 +224,22 @@ const (
 type Cluster struct {
 	cfg     Config
 	nodes   map[int]*liveNode
-	wg      sync.WaitGroup // worker pool
+	wg      sync.WaitGroup // worker pool (private mode only)
 	wheel   *wheel
-	runq    chan *liveNode
-	bound   int // mailbox bound for external producers
+	runq    chan *liveNode // private mode: the channel behind sched
+	sched   runQueue       // where enqueue schedules nodes (see sched.go)
+	bound   int            // mailbox bound for external producers
 	workers int
+	// shared is the substrate this cluster rides (Config.Scheduler), with
+	// seat the cluster's DRR run-queue client on it; both nil in private
+	// mode. halted flips at Stop so the shared wheel stops re-arming this
+	// cluster's recurring ticks.
+	shared *SharedScheduler
+	seat   *schedClient
+	halted atomic.Bool
 	// detectPool is the comparison worker set shared by every hosted node's
-	// parallel detection engine; nil under SequentialDetect/LegacyDelivery.
+	// parallel detection engine; nil under SequentialDetect/LegacyDelivery,
+	// substrate-owned when shared is set (Stop then must not close it).
 	detectPool *core.Pool
 	remote     bool      // distributed mode: Transport is set
 	startAt    time.Time // StartupGrace reference point
@@ -272,6 +293,9 @@ func New(cfg Config) *Cluster {
 	if cfg.Transport != nil && cfg.StartupGrace == 0 {
 		cfg.StartupGrace = 2 * cfg.HbTimeout
 	}
+	if cfg.Scheduler != nil && cfg.LegacyDelivery {
+		panic("livenet: Scheduler is incompatible with LegacyDelivery")
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -285,33 +309,54 @@ func New(cfg Config) *Cluster {
 		topo:    cfg.Topology,
 		bound:   cfg.MailboxBound,
 		workers: cfg.Workers,
+		shared:  cfg.Scheduler,
 		nodes:   make(map[int]*liveNode),
 		killed:  make(map[int]bool),
 		seeking: make(map[int]bool),
 	}
 	c.cond = sync.NewCond(&c.mu)
-	c.wheel = newWheel(c, cfg.MaxDelay/8)
-	c.reg = obsv.NewRegistry()
-	if !cfg.SequentialDetect && !cfg.LegacyDelivery {
-		dw := cfg.DetectWorkers
-		if dw <= 0 {
-			dw = runtime.GOMAXPROCS(0)
+	if c.shared != nil {
+		// Shared substrate: adopt its wheel, pools and clock arena; the
+		// cluster's only seat on it is a DRR run-queue client.
+		c.wheel = c.shared.wheel
+		c.workers = c.shared.workers
+		c.seat = c.shared.register()
+		c.sched = c.seat
+		if !cfg.SequentialDetect {
+			c.detectPool = c.shared.detect
 		}
-		c.detectPool = core.NewPool(dw)
+	} else {
+		c.wheel = newWheel(cfg.MaxDelay / 8)
+		if !cfg.SequentialDetect && !cfg.LegacyDelivery {
+			dw := cfg.DetectWorkers
+			if dw <= 0 {
+				dw = runtime.GOMAXPROCS(0)
+			}
+			c.detectPool = core.NewPool(dw)
+		}
 	}
+	c.reg = obsv.NewRegistry()
 	hosted := cfg.Topology.AliveNodes()
 	if c.remote && len(cfg.LocalNodes) > 0 {
 		hosted = cfg.LocalNodes
 	}
-	for _, id := range hosted {
+	// One slab for all hosted processes: the node structs dominate a
+	// cluster's construction allocations, and a plane registering hundreds
+	// of tenants pays that bill hundreds of times over.
+	slab := make([]liveNode, len(hosted))
+	for i, id := range hosted {
 		if !cfg.Topology.Alive(id) {
 			panic(fmt.Sprintf("livenet: LocalNodes lists dead or unknown node %d", id))
 		}
-		c.nodes[id] = newLiveNode(c, id)
+		initLiveNode(&slab[i], c, id)
+		c.nodes[id] = &slab[i]
 	}
-	// Sentinel stops (one nil per worker) ride the same queue as work, so
-	// the capacity covers every node being scheduled at once plus them.
-	c.runq = make(chan *liveNode, len(c.nodes)+c.workers)
+	if c.shared == nil {
+		// Sentinel stops (one nil per worker) ride the same queue as work, so
+		// the capacity covers every node being scheduled at once plus them.
+		c.runq = make(chan *liveNode, len(c.nodes)+c.workers)
+		c.sched = chanQueue{ch: c.runq}
+	}
 	c.registerFamilies()
 	if c.remote {
 		// A transport that knows how to describe itself (tcptransport does)
@@ -326,22 +371,24 @@ func New(cfg Config) *Cluster {
 			panic(fmt.Sprintf("livenet: transport start: %v", err))
 		}
 	}
-	go c.wheel.run()
-	if cfg.LegacyDelivery {
-		// The seed delivery plane, whole: one goroutine and one inbox channel
-		// per node, heartbeats on per-node tickers (in runLegacy), delayed
-		// messages on fresh sleeping goroutines (in post). The wheel stays up
-		// but idle so Stop's teardown is uniform.
-		for _, ln := range c.nodes {
-			ln.inbox = make(chan message, 256)
-			c.wg.Add(1)
-			go ln.runLegacy()
+	if c.shared == nil {
+		go c.wheel.run()
+		if cfg.LegacyDelivery {
+			// The seed delivery plane, whole: one goroutine and one inbox
+			// channel per node, heartbeats on per-node tickers (in runLegacy),
+			// delayed messages on fresh sleeping goroutines (in post). The
+			// wheel stays up but idle so Stop's teardown is uniform.
+			for _, ln := range c.nodes {
+				ln.inbox = make(chan message, 256)
+				c.wg.Add(1)
+				go ln.runLegacy()
+			}
+			return c
 		}
-		return c
-	}
-	for i := 0; i < c.workers; i++ {
-		c.wg.Add(1)
-		go c.worker()
+		for i := 0; i < c.workers; i++ {
+			c.wg.Add(1)
+			go c.worker()
+		}
 	}
 	if cfg.HbEvery > 0 {
 		for _, ln := range c.nodes {
@@ -475,33 +522,49 @@ func (c *Cluster) Stop() []Detection {
 	}
 	c.state = clusterStopped
 	c.mu.Unlock()
-	// Order matters: the wheel must be fully gone before the stop sentinels
-	// go out, because an advancing wheel pushes nodes onto the run queue.
-	c.wheel.stop()
-	<-c.wheel.done
-	if c.cfg.LegacyDelivery {
-		// Seed teardown: the drained ledger means no send can be in flight,
-		// so closing the inboxes cannot race one.
-		for _, ln := range c.nodes {
-			close(ln.inbox)
-		}
+	c.halted.Store(true)
+	if c.shared != nil {
+		// Shared substrate: the wheel and pools belong to the substrate and
+		// keep running for the other clusters. cancel removes this cluster's
+		// remaining (uncredited, recurring) wheel entries, and detach waits
+		// until no shared worker is still inside one of its drains — the
+		// role the sentinel/WaitGroup protocol plays in private mode.
+		c.wheel.cancel(c)
+		c.shared.detach(c.seat)
 	} else {
-		for i := 0; i < c.workers; i++ {
-			c.runq <- nil
+		// Order matters: the wheel must be fully gone before the stop
+		// sentinels go out, because an advancing wheel pushes nodes onto the
+		// run queue.
+		c.wheel.stop()
+		<-c.wheel.done
+		if c.cfg.LegacyDelivery {
+			// Seed teardown: the drained ledger means no send can be in
+			// flight, so closing the inboxes cannot race one.
+			for _, ln := range c.nodes {
+				close(ln.inbox)
+			}
+		} else {
+			for i := 0; i < c.workers; i++ {
+				c.runq <- nil
+			}
 		}
+		c.wg.Wait()
+		// With the delivery workers gone no detection can be in flight, so
+		// the comparison pool can be torn down without a round mid-fanout.
+		c.detectPool.Close()
 	}
-	c.wg.Wait()
-	// With the delivery workers gone no detection can be in flight, so the
-	// comparison pool can be torn down without a round mid-fanout.
-	c.detectPool.Close()
 	if c.remote {
 		// Incoming frames have been dropped (not credited) since the state
 		// reached stopped; Close additionally waits out any receive callback
 		// already in flight, so nothing touches the cluster after Stop.
 		c.cfg.Transport.Close()
 	}
+	// Ownership transfer, not a copy: Stop runs once (the state check above
+	// panics on a second call) and nothing records into a stopped cluster, so
+	// the accumulated list can be handed to the caller as-is.
 	c.mu.Lock()
-	out := append([]Detection(nil), c.dets...)
+	out := c.dets
+	c.dets = nil
 	c.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Node != out[j].Node {
@@ -511,6 +574,18 @@ func (c *Cluster) Stop() []Detection {
 	})
 	return out
 }
+
+// Workers returns the size of the worker pool draining this cluster's
+// mailbox shards — the private pool's size, or the shared substrate's when
+// the cluster rides one.
+func (c *Cluster) Workers() int { return c.workers }
+
+// MailboxBound returns the per-node mailbox bound applied to external
+// producers.
+func (c *Cluster) MailboxBound() int { return c.bound }
+
+// Shared reports whether the cluster rides a shared scheduler substrate.
+func (c *Cluster) Shared() bool { return c.shared != nil }
 
 // Failed returns the processes killed so far, ascending.
 func (c *Cluster) Failed() []int {
@@ -554,13 +629,23 @@ func (c *Cluster) post(to int, msg message, delay time.Duration) {
 	case delay <= 0:
 		c.enqueue(dst, msg, false)
 	case c.cfg.LegacyDelivery:
-		go func() {
-			time.Sleep(delay)
-			c.enqueue(dst, msg, false)
-		}()
+		// Kept out of line: a closure here would capture msg and force every
+		// zero-delay post — the hot path — to heap-allocate the message.
+		c.postLegacy(dst, msg, delay)
 	default:
 		c.wheel.schedule(dst, msg, delay, 0)
 	}
+}
+
+// postLegacy delivers a delayed message the seed way: a fresh sleeping
+// goroutine per message.
+//
+//go:noinline
+func (c *Cluster) postLegacy(dst *liveNode, msg message, delay time.Duration) {
+	go func() {
+		time.Sleep(delay)
+		c.enqueue(dst, msg, false)
+	}()
 }
 
 // armTimer schedules a timer message, taking its pending credit at arm time:
@@ -575,10 +660,18 @@ func (c *Cluster) armTimer(ln *liveNode, d time.Duration, msg message) {
 	c.pending++
 	c.mu.Unlock()
 	if c.cfg.LegacyDelivery {
-		time.AfterFunc(d, func() { c.enqueue(ln, msg, false) })
+		c.armLegacy(ln, d, msg)
 		return
 	}
 	c.wheel.schedule(ln, msg, d, 0)
+}
+
+// armLegacy is postLegacy's timer twin, out of line for the same reason: the
+// AfterFunc closure must not make wheel-mode armTimer heap-allocate msg.
+//
+//go:noinline
+func (c *Cluster) armLegacy(ln *liveNode, d time.Duration, msg message) {
+	time.AfterFunc(d, func() { c.enqueue(ln, msg, false) })
 }
 
 // done returns one message's credit to the ledger.

@@ -290,7 +290,7 @@ func (c *Cluster) ClusterMetrics() ClusterMetrics {
 		out.DetectTasks = p.Tasks()
 	}
 	out.WorkersBusy = int(c.busyWorkers.Load())
-	out.RunqDepth = len(c.runq)
+	out.RunqDepth = c.sched.depth()
 	out.Drains = c.drains.Load()
 	out.MessagesDrained = c.drained.Load()
 	out.WheelEntries = c.wheel.entries()
@@ -404,7 +404,7 @@ func (c *Cluster) registerFamilies() {
 	c.reg.Func("hierdet_sched_workers_busy", "Workers currently draining a shard (utilization = busy/workers).",
 		obsv.KindGauge, nil, func(emit func(float64, ...string)) { emit(float64(c.busyWorkers.Load())) })
 	c.reg.Func("hierdet_sched_runq_depth", "Nodes queued for a worker.",
-		obsv.KindGauge, nil, func(emit func(float64, ...string)) { emit(float64(len(c.runq))) })
+		obsv.KindGauge, nil, func(emit func(float64, ...string)) { emit(float64(c.sched.depth())) })
 	c.reg.Func("hierdet_sched_drains_total", "Mailbox shard drains executed by the pool.",
 		obsv.KindCounter, nil, func(emit func(float64, ...string)) { emit(float64(c.drains.Load())) })
 	c.reg.Func("hierdet_sched_messages_handled_total", "Messages handled across all shard drains.",

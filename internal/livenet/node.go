@@ -84,7 +84,7 @@ type liveNode struct {
 	rdyScratch []repair.Report     // reused resequencer release staging
 
 	reseq     map[int]*repair.Resequencer // child id → resequencer
-	epochs    *repair.Epochs
+	epochs    repair.Epochs               // value: the zero Epochs is ready to use
 	seeker    *repair.Seeker
 	adopter   *repair.Adopter
 	suspected map[int]bool
@@ -110,37 +110,39 @@ type liveNode struct {
 	lastPruned int
 }
 
-func newLiveNode(c *Cluster, id int) *liveNode {
+// initLiveNode builds one process in place. The cluster allocates all its
+// liveNodes as one slab and initializes each slot here — at 256 tenants on a
+// shared substrate, per-node boxing was a visible slice of registration's
+// allocation bill. ln must be zero-valued (its sync fields forbid assigning
+// a fresh struct over it).
+func initLiveNode(ln *liveNode, c *Cluster, id int) {
 	coreCfg := core.Config{
 		N: c.topo.N(), Strict: c.cfg.Strict, KeepMembers: c.cfg.KeepMembers,
 		Parallel: c.detectPool != nil, Pool: c.detectPool,
+		Clocks: c.clockArena(),
 	}
-	ln := &liveNode{
-		c:         c,
-		id:        id,
-		node:      core.NewNode(id, coreCfg, true),
-		parent:    c.topo.Parent(id),
-		reseq:     make(map[int]*repair.Resequencer),
-		epochs:    repair.NewEpochs(),
-		suspected: make(map[int]bool),
-		lastHeard: make(map[int]time.Time),
-		covered:   make(map[int][]int),
-		rng:       rand.New(rand.NewPCG(uint64(c.cfg.Seed), uint64(id)<<17|1)),
-	}
+	ln.c = c
+	ln.id = id
+	ln.node = core.NewNode(id, coreCfg, true)
+	ln.parent = c.topo.Parent(id)
+	ln.reseq = make(map[int]*repair.Resequencer)
+	ln.rng = rand.New(rand.NewPCG(uint64(c.cfg.Seed), uint64(id)<<17|1))
 	ln.mb.init()
-	ln.seeker = repair.NewSeeker(id, ln)
-	ln.adopter = repair.NewAdopter(id, ln)
+	// The failure-detector maps (suspected, lastHeard, covered) and the
+	// repair state machines (seeker, adopter) build lazily on first touch: a
+	// healthy node never pays for them, which at hundreds of tenants is a
+	// visible slice of registration's allocation bill. All of them are
+	// worker-confined, so first-touch construction needs no lock.
 	for _, child := range c.topo.Children(id) {
 		ln.node.AddChild(child)
 		ln.reseq[child] = repair.NewResequencer()
 		if c.remote {
 			// Seed each child's covered set from the initial topology (every
 			// participant knows it); the child's heartbeats refresh it.
-			ln.covered[child] = c.topo.Subtree(child)
+			ln.setCovered(child, c.topo.Subtree(child))
 		}
 	}
 	ln.beat.Store(time.Now().UnixNano())
-	return ln
 }
 
 // runLegacy is the seed's node goroutine, preserved verbatim for the
@@ -217,12 +219,12 @@ func (ln *liveNode) handle(msg message) {
 		ln.onAttach(msg.from, msg.att)
 	case msgHeartbeat:
 		ln.m.heartbeats.Add(1)
-		ln.lastHeard[msg.from] = time.Now()
+		ln.heard(msg.from, time.Now())
 		if msg.from == ln.parent {
 			ln.rootSeekingHB = msg.hb.rootSeeking
 		}
 		if _, isChild := ln.reseq[msg.from]; isChild && msg.hb.covered != nil {
-			ln.covered[msg.from] = msg.hb.covered
+			ln.setCovered(msg.from, msg.hb.covered)
 		}
 	case msgHbTick:
 		if ln.c.cfg.HbEvery > 0 {
@@ -231,9 +233,9 @@ func (ln *liveNode) handle(msg message) {
 	case msgFlush:
 		ln.flushReports()
 	case msgSeekTimeout:
-		ln.seeker.OnTimeout(msg.seq)
+		ln.getSeeker().OnTimeout(msg.seq)
 	case msgSeekBackoff:
-		ln.seeker.OnBackoff(msg.seq)
+		ln.getSeeker().OnBackoff(msg.seq)
 	}
 }
 
@@ -389,7 +391,7 @@ func (ln *liveNode) heartbeat() {
 func (ln *liveNode) heartbeatRemote() {
 	c := ln.c
 	beat := message{kind: msgHeartbeat, from: ln.id, epoch: ln.epochs.Peek(),
-		hb: hbInfo{rootSeeking: ln.rootSeekingHB || ln.seeker.Seeking(), covered: ln.ownCovered()}}
+		hb: hbInfo{rootSeeking: ln.rootSeekingHB || ln.seeking(), covered: ln.ownCovered()}}
 	for _, peer := range ln.watchPeers() {
 		c.send(peer, beat, 0)
 	}
@@ -403,7 +405,7 @@ func (ln *liveNode) heartbeatRemote() {
 		}
 		last, heard := ln.lastHeard[peer]
 		if !heard {
-			ln.lastHeard[peer] = now
+			ln.heard(peer, now)
 			continue
 		}
 		if now.Sub(last) > c.cfg.HbTimeout {
@@ -472,18 +474,59 @@ func (ln *liveNode) suspect(peer int) {
 		c.seeking[ln.id] = true
 		c.mu.Unlock()
 	}
+	if ln.suspected == nil {
+		ln.suspected = make(map[int]bool)
+	}
 	ln.suspected[peer] = true
 	ln.c.emitEvent(obsv.Event{Kind: obsv.NodeSuspected, Node: ln.id, Peer: peer, Count: 1})
 	switch {
 	case peer == ln.parent:
 		// Our subtree is orphaned: renegotiate a parent (paper §III-F).
-		ln.seeker.Start()
+		ln.getSeeker().Start()
 	case ln.node.HasSource(peer):
 		// A child died: its whole subtree is gone from ours. Drop the queue;
 		// the orphaned grandchildren reattach on their own.
 		ln.m.childDrops.Add(1)
 		ln.deliver(ln.dropChild(peer))
 	}
+}
+
+// getSeeker returns the node's orphan-root state machine, building it on
+// first use (see initLiveNode: repair state is lazy).
+func (ln *liveNode) getSeeker() *repair.Seeker {
+	if ln.seeker == nil {
+		ln.seeker = repair.NewSeeker(ln.id, ln)
+	}
+	return ln.seeker
+}
+
+// getAdopter returns the node's candidate state machine, building it on
+// first use.
+func (ln *liveNode) getAdopter() *repair.Adopter {
+	if ln.adopter == nil {
+		ln.adopter = repair.NewAdopter(ln.id, ln)
+	}
+	return ln.adopter
+}
+
+// seeking reports whether this node is renegotiating a parent, without
+// forcing the seeker into existence.
+func (ln *liveNode) seeking() bool { return ln.seeker != nil && ln.seeker.Seeking() }
+
+// heard stamps a peer's last-heartbeat time, building the map on first use.
+func (ln *liveNode) heard(peer int, at time.Time) {
+	if ln.lastHeard == nil {
+		ln.lastHeard = make(map[int]time.Time)
+	}
+	ln.lastHeard[peer] = at
+}
+
+// setCovered records a child's covered set, building the map on first use.
+func (ln *liveNode) setCovered(peer int, cov []int) {
+	if ln.covered == nil {
+		ln.covered = make(map[int][]int)
+	}
+	ln.covered[peer] = cov
 }
 
 // delay draws a random per-message delivery delay.

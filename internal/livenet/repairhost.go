@@ -42,13 +42,13 @@ func (ln *liveNode) onAttach(from int, msg repair.Msg) {
 			rootSeeking = c.rootSeekingLocked(ln.id)
 			c.mu.Unlock()
 		}
-		ln.adopter.OnRequest(from, msg, ln.seeker.Seeking(), rootSeeking)
+		ln.getAdopter().OnRequest(from, msg, ln.seeking(), rootSeeking)
 	case repair.Grant:
-		ln.seeker.OnGrant(from, msg)
+		ln.getSeeker().OnGrant(from, msg)
 	case repair.Confirm:
-		ln.adopter.OnConfirm(msg)
+		ln.getAdopter().OnConfirm(msg)
 	case repair.Abort:
-		ln.adopter.OnAbort(msg)
+		ln.getAdopter().OnAbort(msg)
 	default:
 		panic(fmt.Sprintf("livenet: node %d got unknown attach type %v", ln.id, msg.Type))
 	}
@@ -161,7 +161,7 @@ func (ln *liveNode) TryAttach(granter int) bool {
 		ln.parent = granter
 		ln.outSeq = 0
 		ln.rootSeekingHB = false // refreshed by the new parent's beats
-		ln.lastHeard[granter] = time.Now()
+		ln.heard(granter, time.Now())
 		ln.m.repairs.Add(1)
 		return true
 	}
@@ -212,8 +212,8 @@ func (ln *liveNode) Adopt(child int, covered []int) {
 	ln.node.AddChild(child)
 	ln.reseq[child] = repair.NewResequencer()
 	if ln.c.remote {
-		ln.covered[child] = covered
-		ln.lastHeard[child] = time.Now()
+		ln.setCovered(child, covered)
+		ln.heard(child, time.Now())
 	}
 	ln.epochs.Forget(child)
 	ln.epochs.Bump()

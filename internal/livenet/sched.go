@@ -20,6 +20,23 @@ import "sync"
 // bounded by the detection math (each accepted interval triggers a bounded
 // report cascade), so the shards stay near the bound even under stress.
 
+// runQueue is where enqueue puts a newly scheduled node for a worker to
+// pick up. A standalone cluster's queue is its private channel drained by
+// its private pool (chanQueue, exactly the pre-substrate behaviour); a
+// cluster on a shared scheduler submits into the substrate's deficit-
+// round-robin queue instead (schedClient in shared.go).
+type runQueue interface {
+	submit(ln *liveNode)
+	depth() int
+}
+
+// chanQueue is the private run queue: the cluster-owned channel its own
+// worker pool ranges over.
+type chanQueue struct{ ch chan *liveNode }
+
+func (q chanQueue) submit(ln *liveNode) { q.ch <- ln }
+func (q chanQueue) depth() int          { return len(q.ch) }
+
 // mailbox is one node's delivery shard.
 type mailbox struct {
 	mu        sync.Mutex
@@ -56,7 +73,7 @@ func (c *Cluster) enqueue(ln *liveNode, msg message, external bool) {
 	mb.scheduled = true
 	mb.mu.Unlock()
 	if schedule {
-		c.runq <- ln
+		c.sched.submit(ln)
 	}
 }
 
@@ -75,10 +92,12 @@ func (c *Cluster) worker() {
 	}
 }
 
-// runNode drains one swap of ln's mailbox. The scheduled flag stays set from
-// the pop until the shard is observed empty, so no second worker can claim
-// the node concurrently.
-func (c *Cluster) runNode(ln *liveNode) {
+// runNode drains one swap of ln's mailbox, returning the number of messages
+// handled (the shared substrate charges the drain against the cluster's
+// round-robin deficit). The scheduled flag stays set from the pop until the
+// shard is observed empty, so no second worker can claim the node
+// concurrently.
+func (c *Cluster) runNode(ln *liveNode) int {
 	c.busyWorkers.Add(1)
 	defer c.busyWorkers.Add(-1)
 	mb := &ln.mb
@@ -122,8 +141,9 @@ func (c *Cluster) runNode(ln *liveNode) {
 	}
 	mb.mu.Unlock()
 	if requeue {
-		c.runq <- ln
+		c.sched.submit(ln)
 	}
+	return len(batch)
 }
 
 // creditedKind reports whether a message kind holds a ledger credit. Only

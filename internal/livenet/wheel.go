@@ -6,14 +6,19 @@ import (
 	"time"
 )
 
-// wheel is the cluster's single hashed timer wheel: every delayed message,
-// repair timeout and heartbeat tick in the cluster is one entry in one wheel
-// driven by one goroutine. The seed design slept a fresh goroutine per
-// delayed message and armed a time.AfterFunc per repair timer, so the
-// goroutine count scaled with the number of in-flight messages; the wheel
-// caps the delivery plane at a single goroutine regardless of load, which is
-// what lets the scale benchmarks run p ≥ 512 trees without drowning the
-// scheduler.
+// wheel is a hashed timer wheel: every delayed message, repair timeout and
+// heartbeat tick it carries is one entry in one ring driven by one goroutine.
+// The seed design slept a fresh goroutine per delayed message and armed a
+// time.AfterFunc per repair timer, so the goroutine count scaled with the
+// number of in-flight messages; the wheel caps the delivery plane at a single
+// goroutine regardless of load, which is what lets the scale benchmarks run
+// p ≥ 512 trees without drowning the scheduler.
+//
+// A wheel is not tied to one cluster: each entry remembers its node, and a
+// node knows its cluster, so one wheel can serve a whole tenant plane (the
+// shared scheduler substrate) exactly as it serves a standalone cluster's
+// private instance. cancel(c) surgically removes one cluster's entries when
+// that cluster stops underneath a shared wheel that keeps running.
 //
 // Layout: a power-of-two ring of slots, each a linked list of entries. An
 // entry due in d is placed ceil(d/tick)-1 slots ahead of the cursor, with a
@@ -26,12 +31,12 @@ import (
 //
 // Lifecycle: entries that deliver credited messages hold their ledger credit
 // from insertion (the caller takes it) until the delivery is handled, so
-// Cluster.Stop's drain covers everything the wheel still owes. stop() runs
-// after the drain: by then only uncredited recurring entries (heartbeat
-// ticks) remain, and they are discarded without firing — the clean
-// cancellation the seed's sleeping goroutines could not offer.
+// Cluster.Stop's drain covers everything the wheel still owes. stop() — or,
+// for one cluster under a shared wheel, cancel(c) — runs after the drain: by
+// then only uncredited recurring entries (heartbeat ticks) remain, and they
+// are discarded without firing — the clean cancellation the seed's sleeping
+// goroutines could not offer.
 type wheel struct {
-	c    *Cluster
 	tick time.Duration
 
 	mu     sync.Mutex
@@ -42,10 +47,19 @@ type wheel struct {
 	epoch  time.Time // time of tick 0 of the current busy period
 	ticked int64     // advances processed this busy period
 	parked bool      // goroutine is waiting on kick
+	// free is the entry freelist: expired one-shot and cancelled entries
+	// recycle here instead of churning the allocator — at scale the wheel
+	// turns over one entry per delayed message, the hottest allocation site
+	// of the whole delivery plane.
+	free *wheelEntry
 
 	kick    chan struct{} // insert-into-empty-wheel wakeup (capacity 1)
 	stopped chan struct{}
 	done    chan struct{} // closed when the wheel goroutine has exited
+
+	// lagObserve, when set before the goroutine starts, receives each
+	// advance's lag in seconds (the shared substrate feeds a histogram).
+	lagObserve func(float64)
 
 	// Scrape-safe observability mirrors: how far past its deadline the last
 	// advance ran, and total advances across all busy periods.
@@ -61,7 +75,7 @@ type wheelEntry struct {
 	rounds int
 	// period re-arms the entry after each fire (heartbeat ticks). Recurring
 	// entries are uncredited and die with the wheel — or earlier, when their
-	// node is down.
+	// node is down or their cluster halted.
 	period time.Duration
 	next   *wheelEntry
 }
@@ -71,7 +85,7 @@ type wheelEntry struct {
 // microsecond tick) ride the rounds counter.
 const wheelSlots = 512
 
-func newWheel(c *Cluster, tick time.Duration) *wheel {
+func newWheel(tick time.Duration) *wheel {
 	if tick < 20*time.Microsecond {
 		tick = 20 * time.Microsecond
 	}
@@ -79,7 +93,6 @@ func newWheel(c *Cluster, tick time.Duration) *wheel {
 		tick = time.Millisecond
 	}
 	return &wheel{
-		c:       c,
 		tick:    tick,
 		slots:   make([]*wheelEntry, wheelSlots),
 		mask:    wheelSlots - 1,
@@ -94,8 +107,14 @@ func newWheel(c *Cluster, tick time.Duration) *wheel {
 // caller has already taken the entry's ledger credit if its message carries
 // one.
 func (w *wheel) schedule(ln *liveNode, msg message, d, period time.Duration) {
-	e := &wheelEntry{ln: ln, msg: msg, period: period}
 	w.mu.Lock()
+	e := w.free
+	if e != nil {
+		w.free = e.next
+		e.ln, e.msg, e.period, e.next = ln, msg, period, nil
+	} else {
+		e = &wheelEntry{ln: ln, msg: msg, period: period}
+	}
 	w.insertLocked(e, d)
 	wake := w.parked
 	w.mu.Unlock()
@@ -126,8 +145,15 @@ func (w *wheel) insertLocked(e *wheelEntry, d time.Duration) {
 	w.count++
 }
 
+// releaseLocked recycles an entry that is out of every slot list. Caller
+// holds mu.
+func (w *wheel) releaseLocked(e *wheelEntry) {
+	*e = wheelEntry{next: w.free} // release interval/clock references
+	w.free = e
+}
+
 // run is the wheel goroutine. It signals exit on its own done channel (not
-// the cluster's worker WaitGroup): Stop must know the wheel is fully gone
+// any cluster's worker WaitGroup): Stop must know the wheel is fully gone
 // before it sends the workers their stop sentinels, because an advancing
 // wheel pushes nodes onto the run queue.
 func (w *wheel) run() {
@@ -159,7 +185,11 @@ func (w *wheel) run() {
 				return
 			}
 		}
-		w.lagNanos.Store(int64(time.Since(deadline)))
+		lag := time.Since(deadline)
+		w.lagNanos.Store(int64(lag))
+		if w.lagObserve != nil {
+			w.lagObserve(lag.Seconds())
+		}
 		w.advance()
 	}
 }
@@ -167,6 +197,8 @@ func (w *wheel) run() {
 // advance expires the cursor slot: due entries are collected under the lock
 // and delivered outside it (delivery takes mailbox locks), not-yet-due
 // entries decrement rounds and stay, recurring entries re-arm after firing.
+// Delivery routes through each entry's own cluster, so one wheel can carry
+// many clusters' timers.
 func (w *wheel) advance() {
 	var due *wheelEntry
 	w.mu.Lock()
@@ -190,19 +222,39 @@ func (w *wheel) advance() {
 	w.mu.Unlock()
 	w.ticksTotal.Add(1)
 
-	for e := due; e != nil; e = e.next {
-		if e.msg.kind == msgHbTick && !e.ln.down.Load() && !w.c.remote {
+	var rearm, spent *wheelEntry
+	for e := due; e != nil; {
+		next := e.next
+		c := e.ln.c
+		if e.msg.kind == msgHbTick && !e.ln.down.Load() && !c.remote {
 			// Publish the single-process liveness beacon at fire time, not
 			// handle time: a node whose mailbox is backed up with work is
 			// busy, not dead, and must not be suspected for it.
 			e.ln.beat.Store(time.Now().UnixNano())
 		}
-		w.c.enqueue(e.ln, e.msg, false)
-		if e.period > 0 && !e.ln.down.Load() {
-			w.mu.Lock()
-			w.insertLocked(&wheelEntry{ln: e.ln, msg: e.msg, period: e.period}, e.period)
-			w.mu.Unlock()
+		c.enqueue(e.ln, e.msg, false)
+		if e.period > 0 && !e.ln.down.Load() && !c.halted.Load() {
+			e.next = rearm
+			rearm = e
+		} else {
+			e.next = spent
+			spent = e
 		}
+		e = next
+	}
+	if rearm != nil || spent != nil {
+		w.mu.Lock()
+		for e := rearm; e != nil; {
+			next := e.next
+			w.insertLocked(e, e.period)
+			e = next
+		}
+		for e := spent; e != nil; {
+			next := e.next
+			w.releaseLocked(e)
+			e = next
+		}
+		w.mu.Unlock()
 	}
 }
 
@@ -213,12 +265,40 @@ func (w *wheel) entries() int {
 	return w.count
 }
 
-// stop cancels the wheel. It runs after the cluster's ledger drained, so the
+// stop cancels the wheel. It runs after the owning cluster's ledger drained
+// (or, for a shared wheel, after every client cluster detached), so the
 // surviving entries are uncredited (recurring ticks); credited strays —
 // impossible by the drain argument, but cheap to honor — have their credits
 // returned so no ledger accounting is ever lost.
 func (w *wheel) stop() {
 	close(w.stopped)
+}
+
+// cancel removes every entry belonging to one cluster — the shared-wheel
+// counterpart of stop, run by Cluster.Stop after that cluster's ledger
+// drained while other clusters' timers keep running. Credited strays return
+// their credits, same argument as drain.
+func (w *wheel) cancel(c *Cluster) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.slots {
+		var keep *wheelEntry
+		for e := w.slots[i]; e != nil; {
+			next := e.next
+			if e.ln.c == c {
+				if e.period == 0 && creditedKind(e.msg.kind) {
+					c.done()
+				}
+				w.count--
+				w.releaseLocked(e)
+			} else {
+				e.next = keep
+				keep = e
+			}
+			e = next
+		}
+		w.slots[i] = keep
+	}
 }
 
 // drain discards every queued entry on the way out, returning stray credits.
@@ -228,7 +308,7 @@ func (w *wheel) drain() {
 	for i := range w.slots {
 		for e := w.slots[i]; e != nil; e = e.next {
 			if e.period == 0 && creditedKind(e.msg.kind) {
-				w.c.done()
+				e.ln.c.done()
 			}
 			w.count--
 		}

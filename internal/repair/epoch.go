@@ -17,9 +17,10 @@ type Epochs struct {
 	in          map[int]int
 }
 
-// NewEpochs returns a zeroed tracker.
+// NewEpochs returns a zeroed tracker. The zero Epochs value is also ready to
+// use: the inbound map builds lazily on the first observed report.
 func NewEpochs() *Epochs {
-	return &Epochs{in: make(map[int]int)}
+	return &Epochs{}
 }
 
 // Bump marks that this node's own source set changed (a child was added or
@@ -55,6 +56,9 @@ func (e *Epochs) Peek() int {
 // Observe records the bump itself.
 func (e *Epochs) Observe(src, epoch int) (restarted bool) {
 	last, seen := e.in[src]
+	if e.in == nil {
+		e.in = make(map[int]int)
+	}
 	e.in[src] = epoch
 	if seen && epoch > last {
 		e.bumpPending = true

@@ -24,9 +24,11 @@ type Resequencer struct {
 	dropped int
 }
 
-// NewResequencer returns an empty resequencer expecting sequence 0.
+// NewResequencer returns an empty resequencer expecting sequence 0. The
+// pending map builds lazily on the first out-of-order arrival — an in-order
+// link never allocates it.
 func NewResequencer() *Resequencer {
-	return &Resequencer{pending: make(map[int]Report)}
+	return &Resequencer{}
 }
 
 // Accept ingests one report and returns the (possibly empty) batch now
@@ -53,6 +55,9 @@ func (q *Resequencer) AcceptInto(r Report, out []Report) []Report {
 	if _, dup := q.pending[r.LinkSeq]; dup {
 		q.dropped++
 		return out // duplicate: already buffered, keep the first copy
+	}
+	if q.pending == nil {
+		q.pending = make(map[int]Report)
 	}
 	q.pending[r.LinkSeq] = r
 	for {

@@ -2,11 +2,45 @@ package tenantplane
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"hierdet/internal/tree"
 	"hierdet/internal/workload"
 )
+
+// tenantFootprint measures the steady-state cost of holding `tenants` idle
+// registered predicates on one plane: the process goroutine count and the
+// live heap bytes per tenant (GC'd before and after registration, so the
+// delta is retained structures, not allocation churn). Run outside the timed
+// loop — the GCs would otherwise pollute the throughput numbers.
+func tenantFootprint(b *testing.B, tenants int) (goroutines int, bytesPerTenant float64) {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	plane, err := NewMultiplexer(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < tenants; k++ {
+		if _, err := plane.RegisterPredicate(fmt.Sprintf("fp-%03d", k), Spec{
+			Topology: tree.Balanced(2, 5),
+			Seed:     int64(k + 1),
+			Workers:  1, SequentialDetect: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	goroutines = runtime.NumGoroutine()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc {
+		bytesPerTenant = float64(after.HeapAlloc-before.HeapAlloc) / float64(tenants)
+	}
+	plane.Close()
+	return goroutines, bytesPerTenant
+}
 
 // BenchmarkMultiTenant measures the cost of multiplexing: the same total
 // predicate work spread over 1, 16 and 256 tenants at a fixed tree size.
@@ -28,6 +62,7 @@ func BenchmarkMultiTenant(b *testing.B) {
 
 	for _, tenants := range []int{1, 16, 256} {
 		b.Run(fmt.Sprintf("p=%d/tenants=%d", p, tenants), func(b *testing.B) {
+			goroutines, bytesPerTenant := tenantFootprint(b, tenants)
 			roots := 0
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -70,6 +105,8 @@ func BenchmarkMultiTenant(b *testing.B) {
 			b.ReportMetric(total/b.Elapsed().Seconds(), "intervals/sec")
 			b.ReportMetric(total/float64(tenants)/b.Elapsed().Seconds(), "per-tenant-intervals/sec")
 			b.ReportMetric(float64(roots)/float64(b.N), "detections/op")
+			b.ReportMetric(float64(goroutines), "goroutines")
+			b.ReportMetric(bytesPerTenant, "bytes/tenant")
 		})
 	}
 }

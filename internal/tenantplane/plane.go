@@ -30,6 +30,27 @@ type Config struct {
 	// contract as livenet's sink: concurrent calls, keep it quick.
 	Events func(obsv.Event)
 
+	// Workers sizes the plane's shared worker pool: one pool drains every
+	// tenant's mailbox shards, with deficit-round-robin fairness across
+	// tenants, so the plane's steady-state goroutine count is independent of
+	// the tenant count. Zero means GOMAXPROCS. The deprecated per-tenant
+	// Spec.Workers is ignored on a plane (see Spec.Workers).
+	Workers int
+	// MailboxBound is the plane-wide default per-node mailbox bound applied
+	// to each tenant's external producers. A tenant's Spec.MailboxBound
+	// overrides it; zero for both inherits livenet's default (4096).
+	MailboxBound int
+	// DetectWorkers sizes the plane's shared comparison pool backing every
+	// tenant's parallel detection engine. Zero means GOMAXPROCS. The
+	// deprecated per-tenant Spec.DetectWorkers is ignored on a plane.
+	DetectWorkers int
+	// SchedulerQuantum is the deficit-round-robin quantum in messages: how
+	// many messages one tenant may drain before the shared pool rotates to
+	// the next backlogged tenant. Zero means 256. Smaller values tighten a
+	// quiet tenant's latency bound under a noisy neighbour at some rotation
+	// overhead; larger values favour throughput.
+	SchedulerQuantum int
+
 	// Monitor names this process in the active/active monitor fleet and,
 	// together with Leases, enables bucket ownership: the plane runs one
 	// Monitor competing for leases on the shared table. Empty disables
@@ -54,13 +75,21 @@ type Spec struct {
 	Seed int64
 	// Strict and KeepMembers configure the detector nodes (see core.Config).
 	Strict, KeepMembers bool
-	// MaxDelay, Workers, MailboxBound, BatchWindow, SequentialDetect and
-	// DetectWorkers tune the tenant cluster's delivery and detection planes
-	// (see livenet.Config).
-	MaxDelay         time.Duration
-	Workers          int
+	// MaxDelay, BatchWindow and SequentialDetect tune the tenant cluster's
+	// delivery and detection planes (see livenet.Config).
+	MaxDelay    time.Duration
+	BatchWindow time.Duration
+	// Workers and DetectWorkers are deprecated on a plane: every tenant's
+	// shards are drained by the plane's one shared pool (Config.Workers) and
+	// its one comparison pool (Config.DetectWorkers), so these per-tenant
+	// values are ignored here. They remain honored by standalone
+	// livenet.Clusters, which keep private pools. Precedence for sizing:
+	// plane Config over Spec, always.
+	Workers int
+	// MailboxBound caps this tenant's per-node mailbox shards for external
+	// producers. Precedence: Spec.MailboxBound (nonzero) over
+	// Config.MailboxBound (nonzero) over livenet's default (4096).
 	MailboxBound     int
-	BatchWindow      time.Duration
 	SequentialDetect bool
 	DetectWorkers    int
 	// HbEvery, HbTimeout, SeekTimeout, ResendLastOnAdopt and StartupGrace
@@ -129,10 +158,11 @@ func (h *Handle) Stop() []livenet.Detection {
 // Multiplexer is the per-process face of the tenant plane: one shared
 // transport, one monitor-fleet membership, N tenants' clusters.
 type Multiplexer struct {
-	cfg Config
-	mux *Mux // nil without a shared transport
-	reg *obsv.Registry
-	mon *Monitor // nil without lease ownership
+	cfg   Config
+	mux   *Mux // nil without a shared transport
+	reg   *obsv.Registry
+	mon   *Monitor // nil without lease ownership
+	sched *livenet.SharedScheduler
 
 	mu      sync.Mutex
 	tenants map[string]*Handle
@@ -156,9 +186,23 @@ func NewMultiplexer(cfg Config) (*Multiplexer, error) {
 		tenants: make(map[string]*Handle),
 		byWire:  make(map[uint32]string),
 	}
+	// The shared scheduler substrate: one worker pool, one timer wheel, one
+	// comparison pool and one clock arena for every tenant this plane will
+	// host. Its wheel-lag histogram lives in the plane registry from the
+	// start, so the first tenant's ticks are already observed.
+	wheelLag := p.reg.Histogram("hierdet_plane_wheel_lag_seconds",
+		"How far past its deadline each shared-wheel advance ran.",
+		obsv.ExponentialBuckets(1e-6, 4, 10))
+	p.sched = livenet.NewSharedScheduler(livenet.SharedSchedulerConfig{
+		Workers:       cfg.Workers,
+		Quantum:       cfg.SchedulerQuantum,
+		DetectWorkers: cfg.DetectWorkers,
+		WheelLagSink:  wheelLag.Observe,
+	})
 	if cfg.Transport != nil {
 		p.mux = NewMux(cfg.Transport)
 		if err := p.mux.Start(); err != nil {
+			p.sched.Close()
 			return nil, fmt.Errorf("tenantplane: starting shared transport: %w", err)
 		}
 		if in, ok := cfg.Transport.(interface {
@@ -247,17 +291,24 @@ func (p *Multiplexer) RegisterPredicate(tenantID string, spec Spec) (*Handle, er
 		}
 		p.emit(e)
 	}
+	// The per-tenant mailbox bound is the one delivery knob that stays per
+	// cluster on the shared substrate: Spec over plane Config over livenet's
+	// default. Spec.Workers and Spec.DetectWorkers are deliberately not
+	// forwarded — the plane's pools are sized once, at plane construction.
+	bound := spec.MailboxBound
+	if bound == 0 {
+		bound = p.cfg.MailboxBound
+	}
 	h.c = livenet.New(livenet.Config{
 		Topology:          spec.Topology,
 		MaxDelay:          spec.MaxDelay,
 		Seed:              spec.Seed,
 		Strict:            spec.Strict,
 		KeepMembers:       spec.KeepMembers,
-		Workers:           spec.Workers,
-		MailboxBound:      spec.MailboxBound,
+		MailboxBound:      bound,
 		BatchWindow:       spec.BatchWindow,
 		SequentialDetect:  spec.SequentialDetect,
-		DetectWorkers:     spec.DetectWorkers,
+		Scheduler:         p.sched,
 		HbEvery:           spec.HbEvery,
 		HbTimeout:         spec.HbTimeout,
 		SeekTimeout:       spec.SeekTimeout,
@@ -350,6 +401,9 @@ func (p *Multiplexer) Close() map[string][]livenet.Detection {
 	} else if p.cfg.Transport != nil {
 		p.cfg.Transport.Close()
 	}
+	// Every tenant cluster has stopped and detached, so the substrate's
+	// wheel and pools are idle and can come down last.
+	p.sched.Close()
 	return out
 }
 
@@ -381,6 +435,26 @@ func (p *Multiplexer) registerFamilies() {
 			emit(float64(n))
 		})
 
+	// Scheduler-plane families: the shared substrate every tenant rides.
+	// (Its wheel-lag histogram is registered in NewMultiplexer, before the
+	// substrate starts.)
+	p.reg.Func("hierdet_plane_workers", "Size of the shared worker pool draining every tenant's mailbox shards.",
+		obsv.KindGauge, nil, func(emit func(float64, ...string)) {
+			emit(float64(p.sched.Workers()))
+		})
+	p.reg.Func("hierdet_plane_busy_workers", "Shared workers currently draining a tenant's shard.",
+		obsv.KindGauge, nil, func(emit func(float64, ...string)) {
+			emit(float64(p.sched.Busy()))
+		})
+	p.reg.Func("hierdet_plane_wheel_entries", "Live entries on the shared timer wheel, across all tenants.",
+		obsv.KindGauge, nil, func(emit func(float64, ...string)) {
+			emit(float64(p.sched.WheelEntries()))
+		})
+	p.reg.Func("hierdet_plane_wheel_ticks_total", "Shared timer wheel advances processed.",
+		obsv.KindCounter, nil, func(emit func(float64, ...string)) {
+			emit(float64(p.sched.WheelTicks()))
+		})
+
 	perTenant := []struct {
 		name, help string
 		get        func(livenet.ClusterMetrics) float64
@@ -396,6 +470,12 @@ func (p *Multiplexer) registerFamilies() {
 		{"hierdet_tenant_repairs_total", "Reattachments concluded, by tenant.",
 			func(m livenet.ClusterMetrics) float64 { return float64(m.Repairs) }},
 	}
+	p.reg.Func("hierdet_tenant_mailbox_high_water", "Deepest mailbox shard seen since start, by tenant.",
+		obsv.KindGauge, []string{"tenant"}, func(emit func(float64, ...string)) {
+			for _, h := range p.snapshot() {
+				emit(float64(h.c.ClusterMetrics().MailboxHighWater), h.name)
+			}
+		})
 	for _, fam := range perTenant {
 		get := fam.get
 		p.reg.Func(fam.name, fam.help, obsv.KindCounter, []string{"tenant"},

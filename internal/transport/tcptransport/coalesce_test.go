@@ -1,0 +1,102 @@
+package tcptransport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hierdet/internal/wire"
+)
+
+// TestTenantFrameCoalescing pins the cross-tenant frame-coalescing contract:
+// runs of consecutive tenant-tagged frames queued for one peer travel as one
+// tenant batch frame, bare (tenant 0) frames are never packed, and every
+// frame — packed or not — arrives byte-identical and in order. The frames
+// are queued while the peer is not listening yet, so the writer's first
+// flush deterministically sees the whole mix in one batch.
+func TestTenantFrameCoalescing(t *testing.T) {
+	a := mustNew(t, Config{Listen: "127.0.0.1:0", DialBackoff: time.Millisecond, DialBackoffMax: 10 * time.Millisecond})
+	t.Cleanup(func() { a.Close() })
+	if err := a.Start(func(int, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	probe := mustNew(t, Config{Listen: "127.0.0.1:0"})
+	addr := probe.Addr()
+	probe.Close()
+	a.cfg.Peers = map[int]string{1: addr}
+
+	// Interleave: a run of tenant-tagged reports, a bare report that must
+	// break the run, a run of envelopes, another bare frame.
+	const n = 4
+	var sent [][]byte
+	tagged := reportStream(2, 6, n)
+	for i := range tagged {
+		tagged[i].Tenant = uint32(7 + i%2) // two tenants in one run
+		sent = append(sent, wire.EncodeReportV2(tagged[i]))
+	}
+	bare := reportStream(3, 2, n)
+	sent = append(sent, wire.EncodeReportV2(bare[0]))
+	for i := 0; i < 3; i++ {
+		sent = append(sent, wire.AppendTenantEnvelope(nil, uint32(9+i),
+			wire.EncodeHeartbeat(wire.Heartbeat{Sender: i, Epoch: 1})))
+	}
+	sent = append(sent, wire.EncodeReportV2(bare[1]))
+	for _, f := range sent {
+		a.Send(1, f)
+	}
+
+	b := mustNew(t, Config{Listen: addr})
+	t.Cleanup(func() { b.Close() })
+	var got collector
+	if err := b.Start(got.recv); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "coalesced traffic", func() bool { return got.count() == len(sent) })
+
+	got.mu.Lock()
+	defer got.mu.Unlock()
+	for i, f := range got.frames {
+		if !bytes.Equal(f, sent[i]) {
+			t.Fatalf("frame %d corrupted or reordered through coalescing", i)
+		}
+	}
+
+	as, bs := a.Stats(), b.Stats()
+	if as.TenantBatchesOut < 2 {
+		t.Fatalf("TenantBatchesOut = %d, want >= 2 (two tagged runs queued)", as.TenantBatchesOut)
+	}
+	if as.TenantFramesCoalesced != len(tagged)+3 {
+		t.Fatalf("TenantFramesCoalesced = %d, want %d", as.TenantFramesCoalesced, len(tagged)+3)
+	}
+	if bs.TenantBatchesIn != as.TenantBatchesOut {
+		t.Fatalf("TenantBatchesIn = %d, TenantBatchesOut = %d; want equal", bs.TenantBatchesIn, as.TenantBatchesOut)
+	}
+	if as.FramesOut != len(sent) || bs.FramesIn != len(sent) {
+		t.Fatalf("frame counts out=%d in=%d, want %d both (logical frames, not wire frames)", as.FramesOut, bs.FramesIn, len(sent))
+	}
+}
+
+// TestSingleTaggedFrameTravelsBare: a run of one is not worth an envelope —
+// the packer must emit the lone tagged frame unwrapped.
+func TestSingleTaggedFrameTravelsBare(t *testing.T) {
+	a, b := pair(t)
+	if err := a.Start(func(int, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	var got collector
+	if err := b.Start(got.recv); err != nil {
+		t.Fatal(err)
+	}
+	env := wire.AppendTenantEnvelope(nil, 5, wire.EncodeHeartbeat(wire.Heartbeat{Sender: 1, Epoch: 1}))
+	a.Send(1, env)
+	waitFor(t, "the lone frame", func() bool { return got.count() == 1 })
+	got.mu.Lock()
+	frame := got.frames[0]
+	got.mu.Unlock()
+	if !bytes.Equal(frame, env) {
+		t.Fatal("lone tagged frame corrupted")
+	}
+	if st := a.Stats(); st.TenantBatchesOut != 0 {
+		t.Fatalf("TenantBatchesOut = %d for a single tagged frame, want 0", st.TenantBatchesOut)
+	}
+}

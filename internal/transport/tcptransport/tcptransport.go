@@ -51,7 +51,12 @@ import (
 	"time"
 
 	"hierdet/internal/obsv"
+	"hierdet/internal/wire"
 )
+
+// maxPackBytes caps one tenant batch frame: a run longer than this flushes
+// and starts a new batch, keeping any single wire frame far under MaxFrame.
+const maxPackBytes = 64 << 10
 
 // Config parameterizes a TCP transport.
 type Config struct {
@@ -112,6 +117,13 @@ type Stats struct {
 	// BytesIn counts payload bytes read (envelope headers excluded, before
 	// delta reconstruction) — the inbound counterpart of BytesOut.
 	BytesIn int
+	// TenantBatchesOut counts tenant batch frames packed by the writers:
+	// runs of ≥2 consecutive tenant-tagged frames to the same peer coalesced
+	// into one wire frame (see internal/wire tenant batch framing).
+	// TenantFramesCoalesced counts the inner frames riding them.
+	TenantBatchesOut, TenantFramesCoalesced int
+	// TenantBatchesIn counts tenant batch frames unpacked by the readers.
+	TenantBatchesIn int
 }
 
 // Transport is a running TCP transport. Create with New, wire into a
@@ -129,10 +141,12 @@ type Transport struct {
 	readers sync.WaitGroup
 	writers sync.WaitGroup
 
-	framesOut, framesIn, redelivered atomic.Int64
-	dials, redials                   atomic.Int64
-	backlogDropped, corruptFrames    atomic.Int64
-	flushes, bytesOut, bytesIn       atomic.Int64
+	framesOut, framesIn, redelivered        atomic.Int64
+	dials, redials                          atomic.Int64
+	backlogDropped, corruptFrames           atomic.Int64
+	flushes, bytesOut, bytesIn              atomic.Int64
+	tenantBatchesOut, tenantFramesCoalesced atomic.Int64
+	tenantBatchesIn                         atomic.Int64
 
 	// events is the cluster's lifecycle sink, installed by Instrument before
 	// Start; nil when the transport runs unobserved. Guarded by mu.
@@ -238,6 +252,10 @@ func (t *Transport) Stats() Stats {
 		Flushes:        int(t.flushes.Load()),
 		BytesOut:       int(t.bytesOut.Load()),
 		BytesIn:        int(t.bytesIn.Load()),
+
+		TenantBatchesOut:      int(t.tenantBatchesOut.Load()),
+		TenantFramesCoalesced: int(t.tenantFramesCoalesced.Load()),
+		TenantBatchesIn:       int(t.tenantBatchesIn.Load()),
 	}
 }
 
@@ -315,7 +333,8 @@ func (t *Transport) readLoop(conn net.Conn) {
 		t.readers.Done()
 	}()
 	var hdr [8]byte
-	var ub unbaser // per-connection delta state, mirroring the sender's
+	var ub unbaser      // per-connection delta state, mirroring the sender's
+	var inners [][]byte // tenant-batch unpack scratch, reused across frames
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
@@ -331,23 +350,52 @@ func (t *Transport) readLoop(conn net.Conn) {
 			return
 		}
 		t.bytesIn.Add(int64(size))
-		payload, err := ub.undelta(to, payload)
-		if err != nil {
-			// Undecodable stream state (e.g. a basis-relative frame whose
-			// basis was lost): same remedy as corruption — drop the
-			// connection; the peer redials with reset bases and replays.
-			t.corruptFrames.Add(1)
+		if wire.IsTenantBatch(payload) {
+			// A packed run of tenant-tagged frames: unpack before the delta
+			// stage, so each inner report meets the unbaser in the exact
+			// order the sender's rebaser emitted it.
+			inners = inners[:0]
+			if err := wire.DecodeTenantBatch(payload, func(inner []byte) {
+				inners = append(inners, inner)
+			}); err != nil {
+				t.corruptFrames.Add(1)
+				return
+			}
+			t.tenantBatchesIn.Add(1)
+			for _, inner := range inners {
+				if !t.deliver(to, inner, &ub) {
+					return
+				}
+			}
+			continue
+		}
+		if !t.deliver(to, payload, &ub) {
 			return
 		}
-		t.mu.Lock()
-		recv, closed := t.recv, t.closed
-		t.mu.Unlock()
-		if closed {
-			return
-		}
-		t.framesIn.Add(1)
-		recv(to, payload)
 	}
+}
+
+// deliver runs one frame through the connection's delta state and hands it to
+// the receive callback, returning false when the connection must drop
+// (corrupt stream state or transport closed).
+func (t *Transport) deliver(to int, frame []byte, ub *unbaser) bool {
+	frame, err := ub.undelta(to, frame)
+	if err != nil {
+		// Undecodable stream state (e.g. a basis-relative frame whose basis
+		// was lost): same remedy as corruption — drop the connection; the
+		// peer redials with reset bases and replays.
+		t.corruptFrames.Add(1)
+		return false
+	}
+	t.mu.Lock()
+	recv, closed := t.recv, t.closed
+	t.mu.Unlock()
+	if closed {
+		return false
+	}
+	t.framesIn.Add(1)
+	recv(to, frame)
+	return true
 }
 
 // --- outbound path ---
@@ -372,9 +420,11 @@ type peer struct {
 
 	// Write-path scratch, owned by writeLoop: the per-connection delta
 	// encoder (reset on every dial, so replayed absolute frames restart the
-	// chain) and the coalescing buffer reused across flushes.
+	// chain), the coalescing buffer reused across flushes, and the
+	// tenant-batch pack buffer accumulating runs of tenant-tagged frames.
 	reb  rebaser
 	wbuf []byte
+	pbuf []byte
 }
 
 func newPeer(t *Transport, id int, addr string) *peer {
@@ -548,27 +598,74 @@ func (p *peer) remember(batch [][]byte) {
 
 // writeBatch writes every frame of a batch through one buffered flush,
 // delta-rebasing report frames against the connection's stream bases on the
-// way. The coalescing buffer is reused across flushes; the batch itself (the
-// absolute originals) is untouched, so requeueFront and the redelivery ring
-// always hold frames any fresh connection can decode.
+// way. Runs of ≥2 consecutive tenant-tagged frames — the shape a multi-tenant
+// plane's traffic takes on a shared link — are packed into one tenant batch
+// frame, so the run pays one transport envelope instead of one per frame;
+// the default tenant's bare frames are never packed, keeping the
+// single-tenant byte stream untouched. The coalescing buffers are reused
+// across flushes; the batch itself (the absolute originals) is untouched, so
+// requeueFront and the redelivery ring always hold frames any fresh
+// connection can decode.
 func (p *peer) writeBatch(conn net.Conn, batch [][]byte) error {
 	buf := p.wbuf[:0]
+	pbuf := p.pbuf[:0]
 	var hdr [8]byte
 	payloadBytes := 0
-	for _, f := range batch {
-		if !p.t.cfg.NoDeltaChain {
-			f = p.reb.rebase(f)
-		}
+	emit := func(f []byte) {
 		binary.BigEndian.PutUint32(hdr[:4], uint32(len(f)))
 		binary.BigEndian.PutUint32(hdr[4:], uint32(p.id))
 		buf = append(buf, hdr[:]...)
 		buf = append(buf, f...)
 		payloadBytes += len(f)
 	}
+	// run is the number of tenant-tagged frames accumulated in pbuf (an open
+	// tenant batch); firstOff is where the first inner starts, so a run of
+	// one can be emitted bare — packing only ever pays for itself.
+	run, firstOff := 0, 0
+	packedBatches, packedFrames := 0, 0
+	flushRun := func() {
+		if run >= 2 {
+			emit(pbuf)
+			packedBatches++
+			packedFrames += run
+		} else if run == 1 {
+			emit(pbuf[firstOff:])
+		}
+		pbuf = pbuf[:0]
+		run = 0
+	}
+	for _, f := range batch {
+		if !p.t.cfg.NoDeltaChain {
+			f = p.reb.rebase(f)
+		}
+		if wire.IsTenantTagged(f) {
+			// The rebased frame aliases the rebaser's scratch (valid only
+			// until the next rebase call), so it is copied into the pack
+			// buffer here and now.
+			if run == 0 {
+				pbuf = wire.AppendTenantBatchHeader(pbuf)
+			}
+			pbuf = wire.AppendTenantBatchFrame(pbuf, f)
+			run++
+			if run == 1 {
+				firstOff = len(pbuf) - len(f)
+			}
+			if len(pbuf) >= maxPackBytes {
+				flushRun()
+			}
+			continue
+		}
+		flushRun()
+		emit(f)
+	}
+	flushRun()
 	p.wbuf = buf
+	p.pbuf = pbuf
 	_, err := conn.Write(buf)
 	if err == nil {
 		p.t.bytesOut.Add(int64(payloadBytes))
+		p.t.tenantBatchesOut.Add(int64(packedBatches))
+		p.t.tenantFramesCoalesced.Add(int64(packedFrames))
 	}
 	return err
 }

@@ -34,10 +34,20 @@ type Store struct {
 	// hundreds of kilobytes per node at scale, while heavy publishers
 	// converge on the amortized large-chunk rate after a few doublings.
 	nextPairs, maxPairs int
+	// arena, when set, supplies the chunks: many stores bump-allocate out
+	// of shared slabs instead of each stranding its own chunk tails.
+	arena *Arena
 }
 
 // NewStore returns a store producing clocks for an n-process system.
 func NewStore(n int) *Store {
+	return NewStoreIn(n, nil)
+}
+
+// NewStoreIn returns a store that carves its chunks from the shared arena
+// (nil behaves exactly like NewStore). The store itself remains
+// single-goroutine; only the chunk supply is shared.
+func NewStoreIn(n int, arena *Arena) *Store {
 	if n <= 0 {
 		panic(fmt.Sprintf("vclock: invalid system size %d", n))
 	}
@@ -45,7 +55,7 @@ func NewStore(n int) *Store {
 	if maxPairs < 8 {
 		maxPairs = 8
 	}
-	return &Store{n: n, nextPairs: 2, maxPairs: maxPairs}
+	return &Store{n: n, nextPairs: 2, maxPairs: maxPairs, arena: arena}
 }
 
 // N returns the clock size the store produces.
@@ -57,7 +67,11 @@ func (s *Store) N() int { return s.n }
 func (s *Store) AllocPair() (lo, hi VC) {
 	span := 2 * s.n
 	if s.off+span > len(s.chunk) {
-		s.chunk = make([]uint32, span*s.nextPairs)
+		if s.arena != nil {
+			s.chunk = s.arena.carve(span * s.nextPairs)
+		} else {
+			s.chunk = make([]uint32, span*s.nextPairs)
+		}
 		s.off = 0
 		if s.nextPairs *= 2; s.nextPairs > s.maxPairs {
 			s.nextPairs = s.maxPairs

@@ -1,0 +1,77 @@
+package wire
+
+// Tenant batch framing: cross-tenant frame coalescing on shared links. When
+// many tenants share one transport connection, their frames to a common peer
+// often sit in the send queue back to back; a tenant batch packs a run of
+// consecutive tenant-tagged frames into one wire frame, so the stream pays
+// one transport envelope per run instead of one per tenant frame:
+//
+//	tenantBatch := magic u8 | verV2 u8 | kind u8 (KindTenantBatch) |
+//	               (innerLen uv | inner frame bytes)*
+//
+// Inner frames repeat to the end of the batch — each is length-prefixed, so
+// no count field is needed and a batch can be packed incrementally. Every
+// inner frame must itself be tenant-tagged (a tenant envelope or a
+// tenant-tagged v2 report, see IsTenantTagged): the default tenant's frames
+// stay bare and never enter a batch, keeping the single-tenant byte stream
+// untouched — the same compatibility rule as the rest of tenant framing.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendTenantBatchHeader appends an empty tenant batch header to dst. Inner
+// frames follow via AppendTenantBatchFrame.
+func AppendTenantBatchHeader(dst []byte) []byte {
+	return append(dst, magic, verV2, KindTenantBatch)
+}
+
+// AppendTenantBatchFrame appends one length-prefixed inner frame to an open
+// tenant batch.
+func AppendTenantBatchFrame(dst []byte, inner []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(inner)))
+	return append(dst, inner...)
+}
+
+// IsTenantBatch reports whether a frame is a tenant batch.
+func IsTenantBatch(data []byte) bool {
+	return len(data) >= 3 && data[0] == magic && data[1] == verV2 && data[2] == KindTenantBatch
+}
+
+// IsTenantTagged reports whether a frame carries an explicit tenant id — a
+// tenant envelope or a tenant-tagged v2 report — and is therefore eligible
+// for tenant-batch packing.
+func IsTenantTagged(data []byte) bool {
+	if IsTenantEnvelope(data) {
+		return true
+	}
+	return IsReportV2(data) && data[3]&flagTenant != 0
+}
+
+// DecodeTenantBatch walks a tenant batch, calling fn once per inner frame in
+// order. The slices alias data. A structural error (bad header, truncated
+// inner, empty batch) is returned without fn having been called for the bad
+// suffix; frames already yielded stand.
+func DecodeTenantBatch(data []byte, fn func(inner []byte)) error {
+	if !IsTenantBatch(data) {
+		return fmt.Errorf("wire: not a tenant batch: %w", ErrCorrupt)
+	}
+	rest := data[3:]
+	if len(rest) == 0 {
+		return fmt.Errorf("wire: empty tenant batch: %w", ErrTruncated)
+	}
+	for len(rest) > 0 {
+		v, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return uvarintFieldErr(sz)
+		}
+		rest = rest[sz:]
+		if v == 0 || v > uint64(len(rest)) {
+			return fmt.Errorf("wire: tenant batch inner length %d with %d bytes left: %w", v, len(rest), ErrTruncated)
+		}
+		fn(rest[:v:v])
+		rest = rest[v:]
+	}
+	return nil
+}

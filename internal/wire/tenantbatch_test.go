@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hierdet/internal/vclock"
+)
+
+// TestTenantBatchRoundTrip pins the coalescing frame: a run of tenant-tagged
+// frames packs into one batch, decodes back byte-identical and in order, and
+// classifies as a distinct v2-only kind.
+func TestTenantBatchRoundTrip(t *testing.T) {
+	rep := v2Report(3, 7, 42, 6, vclock.Of(1, 2, 3, 4), vclock.Of(5, 6, 7, 8))
+	rep.Tenant = 12
+	tagged := EncodeReportV2(rep)
+	env := AppendTenantEnvelope(nil, 300, EncodeHeartbeat(Heartbeat{Sender: 4, Epoch: 2, Covered: []int{4, 5}}))
+	inners := [][]byte{tagged, env, tagged}
+
+	batch := AppendTenantBatchHeader(nil)
+	for _, f := range inners {
+		batch = AppendTenantBatchFrame(batch, f)
+	}
+	if !IsTenantBatch(batch) || IsTenantBatch(tagged) || IsTenantBatch(env) {
+		t.Fatal("IsTenantBatch misclassified")
+	}
+	if k, err := FrameKind(batch); err != nil || k != KindTenantBatch {
+		t.Fatalf("FrameKind = %d, %v", k, err)
+	}
+
+	var got [][]byte
+	if err := DecodeTenantBatch(batch, func(inner []byte) { got = append(got, inner) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(inners) {
+		t.Fatalf("decoded %d inners, want %d", len(got), len(inners))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], inners[i]) {
+			t.Fatalf("inner %d differs after round trip", i)
+		}
+	}
+}
+
+// TestTenantBatchEligibility pins which frames a packer may coalesce: only
+// explicitly tenant-tagged frames — never the default tenant's bare frames,
+// whose byte stream must stay identical to a single-tenant deployment's.
+func TestTenantBatchEligibility(t *testing.T) {
+	rep := v2Report(3, 7, 42, 6, vclock.Of(1, 2), vclock.Of(5, 6))
+	bare := EncodeReportV2(rep)
+	rep.Tenant = 9
+	tagged := EncodeReportV2(rep)
+	env := AppendTenantEnvelope(nil, 7, EncodeHeartbeat(Heartbeat{Sender: 1, Epoch: 1}))
+	hb := EncodeHeartbeat(Heartbeat{Sender: 1, Epoch: 1})
+
+	for _, tc := range []struct {
+		name  string
+		frame []byte
+		want  bool
+	}{
+		{"tagged report", tagged, true},
+		{"tenant envelope", env, true},
+		{"bare v2 report", bare, false},
+		{"bare heartbeat", hb, false},
+		{"short junk", []byte{magic}, false},
+	} {
+		if got := IsTenantTagged(tc.frame); got != tc.want {
+			t.Errorf("IsTenantTagged(%s) = %t, want %t", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestTenantBatchCorrupt: structural damage comes back as the right typed
+// error, and inners already yielded before the damage stand.
+func TestTenantBatchCorrupt(t *testing.T) {
+	env := AppendTenantEnvelope(nil, 7, EncodeHeartbeat(Heartbeat{Sender: 1, Epoch: 1}))
+	good := AppendTenantBatchFrame(AppendTenantBatchHeader(nil), env)
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"not a batch", env, ErrCorrupt},
+		{"empty batch", AppendTenantBatchHeader(nil), ErrTruncated},
+		{"unterminated length varint", append(AppendTenantBatchHeader(nil), 0x80), ErrTruncated},
+		{"zero-length inner", append(AppendTenantBatchHeader(nil), 0x00), ErrTruncated},
+		{"inner longer than batch", append(AppendTenantBatchHeader(nil), 0x7f, 0x01), ErrTruncated},
+		{"truncated second inner", append(append([]byte{}, good...), 0x09, 0x01), ErrTruncated},
+	} {
+		if err := DecodeTenantBatch(tc.data, func([]byte) {}); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	yielded := 0
+	damaged := append(append([]byte{}, good...), 0x44)
+	if err := DecodeTenantBatch(damaged, func([]byte) { yielded++ }); err == nil || yielded != 1 {
+		t.Fatalf("damaged tail: err=%v yielded=%d, want error after 1 inner", err, yielded)
+	}
+}

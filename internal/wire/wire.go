@@ -46,6 +46,7 @@ const (
 	KindAttach      = 3
 	KindReportBatch = 4
 	KindTenantEnv   = 5
+	KindTenantBatch = 6
 )
 
 // MaxSpan bounds the span (and covered-set) length a decoder accepts before
@@ -89,6 +90,7 @@ func FrameKind(data []byte) (byte, error) {
 	case k == KindReport || k == KindHeartbeat || k == KindAttach:
 	case k == KindReportBatch && v2: // batch frames are v2-only
 	case k == KindTenantEnv && v2: // tenant envelopes are v2-only
+	case k == KindTenantBatch && v2: // tenant batch frames are v2-only
 	default:
 		return 0, fmt.Errorf("wire: unknown kind %d: %w", k, ErrCorrupt)
 	}

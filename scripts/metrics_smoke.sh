@@ -7,8 +7,9 @@
 # core families of every plane: detector nodes, the scheduler, the timer
 # wheel, the cluster ledger, events and the TCP transport. A second phase
 # re-runs the deployment with -tenants 2 and asserts the tenant plane's
-# families — per-tenant counters, lease state and the mux drop counter —
-# appear with both tenant labels. Localhost only.
+# families — per-tenant counters, the shared scheduler substrate (plane
+# workers, wheel lag histogram, per-tenant mailbox high-water), lease state
+# and the mux drop counter — appear with both tenant labels. Localhost only.
 #
 # Ports are reserved with the bind-read-release trick (scripts/freeport for
 # the metrics endpoint, hierdet-node -init for the node ports), which is
@@ -150,6 +151,14 @@ run_phase 2 'hierdet_tenant_detections_total{tenant="t0"} [1-9]'
 for series in \
     'hierdet_tenants 2' \
     'hierdet_tenants_registered_total 2' \
+    'hierdet_plane_workers ' \
+    'hierdet_plane_busy_workers ' \
+    'hierdet_plane_wheel_entries ' \
+    'hierdet_plane_wheel_ticks_total ' \
+    'hierdet_plane_wheel_lag_seconds_bucket' \
+    'hierdet_plane_wheel_lag_seconds_count' \
+    'hierdet_tenant_mailbox_high_water{tenant="t0"}' \
+    'hierdet_tenant_mailbox_high_water{tenant="t1"}' \
     'hierdet_tenant_detections_total{tenant="t0"}' \
     'hierdet_tenant_detections_total{tenant="t1"}' \
     'hierdet_tenant_intervals_in_total{tenant="t0"}' \
