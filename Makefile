@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-scale fuzz figures alpha examples smoke smoke-metrics fmt vet lint clean
+.PHONY: all build test test-short race cover bench bench-json bench-scale bench-compare fuzz figures alpha examples smoke smoke-metrics fmt vet lint clean
 
 all: build vet test
 
@@ -33,6 +33,14 @@ bench-json:
 # Live-runtime scale lanes at p ∈ {127, 511, 1023} → BENCH_scale.json.
 bench-scale:
 	$(GO) run ./cmd/benchjson -suite scale
+
+# Perf drift gate: diff the last two entries of the scale trajectory (CI
+# points BENCH_COMPARE_OUT at its freshly refreshed copy) and fail when the
+# p=1023 parallel lane's throughput regressed more than 10%.
+BENCH_COMPARE_OUT ?= BENCH_scale.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -suite scale -compare -out $(BENCH_COMPARE_OUT) \
+		-maxregress p1023_parallel_intervals_per_sec=10
 
 # Short fuzz passes over the wire codecs. Patterns are anchored: a bare
 # FuzzDecodeReport would match both FuzzDecodeReport and FuzzDecodeReportV2,

@@ -109,6 +109,7 @@ func main() {
 	label := flag.String("label", "", "unique annotation for this trajectory entry (required when recording)")
 	short := flag.Bool("short", false, "shorter benchtimes for CI lanes")
 	compare := flag.Bool("compare", false, "print a benchstat-style diff of the last two recorded entries and exit")
+	maxRegress := flag.String("maxregress", "", "with -compare: comma-separated summary drift gates, each key=pct; exit 1 if new < old*(1-pct/100) for any key (e.g. p1023_parallel_intervals_per_sec=10)")
 	flag.Parse()
 
 	var suites []suite
@@ -132,7 +133,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %s holds %d entries; -compare needs two\n", *out, len(doc.Trajectory))
 			os.Exit(1)
 		}
-		printCompare(os.Stdout, doc.Trajectory[len(doc.Trajectory)-2], doc.Trajectory[len(doc.Trajectory)-1])
+		old, new := doc.Trajectory[len(doc.Trajectory)-2], doc.Trajectory[len(doc.Trajectory)-1]
+		printCompare(os.Stdout, old, new)
+		if !checkDriftGates(os.Stdout, old, new, *maxRegress) {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -287,7 +292,7 @@ func printCompare(w io.Writer, old, new run) {
 			fmt.Fprintf(tw, "%s\t\t(absent)\t\tnew benchmark\n", name)
 			continue
 		}
-		for _, unit := range [...]string{"ns/op", "intervals/sec", "B/op", "allocs/op", "bytes/frame"} {
+		for _, unit := range [...]string{"ns/op", "intervals/sec", "B/op", "allocs/op", "bytes/frame", "worst-node-cmps/run"} {
 			nv, okN := nr.Metrics[unit]
 			ov, okO := or.Metrics[unit]
 			if !okN || !okO || ov == 0 {
@@ -320,6 +325,44 @@ func printCompare(w io.Writer, old, new run) {
 			}
 		}
 	}
+}
+
+// checkDriftGates enforces -maxregress: each gate is a summary key plus the
+// largest tolerated regression in percent, and a gate trips when the newer
+// entry's value falls more than that below the older one's. A key missing
+// from either entry trips its gate too — a gated headline silently vanishing
+// from the trajectory is exactly the drift the gate exists to catch. Returns
+// false when any gate tripped.
+func checkDriftGates(w io.Writer, old, new run, spec string) bool {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return true
+	}
+	ok := true
+	for _, gate := range strings.Split(spec, ",") {
+		key, pctStr, found := strings.Cut(strings.TrimSpace(gate), "=")
+		pct, err := strconv.ParseFloat(pctStr, 64)
+		if !found || err != nil || pct < 0 {
+			fmt.Fprintf(w, "drift gate %q: malformed, want key=pct\n", gate)
+			ok = false
+			continue
+		}
+		ov, okO := old.Summary[key]
+		nv, okN := new.Summary[key]
+		switch {
+		case !okO || !okN:
+			fmt.Fprintf(w, "drift gate %s: FAIL — key missing from %s entry\n",
+				key, map[bool]string{true: "newer", false: "older"}[okO])
+			ok = false
+		case ov > 0 && nv < ov*(1-pct/100):
+			fmt.Fprintf(w, "drift gate %s: FAIL — %.4g -> %.4g (%.1f%% drop, tolerance %.1f%%)\n",
+				key, ov, nv, 100*(1-nv/ov), pct)
+			ok = false
+		default:
+			fmt.Fprintf(w, "drift gate %s: ok — %.4g -> %.4g (tolerance %.1f%%)\n", key, ov, nv, pct)
+		}
+	}
+	return ok
 }
 
 func entryTitle(r run) string {
@@ -409,8 +452,10 @@ func summarizeHotpath(suites []suiteOut) map[string]float64 {
 // summarizeScale derives the scale-lane headlines: per-size throughput for
 // every lane, each size's speedups over the recorded baselines (legacy for
 // the delivery-plane lanes, batched-sequential for the parallel engine —
-// both measured in the same run), goroutine high-water marks, and the
-// batched encode path's allocation count.
+// both measured in the same run), goroutine high-water marks, per-lane
+// worst-node comparison counts, the parallel lane's comparison-pruning
+// effectiveness (digest filter rate and memo hit rate), and the batched
+// encode path's allocation count.
 func summarizeScale(suites []suiteOut) map[string]float64 {
 	sum := map[string]float64{}
 	lanes := []string{"legacy", "sharded", "batched", "parallel"}
@@ -423,6 +468,18 @@ func summarizeScale(suites []suiteOut) map[string]float64 {
 			if v, ok := metric(suites, "./internal/livenet", name, "peak-goroutines"); ok {
 				sum[fmt.Sprintf("p%d_%s_peak_goroutines", p, lane)] = v
 			}
+			if v, ok := metric(suites, "./internal/livenet", name, "worst-node-cmps/run"); ok {
+				sum[fmt.Sprintf("p%d_%s_worst_node_cmps", p, lane)] = v
+			}
+		}
+		// The comparison-pruning layer's effectiveness, parallel lane only
+		// (the sequential lanes report no digest/memo activity by design).
+		parName := fmt.Sprintf("BenchmarkLiveScale/p=%d/parallel", p)
+		if v, ok := metric(suites, "./internal/livenet", parName, "digest-filter-rate"); ok {
+			sum[fmt.Sprintf("p%d_digest_filter_rate", p)] = v
+		}
+		if v, ok := metric(suites, "./internal/livenet", parName, "memo-hit-rate"); ok {
+			sum[fmt.Sprintf("p%d_memo_hit_rate", p)] = v
 		}
 		base := sum[fmt.Sprintf("p%d_legacy_intervals_per_sec", p)]
 		if base > 0 {

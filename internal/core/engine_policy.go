@@ -1,0 +1,106 @@
+package core
+
+import "time"
+
+// The adaptive fanout policy. The old static defaultFanoutThreshold encoded
+// one machine's break-even point for shipping a comparison round to the pool;
+// on hardware where helpers are scarce (a single-core box, an oversubscribed
+// container) or memory bandwidth differs, a fixed threshold either fans out
+// rounds that were cheaper inline or strands cores on rounds that weren't.
+// The policy instead measures what the rounds actually cost on the running
+// machine — nanoseconds per scanned component, one EWMA per lane — and walks
+// the threshold toward whichever lane is cheaper, probing the out-of-favor
+// lane periodically so a stale verdict cannot lock in. Rounds below a
+// measurement floor always run inline and unmeasured: their wall time is
+// dominated by the clock reads themselves.
+//
+// The policy only chooses *where* identical work runs; verdicts, Stats and
+// detections are unaffected, so oracle parity is independent of its state. A
+// positive Config.FanoutThreshold bypasses the policy entirely (static
+// semantics, used by tests to force fanout at toy sizes).
+
+const (
+	// policyMeasureFloor is the round size (components) below which rounds
+	// run inline unmeasured: ~4k components is roughly a microsecond of
+	// comparison work, the scale where two time.Now calls stop distorting
+	// what they measure.
+	policyMeasureFloor = 1 << 12
+
+	// policyMinThreshold / policyMaxThreshold clamp the walk: the threshold
+	// can never drop below the measurement floor (unmeasurable rounds stay
+	// inline) nor grow so large that fanout is effectively disabled forever
+	// (the probe cadence still revisits it).
+	policyMinThreshold = policyMeasureFloor
+	policyMaxThreshold = 1 << 24
+
+	// policyProbeEvery forces every k-th measured round onto the lane the
+	// current threshold would not pick, keeping both EWMAs alive.
+	policyProbeEvery = 64
+
+	// policyAlpha is the EWMA smoothing factor; ~0.1 averages over the last
+	// couple dozen measured rounds, long enough to ride out scheduler noise.
+	policyAlpha = 0.1
+
+	// policyMargin is the relative cost advantage a lane must show before
+	// the threshold moves — hysteresis against oscillation on noisy boxes.
+	policyMargin = 0.9
+)
+
+// fanoutPolicy carries one node's adaptive threshold state. The zero value
+// is ready to use (threshold lazily seeded from defaultFanoutThreshold).
+type fanoutPolicy struct {
+	threshold           int
+	inlineNs, fanNs     float64 // EWMA ns per component, per lane
+	haveInline, haveFan bool
+	measured            int
+}
+
+// cut returns the current components threshold.
+func (p *fanoutPolicy) cut() int {
+	if p.threshold == 0 {
+		p.threshold = defaultFanoutThreshold
+	}
+	return p.threshold
+}
+
+// decide picks the lane for a round of the given size and whether the round
+// should be timed. Probe rounds deliberately take the out-of-favor lane.
+func (p *fanoutPolicy) decide(comps int) (fan, measure bool) {
+	fan = comps >= p.cut()
+	if comps < policyMeasureFloor {
+		return fan, false
+	}
+	p.measured++
+	if p.measured%policyProbeEvery == 0 {
+		fan = !fan
+	}
+	return fan, true
+}
+
+// observe feeds one measured round back and walks the threshold toward the
+// cheaper lane once both lanes have evidence.
+func (p *fanoutPolicy) observe(fan bool, comps int, dt time.Duration) {
+	ns := float64(dt.Nanoseconds()) / float64(comps)
+	if fan {
+		if !p.haveFan {
+			p.fanNs, p.haveFan = ns, true
+		} else {
+			p.fanNs += policyAlpha * (ns - p.fanNs)
+		}
+	} else {
+		if !p.haveInline {
+			p.inlineNs, p.haveInline = ns, true
+		} else {
+			p.inlineNs += policyAlpha * (ns - p.inlineNs)
+		}
+	}
+	if !p.haveFan || !p.haveInline {
+		return
+	}
+	switch {
+	case p.fanNs < p.inlineNs*policyMargin:
+		p.threshold = max(policyMinThreshold, p.threshold*3/4)
+	case p.inlineNs < p.fanNs*policyMargin:
+		p.threshold = min(policyMaxThreshold, p.threshold*5/4)
+	}
+}

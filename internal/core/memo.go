@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hierdet/internal/interval"
+)
+
+// Cross-round verdict memoization for the parallel engine. A head-to-head
+// verdict — elimination's fused CompareLess of two queue heads, or pruning's
+// Eq. 10 Less of two head upper bounds — is a pure function of the two head
+// intervals. Queue.HeadGen advances exactly when a queue's head changes, so
+// the pair (headGen_a, headGen_b) identifies the operands: a detect cascade,
+// an OnIntervals batch, or a post-prune re-eliminate that enumerates a pair
+// whose two heads are unchanged answers it from the memo in O(1) instead of
+// re-scanning two O(n) clocks.
+//
+// Tables are dense, indexed by source *position* in nd.srcs (position_a ×
+// len(srcs) + position_b), and rebuilt — fully invalidated — whenever the
+// source set changes (AddChild, RemoveChild), which also covers the head
+// generation restarting at zero in a recreated queue. The sequential oracle
+// never touches any of this: memoization lives strictly on the parallel
+// engine's side of the detect split, keeping the oracle verbatim.
+
+// digestNone is the sentinel digest pair for a head that is not worth
+// summing yet (first evaluation): a zero Lo sum never certifies
+// sum(lo) ≥ sum(hi') and a maximal Hi sum is never reached by a real Lo sum
+// (component sums are bounded by 2^52), so under the sentinel neither
+// direction of the digest guard can refute and the comparison kernel runs
+// exactly as if unguarded.
+var digestNone = interval.SlotDigest{Lo: 0, Hi: ^uint64(0)}
+
+// elimMemo caches one elimination pair verdict: the two fused Less results
+// for (head_a, head_b) at the recorded head generations.
+type elimMemo struct {
+	genA, genB         uint64
+	xBeforeY, yBeforeX bool
+	valid              bool
+}
+
+// pruneMemo caches one pruning-rule comparison: whether head_b.Hi <
+// head_a.Hi (Eq. 10) at the recorded head generations. Eq. 9's successor
+// peek is deliberately not memoized — it reads At(1), which a tail enqueue
+// changes without moving HeadGen.
+type pruneMemo struct {
+	genB, genA uint64
+	less       bool
+	valid      bool
+}
+
+// rebuildMemo resizes and invalidates the memo tables and the position index
+// after a source-set change. A no-op under the sequential oracle.
+func (nd *Node) rebuildMemo() {
+	if !nd.cfg.Parallel {
+		return
+	}
+	s := len(nd.srcs)
+	if nd.srcPos == nil {
+		nd.srcPos = make(map[int]int, s)
+	}
+	clear(nd.srcPos)
+	for i, src := range nd.srcs {
+		nd.srcPos[src] = i
+	}
+	need := s * s
+	if cap(nd.elimMemoT) < need {
+		nd.elimMemoT = make([]elimMemo, need)
+		nd.pruneMemoT = make([]pruneMemo, need)
+		nd.mirrorScratch = make([]int32, need)
+	} else {
+		nd.elimMemoT = nd.elimMemoT[:need]
+		nd.pruneMemoT = nd.pruneMemoT[:need]
+		nd.mirrorScratch = nd.mirrorScratch[:need]
+		clear(nd.elimMemoT)
+		clear(nd.pruneMemoT)
+	}
+	if cap(nd.digestSeen) < s {
+		nd.digestSeen = make([]uint64, s)
+	} else {
+		nd.digestSeen = nd.digestSeen[:s]
+		clear(nd.digestSeen)
+	}
+	// The mirror scratch is "empty at rest": rounds restore their touched
+	// entries to -1, so only a rebuild pays the full wipe.
+	for i := range nd.mirrorScratch {
+		nd.mirrorScratch[i] = -1
+	}
+}
+
+// pruneParSeq is the parallel engine's memoized, digest-guarded prune body:
+// the exact enumeration, early-break and VecComparisons accounting of the
+// sequential prune (node.go), with each Eq. 10 Less answered from the memo
+// when both head generations match and digest-guarded otherwise. It replaces
+// the oracle prune as prunePar's below-threshold path, so the oracle itself
+// stays verbatim.
+func (nd *Node) pruneParSeq(removable []int) []int {
+	s := len(nd.srcs)
+	for ia, a := range nd.srcs {
+		qa := nd.queues[a]
+		xa := qa.HeadRef()
+		ga := qa.HeadGen()
+		// Digests follow the same second-evaluation rule as eliminatePar:
+		// summing a head to guard its only comparison costs more than the
+		// guard saves, so the guard engages only once both heads have been
+		// seen in an earlier evaluation (and their digests are therefore
+		// cached or about to amortize).
+		seenA := nd.digestSeen[ia] == ga+1
+		if !seenA {
+			nd.digestSeen[ia] = ga + 1
+		}
+		keep := false
+		for ib, b := range nd.srcs {
+			if b == a {
+				continue
+			}
+			qb := nd.queues[b]
+			nd.stats.VecComparisons++
+			var less bool
+			gb := qb.HeadGen()
+			if m := &nd.pruneMemoT[ib*s+ia]; m.valid && m.genB == gb && m.genA == ga {
+				less = m.less
+				nd.stats.MemoHits++
+			} else {
+				if seenA && nd.digestSeen[ib] == gb+1 {
+					var filtered bool
+					less, filtered = qb.HeadRef().Hi.LessDigest(xa.Hi, qb.HeadDigests().Hi, qa.HeadDigests().Hi)
+					if filtered {
+						nd.stats.FilteredComparisons++
+					}
+				} else {
+					if nd.digestSeen[ib] != gb+1 {
+						nd.digestSeen[ib] = gb + 1
+					}
+					less = qb.HeadRef().Hi.Less(xa.Hi)
+				}
+				*m = pruneMemo{genB: gb, genA: ga, less: less, valid: true}
+			}
+			if !less {
+				continue // Eq. 10 certifies x_b cannot revive x_a
+			}
+			if nd.cfg.ExactPrune && qb.Len() > 1 {
+				// x_b's successor is already here: apply Eq. 9 exactly.
+				// Guarded only when x_a's digest is already paid for; the
+				// successor's sum is a prepayment — its slot cache survives
+				// until the slot is vacated, so it rides into the head
+				// digest when x_b is deleted.
+				nd.stats.VecComparisons++
+				succ := qb.At(1)
+				var sl bool
+				if seenA {
+					var sf bool
+					sl, sf = succ.Lo.LessDigest(xa.Hi, qb.DigestsAt(1).Lo, qa.HeadDigests().Hi)
+					if sf {
+						nd.stats.FilteredComparisons++
+					}
+				} else {
+					sl = succ.Lo.Less(xa.Hi)
+				}
+				if !sl {
+					continue // succ(x_b) does not overlap x_a either
+				}
+			}
+			keep = true
+			break
+		}
+		if !keep {
+			removable = append(removable, a)
+		}
+	}
+	if len(removable) == 0 {
+		panic(fmt.Sprintf("core: node %d: pruning found no removable interval (Theorem 4 violated)", nd.id))
+	}
+	for _, a := range removable {
+		nd.queues[a].DeleteHead()
+		nd.noteRemovals(1)
+		nd.stats.Pruned++
+	}
+	sort.Ints(removable)
+	return removable
+}

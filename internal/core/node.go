@@ -56,8 +56,22 @@ type Stats struct {
 	Dropped int
 	// VecComparisons counts vector-timestamp comparisons executed by the
 	// elimination loop and the pruning rule. Each comparison costs O(n)
-	// component operations, which is how the paper's O(d²pn²) arises.
+	// component operations, which is how the paper's O(d²pn²) arises. The
+	// count is of *logical* comparisons — the pairs Algorithm 1 enumerates —
+	// and is identical across engines; FilteredComparisons and MemoHits
+	// break down how many of them the parallel engine's comparison-pruning
+	// layer answered in O(1) instead of an O(n) scan.
 	VecComparisons int
+	// FilteredComparisons counts comparison directions the digest guard
+	// refuted from the one-word component-sum digests (vclock.Sum) without
+	// scanning the clocks. Always zero under the sequential oracle.
+	FilteredComparisons int
+	// MemoHits counts comparisons served from the cross-round verdict memo
+	// — the (source, head-generation) keyed cache of elimination and prune
+	// verdicts — including mirror pairs resolved by swapping an already
+	// evaluated verdict within a round. Always zero under the sequential
+	// oracle.
+	MemoHits int
 	// Eliminated counts heads deleted by the elimination loop (lines 12–16).
 	Eliminated int
 	// Pruned counts heads deleted by the repeated-detection rule (Eq. 10).
@@ -67,6 +81,16 @@ type Stats struct {
 	EpochDiscards int
 	// Detections counts solution sets found at this node.
 	Detections int
+}
+
+// Legacy returns s with the comparison-pruning breakdown zeroed — the shape
+// the sequential oracle produces. VecComparisons keeps its historical meaning
+// (the comparisons Algorithm 1 enumerates) in both engines; the breakdown
+// fields only describe how much of that enumerated work was answered in O(1),
+// so oracle-parity checks and legacy dashboards compare Legacy values.
+func (s Stats) Legacy() Stats {
+	s.FilteredComparisons, s.MemoHits = 0, 0
+	return s
 }
 
 // Config carries the knobs shared by every node of one detector instance.
@@ -114,8 +138,12 @@ type Config struct {
 	Clocks *vclock.Arena
 
 	// FanoutThreshold overrides the minimum number of clock components a
-	// comparison round must carry before it fans out to Pool (0 = default).
-	// Tests lower it to force fanout at toy sizes.
+	// comparison round must carry before it fans out to Pool. Zero — the
+	// default — selects the adaptive policy (engine_policy.go), which
+	// measures inline and fanned round costs and moves the threshold toward
+	// whichever lane is cheaper on the running hardware. A positive value
+	// pins the threshold statically; tests lower it to force fanout at toy
+	// sizes.
 	FanoutThreshold int
 }
 
@@ -166,6 +194,19 @@ type Node struct {
 	genScratch     []uint64
 	keepScratch    []pruneVerdict
 	solSlab        []interval.Interval
+
+	// Comparison-pruning state (parallel engine only, memo.go): source →
+	// position in srcs, the (position², head-generation keyed) elimination
+	// and prune verdict memos, the per-round mirror index scratch, the
+	// last head generation per source whose evaluation was seen (digests
+	// are consulted only from a head's second evaluation on), and the
+	// adaptive fanout policy.
+	srcPos        map[int]int
+	elimMemoT     []elimMemo
+	pruneMemoT    []pruneMemo
+	mirrorScratch []int32
+	digestSeen    []uint64
+	policy        fanoutPolicy
 }
 
 // NewNode returns a detector for process id in an n-process system. If local
@@ -248,6 +289,7 @@ func (nd *Node) addSource(src int) {
 	}
 	nd.queues[src] = interval.NewQueue()
 	nd.srcs = append(nd.srcs, src)
+	nd.rebuildMemo()
 }
 
 // AddChild creates a queue for a (possibly newly adopted) child subtree. The
@@ -280,6 +322,7 @@ func (nd *Node) RemoveChild(child int) []Detection {
 			break
 		}
 	}
+	nd.rebuildMemo()
 	if len(nd.srcs) == 0 {
 		return nil
 	}

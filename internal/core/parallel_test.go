@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"hierdet/internal/interval"
 	"hierdet/internal/workload"
 )
 
@@ -81,8 +82,21 @@ func parallelEquivalent(t *testing.T, seed int64, nSel uint8, pool *Pool) bool {
 		}
 	}
 
-	if ss, ps := seq.Stats(), par.Stats(); ss != ps {
+	// Legacy Stats (the Algorithm 1 counters) must be identical; the
+	// comparison-pruning breakdown is the parallel engine's own accounting
+	// of how much of that identical work it answered in O(1), so it must be
+	// zero on the oracle and bounded by the enumerated work on the engine.
+	ss, ps := seq.Stats(), par.Stats()
+	if ss.Legacy() != ps.Legacy() {
 		t.Logf("seed %d n %d: stats diverge:\n  seq %+v\n  par %+v", seed, n, ss, ps)
+		return false
+	}
+	if ss.FilteredComparisons != 0 || ss.MemoHits != 0 {
+		t.Logf("seed %d n %d: sequential oracle reported pruning-layer work: %+v", seed, n, ss)
+		return false
+	}
+	if ps.FilteredComparisons+ps.MemoHits > ps.VecComparisons {
+		t.Logf("seed %d n %d: breakdown exceeds enumerated comparisons: %+v", seed, n, ps)
 		return false
 	}
 	sc, sh := seq.QueueSizes()
@@ -120,6 +134,43 @@ func TestParallelEquivalenceNilPool(t *testing.T) {
 	f := func(seed int64, nSel uint8) bool { return parallelEquivalent(t, seed, nSel, nil) }
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestComparisonPruningEngaged pins that the comparison-pruning layer
+// actually fires on a detection-dense schedule — a five-round cascade whose
+// pruning comparisons are digest-refutable (equal upper-bound sums) and whose
+// multi-source elimination rounds contain mirror pairs — so the breakdown
+// counters cannot silently rot to zero. The oracle-parity property next door
+// already guarantees the layer never changes a verdict; this guarantees it
+// exists.
+func TestComparisonPruningEngaged(t *testing.T) {
+	par := NewNode(99, Config{N: 3, Strict: true, KeepMembers: true, Parallel: true}, false)
+	for p := 0; p < 3; p++ {
+		par.AddChild(p)
+	}
+	var dets []Detection
+	for r := 0; r < 5; r++ {
+		dets = append(dets, par.OnInterval(0, sync3(0, r, 10*r+1, 10*r+3))...)
+		dets = append(dets, par.OnInterval(1, sync3(1, r, 10*r+1, 10*r+3))...)
+	}
+	var run []interval.Interval
+	for r := 0; r < 5; r++ {
+		run = append(run, sync3(2, r, 10*r+1, 10*r+3))
+	}
+	dets = append(dets, par.OnIntervals(2, run)...)
+	if len(dets) != 5 {
+		t.Fatalf("detections = %d, want 5", len(dets))
+	}
+	st := par.Stats()
+	if st.FilteredComparisons == 0 {
+		t.Fatalf("digest guard never fired: %+v", st)
+	}
+	if st.MemoHits == 0 {
+		t.Fatalf("verdict memo never hit: %+v", st)
+	}
+	if st.FilteredComparisons+st.MemoHits > st.VecComparisons {
+		t.Fatalf("breakdown exceeds enumerated comparisons: %+v", st)
 	}
 }
 
@@ -167,7 +218,7 @@ func TestParallelEpochInterleaving(t *testing.T) {
 	}
 
 	ss, ps := seq.Stats(), par.Stats()
-	if ss != ps {
+	if ss.Legacy() != ps.Legacy() {
 		t.Fatalf("stats diverge:\n  seq %+v\n  par %+v", ss, ps)
 	}
 	if ss.EpochDiscards == 0 {

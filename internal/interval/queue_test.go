@@ -96,6 +96,55 @@ func TestQueueSnapshot(t *testing.T) {
 	}
 }
 
+// TestQueueDigestsAndHeadGen drives a long random enqueue/delete schedule and
+// checks, at every step, that the per-slot digests equal the recomputed bound
+// sums and that HeadGen advances exactly when the head interval changes —
+// never on a tail enqueue. Digests fill lazily on consult; consulting every
+// slot every step exercises both the first fill and the cached reads, and a
+// slot reused after DeleteHead/grow would surface any stale cache as a
+// mismatch against the recomputed sums.
+func TestQueueDigestsAndHeadGen(t *testing.T) {
+	q := NewQueue()
+	r := rand.New(rand.NewSource(23))
+	seq := 0
+	var lastHeadGen uint64
+	var lastHeadSeq = -1
+	for step := 0; step < 5000; step++ {
+		if q.Empty() || r.Intn(2) == 0 {
+			wasEmpty := q.Empty()
+			q.Enqueue(ivl(seq))
+			seq++
+			if wasEmpty && q.HeadGen() == lastHeadGen {
+				t.Fatalf("step %d: enqueue onto empty queue did not advance HeadGen", step)
+			}
+			if !wasEmpty && q.HeadGen() != lastHeadGen && lastHeadSeq >= 0 {
+				t.Fatalf("step %d: tail enqueue advanced HeadGen", step)
+			}
+		} else {
+			q.DeleteHead()
+			if q.HeadGen() == lastHeadGen {
+				t.Fatalf("step %d: DeleteHead did not advance HeadGen", step)
+			}
+		}
+		lastHeadGen = q.HeadGen()
+		if q.Empty() {
+			lastHeadSeq = -1
+			continue
+		}
+		lastHeadSeq = q.Head().Seq
+		for i := 0; i < q.Len(); i++ {
+			x, d := q.At(i), q.DigestsAt(i)
+			if d.Lo != x.Lo.Sum() || d.Hi != x.Hi.Sum() {
+				t.Fatalf("step %d slot %d: digests (%d,%d), recomputed (%d,%d)",
+					step, i, d.Lo, d.Hi, x.Lo.Sum(), x.Hi.Sum())
+			}
+		}
+		if hd := q.HeadDigests(); hd != q.DigestsAt(0) {
+			t.Fatalf("step %d: HeadDigests %v != DigestsAt(0) %v", step, hd, q.DigestsAt(0))
+		}
+	}
+}
+
 func TestQueuePanics(t *testing.T) {
 	q := NewQueue()
 	for name, f := range map[string]func(){

@@ -99,6 +99,18 @@ type Config struct {
 	// Zero sends every report immediately, the paper's per-detection
 	// behaviour.
 	BatchWindow time.Duration
+	// AdaptiveFlush coalesces reports per worker drain instead of per fixed
+	// time window: reports a node emits while its worker drains one mailbox
+	// swap leave as a single message at the end of that drain. The coalescing
+	// unit is the actual burst — a detection cascade triggered by one batch of
+	// deliveries flushes as one frame with zero added latency, while an
+	// isolated report still leaves within its own drain — so the policy adapts
+	// to load where a static BatchWindow must pick one point on the
+	// latency/frame-count trade-off for every node and every phase of the run.
+	// Mutually exclusive with BatchWindow and incompatible with
+	// LegacyDelivery (whose per-message channel loop has no drain boundary,
+	// and which is a frozen baseline anyway).
+	AdaptiveFlush bool
 	// LegacyDelivery restores the seed's delivery plane in full: one inbox
 	// channel and one goroutine per node, one sleeping goroutine per delayed
 	// message, one time.AfterFunc per repair timer and a per-node heartbeat
@@ -295,6 +307,12 @@ func New(cfg Config) *Cluster {
 	}
 	if cfg.Scheduler != nil && cfg.LegacyDelivery {
 		panic("livenet: Scheduler is incompatible with LegacyDelivery")
+	}
+	if cfg.AdaptiveFlush && cfg.LegacyDelivery {
+		panic("livenet: AdaptiveFlush is incompatible with LegacyDelivery")
+	}
+	if cfg.AdaptiveFlush && cfg.BatchWindow > 0 {
+		panic("livenet: AdaptiveFlush and BatchWindow are mutually exclusive coalescing policies")
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -664,6 +682,23 @@ func (c *Cluster) armTimer(ln *liveNode, d time.Duration, msg message) {
 		return
 	}
 	c.wheel.schedule(ln, msg, d, 0)
+}
+
+// takeFlushCredit reserves one ledger credit for an AdaptiveFlush drain-end
+// flush — armTimer's role for the batch-window timer, without a timer. A
+// buffered report must keep the ledger non-zero until its flush, or Drain and
+// Stop could observe quiescence with reports still sitting in outBuf. The
+// credit is released by runNode after the flush runs (or after the buffer is
+// discarded because the node went down). Returns false after stopped, when
+// nothing may enter the ledger anymore.
+func (c *Cluster) takeFlushCredit() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == clusterStopped {
+		return false
+	}
+	c.pending++
+	return true
 }
 
 // armLegacy is postLegacy's timer twin, out of line for the same reason: the

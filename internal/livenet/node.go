@@ -75,10 +75,15 @@ type liveNode struct {
 	lastAgg interval.Interval // most recent aggregate, for resend-on-adopt
 	hasAgg  bool              // lastAgg holds a real aggregate
 
-	// Batch-window report coalescing (Config.BatchWindow > 0): reports owed
-	// to the parent buffer here until the armed flush timer fires.
+	// Report coalescing state. outBuf holds reports owed to the parent:
+	// under Config.BatchWindow > 0 until the armed flush timer fires
+	// (flushPending), under Config.AdaptiveFlush until the worker reaches the
+	// end of the current mailbox drain (drainFlush — which also records that
+	// the buffer holds one ledger credit, taken at first buffer and released
+	// by runNode after the drain-end flush).
 	outBuf       []repair.Report
 	flushPending bool
+	drainFlush   bool
 
 	ivScratch  []interval.Interval // reused batch-ingestion staging
 	rdyScratch []repair.Report     // reused resequencer release staging
@@ -301,12 +306,21 @@ func (ln *liveNode) resendLast() {
 }
 
 // emit assigns the next link sequence number and either sends the report or
-// buffers it for the pending batch-window flush, arming the flush timer if
-// none is armed. The timer is a credited wheel entry, so Drain and Stop
-// cover buffered reports.
+// buffers it for a pending flush. Under AdaptiveFlush the buffer drains at
+// the end of the current mailbox drain (runNode), covered by an explicit
+// ledger credit taken at first buffer; under a batch window it drains when
+// the armed flush timer fires — a credited wheel entry. Either way Drain and
+// Stop cover buffered reports.
 func (ln *liveNode) emit(agg interval.Interval) {
 	pl := repair.Report{Iv: agg, LinkSeq: ln.outSeq, Epoch: ln.epochs.Stamp()}
 	ln.outSeq++
+	if ln.c.cfg.AdaptiveFlush {
+		ln.outBuf = append(ln.outBuf, pl)
+		if !ln.drainFlush && ln.c.takeFlushCredit() {
+			ln.drainFlush = true
+		}
+		return
+	}
 	if ln.c.cfg.BatchWindow <= 0 {
 		ln.m.msgsOut.Add(1)
 		ln.c.emitEvent(obsv.Event{Kind: obsv.ReportSent, Node: ln.id, Peer: ln.parent, Seq: pl.LinkSeq, Count: 1})

@@ -25,8 +25,10 @@ import (
 //	         pinned to the sequential detection oracle so it keeps
 //	         measuring exactly what it measured when it was the headline
 //	         lane
-//	parallel the batched plane with the parallel detection engine:
-//	         partitioned comparison rounds, flat aggregate storage,
+//	parallel ObserveBatch ingestion, drain-end adaptive report coalescing
+//	         (Config.AdaptiveFlush) and the parallel detection engine with
+//	         its comparison-pruning layer: partitioned comparison rounds,
+//	         digest-guarded and memoized verdicts, flat aggregate storage,
 //	         slab-carved solution sets — the full current path
 //
 // Each iteration builds a cluster, feeds every process's stream at full
@@ -37,6 +39,16 @@ import (
 //	                plane must stay O(p); the legacy plane scales with
 //	                in-flight messages
 //	detections/op   sanity: every lane must detect every round at the root
+//	worst-node-cmps/run  the busiest detector's enumerated comparisons —
+//	                the hot-spot the hierarchy is supposed to flatten
+//	cmps/interval   fleet-wide enumerated comparisons per observed interval;
+//	                the enumeration ledger is engine-independent, so the
+//	                sequential lanes' value doubles as the pre-pruning-layer
+//	                baseline
+//	digest-filter-rate / memo-hit-rate  the comparison-pruning layer's
+//	                share of enumerated comparisons answered by the one-word
+//	                digest guard / the cross-round verdict memo (zero on the
+//	                sequential lanes)
 //
 // The scale lane (make bench-scale / cmd/benchjson -suite scale) records
 // these into BENCH_scale.json; the p=1023 parallel-vs-batched ratio is the
@@ -58,7 +70,7 @@ func BenchmarkLiveScale(b *testing.B) {
 			{name: "legacy", legacy: true, sequential: true},
 			{name: "sharded", sequential: true},
 			{name: "batched", batchFeed: true, window: 200 * time.Microsecond, sequential: true},
-			{name: "parallel", batchFeed: true, window: 200 * time.Microsecond},
+			{name: "parallel", batchFeed: true, adaptive: true},
 		} {
 			b.Run(fmt.Sprintf("p=%d/%s", p, mode.name), func(b *testing.B) {
 				benchLiveScale(b, topo, e, total, rounds, mode)
@@ -69,18 +81,21 @@ func BenchmarkLiveScale(b *testing.B) {
 
 // benchMode selects one lane's plane and engine. The sharded/batched lanes
 // pin SequentialDetect so they keep measuring the PR 4 configuration; the
-// parallel lane is the batched plane with the current engine.
+// parallel lane is the full current path — adaptive drain-end coalescing
+// instead of the batched lane's fixed window, plus the pruning engine.
 type benchMode struct {
 	name       string
 	legacy     bool
 	batchFeed  bool
 	window     time.Duration
+	adaptive   bool
 	sequential bool
 }
 
 func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, total, rounds int, mode benchMode) {
 	peak := 0
 	roots := 0
+	var worstCmps, vecCmps, filtered, memo int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -90,6 +105,7 @@ func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, to
 			MaxDelay:         500 * time.Microsecond,
 			LegacyDelivery:   mode.legacy,
 			BatchWindow:      mode.window,
+			AdaptiveFlush:    mode.adaptive,
 			SequentialDetect: mode.sequential,
 		})
 
@@ -135,6 +151,11 @@ func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, to
 				roots++
 			}
 		}
+		cm := c.ClusterMetrics()
+		worstCmps += cm.WorstNodeCmps
+		vecCmps += cm.VecComparisons
+		filtered += cm.FilteredComparisons
+		memo += cm.MemoHits
 	}
 	b.StopTimer()
 	if roots != rounds*b.N {
@@ -143,4 +164,10 @@ func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, to
 	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "intervals/sec")
 	b.ReportMetric(float64(peak), "peak-goroutines")
 	b.ReportMetric(float64(roots)/float64(b.N), "detections/op")
+	b.ReportMetric(float64(worstCmps)/float64(b.N), "worst-node-cmps/run")
+	if vecCmps > 0 {
+		b.ReportMetric(float64(vecCmps)/float64(b.N)/float64(total), "cmps/interval")
+		b.ReportMetric(float64(filtered)/float64(vecCmps), "digest-filter-rate")
+		b.ReportMetric(float64(memo)/float64(vecCmps), "memo-hit-rate")
+	}
 }

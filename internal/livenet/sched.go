@@ -131,6 +131,22 @@ func (c *Cluster) runNode(ln *liveNode) int {
 		down = ln.down.Load()
 	}
 
+	// AdaptiveFlush: the drain boundary is the coalescing edge. Everything
+	// this drain's handlers emitted leaves as one batch now — the report
+	// burst of one delivery batch, with no timer and no added latency — and
+	// the buffer's ledger credit (taken at first buffer in emit) returns. A
+	// node that crashed mid-drain loses its buffer, like any of its in-flight
+	// messages.
+	if ln.drainFlush {
+		ln.drainFlush = false
+		if down || stopped {
+			ln.outBuf = ln.outBuf[:0]
+		} else {
+			ln.flushReports()
+		}
+		c.done()
+	}
+
 	mb.mu.Lock()
 	if mb.spare == nil || cap(batch) > cap(mb.spare) {
 		mb.spare = batch[:0]

@@ -155,6 +155,57 @@ func TestBatchWindowMatchesUnbatched(t *testing.T) {
 	}
 }
 
+// TestAdaptiveFlushMatchesUnbatched: drain-end coalescing must not change
+// what is detected — same per-node detection counts as the per-report run on
+// the same workload — while actually coalescing: every non-root report leaves
+// inside a flush (never as an individual message), and batch feeding makes
+// flushes strictly fewer than the reports they carry. The Stop at the end
+// also exercises the flush credit: a buffered report that did not hold a
+// ledger credit could be stranded, and the detection counts would diverge.
+func TestAdaptiveFlushMatchesUnbatched(t *testing.T) {
+	topo := tree.Balanced(2, 2)
+	e := workload.Generate(workload.Config{Topology: topo, Rounds: 12, Seed: 4, PGlobal: 1})
+
+	run := func(adaptive bool) (map[int]int, map[int]Metrics) {
+		c := New(Config{Topology: topo, Seed: 6, Strict: true, KeepMembers: true, AdaptiveFlush: adaptive})
+		for p := range e.Streams {
+			c.ObserveBatch(p, e.Streams[p])
+		}
+		dets := c.Stop()
+		perNode := map[int]int{}
+		for _, d := range dets {
+			perNode[d.Node]++
+		}
+		return perNode, c.Metrics()
+	}
+
+	plain, _ := run(false)
+	adaptive, m := run(true)
+	nonRoot := 0
+	for node, want := range plain {
+		if adaptive[node] != want {
+			t.Errorf("node %d: adaptive %d detections, unbatched %d", node, adaptive[node], want)
+		}
+		if topo.Parent(node) != tree.None {
+			nonRoot += want
+		}
+	}
+	flushes, out := 0, 0
+	for _, nm := range m {
+		flushes += nm.BatchFlushes
+		out += nm.MsgsOut
+	}
+	if flushes == 0 {
+		t.Fatal("AdaptiveFlush run recorded no flushes")
+	}
+	if out > flushes {
+		t.Fatalf("MsgsOut = %d > flushes = %d: reports bypassed drain-end coalescing", out, flushes)
+	}
+	if flushes >= nonRoot {
+		t.Fatalf("flushes = %d for %d non-root reports: drain-end flush never coalesced a burst", flushes, nonRoot)
+	}
+}
+
 // TestObserveBatchMatchesObserve: feeding each process's stream in one
 // ObserveBatch call detects exactly what per-interval Observe calls do.
 func TestObserveBatchMatchesObserve(t *testing.T) {

@@ -75,10 +75,11 @@ type Spec struct {
 	Seed int64
 	// Strict and KeepMembers configure the detector nodes (see core.Config).
 	Strict, KeepMembers bool
-	// MaxDelay, BatchWindow and SequentialDetect tune the tenant cluster's
-	// delivery and detection planes (see livenet.Config).
-	MaxDelay    time.Duration
-	BatchWindow time.Duration
+	// MaxDelay, BatchWindow, AdaptiveFlush and SequentialDetect tune the
+	// tenant cluster's delivery and detection planes (see livenet.Config).
+	MaxDelay      time.Duration
+	BatchWindow   time.Duration
+	AdaptiveFlush bool
 	// Workers and DetectWorkers are deprecated on a plane: every tenant's
 	// shards are drained by the plane's one shared pool (Config.Workers) and
 	// its one comparison pool (Config.DetectWorkers), so these per-tenant
@@ -307,6 +308,7 @@ func (p *Multiplexer) RegisterPredicate(tenantID string, spec Spec) (*Handle, er
 		KeepMembers:       spec.KeepMembers,
 		MailboxBound:      bound,
 		BatchWindow:       spec.BatchWindow,
+		AdaptiveFlush:     spec.AdaptiveFlush,
 		SequentialDetect:  spec.SequentialDetect,
 		Scheduler:         p.sched,
 		HbEvery:           spec.HbEvery,

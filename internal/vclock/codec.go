@@ -61,26 +61,35 @@ func (v *VC) UnmarshalBinary(data []byte) error {
 // unconsumed remainder. The length claimed by the prefix is validated against
 // the bytes actually present before anything is allocated.
 func ConsumeBinary(data []byte, dst *VC) (rest []byte, err error) {
+	rest, _, err = ConsumeBinarySum(data, dst)
+	return rest, err
+}
+
+// ConsumeBinarySum is ConsumeBinary with the decoded clock's component-sum
+// digest (see VC.Sum) accumulated in the same pass, so decode paths that feed
+// the comparison-pruning layer never rescan the clock just to digest it.
+func ConsumeBinarySum(data []byte, dst *VC) (rest []byte, sum uint64, err error) {
 	if len(data) < 4 {
-		return nil, fmt.Errorf("vclock: %d-byte buffer lacks length prefix: %w", len(data), ErrTruncated)
+		return nil, 0, fmt.Errorf("vclock: %d-byte buffer lacks length prefix: %w", len(data), ErrTruncated)
 	}
 	n := int(binary.BigEndian.Uint32(data))
 	if n > MaxComponents {
-		return nil, fmt.Errorf("vclock: %d components: %w", n, ErrCorrupt)
+		return nil, 0, fmt.Errorf("vclock: %d components: %w", n, ErrCorrupt)
 	}
 	if len(data) < 4+8*n {
-		return nil, fmt.Errorf("vclock: want %d bytes for %d components, have %d: %w", 4+8*n, n, len(data), ErrTruncated)
+		return nil, 0, fmt.Errorf("vclock: want %d bytes for %d components, have %d: %w", 4+8*n, n, len(data), ErrTruncated)
 	}
 	out := sized(dst, n)
 	for k := range out {
 		c := binary.BigEndian.Uint64(data[4+8*k:])
 		if c > maxComponent {
-			return nil, fmt.Errorf("vclock: component %d value %d exceeds the uint32 clock domain: %w", k, c, ErrCorrupt)
+			return nil, 0, fmt.Errorf("vclock: component %d value %d exceeds the uint32 clock domain: %w", k, c, ErrCorrupt)
 		}
 		out[k] = uint32(c)
+		sum += c
 	}
 	*dst = out
-	return data[4+8*n:], nil
+	return data[4+8*n:], sum, nil
 }
 
 // maxComponent is the largest value a clock component can hold.
@@ -119,26 +128,35 @@ func (v VC) AppendDelta(buf []byte, base VC) []byte {
 // encoded length, else the encoding is rejected as corrupt — a delta against
 // the wrong clock domain can never decode meaningfully.
 func ConsumeDelta(data []byte, dst *VC, base VC) (rest []byte, err error) {
+	rest, _, err = ConsumeDeltaSum(data, dst, base)
+	return rest, err
+}
+
+// ConsumeDeltaSum is ConsumeDelta with the decoded clock's component-sum
+// digest (see VC.Sum) accumulated in the same pass. The hot wire path decodes
+// every inbound bound clock exactly once; returning the digest here lets the
+// comparison-pruning layer have it without a second O(n) scan.
+func ConsumeDeltaSum(data []byte, dst *VC, base VC) (rest []byte, sum uint64, err error) {
 	n64, sz := binary.Uvarint(data)
 	if sz <= 0 {
-		return nil, varintErr(sz, "component count")
+		return nil, 0, varintErr(sz, "component count")
 	}
 	data = data[sz:]
 	if n64 > MaxComponents {
-		return nil, fmt.Errorf("vclock: %d components: %w", n64, ErrCorrupt)
+		return nil, 0, fmt.Errorf("vclock: %d components: %w", n64, ErrCorrupt)
 	}
 	n := int(n64)
 	if len(data) < n {
-		return nil, fmt.Errorf("vclock: %d bytes cannot hold %d delta components: %w", len(data), n, ErrTruncated)
+		return nil, 0, fmt.Errorf("vclock: %d bytes cannot hold %d delta components: %w", len(data), n, ErrTruncated)
 	}
 	if base != nil && base.Len() != n {
-		return nil, fmt.Errorf("vclock: delta of %d components against %d-component base: %w", n, base.Len(), ErrCorrupt)
+		return nil, 0, fmt.Errorf("vclock: delta of %d components against %d-component base: %w", n, base.Len(), ErrCorrupt)
 	}
 	out := sized(dst, n)
 	for k := range out {
 		d, sz := binary.Varint(data)
 		if sz <= 0 {
-			return nil, varintErr(sz, "delta component")
+			return nil, 0, varintErr(sz, "delta component")
 		}
 		data = data[sz:]
 		var b int64
@@ -147,12 +165,13 @@ func ConsumeDelta(data []byte, dst *VC, base VC) (rest []byte, err error) {
 		}
 		c := b + d
 		if c < 0 || c > maxComponent {
-			return nil, fmt.Errorf("vclock: delta component %d lands at %d, outside the uint32 clock domain: %w", k, c, ErrCorrupt)
+			return nil, 0, fmt.Errorf("vclock: delta component %d lands at %d, outside the uint32 clock domain: %w", k, c, ErrCorrupt)
 		}
 		out[k] = uint32(c)
+		sum += uint64(c)
 	}
 	*dst = out
-	return data, nil
+	return data, sum, nil
 }
 
 // DeltaSize returns the encoded size in bytes of v delta-encoded against

@@ -1,0 +1,77 @@
+package vclock
+
+// Scalar clock digests: a one-word summary of a clock that refutes most
+// failed Less comparisons in O(1) instead of an O(n) lane scan.
+//
+// The invariant is a direct consequence of the order's definition: Less(x, y)
+// requires x[k] ≤ y[k] for every component with strict inequality somewhere,
+// so summing both sides gives sum(x) < sum(y) strictly. Contrapositive:
+//
+//	sum(x) ≥ sum(y)  ⇒  ¬Less(x, y)
+//
+// (the equal-sum case is covered too: either the clocks are identical — no
+// strict component — or some component trades off upward, violating ≤). The
+// guard is one-sided: sum(x) < sum(y) proves nothing, and the verdict falls
+// through to the full comparison. Digests therefore pay off exactly where the
+// detection engine spends its refutations — elimination rounds on heads that
+// do not overlap, and Eq. 10 pruning checks — while overlap confirmations
+// still stream every component.
+//
+// Sums never overflow: components are uint32 and decoders cap clocks at
+// MaxComponents (2²⁰), so a digest is at most 2⁵² and fits uint64 exactly.
+
+// Sum returns the component-sum digest of v. A nil or empty clock digests
+// to 0. On amd64 with AVX2 wide clocks stream through a vector kernel
+// (digest_amd64.s) — digests are computed once per enqueued interval, which
+// at large p is itself a measurable share of the hot path.
+func (v VC) Sum() uint64 {
+	return sumImpl(v)
+}
+
+func sumScalar(v VC) uint64 {
+	var s uint64
+	for _, c := range v {
+		s += uint64(c)
+	}
+	return s
+}
+
+// LessDigest evaluates v.Less(u) with a digest guard: sv and su must be
+// Sum(v) and Sum(u). When the guard refutes the comparison, filtered is true
+// and no component was scanned; otherwise the verdict comes from the full
+// comparison kernel. The verdict is identical to v.Less(u) in all cases
+// (property-tested against the unguarded scan).
+func (v VC) LessDigest(u VC, sv, su uint64) (less, filtered bool) {
+	if sv >= su {
+		v.check(u)
+		return false, true
+	}
+	less, _ = compareLessImpl(v, u, v, u)
+	return less, false
+}
+
+// CompareLessDigest is CompareLess with a digest guard on each direction:
+// the four sums must be Sum of the corresponding operand. filtered reports
+// how many of the two directions were refuted without a lane scan (0, 1 or
+// 2); a round with both directions refuted costs four word-compares total.
+// The verdicts are identical to CompareLess in all cases.
+func CompareLessDigest(aLo, bHi, bLo, aHi VC, sALo, sBHi, sBLo, sAHi uint64) (aLob, bLoa bool, filtered int) {
+	aLo.check(bHi)
+	bLo.check(aHi)
+	aLo.check(bLo)
+	refA := sALo >= sBHi // refutes aLo < bHi
+	refB := sBLo >= sAHi // refutes bLo < aHi
+	switch {
+	case refA && refB:
+		return false, false, 2
+	case refA:
+		bLoa, _ = compareLessImpl(bLo, aHi, bLo, aHi)
+		return false, bLoa, 1
+	case refB:
+		aLob, _ = compareLessImpl(aLo, bHi, aLo, bHi)
+		return aLob, false, 1
+	default:
+		aLob, bLoa = compareLessImpl(aLo, bHi, bLo, aHi)
+		return aLob, bLoa, 0
+	}
+}

@@ -1,0 +1,28 @@
+//go:build amd64
+
+package vclock
+
+// sumVecMin is the clock width from which the vector digest kernel beats the
+// scalar loop (kernel call overhead amortizes over the streamed components).
+const sumVecMin = 16
+
+// sumQuad sums n components (n > 0, n ≡ 0 mod 8) of v into a uint64.
+// Implemented in digest_amd64.s; requires AVX2. Each of the four qword
+// accumulator lanes sees at most MaxComponents/4 uint32 additions, so lanes
+// stay below 2⁵⁰ and the reduction is exact.
+//
+//go:noescape
+func sumQuad(v *uint32, n int) uint64
+
+func sumImpl(v VC) uint64 {
+	n := len(v)
+	if !hasAVX2 || n < sumVecMin {
+		return sumScalar(v)
+	}
+	m := n &^ 7
+	s := sumQuad(&v[0], m)
+	if m < n {
+		s += sumScalar(v[m:])
+	}
+	return s
+}

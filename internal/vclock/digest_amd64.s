@@ -1,0 +1,36 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// The digest kernel widens eight uint32 components per step into two 4×uint64
+// vectors (VPMOVZXDQ) and accumulates with VPADDQ — widening before adding
+// keeps every lane exact (a clock is at most MaxComponents = 2²⁰ components,
+// so a lane tops out below 2⁵⁰), and two independent accumulators hide the
+// add latency.
+
+// func sumQuad(v *uint32, n int) uint64
+TEXT ·sumQuad(SB), NOSPLIT, $0-24
+	MOVQ  v+0(FP), SI
+	MOVQ  n+8(FP), CX
+	VPXOR Y0, Y0, Y0
+	VPXOR Y3, Y3, Y3
+
+loop:
+	VPMOVZXDQ (SI), Y1
+	VPMOVZXDQ 16(SI), Y2
+	VPADDQ    Y1, Y0, Y0
+	VPADDQ    Y2, Y3, Y3
+	ADDQ      $32, SI
+	SUBQ      $8, CX
+	JNZ       loop
+
+	// Reduce the eight qword lanes to one.
+	VPADDQ       Y3, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDQ       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1
+	VPADDQ       X1, X0, X0
+	VMOVQ        X0, AX
+	MOVQ         AX, ret+16(FP)
+	VZEROUPPER
+	RET

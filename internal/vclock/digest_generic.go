@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package vclock
+
+func sumImpl(v VC) uint64 {
+	return sumScalar(v)
+}

@@ -1,0 +1,181 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCompareLessDigestMatchesUnguarded is the digest guard's correctness
+// property: across random and adversarial clocks — including near-equal pairs
+// where the sums tie without the clocks being ordered, the exact regime the
+// ≥-guard must classify correctly — the digest-guarded comparison returns the
+// verdicts of the unguarded scan, on every architecture path the width
+// selects (scalar below compareVecMin, the AVX2 kernel above it on amd64).
+func TestCompareLessDigestMatchesUnguarded(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	pools := [][]uint32{
+		{0, 1, 2},
+		{0, 1, 2, 3, 1<<31 - 1, 1 << 31, ^uint32(0)},
+	}
+	for _, n := range []int{1, 3, 7, 15, 16, 17, 32, 63, 100, 1023} {
+		for _, pool := range pools {
+			for trial := 0; trial < 300; trial++ {
+				aLo, bHi := make(VC, n), make(VC, n)
+				bLo, aHi := make(VC, n), make(VC, n)
+				for k := 0; k < n; k++ {
+					aLo[k] = pool[r.Intn(len(pool))]
+					bHi[k] = pool[r.Intn(len(pool))]
+					bLo[k] = pool[r.Intn(len(pool))]
+					aHi[k] = pool[r.Intn(len(pool))]
+				}
+				// Adversarial trials: make some operands ordered or identical
+				// so sum ties and true Less verdicts both occur.
+				switch trial % 4 {
+				case 1:
+					copy(bHi, aLo) // equal clocks: sum tie, not Less
+				case 2:
+					copy(bHi, aLo)
+					bHi[r.Intn(n)] += 1 // aLo < bHi by one component
+				case 3:
+					// Trade-off: equal sums, unordered clocks (needs n ≥ 2).
+					if n >= 2 {
+						copy(bHi, aLo)
+						i, j := 0, n-1
+						if bHi[i] < ^uint32(0) && bHi[j] > 0 {
+							bHi[i]++
+							bHi[j]--
+						}
+					}
+				}
+				w1, w2 := CompareLess(aLo, bHi, bLo, aHi)
+				g1, g2, filtered := CompareLessDigest(aLo, bHi, bLo, aHi,
+					aLo.Sum(), bHi.Sum(), bLo.Sum(), aHi.Sum())
+				if w1 != g1 || w2 != g2 {
+					t.Fatalf("n=%d: CompareLessDigest = (%v,%v), CompareLess = (%v,%v)\naLo=%v\nbHi=%v\nbLo=%v\naHi=%v",
+						n, g1, g2, w1, w2, aLo, bHi, bLo, aHi)
+				}
+				if filtered < 0 || filtered > 2 {
+					t.Fatalf("n=%d: filtered = %d, want 0..2", n, filtered)
+				}
+				// A filtered direction must have been refuted: filtering can
+				// never coincide with a true verdict.
+				if filtered == 2 && (g1 || g2) {
+					t.Fatalf("n=%d: both directions filtered yet verdict (%v,%v)", n, g1, g2)
+				}
+				lg, lf := aLo.LessDigest(bHi, aLo.Sum(), bHi.Sum())
+				if lg != aLo.Less(bHi) {
+					t.Fatalf("n=%d: LessDigest = %v, Less = %v", n, lg, aLo.Less(bHi))
+				}
+				if lf && lg {
+					t.Fatalf("n=%d: LessDigest filtered a true verdict", n)
+				}
+			}
+		}
+	}
+}
+
+// TestCompareLessDigestFiltersRefutation pins that the guard actually fires:
+// a clock with a strictly larger sum in the aLo-vs-bHi direction must be
+// refuted in O(1).
+func TestCompareLessDigestFiltersRefutation(t *testing.T) {
+	aLo := Of(5, 5, 5)
+	bHi := Of(1, 1, 1)
+	bLo := Of(0, 0, 0)
+	aHi := Of(9, 9, 9)
+	aLob, bLoa, filtered := CompareLessDigest(aLo, bHi, bLo, aHi,
+		aLo.Sum(), bHi.Sum(), bLo.Sum(), aHi.Sum())
+	if aLob || !bLoa {
+		t.Fatalf("verdicts = (%v,%v), want (false,true)", aLob, bLoa)
+	}
+	if filtered != 1 {
+		t.Fatalf("filtered = %d, want 1", filtered)
+	}
+}
+
+// TestSum pins the digest definition on edge shapes.
+func TestSum(t *testing.T) {
+	if got := (VC)(nil).Sum(); got != 0 {
+		t.Fatalf("nil Sum = %d, want 0", got)
+	}
+	if got := Of(0).Sum(); got != 0 {
+		t.Fatalf("zero Sum = %d, want 0", got)
+	}
+	v := Of(^uint32(0), ^uint32(0), 1)
+	want := 2*uint64(^uint32(0)) + 1
+	if got := v.Sum(); got != want {
+		t.Fatalf("Sum = %d, want %d (must not wrap at 32 bits)", got, want)
+	}
+}
+
+// TestSumMatchesScalar pins the vector digest kernel (sumImpl dispatch,
+// including the AVX2 path on amd64) against the scalar reference across
+// widths straddling the kernel's entry threshold and its 8-lane tail, with
+// saturated components so lane accumulation exactness is exercised.
+func TestSumMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	pool := []uint32{0, 1, 2, 1<<31 - 1, 1 << 31, ^uint32(0)}
+	for _, n := range []int{1, 7, 8, 15, 16, 17, 24, 31, 100, 1023, 1024, 1025} {
+		for trial := 0; trial < 50; trial++ {
+			v := make(VC, n)
+			for k := range v {
+				v[k] = pool[r.Intn(len(pool))]
+			}
+			if got, want := v.Sum(), sumScalar(v); got != want {
+				t.Fatalf("n=%d: Sum = %d, scalar = %d\nv=%v", n, got, want, v)
+			}
+		}
+	}
+}
+
+// FuzzDeltaDigestConsistency asserts the codec-maintained digest invariant:
+// for any clock that survives an AppendDelta/ConsumeDelta round trip (against
+// a derived base, exercising both nil- and non-nil-base decode paths), the
+// sum returned by ConsumeDeltaSum equals the recomputed VC.Sum of the decoded
+// clock, and likewise for the v1 ConsumeBinarySum path.
+func FuzzDeltaDigestConsistency(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, false)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}, true)
+	f.Add([]byte{}, false)
+	f.Fuzz(func(t *testing.T, raw []byte, useBase bool) {
+		n := len(raw) / 4
+		if n == 0 {
+			return
+		}
+		v := make(VC, n)
+		for k := range v {
+			v[k] = uint32(raw[4*k]) | uint32(raw[4*k+1])<<8 |
+				uint32(raw[4*k+2])<<16 | uint32(raw[4*k+3])<<24
+		}
+		var base VC
+		if useBase {
+			base = make(VC, n)
+			for k := range base {
+				base[k] = v[k] / 2
+			}
+		}
+		enc := v.AppendDelta(nil, base)
+		var dec VC
+		rest, sum, err := ConsumeDeltaSum(enc, &dec, base)
+		if err != nil {
+			t.Fatalf("ConsumeDeltaSum rejected own encoding: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes", len(rest))
+		}
+		if !dec.Equal(v) {
+			t.Fatalf("round trip mismatch: %v vs %v", dec, v)
+		}
+		if want := dec.Sum(); sum != want {
+			t.Fatalf("delta decode digest %d, recomputed %d", sum, want)
+		}
+		encV1 := v.AppendBinary(nil)
+		var decV1 VC
+		_, sumV1, err := ConsumeBinarySum(encV1, &decV1)
+		if err != nil {
+			t.Fatalf("ConsumeBinarySum rejected own encoding: %v", err)
+		}
+		if want := decV1.Sum(); sumV1 != want {
+			t.Fatalf("v1 decode digest %d, recomputed %d", sumV1, want)
+		}
+	})
+}

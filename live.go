@@ -53,6 +53,12 @@ type LiveDeliveryOptions struct {
 	// one window of detection latency for per-message overhead. Zero sends
 	// every report immediately.
 	BatchWindow time.Duration
+	// AdaptiveFlush coalesces reports per worker drain instead of per fixed
+	// window: whatever a node emits while handling one mailbox batch leaves
+	// as one message at the end of that drain, so coalescing follows the
+	// actual burst size with zero added latency. Mutually exclusive with
+	// BatchWindow.
+	AdaptiveFlush bool
 	// SequentialDetect restores the single-threaded in-node detection
 	// engine (the paper's Algorithm 1 loop exactly as it ran before the
 	// parallel engine) — the property-test oracle and benchmark baseline.
@@ -232,6 +238,7 @@ func NewLiveCluster(cfg LiveConfig) *LiveCluster {
 		Workers:           cfg.Delivery.Workers,
 		MailboxBound:      cfg.Delivery.MailboxBound,
 		BatchWindow:       cfg.Delivery.BatchWindow,
+		AdaptiveFlush:     cfg.Delivery.AdaptiveFlush,
 		SequentialDetect:  cfg.Delivery.SequentialDetect,
 		DetectWorkers:     cfg.Delivery.DetectWorkers,
 		HbEvery:           cfg.Failure.HbEvery,
