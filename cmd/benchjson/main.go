@@ -109,7 +109,7 @@ func main() {
 	label := flag.String("label", "", "unique annotation for this trajectory entry (required when recording)")
 	short := flag.Bool("short", false, "shorter benchtimes for CI lanes")
 	compare := flag.Bool("compare", false, "print a benchstat-style diff of the last two recorded entries and exit")
-	maxRegress := flag.String("maxregress", "", "with -compare: comma-separated summary drift gates, each key=pct; exit 1 if new < old*(1-pct/100) for any key (e.g. p1023_parallel_intervals_per_sec=10)")
+	maxRegress := flag.String("maxregress", "", "with -compare: comma-separated summary drift gates; key=pct fails when new < old*(1-pct/100) (throughput-style, bigger is better), key>pct fails when new > old*(1+pct/100) (latency-style, smaller is better)")
 	flag.Parse()
 
 	var suites []suite
@@ -292,7 +292,7 @@ func printCompare(w io.Writer, old, new run) {
 			fmt.Fprintf(tw, "%s\t\t(absent)\t\tnew benchmark\n", name)
 			continue
 		}
-		for _, unit := range [...]string{"ns/op", "intervals/sec", "B/op", "allocs/op", "bytes/frame", "worst-node-cmps/run"} {
+		for _, unit := range [...]string{"ns/op", "intervals/sec", "B/op", "allocs/op", "bytes/frame", "worst-node-cmps/run", "latency-p50-ms", "latency-p99-ms"} {
 			nv, okN := nr.Metrics[unit]
 			ov, okO := or.Metrics[unit]
 			if !okN || !okO || ov == 0 {
@@ -328,11 +328,13 @@ func printCompare(w io.Writer, old, new run) {
 }
 
 // checkDriftGates enforces -maxregress: each gate is a summary key plus the
-// largest tolerated regression in percent, and a gate trips when the newer
-// entry's value falls more than that below the older one's. A key missing
-// from either entry trips its gate too — a gated headline silently vanishing
-// from the trajectory is exactly the drift the gate exists to catch. Returns
-// false when any gate tripped.
+// largest tolerated regression in percent. `key=pct` guards a bigger-is-better
+// headline (trips when the newer value falls more than pct below the older),
+// `key>pct` guards a smaller-is-better one like a latency quantile (trips when
+// the newer value rises more than pct above the older). A key missing from
+// either entry trips its gate too — a gated headline silently vanishing from
+// the trajectory is exactly the drift the gate exists to catch. Returns false
+// when any gate tripped.
 func checkDriftGates(w io.Writer, old, new run, spec string) bool {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -340,10 +342,16 @@ func checkDriftGates(w io.Writer, old, new run, spec string) bool {
 	}
 	ok := true
 	for _, gate := range strings.Split(spec, ",") {
-		key, pctStr, found := strings.Cut(strings.TrimSpace(gate), "=")
+		gate = strings.TrimSpace(gate)
+		key, pctStr, found := strings.Cut(gate, "=")
+		upward := false
+		if !found {
+			key, pctStr, found = strings.Cut(gate, ">")
+			upward = true
+		}
 		pct, err := strconv.ParseFloat(pctStr, 64)
 		if !found || err != nil || pct < 0 {
-			fmt.Fprintf(w, "drift gate %q: malformed, want key=pct\n", gate)
+			fmt.Fprintf(w, "drift gate %q: malformed, want key=pct or key>pct\n", gate)
 			ok = false
 			continue
 		}
@@ -354,9 +362,13 @@ func checkDriftGates(w io.Writer, old, new run, spec string) bool {
 			fmt.Fprintf(w, "drift gate %s: FAIL — key missing from %s entry\n",
 				key, map[bool]string{true: "newer", false: "older"}[okO])
 			ok = false
-		case ov > 0 && nv < ov*(1-pct/100):
+		case !upward && ov > 0 && nv < ov*(1-pct/100):
 			fmt.Fprintf(w, "drift gate %s: FAIL — %.4g -> %.4g (%.1f%% drop, tolerance %.1f%%)\n",
 				key, ov, nv, 100*(1-nv/ov), pct)
+			ok = false
+		case upward && ov > 0 && nv > ov*(1+pct/100):
+			fmt.Fprintf(w, "drift gate %s: FAIL — %.4g -> %.4g (%.1f%% rise, tolerance %.1f%%)\n",
+				key, ov, nv, 100*(nv/ov-1), pct)
 			ok = false
 		default:
 			fmt.Fprintf(w, "drift gate %s: ok — %.4g -> %.4g (tolerance %.1f%%)\n", key, ov, nv, pct)
@@ -470,6 +482,12 @@ func summarizeScale(suites []suiteOut) map[string]float64 {
 			}
 			if v, ok := metric(suites, "./internal/livenet", name, "worst-node-cmps/run"); ok {
 				sum[fmt.Sprintf("p%d_%s_worst_node_cmps", p, lane)] = v
+			}
+			if v, ok := metric(suites, "./internal/livenet", name, "latency-p50-ms"); ok {
+				sum[fmt.Sprintf("p%d_%s_latency_p50_ms", p, lane)] = v
+			}
+			if v, ok := metric(suites, "./internal/livenet", name, "latency-p99-ms"); ok {
+				sum[fmt.Sprintf("p%d_%s_latency_p99_ms", p, lane)] = v
 			}
 		}
 		// The comparison-pruning layer's effectiveness, parallel lane only

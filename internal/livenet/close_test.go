@@ -1,0 +1,133 @@
+package livenet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hierdet/internal/tree"
+	"hierdet/internal/workload"
+)
+
+// runWorkload feeds a whole execution and returns the cluster ready to be
+// torn down by whichever lifecycle entry point the test exercises.
+func runWorkload(t *testing.T, seed int64) (*Cluster, *workload.Execution) {
+	t.Helper()
+	topo := tree.Balanced(2, 2)
+	e := workload.Generate(workload.Config{Topology: topo, Rounds: 6, Seed: seed, PGlobal: 1})
+	c := New(Config{Topology: topo, Seed: seed, Strict: true, KeepMembers: true})
+	for p := range e.Streams {
+		c.ObserveBatch(p, e.Streams[p])
+	}
+	return c, e
+}
+
+// sameDetections asserts two detection lists agree on the canonical
+// projection (node, root-ness, aggregate identity) — Stop and
+// Close+Detections must be interchangeable teardown spellings.
+func sameDetections(t *testing.T, got, want []Detection) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("detections = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Node != w.Node || g.AtRoot != w.AtRoot ||
+			g.Det.Agg.Seq != w.Det.Agg.Seq || g.Det.Agg.Origin != w.Det.Agg.Origin {
+			t.Fatalf("detection %d: got {node %d root %v seq %d}, want {node %d root %v seq %d}",
+				i, g.Node, g.AtRoot, g.Det.Agg.Seq, w.Node, w.AtRoot, w.Det.Agg.Seq)
+		}
+	}
+}
+
+// TestCloseEqualsStop pins the deprecation contract: Close followed by
+// Detections returns exactly what Stop would have (same workload, same
+// seed, same ordering), and Close is idempotent where Stop panics.
+func TestCloseEqualsStop(t *testing.T) {
+	cs, _ := runWorkload(t, 77)
+	viaStop := cs.Stop()
+
+	cc, _ := runWorkload(t, 77)
+	if err := cc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	viaClose := cc.Detections()
+	sameDetections(t, viaClose, viaStop)
+
+	// Close again: nil, and Detections unchanged.
+	if err := cc.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	sameDetections(t, cc.Detections(), viaStop)
+}
+
+// TestDetectionsBeforeStop: the accessor answers nil until teardown has
+// produced the final ordered list.
+func TestDetectionsBeforeStop(t *testing.T) {
+	c := New(Config{Topology: tree.Star(3)})
+	if d := c.Detections(); d != nil {
+		t.Fatalf("Detections before teardown = %d entries, want nil", len(d))
+	}
+	c.Close()
+	if c.Detections() == nil {
+		// A teardown with zero detections returns the empty (non-nil is not
+		// promised) list; only panic-free access matters here.
+		t.Log("empty teardown returned nil detections")
+	}
+}
+
+// TestStopAfterClosePanics: the historical Stop contract (double teardown
+// is a bug worth a loud crash) survives the lifecycle refactor.
+func TestStopAfterClosePanics(t *testing.T) {
+	c := New(Config{Topology: tree.Star(3)})
+	c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stop after Close did not panic")
+		}
+	}()
+	c.Stop()
+}
+
+// TestShutdownDeadline: a Shutdown whose context expires while credits are
+// still pending reports ctx.Err(), leaves the cluster running (Observe
+// still legal, no panic), and a later unbounded Shutdown completes with the
+// full detection set.
+func TestShutdownDeadline(t *testing.T) {
+	topo := tree.Chain(2)
+	e := workload.Generate(workload.Config{Topology: topo, Rounds: 4, Seed: 9, PGlobal: 1})
+	// A long batch window parks child 1's report credit on the flush timer,
+	// so quiescence is provably not reachable within the short deadline.
+	c := New(Config{Topology: topo, Seed: 9, Strict: true, KeepMembers: true,
+		BatchWindow: 300 * time.Millisecond, SequentialDetect: true})
+	for p := range e.Streams {
+		c.ObserveBatch(p, e.Streams[p][:2])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown under deadline = %v, want context.DeadlineExceeded", err)
+	}
+
+	// Still running: feeding more work must not panic.
+	for p := range e.Streams {
+		c.ObserveBatch(p, e.Streams[p][2:])
+	}
+	if err := c.Shutdown(context.Background()); err != nil {
+		t.Fatalf("unbounded Shutdown: %v", err)
+	}
+	roots := 0
+	for _, d := range c.Detections() {
+		if d.AtRoot {
+			roots++
+		}
+	}
+	if roots != 4 {
+		t.Fatalf("root detections after resumed shutdown = %d, want 4", roots)
+	}
+	// Shutdown after stopped: nil.
+	if err := c.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown after stopped = %v, want nil", err)
+	}
+}

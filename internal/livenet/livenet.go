@@ -57,6 +57,7 @@
 package livenet
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -265,6 +266,7 @@ type Cluster struct {
 	drains      atomic.Int64
 	drained     atomic.Int64
 	drainHist   *obsv.Histogram
+	latHist     *obsv.Histogram // observe→SolutionFound latency
 
 	// mu guards everything below: the lifecycle state machine, the
 	// message-credit ledger (pending, see post/armTimer/done), the topology
@@ -279,6 +281,7 @@ type Cluster struct {
 	seeking map[int]bool // orphan roots currently renegotiating a parent
 	reqSeq  int
 	dets    []Detection
+	final   []Detection // set once by teardown; read by Detections
 	repairs []RepairEvent
 }
 
@@ -430,7 +433,7 @@ func (c *Cluster) Observe(p int, iv interval.Interval) {
 	if ln == nil {
 		return
 	}
-	c.enqueue(ln, message{kind: msgLocal, from: p, iv: iv}, true)
+	c.enqueue(ln, message{kind: msgLocal, from: p, iv: iv, born: time.Now().UnixNano()}, true)
 }
 
 // ObserveBatch feeds a run of consecutive completed intervals of process p,
@@ -447,7 +450,7 @@ func (c *Cluster) ObserveBatch(p int, ivs []interval.Interval) {
 	if ln == nil {
 		return
 	}
-	c.enqueue(ln, message{kind: msgLocalBatch, from: p, ivs: ivs}, true)
+	c.enqueue(ln, message{kind: msgLocalBatch, from: p, ivs: ivs, born: time.Now().UnixNano()}, true)
 }
 
 // admit performs Observe/ObserveBatch's shared lifecycle check and takes
@@ -519,27 +522,119 @@ func (c *Cluster) Drain() {
 // returns every detection, ordered by node id and then detection order at
 // that node.
 //
-// The quiescence protocol: state moves to stopping (new Observe calls
-// panic, internal cascade traffic still flows), then Stop waits on the
-// condition variable until the credit ledger drains. Because every message
-// acquires its credit under mu before it is sent — timers at arm time — a
-// drained ledger means no credited delivery can be outstanding, so moving to
-// stopped and cancelling the wheel cannot lose work. The wheel's surviving
-// entries are the uncredited heartbeat ticks; they are discarded, the
-// workers take their stop sentinels, and nothing is left sleeping or
-// running when Stop returns.
+// The quiescence protocol (quiesceLocked): state moves to stopping (new
+// Observe calls panic, internal cascade traffic still flows), then Stop
+// waits on the condition variable until the credit ledger drains. Because
+// every message acquires its credit under mu before it is sent — timers at
+// arm time — a drained ledger means no credited delivery can be
+// outstanding, so moving to stopped and cancelling the wheel (teardown)
+// cannot lose work. The wheel's surviving entries are the uncredited
+// heartbeat ticks; they are discarded, the workers take their stop
+// sentinels, and nothing is left sleeping or running when Stop returns.
+//
+// Stop is the original teardown entry point, kept as a compatibility alias:
+// it is exactly Close followed by Detections, except that stopping an
+// already-stopped cluster panics (the historical contract, which existing
+// callers rely on to flag double-teardown bugs). New code should prefer
+// Close (idempotent) or Shutdown (deadline-aware).
+//
+// Deprecated: use Close or Shutdown, then Detections.
 func (c *Cluster) Stop() []Detection {
 	c.mu.Lock()
 	if c.state != clusterRunning {
 		c.mu.Unlock()
 		panic("livenet: Stop called twice")
 	}
+	c.quiesceLocked(nil)
+	c.mu.Unlock()
+	return c.teardown()
+}
+
+// Close waits for the cluster to go idle and shuts the delivery plane down,
+// exactly like Stop, but follows the io.Closer convention: it returns nil on
+// an already-closed cluster instead of panicking, and it does not hand the
+// detections back — read them with Detections. Close never fails; the error
+// return exists so every long-lived object in the package family (Cluster,
+// tenant-plane Multiplexer, replay Recorder/Replayer) closes through the
+// same signature.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.state != clusterRunning {
+		c.mu.Unlock()
+		return nil
+	}
+	c.quiesceLocked(nil)
+	c.mu.Unlock()
+	c.teardown()
+	return nil
+}
+
+// Shutdown is Close with a deadline: it waits for the message-credit ledger
+// to drain only as long as ctx allows. If the ledger drains in time the
+// cluster tears down exactly as Close does and Shutdown returns nil. If ctx
+// expires first, Shutdown returns ctx.Err() and the cluster RESUMES RUNNING —
+// no work has been lost, Observe is legal again, and a later Close/Stop/
+// Shutdown can finish the job. On an already-stopped cluster Shutdown
+// returns nil.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	if c.state != clusterRunning {
+		c.mu.Unlock()
+		return nil
+	}
+	if !c.quiesceLocked(ctx) {
+		// Deadline hit with traffic still in flight: abort the shutdown and
+		// hand the cluster back in the running state.
+		c.state = clusterRunning
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+	c.mu.Unlock()
+	c.teardown()
+	return nil
+}
+
+// quiesceLocked runs the quiescence protocol under mu: state moves to
+// stopping (new Observe calls panic, internal cascade traffic still flows),
+// then waits on the condition variable until the credit ledger drains — or,
+// when ctx is non-nil, until ctx expires, whichever comes first. Returns true
+// with state at clusterStopped when the ledger drained, false with state
+// still at clusterStopping when ctx expired first (the caller restores
+// clusterRunning).
+func (c *Cluster) quiesceLocked(ctx context.Context) bool {
 	c.state = clusterStopping
+	var stopWatch chan struct{}
+	if ctx != nil && ctx.Done() != nil {
+		// The waiter below sleeps on the cond; a context expiry has to kick
+		// it awake. The watcher is told to stand down once quiescence
+		// resolves either way.
+		stopWatch = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				c.mu.Lock()
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			case <-stopWatch:
+			}
+		}()
+		defer close(stopWatch)
+	}
 	for c.pending != 0 {
+		if ctx != nil && ctx.Err() != nil {
+			return false
+		}
 		c.cond.Wait()
 	}
 	c.state = clusterStopped
-	c.mu.Unlock()
+	return true
+}
+
+// teardown dismantles the delivery plane after a successful quiescence
+// (state is clusterStopped, ledger empty — see Stop's doc comment for why
+// nothing can be lost from here) and returns the final sorted detection
+// list, also stashing it for Detections.
+func (c *Cluster) teardown() []Detection {
 	c.halted.Store(true)
 	if c.shared != nil {
 		// Shared substrate: the wheel and pools belong to the substrate and
@@ -577,9 +672,9 @@ func (c *Cluster) Stop() []Detection {
 		// already in flight, so nothing touches the cluster after Stop.
 		c.cfg.Transport.Close()
 	}
-	// Ownership transfer, not a copy: Stop runs once (the state check above
-	// panics on a second call) and nothing records into a stopped cluster, so
-	// the accumulated list can be handed to the caller as-is.
+	// Ownership transfer, not a copy: teardown runs once (quiescence resolves
+	// exactly once) and nothing records into a stopped cluster, so the
+	// accumulated list can be handed to the caller as-is.
 	c.mu.Lock()
 	out := c.dets
 	c.dets = nil
@@ -590,7 +685,21 @@ func (c *Cluster) Stop() []Detection {
 		}
 		return out[i].Det.Agg.Seq < out[j].Det.Agg.Seq
 	})
+	c.mu.Lock()
+	c.final = out
+	c.mu.Unlock()
 	return out
+}
+
+// Detections returns the final detection list — ordered by node id, then
+// detection order at that node — once the cluster has stopped (via Stop,
+// Close or a successful Shutdown). Before that it returns nil: the list is
+// only final after teardown. The slice is shared with Stop's return value;
+// treat it as read-only.
+func (c *Cluster) Detections() []Detection {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.final
 }
 
 // Workers returns the size of the worker pool draining this cluster's
@@ -775,9 +884,9 @@ func (c *Cluster) send(to int, msg message, delay time.Duration) {
 // destination is hosted here, one self-contained wire batch frame (reports
 // delta-chained against each other inside the frame, encoded through a
 // pooled buffer — the zero-allocation batched encode path) otherwise.
-func (c *Cluster) sendBatch(to, from int, batch []repair.Report, delay time.Duration) {
+func (c *Cluster) sendBatch(to, from int, batch []repair.Report, born int64, delay time.Duration) {
 	if _, local := c.nodes[to]; local || !c.remote {
-		c.post(to, message{kind: msgReportBatch, from: from, reps: batch}, delay)
+		c.post(to, message{kind: msgReportBatch, from: from, reps: batch, born: born}, delay)
 		return
 	}
 	buf := wire.GetBuffer()

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"hierdet/internal/obsv"
 )
@@ -269,6 +270,17 @@ type ClusterMetrics struct {
 	PendingCredits  int `json:"pendingCredits"`
 	KilledProcesses int `json:"killedProcesses"`
 
+	// Observe→SolutionFound latency: how long after an interval entered the
+	// cluster the detection its cascade completed was recorded, estimated
+	// from the hierdet_latency_observe_to_solution_seconds histogram
+	// (quantiles are bucket-interpolated; see obsv.Histogram.Quantile).
+	// Count is observations; the quantiles are in seconds and NaN-free
+	// (zero when the histogram is empty). Stamps do not cross a transport,
+	// so in distributed mode this covers the in-process pipeline only.
+	LatencyCount int64   `json:"latencyCount"`
+	LatencyP50   float64 `json:"latencyP50Seconds"`
+	LatencyP99   float64 `json:"latencyP99Seconds"`
+
 	// Events counts every lifecycle event emitted so far by kind name
 	// (counted whether or not an Events sink is installed). encoding/json
 	// sorts map keys, so the encoding stays stable.
@@ -333,6 +345,13 @@ func (c *Cluster) ClusterMetrics() ClusterMetrics {
 	out.PendingCredits = c.pending
 	out.KilledProcesses = len(c.killed)
 	c.mu.Unlock()
+	if h := c.latHist; h != nil {
+		out.LatencyCount = h.Count()
+		if out.LatencyCount > 0 {
+			out.LatencyP50 = h.Quantile(0.50)
+			out.LatencyP99 = h.Quantile(0.99)
+		}
+	}
 	out.Events = make(map[string]int64, len(c.evCounts))
 	for k, ctr := range c.evCounts {
 		if ctr != nil {
@@ -346,6 +365,18 @@ func (c *Cluster) ClusterMetrics() ClusterMetrics {
 // ready for Prometheus exposition (obsv.Registry.Handler) or programmatic
 // reads. The registry is created in New and stays valid after Stop.
 func (c *Cluster) Registry() *obsv.Registry { return c.reg }
+
+// noteLatency records one observe→SolutionFound measurement: a detection was
+// just recorded whose triggering cascade began with an Observe stamped at
+// born (UnixNano). Runs on the detecting node's worker.
+func (c *Cluster) noteLatency(born int64) {
+	if c.latHist == nil {
+		return
+	}
+	if d := time.Now().UnixNano() - born; d > 0 {
+		c.latHist.Observe(float64(d) / 1e9)
+	}
+}
 
 // emitEvent counts e and hands it to the configured sink, if any. Callers
 // emit from the goroutine that owns the event's node, which is what gives
@@ -452,6 +483,13 @@ func (c *Cluster) registerFamilies() {
 	c.drainHist = c.reg.Histogram("hierdet_sched_drain_batch_size",
 		"Messages handled per shard drain (batching efficiency of the pool).",
 		obsv.ExponentialBuckets(1, 2, 10))
+
+	// Observe→SolutionFound latency. Buckets span 1µs to ~2s: the floor is
+	// below any real pipeline traversal and the ceiling absorbs a saturated
+	// batched plane on a loaded box, so the p99 almost never clamps.
+	c.latHist = c.reg.Histogram("hierdet_latency_observe_to_solution_seconds",
+		"Latency from an interval entering the cluster (Observe) to the recording of the detection its cascade completed. In-process hops only: stamps do not cross a transport.",
+		obsv.ExponentialBuckets(1e-6, 2, 22))
 
 	// Timer wheel: lag is how far behind its deadline the last advance ran
 	// — the single number that says whether delayed delivery is keeping up.

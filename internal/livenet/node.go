@@ -52,6 +52,14 @@ type message struct {
 	reps  []repair.Report     // msgReportBatch payload
 	att   repair.Msg
 	hb    hbInfo
+	// born is the Observe wall-clock stamp (UnixNano) of the observation
+	// whose causal cascade this message belongs to — stamped at admission,
+	// inherited by every report the handling of this message emits, and
+	// consumed when a detection closes the chain (observe→SolutionFound
+	// latency). Zero on timer/heartbeat kinds and on frames that crossed a
+	// transport (the stamp is deliberately not wire-encoded: wall clocks of
+	// different processes do not subtract meaningfully).
+	born int64
 }
 
 // liveNode is one process: a detector node plus its links. All fields below
@@ -84,6 +92,12 @@ type liveNode struct {
 	outBuf       []repair.Report
 	flushPending bool
 	drainFlush   bool
+	// born is the stamp of the message currently being handled (see
+	// message.born); bufBorn carries the oldest stamp among the reports
+	// sitting in outBuf, so a coalesced flush propagates the stamp of the
+	// observation that has been waiting longest. Worker-confined.
+	born    int64
+	bufBorn int64
 
 	ivScratch  []interval.Interval // reused batch-ingestion staging
 	rdyScratch []repair.Report     // reused resequencer release staging
@@ -185,6 +199,7 @@ func (ln *liveNode) runLegacy() {
 }
 
 func (ln *liveNode) handle(msg message) {
+	ln.born = msg.born
 	switch msg.kind {
 	case msgLocal:
 		ln.c.emitEvent(obsv.Event{Kind: obsv.IntervalObserved, Node: ln.id, Peer: obsv.NoPeer, Count: 1})
@@ -279,6 +294,9 @@ func (ln *liveNode) deliver(dets []core.Detection) {
 	for _, det := range dets {
 		atRoot := ln.parent == tree.None
 		ln.m.detections.Add(1)
+		if ln.born > 0 {
+			ln.c.noteLatency(ln.born)
+		}
 		ln.c.record(Detection{Node: ln.id, AtRoot: atRoot, Det: det})
 		if !atRoot {
 			ln.report(det.Agg)
@@ -315,6 +333,7 @@ func (ln *liveNode) emit(agg interval.Interval) {
 	pl := repair.Report{Iv: agg, LinkSeq: ln.outSeq, Epoch: ln.epochs.Stamp()}
 	ln.outSeq++
 	if ln.c.cfg.AdaptiveFlush {
+		ln.bufferBorn()
 		ln.outBuf = append(ln.outBuf, pl)
 		if !ln.drainFlush && ln.c.takeFlushCredit() {
 			ln.drainFlush = true
@@ -324,13 +343,23 @@ func (ln *liveNode) emit(agg interval.Interval) {
 	if ln.c.cfg.BatchWindow <= 0 {
 		ln.m.msgsOut.Add(1)
 		ln.c.emitEvent(obsv.Event{Kind: obsv.ReportSent, Node: ln.id, Peer: ln.parent, Seq: pl.LinkSeq, Count: 1})
-		ln.c.send(ln.parent, message{kind: msgReport, from: ln.id, seq: pl.LinkSeq, epoch: pl.Epoch, iv: pl.Iv}, ln.delay())
+		ln.c.send(ln.parent, message{kind: msgReport, from: ln.id, seq: pl.LinkSeq, epoch: pl.Epoch, iv: pl.Iv, born: ln.born}, ln.delay())
 		return
 	}
+	ln.bufferBorn()
 	ln.outBuf = append(ln.outBuf, pl)
 	if !ln.flushPending {
 		ln.flushPending = true
 		ln.c.armTimer(ln, ln.c.cfg.BatchWindow, message{kind: msgFlush})
+	}
+}
+
+// bufferBorn folds the current handle's observation stamp into the buffered
+// flush's: a coalesced batch carries the oldest stamp among its reports, so
+// latency attribution never flatters coalescing.
+func (ln *liveNode) bufferBorn() {
+	if ln.born > 0 && (ln.bufBorn == 0 || ln.born < ln.bufBorn) {
+		ln.bufBorn = ln.born
 	}
 }
 
@@ -350,11 +379,13 @@ func (ln *liveNode) flushReports() {
 	batch := make([]repair.Report, len(ln.outBuf))
 	copy(batch, ln.outBuf)
 	ln.outBuf = ln.outBuf[:0]
+	born := ln.bufBorn
+	ln.bufBorn = 0
 	ln.m.msgsOut.Add(1)
 	ln.m.batchFlushes.Add(1)
 	ln.c.emitEvent(obsv.Event{Kind: obsv.ReportSent, Node: ln.id, Peer: ln.parent,
 		Seq: batch[0].LinkSeq, Count: len(batch)})
-	ln.c.sendBatch(ln.parent, ln.id, batch, ln.delay())
+	ln.c.sendBatch(ln.parent, ln.id, batch, born, ln.delay())
 }
 
 // dropChild removes a dead or reassigned child's queue, returning the

@@ -49,6 +49,11 @@ import (
 //	                share of enumerated comparisons answered by the one-word
 //	                digest guard / the cross-round verdict memo (zero on the
 //	                sequential lanes)
+//	latency-p50-ms / latency-p99-ms  observe→SolutionFound latency quantiles
+//	                (ClusterMetrics.LatencyP50/P99, averaged over iterations)
+//	                — how long an interval's cascade takes to conclude, the
+//	                number the batch window and adaptive flush trade
+//	                throughput against
 //
 // The scale lane (make bench-scale / cmd/benchjson -suite scale) records
 // these into BENCH_scale.json; the p=1023 parallel-vs-batched ratio is the
@@ -95,7 +100,8 @@ type benchMode struct {
 func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, total, rounds int, mode benchMode) {
 	peak := 0
 	roots := 0
-	var worstCmps, vecCmps, filtered, memo int64
+	var worstCmps, vecCmps, filtered, memo, latObs int64
+	var latP50, latP99 float64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -156,6 +162,9 @@ func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, to
 		vecCmps += cm.VecComparisons
 		filtered += cm.FilteredComparisons
 		memo += cm.MemoHits
+		latObs += cm.LatencyCount
+		latP50 += cm.LatencyP50
+		latP99 += cm.LatencyP99
 	}
 	b.StopTimer()
 	if roots != rounds*b.N {
@@ -169,5 +178,9 @@ func benchLiveScale(b *testing.B, topo *tree.Topology, e *workload.Execution, to
 		b.ReportMetric(float64(vecCmps)/float64(b.N)/float64(total), "cmps/interval")
 		b.ReportMetric(float64(filtered)/float64(vecCmps), "digest-filter-rate")
 		b.ReportMetric(float64(memo)/float64(vecCmps), "memo-hit-rate")
+	}
+	if latObs > 0 {
+		b.ReportMetric(latP50/float64(b.N)*1e3, "latency-p50-ms")
+		b.ReportMetric(latP99/float64(b.N)*1e3, "latency-p99-ms")
 	}
 }

@@ -189,6 +189,58 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations so far.
 func (h *Histogram) Count() int64 { return h.s.hcount.Load() }
 
+// Sum returns the running sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.s.hsum.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts with
+// Prometheus-style linear interpolation inside the target bucket. The first
+// bucket interpolates from zero; a rank landing in the +Inf bucket returns
+// the largest finite bound (the histogram cannot resolve beyond it). Returns
+// NaN when the histogram is empty. The estimate reads the per-bucket atomics
+// without a snapshot barrier, so concurrent Observe calls can skew a live
+// read by a few observations — the same contract a Prometheus scrape has.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := int64(0)
+	counts := make([]int64, len(h.s.bucketCounts))
+	for i := range h.s.bucketCounts {
+		counts[i] = h.s.bucketCounts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.f.buckets) { // +Inf bucket: clamp to last finite bound
+			if len(h.f.buckets) == 0 {
+				return math.NaN()
+			}
+			return h.f.buckets[len(h.f.buckets)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.f.buckets[i-1]
+		}
+		hi := h.f.buckets[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.f.buckets[len(h.f.buckets)-1]
+}
+
 // Counter registers (or finds) an unlabeled counter.
 func (r *Registry) Counter(name, help string) *Counter {
 	f := r.lookup(name, help, KindCounter, nil, nil)

@@ -88,7 +88,7 @@ func BenchmarkMultiTenant(b *testing.B) {
 						h.ObserveBatch(proc, e.Streams[proc])
 					}
 				}
-				for name, dets := range plane.Close() {
+				for name, dets := range plane.Stop() {
 					_ = name
 					for _, d := range dets {
 						if d.AtRoot {

@@ -1,9 +1,11 @@
 package tenantplane
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hierdet/internal/interval"
@@ -115,8 +117,9 @@ type Handle struct {
 	bucket int
 	c      *livenet.Cluster
 
-	stopOnce sync.Once
-	dets     []livenet.Detection
+	stopMu  sync.Mutex
+	stopped bool
+	dets    []livenet.Detection
 }
 
 // Name returns the tenant id the predicate was registered under.
@@ -148,11 +151,53 @@ func (h *Handle) ObserveBatch(p int, ivs []interval.Interval) { h.c.ObserveBatch
 
 // Stop unregisters the tenant — stops its cluster, frees its wire id and
 // emits TenantEvicted — and returns the tenant's detections. Idempotent.
+//
+// Deprecated: use Close or Shutdown, then Detections.
 func (h *Handle) Stop() []livenet.Detection {
-	h.stopOnce.Do(func() {
+	h.stopMu.Lock()
+	defer h.stopMu.Unlock()
+	if !h.stopped {
 		h.dets = h.c.Stop()
+		h.stopped = true
 		h.p.forget(h)
-	})
+	}
+	return h.dets
+}
+
+// Close is Stop through the io.Closer convention: unregister the tenant,
+// keep its detections readable through Detections. Idempotent, never fails.
+func (h *Handle) Close() error {
+	h.Stop()
+	return nil
+}
+
+// Shutdown is Close with a deadline: the tenant's cluster quiesces only as
+// long as ctx allows. On success the tenant is unregistered exactly as Close
+// would. If ctx expires first, Shutdown returns ctx.Err() and the tenant
+// KEEPS RUNNING, still registered — no work lost, retriable.
+func (h *Handle) Shutdown(ctx context.Context) error {
+	h.stopMu.Lock()
+	defer h.stopMu.Unlock()
+	if h.stopped {
+		return nil
+	}
+	if err := h.c.Shutdown(ctx); err != nil {
+		return err
+	}
+	h.dets = h.c.Detections()
+	h.stopped = true
+	h.p.forget(h)
+	return nil
+}
+
+// Detections returns the tenant's final detection list once it has stopped
+// (via Stop, Close or a successful Shutdown); nil before.
+func (h *Handle) Detections() []livenet.Detection {
+	h.stopMu.Lock()
+	defer h.stopMu.Unlock()
+	if !h.stopped {
+		return nil
+	}
 	return h.dets
 }
 
@@ -169,10 +214,20 @@ type Multiplexer struct {
 	tenants map[string]*Handle
 	byWire  map[uint32]string
 	closed  bool
+	final   map[string][]livenet.Detection // set by the first completed teardown
+
+	// subs holds the Events subscribers as a copy-on-write slice: emit — the
+	// plane-wide fan-out point, on hot worker goroutines — loads it with one
+	// atomic read, while Events/cancel rebuild it under subMu.
+	subMu sync.Mutex
+	subs  atomic.Pointer[[]*eventSub]
 
 	registered *obsv.Counter
 	evicted    *obsv.Counter
 }
+
+// eventSub is one Events subscription; its identity is the cancel token.
+type eventSub struct{ fn func(obsv.Event) }
 
 // NewMultiplexer builds the plane and starts its shared transport (so a
 // listen failure is an error here, not a panic inside the first tenant's
@@ -232,10 +287,56 @@ func (p *Multiplexer) Registry() *obsv.Registry { return p.reg }
 // Monitor returns the plane's fleet monitor, or nil when ownership is off.
 func (p *Multiplexer) Monitor() *Monitor { return p.mon }
 
-// emit forwards a plane-level event to the configured sink.
+// emit forwards a plane-level event to the configured sink and every Events
+// subscriber. This is the plane's single fan-out point: every hosted
+// cluster's events (tenant-annotated), the monitor's lease events and the
+// plane's own registration lifecycle all pass through here.
 func (p *Multiplexer) emit(e obsv.Event) {
 	if p.cfg.Events != nil {
 		p.cfg.Events(e)
+	}
+	if subs := p.subs.Load(); subs != nil {
+		for _, s := range *subs {
+			s.fn(e)
+		}
+	}
+}
+
+// Events subscribes sink to the plane's full lifecycle stream — exactly what
+// a Config.Events sink set at construction sees: every tenant cluster's
+// events annotated with Event.Tenant, TenantRegistered/TenantEvicted, and
+// the monitor's LeaseAcquired/LeaseLost — without having had to be present
+// at construction. It is the tenant-plane mirror of LiveConfig.Events, and
+// the one tap point a recorder needs for either plane. The sink runs on
+// runtime goroutines under livenet's sink contract (concurrent calls, keep
+// it quick, never tear the plane down from inside it). The returned cancel
+// removes the subscription; events already in flight may still arrive while
+// cancel returns.
+func (p *Multiplexer) Events(sink func(obsv.Event)) (cancel func()) {
+	sub := &eventSub{fn: sink}
+	p.subMu.Lock()
+	old := p.subs.Load()
+	var next []*eventSub
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, sub)
+	p.subs.Store(&next)
+	p.subMu.Unlock()
+	return func() {
+		p.subMu.Lock()
+		defer p.subMu.Unlock()
+		cur := p.subs.Load()
+		if cur == nil {
+			return
+		}
+		rebuilt := make([]*eventSub, 0, len(*cur))
+		for _, s := range *cur {
+			if s != sub {
+				rebuilt = append(rebuilt, s)
+			}
+		}
+		p.subs.Store(&rebuilt)
 	}
 }
 
@@ -376,25 +477,89 @@ func (p *Multiplexer) forget(h *Handle) {
 	}
 }
 
-// Close stops every remaining tenant, the monitor and the shared transport,
-// returning each stopped tenant's detections keyed by tenant id.
-func (p *Multiplexer) Close() map[string][]livenet.Detection {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+// Stop stops every remaining tenant, the monitor and the shared transport,
+// returning each stopped tenant's detections keyed by tenant id. A second
+// call returns nil (the historical contract of the method this aliases,
+// which was named Close before the lifecycle API unified).
+//
+// Deprecated: use Close or Shutdown, then Detections.
+func (p *Multiplexer) Stop() map[string][]livenet.Detection {
+	handles, already := p.beginClose()
+	if already {
 		return nil
 	}
-	p.closed = true
-	handles := make([]*Handle, 0, len(p.tenants))
-	for _, h := range p.tenants {
-		handles = append(handles, h)
-	}
-	p.mu.Unlock()
-
 	out := make(map[string][]livenet.Detection, len(handles))
 	for _, h := range handles {
 		out[h.name] = h.Stop()
 	}
+	p.teardown(out)
+	return out
+}
+
+// Close stops every remaining tenant, the monitor and the shared transport.
+// Detections stay readable through Detections. Idempotent, never fails; the
+// error return matches the package family's lifecycle signature (see
+// livenet.Cluster.Close).
+func (p *Multiplexer) Close() error {
+	p.Stop()
+	return nil
+}
+
+// Shutdown is Close with a deadline shared across the whole plane: each
+// remaining tenant's cluster quiesces under ctx, in tenant-id order. On
+// success the plane is fully down and Shutdown returns nil. If ctx expires
+// mid-plane, Shutdown returns ctx.Err() and REOPENS the plane: tenants
+// already stopped stay stopped (and unregistered), the rest keep running,
+// and registration and a later Close/Shutdown/Stop remain legal.
+func (p *Multiplexer) Shutdown(ctx context.Context) error {
+	handles, already := p.beginClose()
+	if already {
+		return nil
+	}
+	out := make(map[string][]livenet.Detection, len(handles))
+	for _, h := range handles {
+		if err := h.Shutdown(ctx); err != nil {
+			p.mu.Lock()
+			p.closed = false
+			p.mu.Unlock()
+			return err
+		}
+		out[h.name] = h.Detections()
+	}
+	p.teardown(out)
+	return nil
+}
+
+// Detections returns every tenant's final detections, keyed by tenant id,
+// once the plane has closed (via Stop, Close or a successful Shutdown); nil
+// before.
+func (p *Multiplexer) Detections() map[string][]livenet.Detection {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.final
+}
+
+// beginClose flips the plane to closed and returns the remaining handles in
+// tenant-id order — a deterministic teardown order, so deadline-bounded
+// shutdowns fail the same way twice. already reports the plane was closed.
+func (p *Multiplexer) beginClose() (handles []*Handle, already bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, true
+	}
+	p.closed = true
+	handles = make([]*Handle, 0, len(p.tenants))
+	for _, h := range p.tenants {
+		handles = append(handles, h)
+	}
+	sort.Slice(handles, func(i, j int) bool { return handles[i].name < handles[j].name })
+	return handles, false
+}
+
+// teardown dismantles the shared planes after every tenant has stopped and
+// publishes the final detections.
+func (p *Multiplexer) teardown(out map[string][]livenet.Detection) {
 	if p.mon != nil {
 		p.mon.Stop()
 	}
@@ -406,7 +571,9 @@ func (p *Multiplexer) Close() map[string][]livenet.Detection {
 	// Every tenant cluster has stopped and detached, so the substrate's
 	// wheel and pools are idle and can come down last.
 	p.sched.Close()
-	return out
+	p.mu.Lock()
+	p.final = out
+	p.mu.Unlock()
 }
 
 // snapshot returns the live handles, sorted by tenant id, for scrapes.

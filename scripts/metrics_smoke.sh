@@ -121,6 +121,8 @@ for series in \
     'hierdet_transport_frames_in_total ' \
     'hierdet_transport_frames_out_total ' \
     'hierdet_transport_dials_total ' \
+    'hierdet_latency_observe_to_solution_seconds_bucket' \
+    'hierdet_latency_observe_to_solution_seconds_count' \
     'hierdet_events_total{kind="interval_observed"}' \
     'hierdet_events_total{kind="solution_found"}' \
     'hierdet_events_total{kind="report_recv"}'; do
@@ -138,7 +140,103 @@ check_shape() {
         exit 1
     fi
 }
+
+# Family drift gate: every hierdet_* family in the scrape must be known here.
+# A new family passing silently is how exposition drift sneaks past review —
+# adding one means adding it to this allowlist (and, if it's load-bearing, to
+# the per-series assertions above).
+sort >"$workdir/known_families.txt" <<'EOF'
+hierdet_cluster_killed_processes
+hierdet_cluster_nodes
+hierdet_cluster_pending_credits
+hierdet_detect_busy
+hierdet_detect_fanout_rounds_total
+hierdet_detect_inline_rounds_total
+hierdet_detect_tasks_total
+hierdet_detect_workers
+hierdet_events_total
+hierdet_latency_observe_to_solution_seconds
+hierdet_lease_buckets_owned
+hierdet_lease_monitors_live
+hierdet_mux_dropped_total
+hierdet_node_bad_frames_total
+hierdet_node_batch_flushes_total
+hierdet_node_child_drops_total
+hierdet_node_detections_total
+hierdet_node_duplicates_total
+hierdet_node_eliminated_total
+hierdet_node_filtered_comparisons_total
+hierdet_node_heartbeats_total
+hierdet_node_intervals_in_total
+hierdet_node_mailbox_depth
+hierdet_node_mailbox_high_water
+hierdet_node_memo_hits_total
+hierdet_node_msgs_in_total
+hierdet_node_msgs_out_total
+hierdet_node_pruned_total
+hierdet_node_queue_depth
+hierdet_node_queue_high_water
+hierdet_node_repairs_total
+hierdet_node_reseq_buffered
+hierdet_node_reseq_high_water
+hierdet_node_stale_reports_total
+hierdet_node_vec_comparisons_total
+hierdet_plane_busy_workers
+hierdet_plane_wheel_entries
+hierdet_plane_wheel_lag_seconds
+hierdet_plane_wheel_ticks_total
+hierdet_plane_workers
+hierdet_sched_drain_batch_size
+hierdet_sched_drains_total
+hierdet_sched_mailbox_bound
+hierdet_sched_messages_handled_total
+hierdet_sched_runq_depth
+hierdet_sched_workers
+hierdet_sched_workers_busy
+hierdet_tenant_detections_total
+hierdet_tenant_intervals_in_total
+hierdet_tenant_mailbox_high_water
+hierdet_tenant_msgs_in_total
+hierdet_tenant_msgs_out_total
+hierdet_tenant_owned
+hierdet_tenant_repairs_total
+hierdet_tenants
+hierdet_tenants_evicted_total
+hierdet_tenants_registered_total
+hierdet_transport_backlog_depth
+hierdet_transport_backlog_dropped_total
+hierdet_transport_bytes_in_total
+hierdet_transport_bytes_out_total
+hierdet_transport_corrupt_frames_total
+hierdet_transport_dials_total
+hierdet_transport_flushes_total
+hierdet_transport_frames_in_total
+hierdet_transport_frames_out_total
+hierdet_transport_peers
+hierdet_transport_redelivered_total
+hierdet_transport_redelivery_ring
+hierdet_transport_redials_total
+hierdet_transport_tenant_batches_in_total
+hierdet_transport_tenant_batches_out_total
+hierdet_transport_tenant_frames_coalesced_total
+hierdet_wheel_entries
+hierdet_wheel_lag_seconds
+hierdet_wheel_tick_seconds
+hierdet_wheel_ticks_total
+EOF
+check_families() {
+    grep -oE '^hierdet_[a-z0-9_]+' "$scrape" |
+        sed -E 's/_(bucket|sum|count)$//' | sort -u >"$workdir/scraped_families.txt"
+    local unknown
+    unknown=$(comm -23 "$workdir/scraped_families.txt" "$workdir/known_families.txt")
+    if [ -n "$unknown" ]; then
+        echo "metrics_smoke: exposition carries unknown families (add them to the allowlist):" >&2
+        echo "$unknown" >&2
+        exit 1
+    fi
+}
 check_shape
+check_families
 single_series=$(grep -c '^hierdet_' "$scrape")
 
 # Phase 2: the same 3-process deployment serving two tenants. The scrape now
@@ -179,5 +277,6 @@ for series in \
     fi
 done
 check_shape
+check_families
 
 echo "metrics_smoke: OK ($single_series single-tenant + $(grep -c '^hierdet_' "$scrape") tenant-plane hierdet series scraped from $metrics_addr)"
